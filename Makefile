@@ -1,0 +1,40 @@
+# mtexc — reproduction of "The Use of Multithreading for Exception
+# Handling" (MICRO-32, 1999). Standard targets:
+#
+#   make build        compile everything
+#   make test         full test suite (includes slow harness tests)
+#   make test-short   quick tests only
+#   make bench        one benchmark per paper table/figure
+#   make experiments  regenerate every table and figure (minutes)
+#   make report       automated claim-by-claim reproduction report
+
+GO ?= go
+
+.PHONY: build test test-short bench experiments report vet fmt clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+test: build vet
+	$(GO) test ./... -count=1 -timeout 1800s
+
+test-short: build
+	$(GO) test ./... -count=1 -short -timeout 600s
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' .
+
+experiments:
+	$(GO) run ./cmd/mtexc-experiments -all -general -unaligned -tlbsweep -faults -ptorg
+
+report:
+	$(GO) run ./cmd/mtexc-report -insts 500000
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,100 @@
+// Command mtexc-asm assembles mtexc ISA source into architectural
+// 32-bit words, or disassembles encoded words back into source.
+//
+// Usage:
+//
+//	mtexc-asm prog.s              # assemble; hex dump to stdout
+//	mtexc-asm -d prog.hex         # disassemble a hex dump
+//	echo 'ldi r1, 5' | mtexc-asm -
+//
+// The handler in internal/vm is written with the same instruction
+// set; -handler prints its generated source for reference.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"mtexc/internal/isa/asm"
+	"mtexc/internal/vm"
+)
+
+func main() {
+	var (
+		disassemble = flag.Bool("d", false, "disassemble a hex dump instead of assembling")
+		handler     = flag.Bool("handler", false, "print the generated PAL DTB-miss handler and exit")
+	)
+	flag.Parse()
+
+	if *handler {
+		h := vm.GenerateDTBMissHandler(vm.DefaultHandlerConfig())
+		fmt.Printf("; PAL data-TLB miss handler (%d instructions, common path %d)\n",
+			len(h.Code), h.CommonLen)
+		fmt.Print(asm.Disassemble(h.Code))
+		return
+	}
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtexc-asm:", err)
+		os.Exit(1)
+	}
+
+	if *disassemble {
+		if err := runDisassemble(src, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mtexc-asm:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	insts, err := asm.Assemble(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtexc-asm:", err)
+		os.Exit(1)
+	}
+	words, err := asm.EncodeAll(insts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtexc-asm:", err)
+		os.Exit(1)
+	}
+	for i, w := range words {
+		fmt.Printf("%08x  ; %s\n", w, insts[i])
+	}
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(bufio.NewReader(os.Stdin))
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+// runDisassemble parses one hex word per line (comments after the
+// first token are ignored) and prints assembler source.
+func runDisassemble(src string, w io.Writer) error {
+	var words []uint32
+	for lineNo, line := range strings.Split(src, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		v, err := strconv.ParseUint(fields[0], 16, 32)
+		if err != nil {
+			return fmt.Errorf("line %d: %q is not a hex word", lineNo+1, fields[0])
+		}
+		words = append(words, uint32(v))
+	}
+	insts, err := asm.DecodeAll(words)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, asm.Disassemble(insts))
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mtexc/internal/isa/asm"
+)
+
+func TestRunDisassembleRoundTrip(t *testing.T) {
+	srcProg := "ldi r1, 5\naddi r1, r1, 3\nhalt\n"
+	insts, err := asm.Assemble(srcProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words, err := asm.EncodeAll(insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump strings.Builder
+	for _, w := range words {
+		fmt.Fprintf(&dump, "%08x  ; comment ignored\n", w)
+	}
+	var out strings.Builder
+	if err := runDisassemble(dump.String(), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ldi r1, 5", "addi r1, r1, 3", "halt"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("disassembly lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunDisassembleRejectsGarbage(t *testing.T) {
+	var out strings.Builder
+	if err := runDisassemble("zzzz\n", &out); err == nil {
+		t.Error("garbage hex accepted")
+	}
+	if err := runDisassemble("ff000000\n", &out); err == nil {
+		t.Error("undefined opcode accepted")
+	}
+}

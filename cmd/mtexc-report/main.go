@@ -1,0 +1,38 @@
+// Command mtexc-report runs the full evaluation and emits a markdown
+// reproduction report, checking every reproducible claim of the paper
+// against the measured results. Exits nonzero if any claim fails.
+//
+// Usage:
+//
+//	mtexc-report -insts 1000000 > report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mtexc/internal/harness"
+)
+
+func main() {
+	var (
+		insts   = flag.Uint64("insts", 500_000, "application instructions per run")
+		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all 8)")
+		verbose = flag.Bool("v", false, "log every simulation run to stderr")
+	)
+	flag.Parse()
+
+	opt := harness.Options{Insts: *insts}
+	if *benches != "" {
+		opt.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *verbose {
+		opt.Progress = os.Stderr
+	}
+	if err := harness.Report(opt, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mtexc-report:", err)
+		os.Exit(1)
+	}
+}

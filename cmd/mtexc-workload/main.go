@@ -1,0 +1,110 @@
+// Command mtexc-workload inspects the synthetic benchmark suite:
+// disassembles a benchmark's generated code, summarizes its memory
+// image, and (with -profile) measures its dynamic instruction mix and
+// behaviour on the simulator.
+//
+// Usage:
+//
+//	mtexc-workload -list
+//	mtexc-workload -bench compress -disasm
+//	mtexc-workload -bench vortex -profile -insts 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"mtexc/internal/core"
+	"mtexc/internal/isa/asm"
+	"mtexc/internal/mem"
+	"mtexc/internal/vm"
+	"mtexc/internal/workload"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list the suite and exit")
+		bench   = flag.String("bench", "compress", "benchmark name or abbreviation")
+		disasm  = flag.Bool("disasm", false, "disassemble the generated program")
+		profile = flag.Bool("profile", false, "run it and print dynamic behaviour")
+		insts   = flag.Uint64("insts", 200_000, "instructions for -profile")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range workload.All() {
+			fmt.Printf("%-12s (%s)  %s\n", b.Name(), b.Short(), b.Description())
+		}
+		return
+	}
+	b, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtexc-workload:", err)
+		os.Exit(2)
+	}
+
+	phys := mem.NewPhysical()
+	img, err := b.Build(phys, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtexc-workload:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s — %s\n", b.Name(), b.Description())
+	fmt.Printf("code       : %d instructions at %#x\n", len(img.Code), img.CodeVA)
+	pagesMapped := 0
+	img.Space.ForEachMapped(func(uint64) { pagesMapped++ })
+	fmt.Printf("footprint  : %d pages (%d KB) mapped, page table at %#x (org %d)\n",
+		pagesMapped, pagesMapped*int(vm.PageSize)/1024, img.Space.PTBase(), img.Space.Org())
+	fmt.Printf("init regs  : %d integer registers preloaded\n", len(img.InitInt))
+
+	if *disasm {
+		fmt.Println("\ndisassembly:")
+		fmt.Print(asm.Disassemble(img.Code))
+	}
+
+	if *profile {
+		cfg := core.DefaultConfig()
+		cfg.Mech = core.MechMultithreaded
+		cfg.Contexts = 2
+		cfg.MaxInsts = *insts
+		res, err := core.Run(cfg, b)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mtexc-workload:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ndynamic profile over %d instructions:\n", res.AppInsts)
+		fmt.Printf("  IPC          : %.2f\n", res.IPC)
+		fmt.Printf("  DTLB fills   : %d (%.0f per 100M)\n",
+			res.DTLBMisses, float64(res.DTLBMisses)/float64(res.AppInsts)*1e8)
+		fmt.Printf("  mispredicts  : %d resolved\n", res.Stats.Get("bpred.resolved.mispredicts"))
+		fmt.Printf("  squashed     : %d instructions\n", res.Stats.Get("squash.insts"))
+		fmt.Println("  retirement mix:")
+		printClassMix(res)
+	}
+}
+
+func printClassMix(res core.Result) {
+	type entry struct {
+		name  string
+		count uint64
+	}
+	var mix []entry
+	total := res.Stats.Get("retire.insts")
+	for _, class := range []string{
+		"intalu", "intmul", "intdiv", "fpadd", "fpmul", "fpdiv",
+		"load", "store", "branch", "jump", "priv", "rfe", "nop",
+	} {
+		if c := res.Stats.Get("retire.class." + class); c > 0 {
+			mix = append(mix, entry{class, c})
+		}
+	}
+	sort.Slice(mix, func(i, j int) bool { return mix[i].count > mix[j].count })
+	for _, e := range mix {
+		bar := strings.Repeat("#", int(e.count*40/total))
+		fmt.Printf("    %-8s %6.1f%% %s\n", e.name, float64(e.count)/float64(total)*100, bar)
+	}
+}

@@ -1,0 +1,140 @@
+// Command mtexcsim runs one benchmark (or mix) under one exception
+// architecture and prints the run summary and machine statistics.
+//
+// Usage:
+//
+//	mtexcsim -bench compress -mech multithreaded -idle 1 -insts 1e6
+//	mtexcsim -bench adm,gcc,vor -mech traditional
+//	mtexcsim -bench vor -mech multithreaded -quickstart -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mtexc/internal/core"
+	"mtexc/internal/trace"
+	"mtexc/internal/workload"
+)
+
+func main() {
+	var (
+		benchList  = flag.String("bench", "compress", "comma-separated benchmark name(s); one hardware context each")
+		mechName   = flag.String("mech", "multithreaded", "exception architecture: perfect | traditional | multithreaded | hardware")
+		idle       = flag.Int("idle", 1, "idle hardware contexts for exception handlers")
+		insts      = flag.Uint64("insts", 1_000_000, "application instructions to retire")
+		quickstart = flag.Bool("quickstart", false, "pre-stage the handler in idle fetch buffers (Section 5.4)")
+		width      = flag.Int("width", 8, "machine width (fetch = decode = issue)")
+		window     = flag.Int("window", 128, "instruction window entries")
+		depth      = flag.Int("depth", 7, "fetch-to-execute pipeline stages")
+		dtlb       = flag.Int("dtlb", 64, "DTLB entries")
+		showStats  = flag.Bool("stats", false, "dump all machine statistics")
+		traceN     = flag.Int("trace", 0, "print a pipeline diagram of the last N instructions")
+		kanata     = flag.String("kanata", "", "write the trace in Kanata viewer format to this file (with -trace)")
+		list       = flag.Bool("list", false, "list available benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range workload.All() {
+			fmt.Printf("%-12s (%s)  %s\n", b.Name(), b.Short(), b.Description())
+		}
+		return
+	}
+
+	cfg := core.DefaultConfig().WithWidth(*width, *window).WithPipeDepth(*depth)
+	cfg.DTLBEntries = *dtlb
+	cfg.MaxInsts = *insts
+	cfg.MaxCycles = 400 * *insts
+	cfg.QuickStart = *quickstart
+	switch *mechName {
+	case "perfect":
+		cfg.Mech = core.MechPerfect
+	case "traditional":
+		cfg.Mech = core.MechTraditional
+	case "multithreaded":
+		cfg.Mech = core.MechMultithreaded
+	case "hardware":
+		cfg.Mech = core.MechHardware
+	default:
+		fmt.Fprintf(os.Stderr, "mtexcsim: unknown mechanism %q\n", *mechName)
+		os.Exit(2)
+	}
+
+	var loads []core.Workload
+	for _, n := range strings.Split(*benchList, ",") {
+		b, err := workload.ByName(strings.TrimSpace(n))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mtexcsim:", err)
+			os.Exit(2)
+		}
+		loads = append(loads, b)
+	}
+	cfg.Contexts = len(loads) + *idle
+
+	var collector *trace.Collector
+	var res core.Result
+	if *traceN > 0 {
+		// Build the machine by hand so the trace hook can attach.
+		m := core.NewMachine(cfg)
+		for i, w := range loads {
+			img, err := w.Build(m.Phys(), uint8(i+1))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mtexcsim:", err)
+				os.Exit(1)
+			}
+			if _, err := m.AddProgram(img); err != nil {
+				fmt.Fprintln(os.Stderr, "mtexcsim:", err)
+				os.Exit(1)
+			}
+			m.WarmPageTable(img.Space)
+		}
+		collector = trace.NewCollector(*traceN)
+		m.TraceHook = collector.Add
+		res = m.Run()
+	} else {
+		var err error
+		res, err = core.Run(cfg, loads...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mtexcsim:", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("benchmarks : %s\n", *benchList)
+	fmt.Printf("mechanism  : %s", cfg.Mech)
+	if cfg.QuickStart {
+		fmt.Print(" + quickstart")
+	}
+	fmt.Println()
+	fmt.Printf("machine    : %d-wide, %d-entry window, %d-stage front end, %d-entry DTLB, %d contexts\n",
+		cfg.Width, cfg.WindowSize, cfg.PipeDepth(), cfg.DTLBEntries, cfg.Contexts)
+	fmt.Printf("cycles     : %d\n", res.Cycles)
+	fmt.Printf("app insts  : %d\n", res.AppInsts)
+	fmt.Printf("IPC        : %.3f\n", res.IPC)
+	fmt.Printf("DTLB fills : %d (%.0f per 100M instructions)\n",
+		res.DTLBMisses, float64(res.DTLBMisses)/float64(res.AppInsts)*1e8)
+	if *showStats {
+		fmt.Println("\nstatistics:")
+		fmt.Print(res.Stats.String())
+	}
+	if collector != nil {
+		fmt.Println()
+		collector.Render(os.Stdout)
+		collector.Summary(os.Stdout)
+		if *kanata != "" {
+			f, err := os.Create(*kanata)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mtexcsim:", err)
+				os.Exit(1)
+			}
+			if err := trace.WriteKanata(f, collector.Records()); err != nil {
+				fmt.Fprintln(os.Stderr, "mtexcsim:", err)
+			}
+			f.Close()
+			fmt.Printf("kanata trace written to %s\n", *kanata)
+		}
+	}
+}

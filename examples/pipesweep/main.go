@@ -1,0 +1,54 @@
+// Pipesweep: reproduce the paper's motivation (Section 3) on one
+// benchmark — trap overhead grows with front-end depth (Figure 2) and
+// with machine width (Figure 3), which is what makes an alternative
+// exception architecture worth building.
+//
+//	go run ./examples/pipesweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtexc/internal/core"
+	"mtexc/internal/workload"
+)
+
+func main() {
+	bench, err := workload.ByName("murphi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const insts = 400_000
+
+	fmt.Println("traditional trap penalty vs pipeline depth (8-wide):")
+	fmt.Printf("%-12s %14s\n", "stages", "penalty/miss")
+	for _, depth := range []int{3, 5, 7, 9, 11} {
+		cfg := core.DefaultConfig().WithPipeDepth(depth)
+		cfg.Mech = core.MechTraditional
+		cfg.Contexts = 1
+		cfg.MaxInsts = insts
+		cmp, err := core.Compare(cfg, bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12d %14.1f\n", depth, cmp.PenaltyPerMiss())
+	}
+
+	fmt.Println("\nfraction of run time lost to TLB handling vs width:")
+	fmt.Printf("%-12s %14s\n", "machine", "TLB time %")
+	for _, shape := range []struct{ w, win int }{{2, 32}, {4, 64}, {8, 128}} {
+		cfg := core.DefaultConfig().WithWidth(shape.w, shape.win)
+		cfg.Mech = core.MechTraditional
+		cfg.Contexts = 1
+		cfg.MaxInsts = insts
+		cmp, err := core.Compare(cfg, bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d-wide/%-5d %13.2f%%\n", shape.w, shape.win,
+			cmp.RelativeTLBTime()*100)
+	}
+	fmt.Println("\nDeeper pipes pay the squash-and-refetch cost twice per trap;")
+	fmt.Println("wider machines lose more useful work per squashed window.")
+}

@@ -1,0 +1,3 @@
+module mtexc
+
+go 1.22

@@ -1,0 +1,78 @@
+package bpred
+
+// DirPredictor is a conditional-branch direction predictor. YAGS is
+// the paper's configuration; gshare and bimodal are provided for
+// predictor-sensitivity studies.
+type DirPredictor interface {
+	Predict(pc, hist uint64) bool
+	Update(pc, hist uint64, taken bool)
+}
+
+// Bimodal is a PC-indexed table of 2-bit counters.
+type Bimodal struct {
+	table []counter
+	mask  uint64
+}
+
+// NewBimodal builds a 2^bits-entry bimodal predictor, initialized
+// weakly not-taken.
+func NewBimodal(bits int) *Bimodal {
+	b := &Bimodal{table: make([]counter, 1<<bits), mask: 1<<bits - 1}
+	for i := range b.table {
+		b.table[i] = 1
+	}
+	return b
+}
+
+// Predict returns the predicted direction (history is ignored).
+func (b *Bimodal) Predict(pc, _ uint64) bool {
+	return b.table[pc>>2&b.mask].taken()
+}
+
+// Update trains the counter.
+func (b *Bimodal) Update(pc, _ uint64, taken bool) {
+	i := pc >> 2 & b.mask
+	b.table[i] = b.table[i].update(taken)
+}
+
+// GShare XORs global history into the table index (McFarling).
+type GShare struct {
+	table []counter
+	mask  uint64
+}
+
+// NewGShare builds a 2^bits-entry gshare predictor.
+func NewGShare(bits int) *GShare {
+	g := &GShare{table: make([]counter, 1<<bits), mask: 1<<bits - 1}
+	for i := range g.table {
+		g.table[i] = 1
+	}
+	return g
+}
+
+func (g *GShare) idx(pc, hist uint64) uint64 { return (pc>>2 ^ hist) & g.mask }
+
+// Predict returns the predicted direction.
+func (g *GShare) Predict(pc, hist uint64) bool {
+	return g.table[g.idx(pc, hist)].taken()
+}
+
+// Update trains the counter.
+func (g *GShare) Update(pc, hist uint64, taken bool) {
+	i := g.idx(pc, hist)
+	g.table[i] = g.table[i].update(taken)
+}
+
+// NewDirPredictor builds a direction predictor by name: "yags"
+// (default, the paper's Table 1), "gshare" or "bimodal".
+func NewDirPredictor(kind string) DirPredictor {
+	switch kind {
+	case "", "yags":
+		return NewYAGS(DefaultYAGSConfig())
+	case "gshare":
+		return NewGShare(14)
+	case "bimodal":
+		return NewBimodal(14)
+	}
+	return NewYAGS(DefaultYAGSConfig())
+}

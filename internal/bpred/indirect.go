@@ -1,0 +1,74 @@
+package bpred
+
+// Indirect is the two-stage cascaded indirect-branch target predictor
+// of Driesen and Hölzle: a first-stage PC-indexed table of last
+// targets backed by a second-stage path-history-indexed tagged table.
+// A "leaky filter" inserts into the expensive second stage only when
+// the first stage has proven insufficient for the branch.
+type Indirect struct {
+	stage1 []indEntry
+	stage2 []indEntry
+	mask1  uint64
+	mask2  uint64
+
+	Lookups    uint64
+	Stage2Hits uint64
+}
+
+type indEntry struct {
+	tag    uint64
+	target uint64
+	valid  bool
+}
+
+// IndirectConfig sizes the predictor stages (log2 entries).
+type IndirectConfig struct {
+	Stage1Bits int
+	Stage2Bits int
+}
+
+// DefaultIndirectConfig matches the paper: 2^8-entry first stage with
+// 2^10-entry second stage.
+func DefaultIndirectConfig() IndirectConfig {
+	return IndirectConfig{Stage1Bits: 8, Stage2Bits: 10}
+}
+
+// NewIndirect builds the predictor.
+func NewIndirect(cfg IndirectConfig) *Indirect {
+	return &Indirect{
+		stage1: make([]indEntry, 1<<cfg.Stage1Bits),
+		stage2: make([]indEntry, 1<<cfg.Stage2Bits),
+		mask1:  1<<cfg.Stage1Bits - 1,
+		mask2:  1<<cfg.Stage2Bits - 1,
+	}
+}
+
+func (p *Indirect) idx1(pc uint64) uint64 { return pc >> 2 & p.mask1 }
+
+func (p *Indirect) idx2(pc, path uint64) uint64 { return (pc>>2 ^ path) & p.mask2 }
+
+// Predict returns the predicted target for the indirect branch at pc
+// under path history path, and whether any stage had a prediction.
+func (p *Indirect) Predict(pc, path uint64) (uint64, bool) {
+	p.Lookups++
+	if e := &p.stage2[p.idx2(pc, path)]; e.valid && e.tag == pc {
+		p.Stage2Hits++
+		return e.target, true
+	}
+	if e := &p.stage1[p.idx1(pc)]; e.valid && e.tag == pc {
+		return e.target, true
+	}
+	return 0, false
+}
+
+// Update trains the predictor with the resolved target.
+func (p *Indirect) Update(pc, path, target uint64) {
+	e1 := &p.stage1[p.idx1(pc)]
+	stage1Correct := e1.valid && e1.tag == pc && e1.target == target
+	if !stage1Correct {
+		// Leaky filter: the monomorphic first stage failed, so the
+		// branch earns (or refreshes) a path-based entry.
+		p.stage2[p.idx2(pc, path)] = indEntry{tag: pc, target: target, valid: true}
+	}
+	*e1 = indEntry{tag: pc, target: target, valid: true}
+}

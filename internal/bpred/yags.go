@@ -1,0 +1,131 @@
+// Package bpred implements the paper's Table 1 branch prediction
+// stack: a YAGS direction predictor (2^14-entry choice table with
+// 2^12-entry tagged exception caches), a two-stage cascaded indirect
+// target predictor, and a 64-entry checkpointing return address
+// stack. Branch target prediction for direct branches is perfect per
+// the paper, so no BTB is modelled.
+package bpred
+
+// counter is a 2-bit saturating counter helper.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// YAGS is the Eden/Mudge YAGS direction predictor: a bimodal choice
+// table gives the per-branch bias; two tagged caches record only the
+// exceptions to that bias (the "not-taken cache" holds branches that
+// deviate from a taken bias and vice versa).
+type YAGS struct {
+	choice  []counter
+	tCache  []excEntry // exceptions consulted when bias is not-taken
+	ntCache []excEntry // exceptions consulted when bias is taken
+	tagMask uint64
+
+	choiceMask uint64
+	excMask    uint64
+
+	Lookups     uint64
+	CacheHits   uint64
+	Allocations uint64
+}
+
+type excEntry struct {
+	tag   uint64
+	ctr   counter
+	valid bool
+}
+
+// YAGSConfig sizes the predictor. Bits are log2 of table entries.
+type YAGSConfig struct {
+	ChoiceBits int
+	ExcBits    int
+	TagBits    int
+}
+
+// DefaultYAGSConfig matches the paper: 2^14-entry choice table,
+// 2^12-entry exception caches with 6-bit tags.
+func DefaultYAGSConfig() YAGSConfig {
+	return YAGSConfig{ChoiceBits: 14, ExcBits: 12, TagBits: 6}
+}
+
+// NewYAGS builds the predictor; counters initialize weakly not-taken.
+func NewYAGS(cfg YAGSConfig) *YAGS {
+	y := &YAGS{
+		choice:     make([]counter, 1<<cfg.ChoiceBits),
+		tCache:     make([]excEntry, 1<<cfg.ExcBits),
+		ntCache:    make([]excEntry, 1<<cfg.ExcBits),
+		tagMask:    1<<cfg.TagBits - 1,
+		choiceMask: 1<<cfg.ChoiceBits - 1,
+		excMask:    1<<cfg.ExcBits - 1,
+	}
+	for i := range y.choice {
+		y.choice[i] = 1
+	}
+	return y
+}
+
+func (y *YAGS) choiceIdx(pc uint64) uint64 { return pc >> 2 & y.choiceMask }
+
+func (y *YAGS) excIdx(pc, hist uint64) uint64 { return (pc>>2 ^ hist) & y.excMask }
+
+func (y *YAGS) tag(pc uint64) uint64 { return pc >> 2 & y.tagMask }
+
+// Predict returns the predicted direction for the branch at pc with
+// global history hist.
+func (y *YAGS) Predict(pc, hist uint64) bool {
+	y.Lookups++
+	bias := y.choice[y.choiceIdx(pc)].taken()
+	cache := y.ntCache
+	if !bias {
+		cache = y.tCache
+	}
+	e := &cache[y.excIdx(pc, hist)]
+	if e.valid && e.tag == y.tag(pc) {
+		y.CacheHits++
+		return e.ctr.taken()
+	}
+	return bias
+}
+
+// Update trains the predictor with the resolved outcome.
+func (y *YAGS) Update(pc, hist uint64, taken bool) {
+	ci := y.choiceIdx(pc)
+	bias := y.choice[ci].taken()
+	cache := y.ntCache
+	if !bias {
+		cache = y.tCache
+	}
+	e := &cache[y.excIdx(pc, hist)]
+	hit := e.valid && e.tag == y.tag(pc)
+
+	if hit {
+		e.ctr = e.ctr.update(taken)
+	} else if taken != bias {
+		// The bias mispredicted and no exception entry existed:
+		// allocate one, biased toward the observed outcome.
+		y.Allocations++
+		*e = excEntry{tag: y.tag(pc), valid: true, ctr: 1}
+		e.ctr = e.ctr.update(taken)
+	}
+
+	// The choice table trains on the outcome except when the
+	// exception cache both provided the prediction and was right
+	// while the bias was wrong — flipping the bias then would evict
+	// a working exception.
+	if !(hit && e.ctr.taken() == taken && bias != taken) {
+		y.choice[ci] = y.choice[ci].update(taken)
+	}
+}

@@ -1,0 +1,299 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func smallCache() *Cache {
+	// 4 sets x 2 ways x 32B lines = 256 bytes.
+	return New(Config{Size: 256, LineSize: 32, Assoc: 2, Latency: 1})
+}
+
+func TestConfigSets(t *testing.T) {
+	c := Config{Size: 64 << 10, LineSize: 32, Assoc: 2}
+	if got := c.Sets(); got != 1024 {
+		t.Errorf("Sets = %d, want 1024", got)
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	c := smallCache()
+	if hit, _ := c.Access(0x1000, false); hit {
+		t.Error("cold access hit")
+	}
+	if hit, _ := c.Access(0x1000, false); !hit {
+		t.Error("second access missed")
+	}
+	if hit, _ := c.Access(0x101f, false); !hit {
+		t.Error("same-line access missed")
+	}
+	if hit, _ := c.Access(0x1020, false); hit {
+		t.Error("next-line access hit")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := smallCache()
+	// Three lines mapping to the same set (set stride = 4 sets * 32B = 128B).
+	a, b, d := uint64(0x0000), uint64(0x0080), uint64(0x0100)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a more recent than b
+	c.Access(d, false) // evicts b (LRU)
+	if !c.Probe(a) {
+		t.Error("a was evicted, but b was LRU")
+	}
+	if c.Probe(b) {
+		t.Error("b survived, but was LRU")
+	}
+	if !c.Probe(d) {
+		t.Error("d not present after fill")
+	}
+}
+
+func TestDirtyVictimReported(t *testing.T) {
+	c := smallCache()
+	c.Access(0x0000, true)  // dirty fill
+	c.Access(0x0080, false) // same set, second way
+	_, victim := c.Access(0x0100, false)
+	if !victim.Valid {
+		t.Fatal("no victim reported on conflict fill")
+	}
+	if victim.Addr != 0x0000 {
+		t.Errorf("victim addr = %#x, want 0x0", victim.Addr)
+	}
+	if !victim.Dirty {
+		t.Error("dirty victim not flagged")
+	}
+	if c.Writebks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Writebks)
+	}
+}
+
+func TestWriteHitSetsDirty(t *testing.T) {
+	c := smallCache()
+	c.Access(0x0000, false) // clean fill
+	c.Access(0x0000, true)  // write hit dirties
+	c.Access(0x0080, false)
+	_, victim := c.Access(0x0100, false)
+	if !victim.Dirty {
+		t.Error("write-hit line evicted clean")
+	}
+}
+
+func TestProbeHasNoSideEffects(t *testing.T) {
+	c := smallCache()
+	c.Access(0x0000, false)
+	h, m := c.Hits, c.Misses
+	c.Probe(0x0000)
+	c.Probe(0x9999)
+	if c.Hits != h || c.Misses != m {
+		t.Error("Probe changed statistics")
+	}
+	// Probe must not refresh LRU: after probing a, filling two more
+	// conflicting lines must still evict a first.
+	c.Access(0x0080, false)
+	c.Probe(0x0000)
+	c.Access(0x0100, false) // should evict 0x0000 (older touch)
+	if c.Probe(0x0000) {
+		t.Error("Probe refreshed LRU")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := smallCache()
+	c.Access(0x0000, true)
+	present, dirty := c.Invalidate(0x0000)
+	if !present || !dirty {
+		t.Errorf("Invalidate = %v,%v want true,true", present, dirty)
+	}
+	if c.Probe(0x0000) {
+		t.Error("line still present after Invalidate")
+	}
+	present, _ = c.Invalidate(0x0000)
+	if present {
+		t.Error("second Invalidate found the line")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := smallCache()
+	c.Access(0x0000, true)
+	c.Access(0x0080, false)
+	if dirty := c.Flush(); dirty != 1 {
+		t.Errorf("Flush dirty = %d, want 1", dirty)
+	}
+	if c.Probe(0x0000) || c.Probe(0x0080) {
+		t.Error("lines present after Flush")
+	}
+}
+
+// Reference model: the cache must behave as a set of per-set LRU
+// lists under a random access stream.
+func TestCacheVsReferenceModel(t *testing.T) {
+	cfg := Config{Size: 1024, LineSize: 32, Assoc: 4, Latency: 1}
+	c := New(cfg)
+	nsets := int(cfg.Sets())
+	ref := make([][]uint64, nsets) // per-set MRU-first line list
+	rng := rand.New(rand.NewSource(42))
+
+	for i := 0; i < 20000; i++ {
+		pa := uint64(rng.Intn(64)) * 32 // 64 distinct lines over 8 sets
+		line := pa &^ 31
+		set := int(pa / 32 % uint64(nsets))
+		// Reference lookup.
+		refHit := false
+		for j, l := range ref[set] {
+			if l == line {
+				refHit = true
+				copy(ref[set][1:j+1], ref[set][:j])
+				ref[set][0] = line
+				break
+			}
+		}
+		if !refHit {
+			if len(ref[set]) == cfg.Assoc {
+				ref[set] = ref[set][:cfg.Assoc-1]
+			}
+			ref[set] = append([]uint64{line}, ref[set]...)
+		}
+		hit, _ := c.Access(pa, false)
+		if hit != refHit {
+			t.Fatalf("access %d (pa %#x): cache hit=%v ref hit=%v", i, pa, hit, refHit)
+		}
+	}
+}
+
+func TestHierarchyBestCaseLatencies(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+
+	// Cold load: full path to memory = 104-cycle best load-use.
+	if done := h.AccessData(0, 0x1000, false); done != 104 {
+		t.Errorf("memory load-use = %d, want 104", done)
+	}
+	// Now in L1: 3-cycle load-use.
+	if done := h.AccessData(200, 0x1000, false); done != 203 {
+		t.Errorf("L1 load-use = %d, want 3", done-200)
+	}
+	// Evict from L1 but not L2, then re-access: 12-cycle load-use.
+	// L1 is 64KB 2-way with 32B lines: lines at +32KB and +64KB
+	// conflict in L1; L2 is 1MB 4-way so no L2 conflict.
+	h.AccessData(300, 0x1000+32<<10, false)
+	h.AccessData(500, 0x1000+64<<10, false)
+	if h.L1D.Probe(0x1000) {
+		t.Fatal("test setup: 0x1000 still in L1")
+	}
+	if done := h.AccessData(700, 0x1000, false); done != 712 {
+		t.Errorf("L2 load-use = %d, want 12", done-700)
+	}
+}
+
+func TestHierarchyMSHRMerge(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+	d1 := h.AccessData(0, 0x2000, false)
+	d2 := h.AccessData(1, 0x2008, false) // same L1 line, outstanding
+	if d2 != d1 {
+		t.Errorf("secondary miss completion %d != primary %d", d2, d1)
+	}
+	if h.MSHRMerges == 0 {
+		t.Error("no MSHR merge recorded")
+	}
+}
+
+func TestHierarchyL2LevelMerge(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+	d1 := h.AccessData(0, 0x3000, false)
+	// Different L1 line (0x3020), same L2 line (64B): merges at L2.
+	d2 := h.AccessData(1, 0x3020, false)
+	if d2 > d1+10 {
+		t.Errorf("same-L2-line miss took %d vs %d; expected merge at L2", d2, d1)
+	}
+}
+
+func TestHierarchyBusContention(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+	// Two misses to different L2 lines at the same time must
+	// serialize on the L2/memory bus.
+	d1 := h.AccessData(0, 0x10000, false)
+	d2 := h.AccessData(0, 0x20000, false)
+	if d2 < d1+h.Config().L2MemBus {
+		t.Errorf("parallel misses d1=%d d2=%d; second should wait for bus", d1, d2)
+	}
+}
+
+func TestHierarchyMSHRLimit(t *testing.T) {
+	cfg := DefaultHierConfig()
+	cfg.MSHRs = 2
+	h := NewHierarchy(cfg)
+	h.AccessData(0, 0x100000, false)
+	h.AccessData(0, 0x200000, false)
+	d3 := h.AccessData(0, 0x300000, false)
+	if h.MSHRStalls == 0 {
+		t.Error("third concurrent miss did not stall for an MSHR")
+	}
+	if d3 <= 104 {
+		t.Errorf("stalled miss completed at %d, expected later than an unobstructed miss", d3)
+	}
+}
+
+func TestHierarchyInstPath(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+	d := h.AccessInst(0, 0x4000)
+	if d <= 0 {
+		t.Error("cold instruction fetch completed instantly")
+	}
+	if got := h.AccessInst(1000, 0x4000); got != 1000 {
+		t.Errorf("warm instruction fetch = %d, want immediate", got)
+	}
+}
+
+func TestHierarchyWritePath(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+	h.AccessData(0, 0x5000, true)
+	if !h.L1D.Probe(0x5000) {
+		t.Error("store miss did not allocate (write-allocate)")
+	}
+	if done := h.AccessData(500, 0x5000, true); done != 502 {
+		t.Errorf("store hit latency = %d, want 2", done-500)
+	}
+}
+
+// TestCacheVsReferenceModelGeometries repeats the reference-model
+// comparison across line sizes and associativities.
+func TestCacheVsReferenceModelGeometries(t *testing.T) {
+	geoms := []Config{
+		{Size: 512, LineSize: 16, Assoc: 1, Latency: 1},
+		{Size: 2048, LineSize: 64, Assoc: 8, Latency: 1},
+		{Size: 4096, LineSize: 32, Assoc: 2, Latency: 1},
+	}
+	for _, cfg := range geoms {
+		c := New(cfg)
+		nsets := int(cfg.Sets())
+		ref := make([][]uint64, nsets)
+		rng := rand.New(rand.NewSource(int64(cfg.Size)))
+		for i := 0; i < 10000; i++ {
+			line := uint64(rng.Intn(nsets*cfg.Assoc*3)) * cfg.LineSize
+			set := int(line / cfg.LineSize % uint64(nsets))
+			refHit := false
+			for j, l := range ref[set] {
+				if l == line {
+					refHit = true
+					copy(ref[set][1:j+1], ref[set][:j])
+					ref[set][0] = line
+					break
+				}
+			}
+			if !refHit {
+				if len(ref[set]) == cfg.Assoc {
+					ref[set] = ref[set][:cfg.Assoc-1]
+				}
+				ref[set] = append([]uint64{line}, ref[set]...)
+			}
+			hit, _ := c.Access(line, rng.Intn(3) == 0)
+			if hit != refHit {
+				t.Fatalf("geometry %+v access %d: cache=%v ref=%v", cfg, i, hit, refHit)
+			}
+		}
+	}
+}

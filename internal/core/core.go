@@ -1,0 +1,140 @@
+// Package core is the public face of the simulator: it binds
+// workloads to configured machines, runs them, and computes the
+// paper's headline metric — penalty cycles per TLB miss, the run-time
+// difference against a perfect-TLB baseline divided by the number of
+// committed TLB fills (Section 3).
+package core
+
+import (
+	"fmt"
+
+	"mtexc/internal/cpu"
+	"mtexc/internal/mem"
+	"mtexc/internal/vm"
+)
+
+// Re-exported configuration surface, so downstream code (harness,
+// examples, tools) programs against one package.
+type (
+	// Config parameterizes the simulated machine (Table 1).
+	Config = cpu.Config
+	// Result summarizes one simulation.
+	Result = cpu.Result
+	// Mechanism selects the exception architecture.
+	Mechanism = cpu.Mechanism
+	// LimitStudy selects a Table 3 limit study.
+	LimitStudy = cpu.LimitStudy
+	// Machine is the simulated CPU (exposed for advanced use).
+	Machine = cpu.Machine
+)
+
+// Exception architectures (Section 5.1).
+const (
+	MechPerfect       = cpu.MechPerfect
+	MechTraditional   = cpu.MechTraditional
+	MechMultithreaded = cpu.MechMultithreaded
+	MechHardware      = cpu.MechHardware
+)
+
+// Limit studies (Table 3).
+const (
+	LimitNone         = cpu.LimitNone
+	LimitNoExecBW     = cpu.LimitNoExecBW
+	LimitNoWindow     = cpu.LimitNoWindow
+	LimitNoFetchBW    = cpu.LimitNoFetchBW
+	LimitInstantFetch = cpu.LimitInstantFetch
+)
+
+// DefaultConfig is the paper's base machine.
+func DefaultConfig() Config { return cpu.DefaultConfig() }
+
+// NewMachine builds a machine directly (advanced use; most callers
+// should use Run).
+func NewMachine(cfg Config) *Machine { return cpu.New(cfg) }
+
+// Workload produces a loadable program image for one hardware
+// context. Implementations must be deterministic for a given
+// configuration so that mechanism comparisons run identical
+// instruction streams.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Build constructs and loads the program into physical memory,
+	// creating its address space under the given ASN.
+	Build(phys *mem.Physical, asn uint8) (*vm.Image, error)
+}
+
+// Run simulates the given workloads (one hardware context each) on a
+// machine configured by cfg.
+func Run(cfg Config, workloads ...Workload) (Result, error) {
+	if len(workloads) == 0 {
+		return Result{}, fmt.Errorf("core: no workloads given")
+	}
+	m := cpu.New(cfg)
+	for i, w := range workloads {
+		img, err := w.Build(m.Phys(), uint8(i+1))
+		if err != nil {
+			return Result{}, fmt.Errorf("core: building %s: %w", w.Name(), err)
+		}
+		if _, err := m.AddProgram(img); err != nil {
+			return Result{}, fmt.Errorf("core: loading %s: %w", w.Name(), err)
+		}
+		// The paper measures from mid-execution checkpoints; start
+		// with the page-table entries cache-warm accordingly.
+		m.WarmPageTable(img.Space)
+	}
+	return m.Run(), nil
+}
+
+// Comparison holds a subject run and its perfect-TLB baseline over
+// the same instruction stream.
+type Comparison struct {
+	Subject Result
+	Perfect Result
+}
+
+// PenaltyPerMiss is the paper's metric: extra cycles relative to a
+// perfect TLB, per committed TLB fill. Zero when the subject took no
+// misses.
+func (c Comparison) PenaltyPerMiss() float64 {
+	if c.Subject.DTLBMisses == 0 {
+		return 0
+	}
+	d := int64(c.Subject.Cycles) - int64(c.Perfect.Cycles)
+	return float64(d) / float64(c.Subject.DTLBMisses)
+}
+
+// RelativeTLBTime is Figure 3's metric: the fraction of execution
+// time attributable to TLB miss handling.
+func (c Comparison) RelativeTLBTime() float64 {
+	if c.Subject.Cycles == 0 {
+		return 0
+	}
+	d := int64(c.Subject.Cycles) - int64(c.Perfect.Cycles)
+	return float64(d) / float64(c.Subject.Cycles)
+}
+
+// Speedup reports how much faster the subject of `other` is than this
+// comparison's subject (Table 4 reports speedups over traditional).
+func (c Comparison) Speedup(other Comparison) float64 {
+	if other.Subject.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Subject.Cycles)/float64(other.Subject.Cycles) - 1
+}
+
+// Compare runs the workloads under cfg and under the same
+// configuration with a perfect TLB, pairing the results.
+func Compare(cfg Config, workloads ...Workload) (Comparison, error) {
+	subj, err := Run(cfg, workloads...)
+	if err != nil {
+		return Comparison{}, err
+	}
+	pcfg := cfg
+	pcfg.Mech = cpu.MechPerfect
+	perf, err := Run(pcfg, workloads...)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{Subject: subj, Perfect: perf}, nil
+}

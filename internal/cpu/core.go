@@ -1,0 +1,343 @@
+package cpu
+
+import (
+	"fmt"
+	"sort"
+
+	"mtexc/internal/bpred"
+	"mtexc/internal/cache"
+	"mtexc/internal/isa"
+	"mtexc/internal/mem"
+	"mtexc/internal/stats"
+	"mtexc/internal/trace"
+	"mtexc/internal/vm"
+)
+
+// Machine is one configured simulated CPU plus memory system. Build
+// one with New, attach programs with AddProgram, then Run.
+type Machine struct {
+	cfg  Config
+	phys *mem.Physical
+	hier *cache.Hierarchy
+	dtlb *vm.TLB
+	hand *vm.Handler
+	pal  *vm.PALImage
+
+	dir bpred.DirPredictor
+	ind *bpred.Indirect
+
+	emuHand   *vm.Handler
+	unalpHand *vm.Handler
+
+	threads []*thread
+	ras     []*bpred.RAS // per-context return address stacks
+
+	window      []*uop // dispatched, unretired instructions (unsorted)
+	windowCount int    // occupancy charged against WindowSize
+	reserved    int    // slots reserved for in-flight handlers
+
+	handlers []*handlerCtx // live exception handlers / walks
+
+	rrCursor     int // round-robin fetch cursor (FetchRoundRobin)
+	retireBudget int // per-cycle retirement slots remaining
+
+	now        uint64
+	seqCounter uint64
+	appRetired uint64
+
+	Stats *stats.Set
+
+	// RetireHook, when set, observes every retiring instruction in
+	// global retirement order (tests verify the Figure 1 splice
+	// invariant through it; tools use it for tracing).
+	RetireHook func(RetiredInst)
+
+	// TraceHook, when set, receives every instruction's full pipeline
+	// lifecycle at retirement or squash (see the trace package).
+	TraceHook func(trace.Record)
+
+	// DebugHook, when set, receives one line per exception-engine
+	// event (traps, spawns, redirects, reversions) for debugging.
+	DebugHook func(cycle uint64, event string)
+
+	// scratch reused each cycle
+	readyScratch []*uop
+}
+
+// RetiredInst describes one retirement event for RetireHook.
+type RetiredInst struct {
+	Tid     int
+	Seq     uint64
+	PC      uint64
+	Op      isa.Op
+	PAL     bool
+	HadMiss bool
+	Cycle   uint64
+}
+
+// New builds a machine. Programs must be attached before Run.
+func New(cfg Config) *Machine {
+	phys := mem.NewPhysical()
+	hand := vm.GenerateDTBMissHandlerFor(cfg.PageTable, cfg.Handler)
+	emu := vm.GenerateEmulationHandler()
+	unalp := vm.GenerateUnalignedHandler()
+	pal := vm.NewPALImage(phys)
+	for _, h := range []*vm.Handler{hand, emu, unalp} {
+		if err := pal.Add(phys, h); err != nil {
+			panic(fmt.Sprintf("cpu: loading PAL image: %v", err))
+		}
+	}
+	dtlb := vm.NewTLB(cfg.DTLBEntries)
+	if cfg.DTLBWays > 0 {
+		dtlb = vm.NewTLBSetAssoc(cfg.DTLBEntries, cfg.DTLBWays)
+	}
+	m := &Machine{
+		cfg:       cfg,
+		phys:      phys,
+		hier:      cache.NewHierarchy(cfg.Hier),
+		dtlb:      dtlb,
+		hand:      hand,
+		emuHand:   emu,
+		unalpHand: unalp,
+		pal:       pal,
+		dir:       bpred.NewDirPredictor(cfg.BranchPredictor),
+		ind:       bpred.NewIndirect(bpred.DefaultIndirectConfig()),
+		Stats:     stats.NewSet(),
+	}
+	for i := 0; i < cfg.Contexts; i++ {
+		m.threads = append(m.threads, &thread{id: i, state: ctxIdle})
+		m.ras = append(m.ras, bpred.NewRAS(64))
+	}
+	return m
+}
+
+// Phys exposes the physical memory for program construction.
+func (m *Machine) Phys() *mem.Physical { return m.phys }
+
+// Handler exposes the generated PAL handler (tests, examples).
+func (m *Machine) Handler() *vm.Handler { return m.hand }
+
+// AddProgram binds an image to the next idle hardware context and
+// returns its context id. The image must already be Loaded.
+func (m *Machine) AddProgram(img *vm.Image) (int, error) {
+	if img.Space.Org() != m.cfg.PageTable {
+		return 0, fmt.Errorf("cpu: image %q page-table organization %d does not match the machine's %d",
+			img.Name, img.Space.Org(), m.cfg.PageTable)
+	}
+	for _, t := range m.threads {
+		if t.state != ctxIdle {
+			continue
+		}
+		t.state = ctxRunning
+		t.img = img
+		t.as = img.Space
+		t.pc = img.EntryVA
+		t.priv[isa.PrPTBase] = img.Space.PTBase()
+		t.priv[isa.PrPageSize] = vm.PageSize
+		for r, v := range img.InitInt {
+			t.rf.WriteInt(r, v)
+		}
+		for r, v := range img.InitFP {
+			t.rf.WriteFP(r, v)
+		}
+		return t.id, nil
+	}
+	return 0, fmt.Errorf("cpu: no idle context for program %q", img.Name)
+}
+
+// WarmPageTable touches every page-table-entry line of an address
+// space into the cache hierarchy. The paper's simulations start from
+// checkpoints partway into execution, where the operating system has
+// already walked these entries; without this the short scaled runs
+// would charge every fill a cold-memory PTE access the original
+// evaluation never saw.
+func (m *Machine) WarmPageTable(as *vm.AddressSpace) {
+	lineMask := m.cfg.Hier.L1D.LineSize - 1
+	last := ^uint64(0)
+	lastRoot := ^uint64(0)
+	as.ForEachMapped(func(vpn uint64) {
+		line := as.PTEAddr(vpn) &^ lineMask
+		if line != last {
+			last = line
+			m.hier.AccessData(0, line, false)
+		}
+		if as.Org() == vm.PTTwoLevel {
+			root := as.RootEntryAddr(vpn) &^ lineMask
+			if root != lastRoot {
+				lastRoot = root
+				m.hier.AccessData(0, root, false)
+			}
+		}
+	})
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Cycles     uint64
+	AppInsts   uint64 // application instructions retired
+	DTLBMisses uint64 // committed fills (the paper's per-miss divisor)
+	IPC        float64
+	Stats      *stats.Set
+}
+
+// Run simulates until MaxInsts application instructions retire or
+// MaxCycles elapse, returning the run summary. A Machine runs once;
+// build a fresh one per simulation.
+func (m *Machine) Run() Result {
+	for m.appRetired < m.cfg.MaxInsts && m.now < m.cfg.MaxCycles {
+		m.step()
+		if m.allHalted() {
+			break
+		}
+	}
+	m.Stats.Counter("cycles").Add(m.now - m.Stats.Get("cycles"))
+	res := Result{
+		Cycles:     m.now,
+		AppInsts:   m.appRetired,
+		DTLBMisses: m.Stats.Get("dtlb.fills.committed"),
+		Stats:      m.Stats,
+	}
+	if m.now > 0 {
+		res.IPC = float64(m.appRetired) / float64(m.now)
+	}
+	return res
+}
+
+// step advances one cycle. Stage order within a cycle: completions
+// (branch resolution, fills) first, then retirement, issue, dispatch
+// and fetch — so results produced in cycle N are visible to younger
+// stages in cycle N, while newly fetched work cannot issue before
+// traversing the pipes.
+func (m *Machine) step() {
+	m.complete()
+	m.retire()
+	m.issue()
+	m.dispatch()
+	m.fetch()
+	m.Stats.Histogram("window.occupancy").Observe(int64(m.windowCount))
+	for _, t := range m.threads {
+		if t.state == ctxException {
+			m.Stats.Counter("handler.activecycles").Inc()
+			break
+		}
+	}
+	if m.cfg.CheckInvariants {
+		m.checkInvariants()
+	}
+	m.now++
+}
+
+// allHalted reports whether no context can make further progress.
+func (m *Machine) allHalted() bool {
+	for _, t := range m.threads {
+		if t.state == ctxRunning || t.state == ctxException {
+			return false
+		}
+	}
+	return true
+}
+
+// debugf reports an exception-engine event to the DebugHook.
+func (m *Machine) debugf(format string, args ...any) {
+	if m.DebugHook != nil {
+		m.DebugHook(m.now, fmt.Sprintf(format, args...))
+	}
+}
+
+// emitTrace reports a finished (retired or squashed) instruction's
+// lifecycle to the TraceHook.
+func (m *Machine) emitTrace(u *uop, squashed bool) {
+	m.TraceHook(trace.Record{
+		Seq:      u.seq,
+		Tid:      u.tid,
+		PC:       u.pc,
+		Op:       u.inst.Op.String(),
+		PAL:      u.pal,
+		HadMiss:  u.hadMiss,
+		Squashed: squashed,
+		FetchAt:  u.fetchAt,
+		AvailAt:  u.availAt,
+		WindowAt: u.windowAt,
+		IssueAt:  u.issueAt,
+		DoneAt:   u.doneAt,
+		EndAt:    m.now,
+	})
+}
+
+// nextSeq hands out global fetch-order sequence numbers, which also
+// serve as TLB speculative-fill tags (never zero).
+func (m *Machine) nextSeq() uint64 {
+	m.seqCounter++
+	return m.seqCounter
+}
+
+// windowFreeFor reports whether thread t may dispatch one more
+// instruction into the window, honouring handler reservations.
+func (m *Machine) windowFreeFor(t *thread) bool {
+	if t.state == ctxException {
+		if m.cfg.Limit == LimitNoWindow {
+			return true
+		}
+		return m.windowCount < m.cfg.WindowSize
+	}
+	return m.windowCount+m.reserved < m.cfg.WindowSize
+}
+
+// addToWindow dispatches u at cycle when.
+func (m *Machine) addToWindow(u *uop, when uint64) {
+	u.stage = stageWindow
+	u.windowAt = when
+	m.window = append(m.window, u)
+	if !(u.excFetch && m.cfg.Limit == LimitNoWindow) {
+		m.windowCount++
+	}
+	t := m.threads[u.tid]
+	if u.excFetch && t.exc != nil && t.exc.reserveLeft > 0 {
+		t.exc.reserveLeft--
+		m.reserved--
+	}
+}
+
+// removeFromWindowLocked compacts retired/squashed entries out of the
+// window slice. Occupancy is decremented eagerly by retire/squash;
+// this only drops the pointers.
+func (m *Machine) compactWindow() {
+	w := m.window[:0]
+	for _, u := range m.window {
+		if u.stage != stageRetired && u.stage != stageSquashed {
+			w = append(w, u)
+		}
+	}
+	m.window = w
+}
+
+// releaseWindowSlot gives back u's occupancy charge.
+func (m *Machine) releaseWindowSlot(u *uop) {
+	if u.excFetch && m.cfg.Limit == LimitNoWindow {
+		return
+	}
+	m.windowCount--
+}
+
+// collectReady gathers window-resident instructions ready to issue,
+// oldest fetched first (the paper's scheduling policy).
+func (m *Machine) collectReady() []*uop {
+	regRead := uint64(m.cfg.RegReadStages)
+	ready := m.readyScratch[:0]
+	for _, u := range m.window {
+		if u.stage != stageWindow {
+			continue
+		}
+		if u.ready(m.now, regRead) {
+			ready = append(ready, u)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool {
+		if ready[i].schedSeq != ready[j].schedSeq {
+			return ready[i].schedSeq < ready[j].schedSeq
+		}
+		return ready[i].seq < ready[j].seq
+	})
+	m.readyScratch = ready
+	return ready
+}

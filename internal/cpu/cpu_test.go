@@ -1,0 +1,564 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"mtexc/internal/isa"
+	"mtexc/internal/isa/asm"
+	"mtexc/internal/vm"
+)
+
+const (
+	testDataVA   = vm.DefaultDataVA
+	testResultVA = uint64(0x2000_0000)
+)
+
+// buildMachine creates a machine running one program built by emit,
+// with pages of data pre-initialized by init.
+func buildMachine(t *testing.T, cfg Config, emit func(b *asm.Builder), setup func(as *vm.AddressSpace)) *Machine {
+	t.Helper()
+	m := New(cfg)
+	b := asm.NewBuilder()
+	emit(b)
+	code, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := vm.NewAddressSpace(m.Phys(), 1, 1<<20)
+	img := &vm.Image{Name: "test", Code: code, Space: as}
+	if err := img.Load(m.Phys()); err != nil {
+		t.Fatal(err)
+	}
+	if setup != nil {
+		setup(as)
+	}
+	if _, err := m.AddProgram(img); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// emitSumLoop builds: sum i for i in [1,n], store at testResultVA.
+func emitSumLoop(n int64) func(b *asm.Builder) {
+	return func(b *asm.Builder) {
+		b.LoadImm(1, uint64(n))
+		b.I(isa.OpLdi, 2, 0, 0)
+		b.LoadImm(10, testResultVA)
+		b.Label("loop")
+		b.R(isa.OpAdd, 2, 2, 1)
+		b.I(isa.OpAddi, 1, 1, -1)
+		b.Branch(isa.OpBne, 1, "loop")
+		b.I(isa.OpStq, 2, 10, 0)
+		b.Emit(isa.Instruction{Op: isa.OpHalt})
+	}
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 10_000_000
+	cfg.MaxCycles = 5_000_000
+	cfg.CheckInvariants = true
+	return cfg
+}
+
+func TestSumLoopAllMechanisms(t *testing.T) {
+	const n = 500
+	want := uint64(n * (n + 1) / 2)
+	for _, mech := range []Mechanism{MechPerfect, MechTraditional, MechMultithreaded, MechHardware} {
+		cfg := testConfig()
+		cfg.Mech = mech
+		var as *vm.AddressSpace
+		m := buildMachine(t, cfg, emitSumLoop(n), func(a *vm.AddressSpace) {
+			as = a
+			a.WriteU64(testResultVA, 0)
+		})
+		res := m.Run()
+		if got := as.ReadU64(testResultVA); got != want {
+			t.Errorf("%v: result = %d, want %d", mech, got, want)
+		}
+		if res.AppInsts < n*3 {
+			t.Errorf("%v: only %d app insts retired", mech, res.AppInsts)
+		}
+		if res.Cycles == 0 || res.Cycles >= cfg.MaxCycles {
+			t.Errorf("%v: suspicious cycle count %d", mech, res.Cycles)
+		}
+	}
+}
+
+func TestSumLoopIPCReasonable(t *testing.T) {
+	cfg := testConfig()
+	cfg.Mech = MechPerfect
+	m := buildMachine(t, cfg, emitSumLoop(2000), func(a *vm.AddressSpace) {
+		a.WriteU64(testResultVA, 0)
+	})
+	res := m.Run()
+	// The loop body is a 3-instruction serial chain with a
+	// predictable branch; an 8-wide machine should sustain IPC >= 1.
+	if res.IPC < 1.0 {
+		t.Errorf("IPC = %.2f, want >= 1.0", res.IPC)
+	}
+}
+
+// emitPageWalk loads one value from each of n consecutive pages,
+// accumulating, then stores the sum.
+func emitPageWalk(n int64, repeat int64) func(b *asm.Builder) {
+	return func(b *asm.Builder) {
+		b.LoadImm(9, uint64(repeat))
+		b.Label("outer")
+		b.LoadImm(10, testDataVA)
+		b.LoadImm(1, uint64(n))
+		b.I(isa.OpLdi, 12, 0, 1)
+		b.I(isa.OpSlli, 12, 12, int64(vm.PageShift)) // r12 = page size
+		b.Label("loop")
+		b.I(isa.OpLdq, 4, 10, 0)
+		b.R(isa.OpAdd, 3, 3, 4)
+		b.R(isa.OpAdd, 10, 10, 12)
+		b.I(isa.OpAddi, 1, 1, -1)
+		b.Branch(isa.OpBne, 1, "loop")
+		b.I(isa.OpAddi, 9, 9, -1)
+		b.Branch(isa.OpBne, 9, "outer")
+		b.LoadImm(11, testResultVA)
+		b.I(isa.OpStq, 3, 11, 0)
+		b.Emit(isa.Instruction{Op: isa.OpHalt})
+	}
+}
+
+func pageWalkSetup(n int64) (func(as *vm.AddressSpace), uint64) {
+	var want uint64
+	for i := int64(0); i < n; i++ {
+		want += uint64(i + 7)
+	}
+	return func(as *vm.AddressSpace) {
+		for i := int64(0); i < n; i++ {
+			as.WriteU64(testDataVA+uint64(i)*vm.PageSize, uint64(i+7))
+		}
+		as.WriteU64(testResultVA, 0)
+	}, want
+}
+
+func TestPageWalkGeneratesTLBMisses(t *testing.T) {
+	const pages = 256
+	setup, want := pageWalkSetup(pages)
+	for _, mech := range []Mechanism{MechTraditional, MechMultithreaded, MechHardware} {
+		cfg := testConfig()
+		cfg.Mech = mech
+		var as *vm.AddressSpace
+		m := buildMachine(t, cfg, emitPageWalk(pages, 1), func(a *vm.AddressSpace) {
+			as = a
+			setup(a)
+		})
+		res := m.Run()
+		if got := as.ReadU64(testResultVA); got != want {
+			t.Errorf("%v: result = %d, want %d", mech, got, want)
+		}
+		// Every page is cold: one committed fill per page (the
+		// result page adds one more on the store).
+		if res.DTLBMisses < pages {
+			t.Errorf("%v: committed fills = %d, want >= %d", mech, res.DTLBMisses, pages)
+		}
+		if res.DTLBMisses > pages+16 {
+			t.Errorf("%v: committed fills = %d, suspiciously many", mech, res.DTLBMisses)
+		}
+	}
+}
+
+func TestMechanismCycleOrdering(t *testing.T) {
+	// With a miss-heavy workload the paper's ordering must hold:
+	// perfect < hardware < multithreaded < traditional.
+	const pages = 64
+	cycles := map[Mechanism]uint64{}
+	setup, want := pageWalkSetup(pages)
+	for _, mech := range []Mechanism{MechPerfect, MechTraditional, MechMultithreaded, MechHardware} {
+		cfg := testConfig()
+		cfg.Mech = mech
+		cfg.DTLBEntries = 32 // every page misses on each of several passes
+		var as *vm.AddressSpace
+		m := buildMachine(t, cfg, emitPageWalk(pages, 8), func(a *vm.AddressSpace) {
+			as = a
+			setup(a)
+		})
+		res := m.Run()
+		if got := as.ReadU64(testResultVA); got != 8*want {
+			t.Fatalf("%v: result = %d, want %d", mech, got, 8*want)
+		}
+		cycles[mech] = res.Cycles
+	}
+	if !(cycles[MechPerfect] < cycles[MechHardware]) {
+		t.Errorf("perfect (%d) !< hardware (%d)", cycles[MechPerfect], cycles[MechHardware])
+	}
+	if !(cycles[MechHardware] < cycles[MechMultithreaded]) {
+		t.Errorf("hardware (%d) !< multithreaded (%d)", cycles[MechHardware], cycles[MechMultithreaded])
+	}
+	if !(cycles[MechMultithreaded] < cycles[MechTraditional]) {
+		t.Errorf("multithreaded (%d) !< traditional (%d)", cycles[MechMultithreaded], cycles[MechTraditional])
+	}
+}
+
+func TestQuickStartBeatsPlainMultithreaded(t *testing.T) {
+	const pages = 64
+	setup, _ := pageWalkSetup(pages)
+	run := func(quick bool) uint64 {
+		cfg := testConfig()
+		cfg.Mech = MechMultithreaded
+		cfg.QuickStart = quick
+		cfg.DTLBEntries = 32
+		m := buildMachine(t, cfg, emitPageWalk(pages, 8), setup)
+		return m.Run().Cycles
+	}
+	plain, quick := run(false), run(true)
+	if quick >= plain {
+		t.Errorf("quick start (%d cycles) did not beat plain multithreaded (%d)", quick, plain)
+	}
+}
+
+// emitBranchy sums values that pass a data-dependent (unpredictable)
+// parity test.
+func emitBranchy(n int64) func(b *asm.Builder) {
+	return func(b *asm.Builder) {
+		b.LoadImm(10, testDataVA)
+		b.LoadImm(1, uint64(n))
+		b.Label("loop")
+		b.I(isa.OpLdq, 4, 10, 0)
+		b.I(isa.OpAndi, 6, 4, 1)
+		b.Branch(isa.OpBeq, 6, "skip")
+		b.R(isa.OpAdd, 3, 3, 4)
+		b.Label("skip")
+		b.I(isa.OpAddi, 10, 10, 8)
+		b.I(isa.OpAddi, 1, 1, -1)
+		b.Branch(isa.OpBne, 1, "loop")
+		b.LoadImm(11, testResultVA)
+		b.I(isa.OpStq, 3, 11, 0)
+		b.Emit(isa.Instruction{Op: isa.OpHalt})
+	}
+}
+
+func TestBranchMispredictRecovery(t *testing.T) {
+	const n = 3000
+	rng := rand.New(rand.NewSource(99))
+	vals := make([]uint64, n)
+	var want uint64
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(1000))
+		if vals[i]&1 == 1 {
+			want += vals[i]
+		}
+	}
+	for _, mech := range []Mechanism{MechPerfect, MechTraditional, MechMultithreaded} {
+		cfg := testConfig()
+		cfg.Mech = mech
+		var as *vm.AddressSpace
+		m := buildMachine(t, cfg, emitBranchy(n), func(a *vm.AddressSpace) {
+			as = a
+			for i, v := range vals {
+				a.WriteU64(testDataVA+uint64(i)*8, v)
+			}
+			a.WriteU64(testResultVA, 0)
+		})
+		res := m.Run()
+		if got := as.ReadU64(testResultVA); got != want {
+			t.Errorf("%v: result = %d, want %d (mispredict recovery broken)", mech, got, want)
+		}
+		if res.Stats.Get("bpred.resolved.mispredicts") == 0 {
+			t.Errorf("%v: no mispredicts resolved on random data", mech)
+		}
+		if res.Stats.Get("squash.insts") == 0 {
+			t.Errorf("%v: no squashes on random branches", mech)
+		}
+	}
+}
+
+func TestStoreLoadForwarding(t *testing.T) {
+	// Repeatedly store then immediately load the same location.
+	cfg := testConfig()
+	cfg.Mech = MechPerfect
+	var as *vm.AddressSpace
+	m := buildMachine(t, cfg, func(b *asm.Builder) {
+		b.LoadImm(10, testDataVA)
+		b.LoadImm(1, 200)
+		b.Label("loop")
+		b.R(isa.OpAdd, 5, 5, 1)  // r5 changes every iteration
+		b.I(isa.OpStq, 5, 10, 0) // store it
+		b.I(isa.OpLdq, 6, 10, 0) // load it right back
+		b.R(isa.OpAdd, 3, 3, 6)  // accumulate
+		b.I(isa.OpAddi, 1, 1, -1)
+		b.Branch(isa.OpBne, 1, "loop")
+		b.LoadImm(11, testResultVA)
+		b.I(isa.OpStq, 3, 11, 0)
+		b.Emit(isa.Instruction{Op: isa.OpHalt})
+	}, func(a *vm.AddressSpace) {
+		as = a
+		a.WriteU64(testDataVA, 0)
+		a.WriteU64(testResultVA, 0)
+	})
+	res := m.Run()
+	// r5 walks 200,199+200... wait: r5 += r1 each iter with r1 counting
+	// down from 200: r5 takes values 200, 399, 597, ... sum them.
+	var r5, want uint64
+	for r1 := uint64(200); r1 > 0; r1-- {
+		r5 += r1
+		want += r5
+	}
+	if got := as.ReadU64(testResultVA); got != want {
+		t.Errorf("result = %d, want %d (store-to-load forwarding broken)", got, want)
+	}
+	if res.Stats.Get("mem.forwards") == 0 {
+		t.Error("no store-to-load forwards recorded")
+	}
+}
+
+func TestRetirementSpliceInvariant(t *testing.T) {
+	// Single application thread, multithreaded handlers: handler
+	// instruction blocks must appear contiguously in the global
+	// retirement order, immediately before the instruction that
+	// missed (Figure 1c), and per-thread sequence numbers must be
+	// monotone.
+	const pages = 96
+	cfg := testConfig()
+	cfg.Mech = MechMultithreaded
+	cfg.DTLBEntries = 32
+	setup, _ := pageWalkSetup(pages)
+	m := buildMachine(t, cfg, emitPageWalk(pages, 4), setup)
+
+	var events []RetiredInst
+	m.RetireHook = func(r RetiredInst) { events = append(events, r) }
+	res := m.Run()
+	if res.DTLBMisses == 0 {
+		t.Fatal("no misses; splice never exercised")
+	}
+
+	lastSeq := map[int]uint64{}
+	for i, e := range events {
+		if prev, ok := lastSeq[e.Tid]; ok && e.Seq <= prev {
+			t.Fatalf("event %d: thread %d retired out of order (%d after %d)", i, e.Tid, e.Seq, prev)
+		}
+		lastSeq[e.Tid] = e.Seq
+	}
+
+	// Check splice contiguity: between the first and last retirement
+	// of one handler-thread activation, no application instruction
+	// retires, and the next instruction to retire is the excepting
+	// one (it had a miss). Handler blocks running *in* the
+	// application thread are traditional-fallback traps (context
+	// exhaustion); there the faulting instruction is refetched after
+	// the handler and hits the TLB, so the miss-flag check does not
+	// apply (Figure 1a vs 1c).
+	const appTid = 0
+	sawSplicedBlock := false
+	for i := 0; i < len(events); i++ {
+		if !events[i].PAL {
+			continue
+		}
+		j := i
+		for j < len(events) && events[j].PAL && events[j].Tid == events[i].Tid {
+			j++
+		}
+		last := events[j-1].Op
+		if last != isa.OpRfe && last != isa.OpHardExc {
+			t.Fatalf("handler block at %d does not end with RFE (ends with %v)", i, last)
+		}
+		if events[i].Tid != appTid {
+			sawSplicedBlock = true
+			if j < len(events) && !events[j].HadMiss {
+				t.Fatalf("instruction after spliced handler block at %d did not have a miss (op %v)", j, events[j].Op)
+			}
+		}
+		i = j - 1
+	}
+	if !sawSplicedBlock {
+		t.Fatal("no handler-thread splice blocks observed")
+	}
+}
+
+func TestPageFaultReversion(t *testing.T) {
+	// One target page is deliberately left unmapped: the handler
+	// thread must escalate via HARDEXC, revert to the traditional
+	// mechanism, and the OS must service the fault. The program must
+	// still compute the right answer.
+	cfg := testConfig()
+	cfg.Mech = MechMultithreaded
+	cfg.OSFaultCycles = 50
+	var as *vm.AddressSpace
+	m := buildMachine(t, cfg, func(b *asm.Builder) {
+		b.LoadImm(10, testDataVA)
+		b.I(isa.OpLdq, 4, 10, 0) // unmapped: page fault
+		b.I(isa.OpAddi, 4, 4, 5)
+		b.LoadImm(11, testResultVA)
+		b.I(isa.OpStq, 4, 11, 0)
+		b.Emit(isa.Instruction{Op: isa.OpHalt})
+	}, func(a *vm.AddressSpace) {
+		as = a
+		a.WriteU64(testResultVA, 0)
+		// testDataVA page is intentionally NOT mapped.
+	})
+	res := m.Run()
+	if got := as.ReadU64(testResultVA); got != 5 {
+		t.Errorf("result = %d, want 5 (faulted load must read 0 after OS maps the page)", got)
+	}
+	if res.Stats.Get("handler.reversions") == 0 {
+		t.Error("no reversion to the traditional mechanism recorded")
+	}
+	if res.Stats.Get("os.pagefaults") == 0 {
+		t.Error("OS page-fault service never ran")
+	}
+}
+
+func TestThreadExhaustionFallsBackToTraditional(t *testing.T) {
+	// Two contexts: one application + one handler. Two independent
+	// misses in flight force the second onto the traditional path.
+	cfg := testConfig()
+	cfg.Mech = MechMultithreaded
+	cfg.Contexts = 2
+	cfg.DTLBEntries = 8
+	setup, want := pageWalkSetup(128)
+	var as *vm.AddressSpace
+	m := buildMachine(t, cfg, func(b *asm.Builder) {
+		// Two interleaved independent page-stride streams so two
+		// misses are frequently outstanding at once.
+		b.LoadImm(10, testDataVA)
+		b.LoadImm(11, testDataVA+64*vm.PageSize)
+		b.LoadImm(1, 64)
+		b.I(isa.OpLdi, 12, 0, 1)
+		b.I(isa.OpSlli, 12, 12, int64(vm.PageShift))
+		b.Label("loop")
+		b.I(isa.OpLdq, 4, 10, 0)
+		b.I(isa.OpLdq, 5, 11, 0)
+		b.R(isa.OpAdd, 3, 3, 4)
+		b.R(isa.OpAdd, 3, 3, 5)
+		b.R(isa.OpAdd, 10, 10, 12)
+		b.R(isa.OpAdd, 11, 11, 12)
+		b.I(isa.OpAddi, 1, 1, -1)
+		b.Branch(isa.OpBne, 1, "loop")
+		b.LoadImm(13, testResultVA)
+		b.I(isa.OpStq, 3, 13, 0)
+		b.Emit(isa.Instruction{Op: isa.OpHalt})
+	}, func(a *vm.AddressSpace) {
+		as = a
+		setup(a)
+	})
+	res := m.Run()
+	if got := as.ReadU64(testResultVA); got != want {
+		t.Errorf("result = %d, want %d", got, want)
+	}
+	if res.Stats.Get("handler.exhausted") == 0 {
+		t.Error("no traditional fallback on context exhaustion")
+	}
+	if res.Stats.Get("handler.spawns") == 0 {
+		t.Error("no handler threads spawned at all")
+	}
+}
+
+func TestTwoApplicationThreadsSMT(t *testing.T) {
+	cfg := testConfig()
+	cfg.Mech = MechMultithreaded
+	cfg.Contexts = 3 // two apps + one handler context
+	m := New(cfg)
+
+	mkProg := func(asn uint8, n int64) (*vm.AddressSpace, error) {
+		b := asm.NewBuilder()
+		emitSumLoop(n)(b)
+		code, err := b.Finish()
+		if err != nil {
+			return nil, err
+		}
+		as := vm.NewAddressSpace(m.Phys(), asn, 1<<20)
+		img := &vm.Image{Name: "p", Code: code, Space: as}
+		if err := img.Load(m.Phys()); err != nil {
+			return nil, err
+		}
+		as.WriteU64(testResultVA, 0)
+		if _, err := m.AddProgram(img); err != nil {
+			return nil, err
+		}
+		return as, nil
+	}
+	as1, err := mkProg(1, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as2, err := mkProg(2, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	if got := as1.ReadU64(testResultVA); got != 400*401/2 {
+		t.Errorf("thread 1 result = %d, want %d", got, 400*401/2)
+	}
+	if got := as2.ReadU64(testResultVA); got != 700*701/2 {
+		t.Errorf("thread 2 result = %d, want %d", got, 700*701/2)
+	}
+}
+
+func TestLimitStudiesOrdering(t *testing.T) {
+	// Each removed overhead must not hurt, and instant fetch must
+	// help clearly (the paper's Table 3 identifies fetch/decode
+	// latency as the dominant handler overhead).
+	const pages = 64
+	setup, _ := pageWalkSetup(pages)
+	run := func(l LimitStudy) uint64 {
+		cfg := testConfig()
+		cfg.Mech = MechMultithreaded
+		cfg.Limit = l
+		cfg.DTLBEntries = 32
+		m := buildMachine(t, cfg, emitPageWalk(pages, 8), setup)
+		return m.Run().Cycles
+	}
+	base := run(LimitNone)
+	for _, l := range []LimitStudy{LimitNoExecBW, LimitNoWindow, LimitNoFetchBW, LimitInstantFetch} {
+		c := run(l)
+		if c > base+base/50 {
+			t.Errorf("limit study %d: %d cycles, worse than base %d", l, c, base)
+		}
+	}
+	if inst := run(LimitInstantFetch); inst >= base {
+		t.Errorf("instant fetch (%d) did not beat base (%d)", inst, base)
+	}
+}
+
+func TestPerfectTLBHasNoFills(t *testing.T) {
+	setup, _ := pageWalkSetup(64)
+	cfg := testConfig()
+	cfg.Mech = MechPerfect
+	m := buildMachine(t, cfg, emitPageWalk(64, 2), setup)
+	res := m.Run()
+	if res.DTLBMisses != 0 {
+		t.Errorf("perfect TLB committed %d fills", res.DTLBMisses)
+	}
+}
+
+func TestWindowReservationAblation(t *testing.T) {
+	// With reservation disabled the run must still be correct.
+	const pages = 64
+	setup, want := pageWalkSetup(pages)
+	cfg := testConfig()
+	cfg.Mech = MechMultithreaded
+	cfg.NoWindowReservation = true
+	cfg.DTLBEntries = 32
+	var as *vm.AddressSpace
+	m := buildMachine(t, cfg, emitPageWalk(pages, 4), func(a *vm.AddressSpace) {
+		as = a
+		setup(a)
+	})
+	m.Run()
+	if got := as.ReadU64(testResultVA); got != 4*want {
+		t.Errorf("result = %d, want %d", got, 4*want)
+	}
+}
+
+func TestHandlerThreadActivityStats(t *testing.T) {
+	const pages = 128
+	setup, _ := pageWalkSetup(pages)
+	cfg := testConfig()
+	cfg.Mech = MechMultithreaded
+	cfg.DTLBEntries = 32
+	m := buildMachine(t, cfg, emitPageWalk(pages, 4), setup)
+	res := m.Run()
+	spawns := res.Stats.Get("handler.spawns")
+	fills := res.Stats.Get("handler.fills")
+	if spawns == 0 || fills == 0 {
+		t.Fatalf("spawns=%d fills=%d; handler path unused", spawns, fills)
+	}
+	if res.Stats.Get("dtlb.fills.committed") == 0 {
+		t.Error("no committed fills")
+	}
+}

@@ -1,0 +1,281 @@
+package cpu
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mtexc/internal/isa"
+	"mtexc/internal/isa/asm"
+	"mtexc/internal/vm"
+)
+
+// The differential property: for any program, every exception
+// architecture must compute the same architectural result — the
+// mechanisms differ only in timing. Random programs with loops,
+// data-dependent branches, stores, loads across many pages, and
+// calls are generated and run under all four mechanisms (plus
+// quick-start); their final memory signatures must agree.
+
+// randProgram emits a random but terminating program: a fixed number
+// of outer iterations over a randomized body, accumulating into r3,
+// ending by storing r3 and halting.
+func randProgram(rng *rand.Rand, pages int) []isa.Instruction {
+	b := asm.NewBuilder()
+	const (
+		dataVA   = uint64(0x1000_0000)
+		resultVA = uint64(0x2000_0000)
+	)
+	b.LoadImm(10, dataVA)
+	b.LoadImm(11, uint64(pages))
+	b.I(isa.OpLdi, 12, 0, 1)
+	b.I(isa.OpSlli, 12, 12, int64(vm.PageShift))
+	b.LoadImm(1, uint64(60+rng.Intn(60))) // outer trip count
+
+	hasCall := rng.Intn(2) == 0
+	b.Label("outer")
+
+	// Random body: 4-10 fragments.
+	nFrag := 4 + rng.Intn(7)
+	for i := 0; i < nFrag; i++ {
+		switch rng.Intn(8) {
+		case 0: // arithmetic on accumulators
+			b.I(isa.OpAddi, uint8(4+rng.Intn(4)), uint8(4+rng.Intn(4)), int64(rng.Intn(100)))
+		case 1: // page-strided load (TLB pressure)
+			b.I(isa.OpLdq, 8, 10, 0)
+			b.R(isa.OpAdd, 3, 3, 8)
+			b.R(isa.OpAdd, 10, 10, 12)
+			// wrap pointer based on loop counter parity
+			lbl := fmt.Sprintf("wrap%d", i)
+			b.I(isa.OpAndi, 9, 1, 15)
+			b.Branch(isa.OpBne, 9, lbl)
+			b.LoadImm(10, dataVA)
+			b.Label(lbl)
+		case 2: // store then load back (forwarding)
+			b.I(isa.OpStq, 3, 10, 8)
+			b.I(isa.OpLdq, 7, 10, 8)
+			b.R(isa.OpXor, 3, 3, 7)
+		case 3: // data-dependent branch
+			lbl := fmt.Sprintf("dd%d", i)
+			b.I(isa.OpAndi, 9, 3, 1)
+			b.Branch(isa.OpBeq, 9, lbl)
+			b.I(isa.OpAddi, 3, 3, 13)
+			b.Label(lbl)
+		case 4: // multiply/divide
+			b.I(isa.OpAddi, 6, 3, 7)
+			b.R(isa.OpMul, 5, 5, 6)
+			b.R(isa.OpAdd, 3, 3, 5)
+		case 5: // FP round trip
+			b.R(isa.OpCvtif, 1, 3, 0)
+			b.R(isa.OpFadd, 1, 1, 1)
+			b.R(isa.OpCvtfi, 7, 1, 0)
+			b.R(isa.OpXor, 3, 3, 7)
+		case 6: // call a leaf
+			if hasCall {
+				b.Jump(isa.OpJal, "leaf")
+			} else {
+				b.I(isa.OpAddi, 3, 3, 1)
+			}
+		case 7: // population count (emulated under software mechanisms)
+			b.R(isa.OpPopc, 7, 3, 0)
+			b.R(isa.OpAdd, 3, 3, 7)
+		}
+	}
+	b.I(isa.OpAddi, 1, 1, -1)
+	b.Branch(isa.OpBne, 1, "outer")
+	b.LoadImm(13, resultVA)
+	b.I(isa.OpStq, 3, 13, 0)
+	b.I(isa.OpStq, 5, 13, 8)
+	b.I(isa.OpStq, 6, 13, 16)
+	b.Emit(isa.Instruction{Op: isa.OpHalt})
+	if hasCall {
+		b.Label("leaf")
+		b.I(isa.OpAddi, 3, 3, 3)
+		b.Emit(isa.Instruction{Op: isa.OpRet})
+	}
+	return b.MustFinish()
+}
+
+// runSignature executes code under a mechanism and returns the final
+// result words.
+func runSignature(t *testing.T, code []isa.Instruction, pages int, mech Mechanism, contexts int, quick bool) [3]uint64 {
+	return runSignatureOrg(t, code, pages, mech, contexts, quick, vm.PTLinear)
+}
+
+func runSignatureOrg(t *testing.T, code []isa.Instruction, pages int, mech Mechanism, contexts int, quick bool, org vm.PTOrg) [3]uint64 {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Mech = mech
+	cfg.Contexts = contexts
+	cfg.QuickStart = quick
+	cfg.CheckInvariants = true
+	cfg.PageTable = org
+	// POPC is software-emulated wherever a software mechanism runs,
+	// exercising mixed TLB + emulation exception traffic.
+	cfg.EmulatePopc = mech == MechTraditional || mech == MechMultithreaded
+	cfg.MaxInsts = 5_000_000
+	cfg.MaxCycles = 20_000_000
+	m := New(cfg)
+	as := vm.NewAddressSpace(m.Phys(), 1, 1<<20)
+	if org == vm.PTTwoLevel {
+		as = vm.NewAddressSpaceTwoLevel(m.Phys(), 1, 1<<20)
+	}
+	img := &vm.Image{Name: "rand", Code: code, Space: as}
+	if err := img.Load(m.Phys()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pages; i++ {
+		as.WriteU64(0x1000_0000+uint64(i)*vm.PageSize, uint64(i*37+11))
+	}
+	as.WriteU64(0x2000_0000, 0)
+	if _, err := m.AddProgram(img); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Cycles >= cfg.MaxCycles {
+		t.Fatalf("mech %v: did not halt within %d cycles", mech, cfg.MaxCycles)
+	}
+	return [3]uint64{
+		as.ReadU64(0x2000_0000),
+		as.ReadU64(0x2000_0008),
+		as.ReadU64(0x2000_0010),
+	}
+}
+
+// TestDifferentialTwoLevel: the equivalence holds over a two-level
+// page table as well.
+func TestDifferentialTwoLevel(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		rng := rand.New(rand.NewSource(int64(7000 + trial)))
+		pages := 96 + rng.Intn(128)
+		code := randProgram(rng, pages)
+		want := runSignatureOrg(t, code, pages, MechPerfect, 1, false, vm.PTTwoLevel)
+		for _, mech := range []Mechanism{MechTraditional, MechMultithreaded, MechHardware} {
+			contexts := 1
+			if mech == MechMultithreaded {
+				contexts = 2
+			}
+			got := runSignatureOrg(t, code, pages, mech, contexts, false, vm.PTTwoLevel)
+			if got != want {
+				t.Errorf("trial %d: %v over two-level PT: %#x != %#x", trial, mech, got, want)
+			}
+		}
+	}
+}
+
+func TestDifferentialMechanismEquivalence(t *testing.T) {
+	const trials = 12
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		pages := 96 + rng.Intn(128)
+		code := randProgram(rng, pages)
+
+		want := runSignature(t, code, pages, MechPerfect, 1, false)
+		configs := []struct {
+			name     string
+			mech     Mechanism
+			contexts int
+			quick    bool
+		}{
+			{"traditional", MechTraditional, 1, false},
+			{"multithreaded(1)", MechMultithreaded, 2, false},
+			{"multithreaded(3)", MechMultithreaded, 4, false},
+			{"quickstart", MechMultithreaded, 2, true},
+			{"hardware", MechHardware, 1, false},
+		}
+		for _, c := range configs {
+			got := runSignature(t, code, pages, c.mech, c.contexts, c.quick)
+			if got != want {
+				t.Errorf("trial %d: %s signature %#x != perfect %#x",
+					trial, c.name, got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialLimitStudies: the Table 3 limit studies change
+// timing only, never results.
+func TestDifferentialLimitStudies(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	pages := 128
+	code := randProgram(rng, pages)
+	base := runSignature(t, code, pages, MechPerfect, 1, false)
+	for _, limit := range []LimitStudy{LimitNoExecBW, LimitNoWindow, LimitNoFetchBW, LimitInstantFetch} {
+		cfg := DefaultConfig()
+		cfg.Mech = MechMultithreaded
+		cfg.Contexts = 2
+		cfg.Limit = limit
+		cfg.CheckInvariants = true
+		cfg.MaxInsts = 5_000_000
+		cfg.MaxCycles = 20_000_000
+		m := New(cfg)
+		as := vm.NewAddressSpace(m.Phys(), 1, 1<<20)
+		img := &vm.Image{Name: "rand", Code: code, Space: as}
+		if err := img.Load(m.Phys()); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < pages; i++ {
+			as.WriteU64(0x1000_0000+uint64(i)*vm.PageSize, uint64(i*37+11))
+		}
+		if _, err := m.AddProgram(img); err != nil {
+			t.Fatal(err)
+		}
+		m.Run()
+		got := [3]uint64{
+			as.ReadU64(0x2000_0000),
+			as.ReadU64(0x2000_0008),
+			as.ReadU64(0x2000_0010),
+		}
+		if got != base {
+			t.Errorf("limit %d: signature %#x != perfect %#x", limit, got, base)
+		}
+	}
+}
+
+// TestDifferentialMachineShapes: architectural results are invariant
+// across machine widths and pipeline depths too — the paper's Figure
+// 2/3 sweeps must not change what programs compute.
+func TestDifferentialMachineShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	pages := 128
+	code := randProgram(rng, pages)
+
+	var want [3]uint64
+	first := true
+	for _, shape := range []struct{ width, window, depth int }{
+		{8, 128, 7}, {2, 32, 7}, {4, 64, 7}, {8, 128, 3}, {8, 128, 11},
+	} {
+		cfg := DefaultConfig().WithWidth(shape.width, shape.window).WithPipeDepth(shape.depth)
+		cfg.Mech = MechMultithreaded
+		cfg.Contexts = 2
+		cfg.CheckInvariants = true
+		cfg.EmulatePopc = true
+		cfg.MaxInsts = 5_000_000
+		cfg.MaxCycles = 20_000_000
+		m := New(cfg)
+		as := vm.NewAddressSpace(m.Phys(), 1, 1<<20)
+		img := &vm.Image{Name: "rand", Code: code, Space: as}
+		if err := img.Load(m.Phys()); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < pages; i++ {
+			as.WriteU64(0x1000_0000+uint64(i)*vm.PageSize, uint64(i*37+11))
+		}
+		if _, err := m.AddProgram(img); err != nil {
+			t.Fatal(err)
+		}
+		m.Run()
+		got := [3]uint64{
+			as.ReadU64(0x2000_0000),
+			as.ReadU64(0x2000_0008),
+			as.ReadU64(0x2000_0010),
+		}
+		if first {
+			want, first = got, false
+			continue
+		}
+		if got != want {
+			t.Errorf("shape %+v: signature %#x != %#x", shape, got, want)
+		}
+	}
+}

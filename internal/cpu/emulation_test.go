@@ -1,0 +1,230 @@
+package cpu
+
+import (
+	"math/bits"
+	"testing"
+
+	"mtexc/internal/isa"
+	"mtexc/internal/isa/asm"
+	"mtexc/internal/vm"
+)
+
+// emitPopcLoop builds a program that popcounts n pseudo-random values
+// (from an LCG), accumulates the counts, stores the total, and halts.
+func emitPopcLoop(n int64) func(b *asm.Builder) {
+	return func(b *asm.Builder) {
+		b.LoadImm(1, uint64(n))
+		b.LoadImm(22, 0x243f6a8885a308d3) // LCG state
+		b.Label("loop")
+		b.LoadImm(16, 6364136223846793005)
+		b.R(isa.OpMul, 22, 22, 16)
+		b.I(isa.OpAddi, 22, 22, 1442)
+		b.R(isa.OpPopc, 4, 22, 0)
+		b.R(isa.OpAdd, 3, 3, 4)
+		b.I(isa.OpAddi, 5, 5, 7) // independent work to overlap
+		b.I(isa.OpAddi, 6, 6, 9)
+		b.I(isa.OpAddi, 1, 1, -1)
+		b.Branch(isa.OpBne, 1, "loop")
+		b.LoadImm(10, testResultVA)
+		b.I(isa.OpStq, 3, 10, 0)
+		b.Emit(isa.Instruction{Op: isa.OpHalt})
+	}
+}
+
+func popcLoopExpected(n int64) uint64 {
+	state := uint64(0x243f6a8885a308d3)
+	var sum uint64
+	for i := int64(0); i < n; i++ {
+		state = state*6364136223846793005 + 1442
+		sum += uint64(bits.OnesCount64(state))
+	}
+	return sum
+}
+
+func runPopcLoop(t *testing.T, mech Mechanism, contexts int, emulate, quick bool) (uint64, Result) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Mech = mech
+	cfg.Contexts = contexts
+	cfg.EmulatePopc = emulate
+	cfg.QuickStart = quick
+	var as *vm.AddressSpace
+	m := buildMachine(t, cfg, emitPopcLoop(400), func(a *vm.AddressSpace) {
+		as = a
+		a.WriteU64(testResultVA, 0)
+	})
+	res := m.Run()
+	return as.ReadU64(testResultVA), res
+}
+
+// TestEmulationCorrectness: every mechanism computes the same
+// popcount totals, whether POPC is in hardware or software-emulated.
+func TestEmulationCorrectness(t *testing.T) {
+	want := popcLoopExpected(400)
+	cases := []struct {
+		name     string
+		mech     Mechanism
+		contexts int
+		emulate  bool
+		quick    bool
+	}{
+		{"hardware-popc", MechPerfect, 1, false, false},
+		{"traditional-emu", MechTraditional, 1, true, false},
+		{"multithreaded-emu", MechMultithreaded, 2, true, false},
+		{"quickstart-emu", MechMultithreaded, 2, true, true},
+	}
+	for _, c := range cases {
+		got, res := runPopcLoop(t, c.mech, c.contexts, c.emulate, c.quick)
+		if got != want {
+			t.Errorf("%s: result %d, want %d", c.name, got, want)
+		}
+		if c.emulate {
+			if res.Stats.Get("emu.exceptions") == 0 {
+				t.Errorf("%s: no emulation exceptions raised", c.name)
+			}
+			if res.Stats.Get("emu.committed") == 0 {
+				t.Errorf("%s: no emulation handlers committed", c.name)
+			}
+		} else if res.Stats.Get("emu.exceptions") != 0 {
+			t.Errorf("%s: spurious emulation exceptions", c.name)
+		}
+	}
+}
+
+// TestEmulationTimingOrdering: hardware POPC is fastest; the
+// multithreaded emulation beats the traditional trap, as Section 6
+// predicts ("we expect similar benefits for other classes of
+// exceptions").
+func TestEmulationTimingOrdering(t *testing.T) {
+	_, hw := runPopcLoop(t, MechPerfect, 1, false, false)
+	_, multi := runPopcLoop(t, MechMultithreaded, 2, true, false)
+	_, trad := runPopcLoop(t, MechTraditional, 1, true, false)
+	if !(hw.Cycles < multi.Cycles) {
+		t.Errorf("hardware popc (%d cycles) not faster than multithreaded emulation (%d)",
+			hw.Cycles, multi.Cycles)
+	}
+	if !(multi.Cycles < trad.Cycles) {
+		t.Errorf("multithreaded emulation (%d cycles) not faster than traditional (%d)",
+			multi.Cycles, trad.Cycles)
+	}
+}
+
+// TestEmulationSpliceOrder: emulation handlers retire spliced before
+// the emulated instruction, like TLB handlers (Figure 1c applied to
+// the generalized mechanism).
+func TestEmulationSpliceOrder(t *testing.T) {
+	cfg := testConfig()
+	cfg.Mech = MechMultithreaded
+	cfg.Contexts = 2
+	cfg.EmulatePopc = true
+	m := buildMachine(t, cfg, emitPopcLoop(60), func(a *vm.AddressSpace) {
+		a.WriteU64(testResultVA, 0)
+	})
+	var events []RetiredInst
+	m.RetireHook = func(r RetiredInst) { events = append(events, r) }
+	m.Run()
+
+	spliced := 0
+	for i := 0; i < len(events); i++ {
+		if !events[i].PAL || events[i].Tid == 0 {
+			continue
+		}
+		j := i
+		for j < len(events) && events[j].PAL && events[j].Tid == events[i].Tid {
+			j++
+		}
+		if events[j-1].Op != isa.OpRfe {
+			t.Fatalf("handler block ends with %v, want rfe", events[j-1].Op)
+		}
+		// The instruction after the block is the excepting one: the
+		// emulated POPC, or a TLB-missing access (the result page is
+		// TLB-cold), which carries the miss flag.
+		if j < len(events) {
+			if events[j].Op == isa.OpPopc {
+				spliced++
+			} else if !events[j].HadMiss {
+				t.Fatalf("instruction after handler block is %v without a miss", events[j].Op)
+			}
+		}
+		i = j - 1
+	}
+	if spliced == 0 {
+		t.Fatal("no spliced emulation handler blocks observed")
+	}
+}
+
+// TestEmulationMixedWithTLBMisses: both exception kinds in flight in
+// one program; results stay correct and both handler types commit.
+func TestEmulationMixedWithTLBMisses(t *testing.T) {
+	const pages = 64
+	emit := func(b *asm.Builder) {
+		b.LoadImm(10, testDataVA)
+		b.LoadImm(1, pages)
+		b.I(isa.OpLdi, 12, 0, 1)
+		b.I(isa.OpSlli, 12, 12, int64(vm.PageShift))
+		b.Label("loop")
+		b.I(isa.OpLdq, 4, 10, 0) // TLB misses
+		b.R(isa.OpPopc, 5, 4, 0) // emulation exceptions
+		b.R(isa.OpAdd, 3, 3, 5)
+		b.R(isa.OpAdd, 10, 10, 12)
+		b.I(isa.OpAddi, 1, 1, -1)
+		b.Branch(isa.OpBne, 1, "loop")
+		b.LoadImm(11, testResultVA)
+		b.I(isa.OpStq, 3, 11, 0)
+		b.Emit(isa.Instruction{Op: isa.OpHalt})
+	}
+	var want uint64
+	for i := int64(0); i < pages; i++ {
+		want += uint64(bits.OnesCount64(uint64(i*1234567 + 89)))
+	}
+	for _, quick := range []bool{false, true} {
+		cfg := testConfig()
+		cfg.Mech = MechMultithreaded
+		cfg.Contexts = 3
+		cfg.EmulatePopc = true
+		cfg.QuickStart = quick
+		var as *vm.AddressSpace
+		m := buildMachine(t, cfg, emit, func(a *vm.AddressSpace) {
+			as = a
+			for i := int64(0); i < pages; i++ {
+				a.WriteU64(testDataVA+uint64(i)*vm.PageSize, uint64(i*1234567+89))
+			}
+			a.WriteU64(testResultVA, 0)
+		})
+		res := m.Run()
+		if got := as.ReadU64(testResultVA); got != want {
+			t.Errorf("quick=%v: result %d, want %d", quick, got, want)
+		}
+		if res.Stats.Get("emu.committed") == 0 || res.Stats.Get("dtlb.fills.committed") == 0 {
+			t.Errorf("quick=%v: emu=%d tlb=%d — both kinds must commit", quick,
+				res.Stats.Get("emu.committed"), res.Stats.Get("dtlb.fills.committed"))
+		}
+	}
+}
+
+// TestEmulationHandlerShape pins the generated emulation handler's
+// structure: reads SRCVAL0 and PALDATA, eight table loads, one
+// WRTDEST, ends with RFE, no stores, no TLB writes.
+func TestEmulationHandlerShape(t *testing.T) {
+	h := vm.GenerateEmulationHandler()
+	loads, wrt := 0, 0
+	for _, in := range h.Code {
+		switch in.Op {
+		case isa.OpLdq:
+			loads++
+		case isa.OpWrtDest:
+			wrt++
+		case isa.OpTlbwr, isa.OpStq, isa.OpStl, isa.OpStf, isa.OpHardExc:
+			t.Errorf("unexpected %v in emulation handler", in.Op)
+		}
+	}
+	if loads != 8 || wrt != 1 {
+		t.Errorf("loads=%d wrtdest=%d, want 8 and 1", loads, wrt)
+	}
+	if h.Code[len(h.Code)-1].Op != isa.OpRfe {
+		t.Error("emulation handler does not end with RFE")
+	}
+	if h.CommonLen != len(h.Code) {
+		t.Error("emulation handler common length mismatch")
+	}
+}

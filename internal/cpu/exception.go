@@ -1,0 +1,468 @@
+package cpu
+
+import (
+	"mtexc/internal/isa"
+	"mtexc/internal/vm"
+)
+
+// onDTLBMiss routes a detected data-TLB miss to the configured
+// exception architecture. The faulting instruction has already been
+// returned to the window not-ready (u.dtlbWait) by the caller's
+// contract; this mirrors Section 4.1's recovery of the faulting
+// instruction and its dependents.
+func (m *Machine) onDTLBMiss(u *uop) {
+	u.dtlbWait = true
+	u.hadMiss = true
+	u.missAt = m.now
+	u.faultVPN = u.ea >> vm.PageShift
+	m.Stats.Counter("dtlb.misses.detected").Inc()
+
+	// Secondary misses to a page whose fill is already in flight are
+	// buffered (Section 4.5). An out-of-order detection where the new
+	// miss is *older* than the handler's master relinks the handler to
+	// the older instruction so retirement splices correctly.
+	for _, ctx := range m.handlers {
+		if ctx.dead || ctx.filled || ctx.masterTid != u.tid || ctx.faultVPN != u.faultVPN {
+			continue
+		}
+		if ctx.mech == MechTraditional {
+			continue // trap in progress; the refetch will re-lookup
+		}
+		if u.seq < ctx.master.seq {
+			if ctx.mech == MechMultithreaded && !m.cfg.NoRelink {
+				m.Stats.Counter("handler.relinks").Inc()
+				ctx.waiters = append(ctx.waiters, ctx.master)
+				ctx.master, u.missMain = u, true
+				ctx.master.missMain = true
+				u.handlerBy = ctx
+				return
+			}
+			// Without relinking an older same-page miss cannot reuse
+			// the in-flight handler; it launches its own fill.
+			break
+		}
+		m.Stats.Counter("dtlb.misses.secondary").Inc()
+		ctx.waiters = append(ctx.waiters, u)
+		u.handlerBy = ctx
+		return
+	}
+
+	switch m.cfg.Mech {
+	case MechTraditional:
+		m.trapTraditional(u, kindTLB)
+	case MechMultithreaded:
+		if h := m.idleContext(kindTLB); h != nil {
+			m.spawnHandler(h, u, kindTLB)
+		} else {
+			// No idle context: revert to the traditional mechanism
+			// (the paper's recommended policy for thread exhaustion,
+			// Section 4.5).
+			m.Stats.Counter("handler.exhausted").Inc()
+			m.trapTraditional(u, kindTLB)
+		}
+	case MechHardware:
+		m.startHardwareWalk(u)
+	default:
+		panic("cpu: TLB miss under a perfect TLB")
+	}
+}
+
+// onEmulationException routes an unimplemented-instruction exception
+// (Section 6's generalized mechanism) to the software handler. Unlike
+// TLB misses there is no same-page merging: every occurrence needs
+// its own emulation.
+func (m *Machine) onEmulationException(u *uop) {
+	u.dtlbWait = true
+	m.Stats.Counter("emu.exceptions").Inc()
+	switch m.cfg.Mech {
+	case MechTraditional:
+		m.trapTraditional(u, kindEmu)
+	case MechMultithreaded:
+		if h := m.idleContext(kindEmu); h != nil {
+			m.spawnHandler(h, u, kindEmu)
+		} else {
+			m.Stats.Counter("handler.exhausted").Inc()
+			m.trapTraditional(u, kindEmu)
+		}
+	default:
+		panic("cpu: emulation exception under a hardware-popc configuration")
+	}
+}
+
+// handlerFor selects the PAL handler image for an exception kind.
+func (m *Machine) handlerFor(kind excKind) *vm.Handler {
+	switch kind {
+	case kindEmu:
+		return m.emuHand
+	case kindUnaligned:
+		return m.unalpHand
+	}
+	return m.hand
+}
+
+// onUnalignedException routes an unaligned integer load to the
+// software handler. pa is the translated physical address the
+// hardware hands the handler.
+func (m *Machine) onUnalignedException(u *uop, pa uint64) {
+	u.dtlbWait = true
+	u.srcVal = pa
+	m.Stats.Counter("unaligned.exceptions").Inc()
+	switch m.cfg.Mech {
+	case MechTraditional:
+		m.trapTraditional(u, kindUnaligned)
+	case MechMultithreaded:
+		if h := m.idleContext(kindUnaligned); h != nil {
+			m.spawnHandler(h, u, kindUnaligned)
+		} else {
+			m.Stats.Counter("handler.exhausted").Inc()
+			m.trapTraditional(u, kindUnaligned)
+		}
+	default:
+		panic("cpu: unaligned exception under a hardware configuration")
+	}
+}
+
+// idleContext finds a context available for exception duty, preferring
+// one whose fetch buffer was quick-start-primed with the right
+// handler (the history-based exception-type prediction of Section
+// 5.4).
+func (m *Machine) idleContext(kind excKind) *thread {
+	var pick *thread
+	for _, t := range m.threads {
+		if t.state != ctxIdle {
+			continue
+		}
+		if m.cfg.QuickStart && t.primed && t.primedKind == kind {
+			return t
+		}
+		if pick == nil {
+			pick = t
+		}
+	}
+	return pick
+}
+
+// spawnHandler launches the software exception handler for kind in
+// idle context h on behalf of faulting instruction u (Section 4.1).
+func (m *Machine) spawnHandler(h *thread, u *uop, kind excKind) {
+	mt := m.threads[u.tid]
+	hand := m.handlerFor(kind)
+	ctx := &handlerCtx{
+		mech:      MechMultithreaded,
+		kind:      kind,
+		tid:       h.id,
+		masterTid: u.tid,
+		master:    u,
+		faultVPN:  u.faultVPN,
+		faultVA:   u.ea,
+		excPC:     u.pc,
+		specTag:   u.seq,
+	}
+	ctx.fetchBudget = hand.CommonLen
+	if !m.cfg.NoWindowReservation {
+		ctx.reserveLeft = hand.CommonLen
+		m.reserved += ctx.reserveLeft
+	}
+	ctx.detectAt = m.now
+	u.handlerBy = ctx
+	u.missMain = true
+	m.handlers = append(m.handlers, ctx)
+
+	h.state = ctxException
+	h.exc = ctx
+	h.inPAL = true
+	h.rf = isa.RegFile{} // fresh context registers, undefined by spec
+	h.pc = hand.EntryVA
+	h.priv[isa.PrFaultVA] = u.ea
+	h.priv[isa.PrExcPC] = u.pc
+	h.priv[isa.PrPTBase] = mt.as.PTBase()
+	h.priv[isa.PrPageSize] = vm.PageSize
+	h.priv[isa.PrSrcVal0] = u.srcVal
+	h.priv[isa.PrExcInfo] = u.memBytes
+	h.priv[isa.PrPalData] = m.pal.DataPA
+	h.ghr, h.path = 0, 0
+	h.haltedFetch, h.fetchStalled = false, false
+	h.fetchBlockedUntil = m.now + 1
+	h.lastTLBWR = nil
+	h.lwInt = [32]*uop{}
+	h.lwFP = [32]*uop{}
+	m.Stats.Counter("handler.spawns").Inc()
+	m.debugf("spawn kind=%d tid=%d master seq=%d pc=%#x vpn=%#x", kind, h.id, u.seq, u.pc, u.faultVPN)
+
+	switch {
+	case m.cfg.Limit == LimitInstantFetch:
+		m.materializeHandler(h, ctx, true)
+	case m.cfg.QuickStart && h.primed && h.primedKind == kind:
+		m.Stats.Counter("handler.quickstarts").Inc()
+		h.primed = false
+		m.materializeHandler(h, ctx, false)
+	case m.cfg.QuickStart && h.primed:
+		// The exception-type predictor staged the wrong handler.
+		m.Stats.Counter("handler.quickstart.mispredicts").Inc()
+		h.primed = false
+	}
+}
+
+// materializeHandler generates the handler's instructions without
+// fetching, into the context's fetch buffer: for quick-start they
+// were pre-staged there before the exception occurred; for the
+// LimitInstantFetch study they additionally dispatch with zero
+// decode/schedule latency and no decode-bandwidth charge. Window
+// space rules apply in both cases via the normal dispatch stage.
+func (m *Machine) materializeHandler(h *thread, ctx *handlerCtx, instant bool) {
+	for ctx.fetchBudget > 0 {
+		if !instant && len(h.fetchBuf) >= m.cfg.FetchBufferCap {
+			// The fetch buffer can only pre-stage so much handler;
+			// the rest is fetched normally once the context runs.
+			break
+		}
+		in, _, ok := m.fetchInst(h, h.pc)
+		if !ok {
+			break
+		}
+		u := m.buildUop(h, in)
+		u.fetchAt = m.now
+		u.availAt = m.now + 1
+		u.instant = instant
+		m.execFunctional(h, u)
+		h.inflight = append(h.inflight, u)
+		h.icount++
+		ctx.fetchBudget--
+		h.pc = u.predPC
+		h.fetchBuf = append(h.fetchBuf, u)
+		m.postFetchControl(h, u)
+		if u.inst.Op == isa.OpRfe {
+			break
+		}
+	}
+}
+
+// trapTraditional implements the conventional mechanism: squash from
+// the faulting instruction on, redirect fetch to the handler in the
+// faulting thread (PAL shadow registers), and resume at the faulting
+// PC when the RFE resolves.
+func (m *Machine) trapTraditional(u *uop, kind excKind) {
+	t := m.threads[u.tid]
+	m.Stats.Counter("trap.traps").Inc()
+	m.debugf("trap kind=%d tid=%d seq=%d pc=%#x vpn=%#x prevCtx=%v", kind, u.tid, u.seq, u.pc, u.faultVPN, t.trapCtx != nil)
+
+	m.squashFrom(t, u.seq)
+	t.ghr, t.path = u.histBefore, u.pathBefore
+	m.ras[t.id].Restore(u.rasCp)
+
+	// An emulated instruction is completed by the handler's WRTDEST;
+	// execution resumes past it. A TLB miss re-executes the faulting
+	// instruction.
+	// An emulated or unaligned instruction is completed by the
+	// handler's WRTDEST; execution resumes past it. A TLB miss
+	// re-executes the faulting instruction.
+	resume := u.pc
+	if kind == kindEmu || kind == kindUnaligned {
+		resume = u.pc + 4
+	}
+	ctx := &handlerCtx{
+		mech:      MechTraditional,
+		kind:      kind,
+		tid:       t.id,
+		masterTid: t.id,
+		master:    u, // already squashed; kept for accounting only
+		faultVPN:  u.faultVPN,
+		faultVA:   u.ea,
+		excPC:     resume,
+		specTag:   u.seq,
+		firstSeq:  m.seqCounter + 1,
+	}
+	m.handlers = append(m.handlers, ctx)
+	t.trapCtx = ctx
+
+	t.inPAL = true
+	t.shadowRF = isa.RegFile{}
+	t.lwShadow = [32]*uop{}
+	t.lastTLBWR = nil
+	t.priv[isa.PrFaultVA] = u.ea
+	t.priv[isa.PrExcPC] = resume
+	t.priv[isa.PrSrcVal0] = u.srcVal
+	t.priv[isa.PrExcInfo] = u.memBytes
+	t.priv[isa.PrPalData] = m.pal.DataPA
+	t.pc = m.handlerFor(kind).EntryVA
+	t.haltedFetch, t.fetchStalled = false, false
+	t.fetchBlockedUntil = m.now + 1
+}
+
+// startHardwareWalk begins (or queues) a hardware page walk for u.
+func (m *Machine) startHardwareWalk(u *uop) {
+	active := 0
+	for _, ctx := range m.handlers {
+		if !ctx.dead && ctx.mech == MechHardware && !ctx.filled {
+			active++
+		}
+	}
+	if active >= m.cfg.MaxWalkers {
+		// All walkers busy: handle traditionally, as the paper
+		// advocates for resource exhaustion.
+		m.Stats.Counter("walker.exhausted").Inc()
+		m.trapTraditional(u, kindTLB)
+		return
+	}
+	ctx := &handlerCtx{
+		mech:      MechHardware,
+		tid:       u.tid,
+		masterTid: u.tid,
+		master:    u,
+		faultVPN:  u.faultVPN,
+		faultVA:   u.ea,
+		excPC:     u.pc,
+		specTag:   0, // hardware fills commit immediately
+	}
+	u.handlerBy = ctx
+	u.missMain = true
+	m.handlers = append(m.handlers, ctx)
+}
+
+// completeWalks processes hardware walks whose page-table load has
+// returned: fill the TLB speculatively (unless the faulting
+// instruction was squashed meanwhile) and wake the waiters.
+func (m *Machine) completeWalks() {
+	for _, ctx := range m.handlers {
+		if ctx.dead || ctx.mech != MechHardware || !ctx.walkStarted || ctx.filled {
+			continue
+		}
+		if ctx.walkDone > m.now {
+			continue
+		}
+		mt := m.threads[ctx.masterTid]
+		if mt.as.Org() == vm.PTTwoLevel && ctx.walkStage == 0 {
+			// First-level walk finished: check the root entry and
+			// re-request a memory port for the leaf load.
+			root := m.phys.ReadU64(mt.as.RootEntryAddr(ctx.faultVPN))
+			if !vm.PTEIsValid(root) {
+				ctx.dead = true
+				m.Stats.Counter("walker.pagefaults").Inc()
+				if ctx.master.stage != stageSquashed {
+					m.trapTraditional(ctx.master, kindTLB)
+				}
+				continue
+			}
+			ctx.walkStage = 1
+			ctx.walkStarted = false
+			continue
+		}
+		var pte uint64
+		if mt.as.Org() == vm.PTTwoLevel {
+			root := m.phys.ReadU64(mt.as.RootEntryAddr(ctx.faultVPN))
+			pte = m.phys.ReadU64(vm.LeafPTEAddr(root, ctx.faultVPN))
+		} else {
+			pte = m.phys.ReadU64(mt.as.PTEAddr(ctx.faultVPN))
+		}
+		if !vm.PTEIsValid(pte) {
+			// Page fault: fall back to the software path.
+			ctx.dead = true
+			m.Stats.Counter("walker.pagefaults").Inc()
+			if ctx.master.stage != stageSquashed {
+				m.trapTraditional(ctx.master, kindTLB)
+			}
+			continue
+		}
+		m.dtlb.Insert(mt.as.ASN, ctx.faultVPN, vm.PTEPFN(pte), 0)
+		m.Stats.Counter("walker.fills").Inc()
+		ctx.filled = true
+		m.wakeWaiters(ctx)
+	}
+}
+
+// wakeWaiters releases the master and all buffered secondary misses
+// to re-issue through the scheduler.
+func (m *Machine) wakeWaiters(ctx *handlerCtx) {
+	if ctx.master != nil && ctx.master.stage != stageSquashed {
+		ctx.master.dtlbWait = false
+		ctx.master.wokeAt = m.now
+		m.Stats.Histogram("fill.latency").Observe(int64(m.now - ctx.master.missAt))
+	}
+	for _, w := range ctx.waiters {
+		if w.stage != stageSquashed {
+			w.dtlbWait = false
+			w.wokeAt = m.now
+		}
+	}
+}
+
+// revertToTraditional handles a HARDEXC executed by a handler thread:
+// the multithreaded handler cannot complete this exception (page
+// fault), so the work in progress is thrown away and the whole
+// handler re-executes through the traditional mechanism (Section 4.3).
+func (m *Machine) revertToTraditional(ctx *handlerCtx) {
+	m.Stats.Counter("handler.reversions").Inc()
+	master := ctx.master
+	kind := ctx.kind
+	m.killHandler(ctx)
+	if master != nil && master.stage != stageSquashed {
+		m.trapTraditional(master, kind)
+	}
+}
+
+// killHandler tears down a multithreaded handler instance: squashes
+// the handler thread's instructions, rolls back its speculative TLB
+// fill, releases its window reservation and frees the context.
+func (m *Machine) killHandler(ctx *handlerCtx) {
+	if ctx.dead {
+		return
+	}
+	ctx.dead = true
+	m.debugf("killHandler kind=%d tid=%d masterSeq=%d", ctx.kind, ctx.tid, ctx.master.seq)
+	m.dtlb.SquashSpec(ctx.specTag)
+	m.reserved -= ctx.reserveLeft
+	ctx.reserveLeft = 0
+	if ctx.mech == MechMultithreaded {
+		h := m.threads[ctx.tid]
+		m.squashFrom(h, 0) // everything in the handler context
+		m.freeHandlerContext(h, ctx.kind)
+	}
+	// Unlink survivors so they can miss again and re-launch.
+	if ctx.master != nil && ctx.master.handlerBy == ctx {
+		ctx.master.handlerBy = nil
+		if ctx.master.stage != stageSquashed && ctx.master.dtlbWait && !ctx.filled {
+			ctx.master.dtlbWait = false // re-issue, re-detect
+		}
+	}
+	for _, w := range ctx.waiters {
+		if w.handlerBy == ctx {
+			w.handlerBy = nil
+			if w.stage != stageSquashed && w.dtlbWait && !ctx.filled {
+				w.dtlbWait = false
+			}
+		}
+	}
+}
+
+// freeHandlerContext returns a handler thread to the idle pool and,
+// under quick-start, re-primes its fetch buffer with the predicted
+// next handler. The exception-type predictor is history-based: it
+// predicts the kind just handled (Section 5.4) — perfect when one
+// exception class dominates, as the paper assumes.
+func (m *Machine) freeHandlerContext(h *thread, kind excKind) {
+	h.state = ctxIdle
+	h.exc = nil
+	h.inPAL = false
+	h.haltedFetch, h.fetchStalled = false, false
+	h.fetchBuf = h.fetchBuf[:0]
+	h.inflight = h.inflight[:0]
+	h.icount = 0
+	h.lastTLBWR = nil
+	if m.cfg.QuickStart {
+		h.primed = true
+		h.primedKind = kind
+	}
+}
+
+// reapHandlers drops completed/dead handler contexts from the live
+// list.
+func (m *Machine) reapHandlers() {
+	live := m.handlers[:0]
+	for _, ctx := range m.handlers {
+		if ctx.dead || ctx.rfeRetired || (ctx.mech == MechHardware && ctx.filled) {
+			continue
+		}
+		live = append(live, ctx)
+	}
+	m.handlers = live
+}

@@ -1,0 +1,143 @@
+package cpu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckInvariants, when enabled in the configuration, validates the
+// machine's structural invariants every cycle and panics with a
+// diagnostic on the first violation. It is used throughout the test
+// suite; production runs leave it off (it costs roughly 2x).
+//
+// The invariants are the properties the paper's mechanism depends on:
+// exact window accounting (including reservations), per-thread fetch
+// order in every queue, speculative-store-buffer/retirement sync, and
+// handler-context consistency.
+func (m *Machine) checkInvariants() {
+	// Window occupancy accounting matches the window contents.
+	count := 0
+	for _, u := range m.window {
+		switch u.stage {
+		case stageWindow, stageIssued, stageDone:
+			if !(u.excFetch && m.cfg.Limit == LimitNoWindow) {
+				count++
+			}
+		case stageRetired, stageSquashed:
+			// awaiting compaction; holds no slot
+		default:
+			m.invariantPanic("window holds a uop in stage %d (seq %d)", u.stage, u.seq)
+		}
+	}
+	if count != m.windowCount {
+		m.invariantPanic("window occupancy %d, accounted %d", count, m.windowCount)
+	}
+	if m.windowCount < 0 || m.windowCount > m.cfg.WindowSize {
+		m.invariantPanic("window occupancy %d outside [0,%d]", m.windowCount, m.cfg.WindowSize)
+	}
+	if m.reserved < 0 {
+		m.invariantPanic("negative reservation %d", m.reserved)
+	}
+
+	// Reservation bookkeeping matches the live handlers.
+	res := 0
+	for _, ctx := range m.handlers {
+		if !ctx.dead {
+			res += ctx.reserveLeft
+		}
+		if ctx.reserveLeft < 0 {
+			m.invariantPanic("handler reservation negative (%d)", ctx.reserveLeft)
+		}
+	}
+	if res != m.reserved {
+		m.invariantPanic("reserved %d, handler sum %d", m.reserved, res)
+	}
+
+	for _, t := range m.threads {
+		m.checkThreadInvariants(t)
+	}
+}
+
+func (m *Machine) checkThreadInvariants(t *thread) {
+	// In-flight list is in fetch order and the icount matches the
+	// live entries.
+	live := 0
+	var prev uint64
+	for i, u := range t.inflight {
+		if u.tid != t.id {
+			m.invariantPanic("thread %d inflight holds seq %d of thread %d", t.id, u.seq, u.tid)
+		}
+		if i > 0 && u.seq <= prev {
+			m.invariantPanic("thread %d inflight out of order (%d after %d)", t.id, u.seq, prev)
+		}
+		prev = u.seq
+		if u.stage != stageRetired && u.stage != stageSquashed {
+			live++
+		}
+	}
+	if live != t.icount {
+		m.invariantPanic("thread %d icount %d, live in-flight %d", t.id, t.icount, live)
+	}
+
+	// The fetch buffer holds only live, fetched-stage entries in order.
+	prev = 0
+	for i, u := range t.fetchBuf {
+		if u.stage != stageFetched {
+			m.invariantPanic("thread %d fetch buffer entry %d in stage %d", t.id, i, u.stage)
+		}
+		if i > 0 && u.seq <= prev {
+			m.invariantPanic("thread %d fetch buffer out of order", t.id)
+		}
+		prev = u.seq
+	}
+	nonInstant := 0
+	for _, u := range t.fetchBuf {
+		if !u.instant {
+			nonInstant++
+		}
+	}
+	if nonInstant > m.cfg.FetchBufferCap {
+		m.invariantPanic("thread %d fetch buffer %d over cap %d", t.id, nonInstant, m.cfg.FetchBufferCap)
+	}
+
+	// The speculative store buffer mirrors the unretired stores of the
+	// in-flight list exactly, in order.
+	var stores []*uop
+	for _, u := range t.inflight {
+		if u.isStore() && u.stage != stageRetired && u.stage != stageSquashed && !u.pal {
+			stores = append(stores, u)
+		}
+	}
+	if len(stores) != len(t.ssb) {
+		m.invariantPanic("thread %d SSB has %d entries, %d unretired stores in flight", t.id, len(t.ssb), len(stores))
+	}
+	for i, e := range t.ssb {
+		if e.u != stores[i] {
+			m.invariantPanic("thread %d SSB entry %d (seq %d) != in-flight store (seq %d)",
+				t.id, i, e.u.seq, stores[i].seq)
+		}
+	}
+
+	// Handler-context linkage.
+	if t.state == ctxException {
+		if t.exc == nil || t.exc.dead {
+			m.invariantPanic("thread %d in exception state without a live context", t.id)
+		}
+		if t.exc.tid != t.id {
+			m.invariantPanic("thread %d exception context claims tid %d", t.id, t.exc.tid)
+		}
+	}
+	if t.state == ctxIdle && (t.icount != 0 || len(t.fetchBuf) != 0) && !t.primed {
+		m.invariantPanic("idle thread %d still holds work", t.id)
+	}
+}
+
+func (m *Machine) invariantPanic(format string, args ...any) {
+	var seqs []uint64
+	for _, u := range m.window {
+		seqs = append(seqs, u.seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	panic(fmt.Sprintf("cpu: invariant violated at cycle %d: %s", m.now,
+		fmt.Sprintf(format, args...)))
+}

@@ -1,0 +1,111 @@
+package cpu
+
+import (
+	"testing"
+
+	"mtexc/internal/isa/asm"
+	"mtexc/internal/vm"
+)
+
+// TestFetchRoundRobinRuns: the round-robin chooser completes a
+// two-thread workload correctly and touches both threads.
+func TestFetchRoundRobinRuns(t *testing.T) {
+	cfg := testConfig()
+	cfg.Mech = MechMultithreaded
+	cfg.Contexts = 3
+	cfg.FetchRoundRobin = true
+	m := New(cfg)
+
+	results := make([]*vm.AddressSpace, 2)
+	for i := range results {
+		as, err := addSumProgram(m, uint8(i+1), 300+int64(i)*100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = as
+	}
+	m.Run()
+	if got := results[0].ReadU64(testResultVA); got != 300*301/2 {
+		t.Errorf("thread 1 result = %d", got)
+	}
+	if got := results[1].ReadU64(testResultVA); got != 400*401/2 {
+		t.Errorf("thread 2 result = %d", got)
+	}
+}
+
+func addSumProgram(m *Machine, asn uint8, n int64) (*vm.AddressSpace, error) {
+	b := asm.NewBuilder()
+	emitSumLoop(n)(b)
+	code, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	as := vm.NewAddressSpace(m.Phys(), asn, 1<<20)
+	img := &vm.Image{Name: "sum", Code: code, Space: as}
+	if err := img.Load(m.Phys()); err != nil {
+		return nil, err
+	}
+	as.WriteU64(testResultVA, 0)
+	if _, err := m.AddProgram(img); err != nil {
+		return nil, err
+	}
+	return as, nil
+}
+
+// TestRetireWidthLimits: a finite retirement width must not change
+// results and cannot make the machine faster; a tiny width slows it.
+func TestRetireWidthLimits(t *testing.T) {
+	const pages = 64
+	setup, want := pageWalkSetup(pages)
+	run := func(width int) (uint64, uint64) {
+		cfg := testConfig()
+		cfg.Mech = MechMultithreaded
+		cfg.RetireWidth = width
+		var as *vm.AddressSpace
+		m := buildMachine(t, cfg, emitPageWalk(pages, 4), func(a *vm.AddressSpace) {
+			as = a
+			setup(a)
+		})
+		res := m.Run()
+		return res.Cycles, as.ReadU64(testResultVA)
+	}
+	unlimCycles, unlimRes := run(0)
+	wideCycles, wideRes := run(16)
+	tightCycles, tightRes := run(1)
+	if unlimRes != 4*want || wideRes != 4*want || tightRes != 4*want {
+		t.Fatalf("results differ: %d %d %d want %d", unlimRes, wideRes, tightRes, 4*want)
+	}
+	if wideCycles < unlimCycles {
+		t.Errorf("16-wide retire (%d) beat unlimited (%d)", wideCycles, unlimCycles)
+	}
+	if tightCycles <= unlimCycles {
+		t.Errorf("1-wide retire (%d) not slower than unlimited (%d)", tightCycles, unlimCycles)
+	}
+}
+
+// TestSetAssocDTLBEndToEnd: a 4-way DTLB of the same capacity still
+// computes correctly and takes at least as many fills.
+func TestSetAssocDTLBEndToEnd(t *testing.T) {
+	const pages = 96
+	setup, want := pageWalkSetup(pages)
+	run := func(ways int) (uint64, uint64) {
+		cfg := testConfig()
+		cfg.Mech = MechMultithreaded
+		cfg.DTLBWays = ways
+		var as *vm.AddressSpace
+		m := buildMachine(t, cfg, emitPageWalk(pages, 4), func(a *vm.AddressSpace) {
+			as = a
+			setup(a)
+		})
+		res := m.Run()
+		return res.DTLBMisses, as.ReadU64(testResultVA)
+	}
+	faFills, faRes := run(0)
+	saFills, saRes := run(4)
+	if faRes != 4*want || saRes != 4*want {
+		t.Fatalf("results differ under DTLB organizations")
+	}
+	if saFills < faFills {
+		t.Errorf("set-associative fills (%d) below fully-associative (%d)", saFills, faFills)
+	}
+}

@@ -1,0 +1,319 @@
+package cpu
+
+import (
+	"mtexc/internal/isa"
+)
+
+// retire commits completed instructions in per-thread fetch order.
+// Retirement bandwidth is unlimited (Section 5.1). A thread whose
+// next-to-retire instruction has a linked multithreaded handler
+// splices the handler's retirement in first (Figure 1c): the handler
+// retires in its entirety after all pre-exception instructions and
+// before the excepting instruction.
+func (m *Machine) retire() {
+	m.retireBudget = m.cfg.RetireWidth
+	if m.retireBudget <= 0 {
+		m.retireBudget = int(^uint(0) >> 1) // unlimited (Table 1)
+	}
+	for _, t := range m.threads {
+		if t.state != ctxRunning {
+			continue
+		}
+		for t.state == ctxRunning && m.retireBudget > 0 {
+			t.pruneInflight()
+			if len(t.inflight) == 0 {
+				break
+			}
+			u := t.inflight[0]
+			if ctx := u.handlerBy; ctx != nil && ctx.mech == MechMultithreaded && !ctx.dead && !ctx.rfeRetired {
+				m.drainHandler(ctx)
+				if !ctx.rfeRetired {
+					break // splice: wait for the handler to finish
+				}
+			}
+			if u.stage != stageDone {
+				break
+			}
+			m.retireUop(t, u)
+		}
+	}
+	m.compactWindow()
+}
+
+// drainHandler retires as much of a handler thread as has completed,
+// in its own fetch order.
+func (m *Machine) drainHandler(ctx *handlerCtx) {
+	h := m.threads[ctx.tid]
+	for m.retireBudget > 0 {
+		h.pruneInflight()
+		if len(h.inflight) == 0 {
+			return
+		}
+		u := h.inflight[0]
+		if u.stage != stageDone {
+			return
+		}
+		m.retireUop(h, u)
+		if ctx.rfeRetired || ctx.dead {
+			return
+		}
+	}
+}
+
+// retireUop commits the head instruction of t.
+func (m *Machine) retireUop(t *thread, u *uop) {
+	u.stage = stageRetired
+	m.releaseWindowSlot(u)
+	t.icount--
+	t.inflight = t.inflight[1:]
+	m.retireBudget--
+	m.Stats.Counter("retire.insts").Inc()
+	m.Stats.Counter("retire.class." + classNames[isa.ClassOf(u.inst.Op)]).Inc()
+	if m.RetireHook != nil {
+		m.RetireHook(RetiredInst{
+			Tid: u.tid, Seq: u.seq, PC: u.pc, Op: u.inst.Op,
+			PAL: u.pal, HadMiss: u.hadMiss, Cycle: m.now,
+		})
+	}
+	if m.TraceHook != nil {
+		m.emitTrace(u, false)
+	}
+
+	switch {
+	case u.isStore():
+		m.commitStore(t, u)
+	case u.inst.Op == isa.OpHalt:
+		t.state = ctxHalted
+	case u.inst.Op == isa.OpRfe:
+		m.retireRFE(t, u)
+	case u.inst.Op == isa.OpHardExc:
+		m.osPageFaultService(t, u)
+	}
+
+	if u.pal {
+		t.retiredPAL++
+	} else {
+		m.appRetired++
+		t.retired++
+		if u.hadMiss {
+			m.Stats.Counter("dtlb.misses.retired").Inc()
+			m.Stats.Histogram("miss.stall").Observe(int64(u.wokeAt - u.missAt))
+		}
+		if u.hadMiss && u.missMain && m.cfg.Mech == MechHardware {
+			m.Stats.Counter("dtlb.fills.committed").Inc()
+		}
+	}
+}
+
+// commitStore performs the architectural memory write at retirement.
+func (m *Machine) commitStore(t *thread, u *uop) {
+	if !t.popSSBHead(u) {
+		// The head entry must be this store; anything else means the
+		// speculative store buffer lost sync with retirement.
+		panic("cpu: speculative store buffer out of sync at store retire")
+	}
+	ea := u.ea &^ (u.memBytes - 1)
+	pa, ok := t.as.Translate(ea)
+	if !ok {
+		return // unmapped commit cannot happen on a correct path
+	}
+	if u.memBytes == 4 {
+		m.phys.WriteU32(pa, uint32(u.storeVal))
+	} else {
+		m.phys.WriteU64(pa, u.storeVal)
+	}
+}
+
+// retireRFE finishes an exception handler: the speculative TLB fill
+// becomes permanent and the handler instance is released. For a
+// multithreaded handler this also frees the hardware context.
+func (m *Machine) retireRFE(t *thread, u *uop) {
+	ctx := u.palCtx
+	if ctx == nil || ctx.dead {
+		return
+	}
+	m.dtlb.Commit(ctx.specTag)
+	ctx.rfeRetired = true
+	if ctx.detectAt > 0 && ctx.mech == MechMultithreaded {
+		m.Stats.Histogram("handler.lifetime").Observe(int64(m.now - ctx.detectAt))
+	}
+	switch ctx.kind {
+	case kindEmu:
+		m.Stats.Counter("emu.committed").Inc()
+	case kindUnaligned:
+		m.Stats.Counter("unaligned.committed").Inc()
+	default:
+		m.Stats.Counter("dtlb.fills.committed").Inc()
+	}
+	m.reserved -= ctx.reserveLeft
+	ctx.reserveLeft = 0
+	switch ctx.mech {
+	case MechTraditional:
+		if t.trapCtx == ctx {
+			t.trapCtx = nil
+		}
+	case MechMultithreaded:
+		m.freeHandlerContext(t, ctx.kind)
+	}
+}
+
+// osPageFaultService models the operating system servicing a page
+// fault raised through the hard-exception path: map the page, install
+// the translation, flush the thread and restart it at the excepting
+// instruction after the service time.
+func (m *Machine) osPageFaultService(t *thread, u *uop) {
+	ctx := u.palCtx
+	if ctx == nil {
+		// A HARDEXC that lost its context (its handler instance was
+		// reclaimed) must still unwedge the thread: flush and resume
+		// at the thread's recorded exception PC.
+		m.Stats.Counter("os.orphan.hardexc").Inc()
+		m.debugf("orphan-hardexc tid=%d pc=%#x resume=%#x", t.id, u.pc, t.priv[isa.PrExcPC])
+		m.squashFrom(t, u.seq+1)
+		t.inPAL = false
+		t.pc = t.priv[isa.PrExcPC]
+		t.haltedFetch, t.fetchStalled = false, false
+		t.fetchBlockedUntil = m.now + 1
+		return
+	}
+	m.Stats.Counter("os.pagefaults").Inc()
+	m.debugf("os-fault tid=%d vpn=%#x resume=%#x", t.id, ctx.faultVPN, ctx.excPC)
+	mt := m.threads[ctx.masterTid]
+	if pfn, err := mt.as.MapPage(ctx.faultVPN); err == nil {
+		m.dtlb.Insert(mt.as.ASN, ctx.faultVPN, pfn, 0)
+	}
+	ctx.dead = true
+	m.dtlb.SquashSpec(ctx.specTag)
+	if t.trapCtx == ctx {
+		t.trapCtx = nil
+	}
+	// Flush everything younger than the HARDEXC and restart at the
+	// faulting instruction once the OS is done.
+	m.squashFrom(t, u.seq+1)
+	t.ghr, t.path = u.histBefore, u.pathBefore
+	m.ras[t.id].Restore(u.rasCp)
+	t.inPAL = false
+	t.pc = ctx.excPC
+	t.haltedFetch, t.fetchStalled = false, false
+	t.fetchBlockedUntil = m.now + m.cfg.OSFaultCycles
+}
+
+// squashFrom squashes every in-flight instruction of t with sequence
+// number >= from, undoing their speculative register writes youngest
+// first and rebuilding the fetch-order writer tables from the
+// survivors.
+func (m *Machine) squashFrom(t *thread, from uint64) {
+	idx := len(t.inflight)
+	for idx > 0 && t.inflight[idx-1].seq >= from {
+		idx--
+	}
+	if idx == len(t.inflight) {
+		m.finishSquash(t, from)
+		return
+	}
+	for i := len(t.inflight) - 1; i >= idx; i-- {
+		m.squashUop(t, t.inflight[i])
+	}
+	t.inflight = t.inflight[:idx]
+	m.finishSquash(t, from)
+}
+
+func (m *Machine) finishSquash(t *thread, from uint64) {
+	// Drop squashed entries from the fetch buffer.
+	fb := t.fetchBuf[:0]
+	for _, u := range t.fetchBuf {
+		if u.stage != stageSquashed {
+			fb = append(fb, u)
+		}
+	}
+	t.fetchBuf = fb
+	t.removeSSBFrom(from)
+
+	// Rebuild last-writer tables from the surviving instructions.
+	t.lwInt = [32]*uop{}
+	t.lwFP = [32]*uop{}
+	t.lwShadow = [32]*uop{}
+	t.lastTLBWR = nil
+	for _, u := range t.inflight {
+		if u.slot != nil {
+			switch u.destKind {
+			case regInt:
+				if u.pal && !u.excFetch && u.inst.Op != isa.OpWrtDest {
+					t.lwShadow[u.destReg] = u
+				} else {
+					t.lwInt[u.destReg] = u
+				}
+			case regFP:
+				t.lwFP[u.destReg] = u
+			}
+		}
+		if u.inst.Op == isa.OpTlbwr {
+			t.lastTLBWR = u
+		}
+	}
+
+	// A traditional trap handler whose first instruction fell inside
+	// the squashed range dies with it.
+	if ctx := t.trapCtx; ctx != nil && !ctx.dead && from <= ctx.firstSeq {
+		m.debugf("trapctx-killed tid=%d from=%d firstSeq=%d", t.id, from, ctx.firstSeq)
+		ctx.dead = true
+		m.dtlb.SquashSpec(ctx.specTag)
+		t.trapCtx = nil
+	}
+	m.compactWindow()
+}
+
+// squashUop removes one instruction from the machine.
+func (m *Machine) squashUop(t *thread, u *uop) {
+	if u.stage == stageSquashed || u.stage == stageRetired {
+		return
+	}
+	inWindow := u.stage == stageWindow || u.stage == stageIssued || u.stage == stageDone
+	u.stage = stageSquashed
+	if inWindow {
+		m.releaseWindowSlot(u)
+	}
+	t.icount--
+	if u.slot != nil {
+		*u.slot = u.oldVal
+	}
+	m.Stats.Counter("squash.insts").Inc()
+	if m.TraceHook != nil {
+		m.emitTrace(u, true)
+	}
+	if u.excFetch && t.exc != nil && !t.exc.dead {
+		t.exc.fetchBudget++
+	}
+	if u.handlerBy != nil {
+		m.unlinkSquashedMiss(u)
+	}
+}
+
+// unlinkSquashedMiss detaches a squashed excepting instruction from
+// its handler. Squashing the master reclaims the whole handler
+// (Section 4.1: squash events check exception sequence numbers to
+// reclaim exception threads).
+func (m *Machine) unlinkSquashedMiss(u *uop) {
+	ctx := u.handlerBy
+	u.handlerBy = nil
+	if ctx == nil || ctx.dead {
+		return
+	}
+	if ctx.master == u {
+		switch ctx.mech {
+		case MechMultithreaded:
+			m.Stats.Counter("handler.reclaimed").Inc()
+			m.killHandler(ctx)
+		case MechHardware:
+			m.Stats.Counter("walker.cancelled").Inc()
+			ctx.dead = true
+		}
+		return
+	}
+	for i, w := range ctx.waiters {
+		if w == u {
+			ctx.waiters = append(ctx.waiters[:i], ctx.waiters[i+1:]...)
+			break
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The speculative store buffer must make loads observe exactly the
+// bytes a flat memory model would: base memory overlaid with all
+// older buffered stores, oldest first.
+
+type flatModel struct {
+	mem map[uint64]byte
+}
+
+func newFlatModel(seed int64) *flatModel {
+	f := &flatModel{mem: make(map[uint64]byte)}
+	rng := rand.New(rand.NewSource(seed))
+	for a := uint64(0); a < 64; a++ {
+		f.mem[a] = byte(rng.Intn(256))
+	}
+	return f
+}
+
+func (f *flatModel) read(addr, size uint64) uint64 {
+	var v uint64
+	for b := uint64(0); b < size; b++ {
+		v |= uint64(f.mem[addr+b]) << (b * 8)
+	}
+	return v
+}
+
+func (f *flatModel) write(addr, size, val uint64) {
+	for b := uint64(0); b < size; b++ {
+		f.mem[addr+b] = byte(val >> (b * 8))
+	}
+}
+
+func TestSSBOverlayMatchesFlatModel(t *testing.T) {
+	f := func(seed int64, ops []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		model := newFlatModel(seed)
+		base := newFlatModel(seed) // untouched base memory
+		th := &thread{id: 0}
+		seq := uint64(1)
+
+		for _, op := range ops {
+			seq++
+			size := uint64(4)
+			if op&1 == 0 {
+				size = 8
+			}
+			addr := uint64(rng.Intn(48)) &^ (size - 1)
+			if op&2 == 0 {
+				// Buffered store: goes to the SSB and the model, but
+				// not to base memory (it is speculative).
+				val := rng.Uint64()
+				if size == 4 {
+					val &= 0xffffffff
+				}
+				th.ssb = append(th.ssb, specStore{
+					u: &uop{seq: seq}, addr: addr, size: size, value: val,
+				})
+				model.write(addr, size, val)
+			} else {
+				// Load at the current sequence point: SSB overlay on
+				// base memory must equal the model.
+				got := th.overlaySSB(seq, addr, size, base.read(addr, size))
+				want := model.read(addr, size)
+				if got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSSBLookupFindsYoungestOlderStore(t *testing.T) {
+	th := &thread{id: 0}
+	mk := func(seq, addr uint64) *uop {
+		u := &uop{seq: seq}
+		th.ssb = append(th.ssb, specStore{u: u, addr: addr, size: 8, value: seq})
+		return u
+	}
+	a := mk(10, 0x100)
+	b := mk(20, 0x100)
+	mk(30, 0x200)
+
+	// A load at seq 25 overlapping 0x100 forwards from b (seq 20).
+	e, ok := th.lookupSSB(25, 0x100, 8)
+	if !ok || e.u != b {
+		t.Fatalf("lookup = %+v, %v; want seq 20", e, ok)
+	}
+	// A load at seq 15 sees only a.
+	e, ok = th.lookupSSB(15, 0x100, 8)
+	if !ok || e.u != a {
+		t.Fatalf("lookup@15 = %+v, %v; want seq 10", e, ok)
+	}
+	// A load at seq 5 predates all stores.
+	if _, ok := th.lookupSSB(5, 0x100, 8); ok {
+		t.Fatal("load older than all stores forwarded")
+	}
+	// Partial overlap is still found.
+	e, ok = th.lookupSSB(25, 0x104, 4)
+	if !ok || e.u != b {
+		t.Fatalf("partial overlap = %+v, %v", e, ok)
+	}
+	// Disjoint address does not forward.
+	if _, ok := th.lookupSSB(25, 0x300, 8); ok {
+		t.Fatal("disjoint load forwarded")
+	}
+}
+
+func TestSSBRemoveFrom(t *testing.T) {
+	th := &thread{id: 0}
+	for seq := uint64(1); seq <= 5; seq++ {
+		th.ssb = append(th.ssb, specStore{u: &uop{seq: seq * 10}, addr: seq, size: 8})
+	}
+	th.removeSSBFrom(30) // drops seqs 30, 40, 50
+	if len(th.ssb) != 2 {
+		t.Fatalf("ssb len %d after squash, want 2", len(th.ssb))
+	}
+	if th.ssb[1].u.seq != 20 {
+		t.Errorf("tail seq %d, want 20", th.ssb[1].u.seq)
+	}
+	th.removeSSBFrom(0)
+	if len(th.ssb) != 0 {
+		t.Error("squash-all left entries")
+	}
+}
+
+func TestSSBPopHead(t *testing.T) {
+	th := &thread{id: 0}
+	u1, u2 := &uop{seq: 1}, &uop{seq: 2}
+	th.ssb = append(th.ssb, specStore{u: u1}, specStore{u: u2})
+	if th.popSSBHead(u2) {
+		t.Error("popped out of order")
+	}
+	if !th.popSSBHead(u1) || !th.popSSBHead(u2) {
+		t.Error("in-order pops failed")
+	}
+	if th.popSSBHead(u1) {
+		t.Error("pop from empty succeeded")
+	}
+}

@@ -1,0 +1,232 @@
+package cpu
+
+import (
+	"mtexc/internal/isa"
+	"mtexc/internal/vm"
+)
+
+// threadState enumerates hardware-context states, extending the
+// paper's Figure 4 per-thread control state (Normal / Idle /
+// Exception).
+type threadState uint8
+
+const (
+	ctxIdle threadState = iota
+	ctxRunning
+	ctxException // running an exception handler for a master thread
+	ctxHalted
+)
+
+// specStore is one entry of a thread's speculative store buffer: a
+// store that has functionally executed (at fetch) but not retired.
+// Younger loads forward from it; squash removes it; retire drains it
+// to memory.
+type specStore struct {
+	u     *uop
+	addr  uint64
+	size  uint64
+	value uint64
+}
+
+// thread is one hardware context.
+type thread struct {
+	id    int
+	state threadState
+
+	// Program binding (application threads).
+	img *vm.Image
+	as  *vm.AddressSpace
+
+	// Fetch-time (speculative) architectural state. It follows the
+	// predicted path and is repaired from the journal on squash.
+	rf       isa.RegFile
+	shadowRF isa.RegFile // PAL shadow registers (traditional handlers)
+	pc       uint64
+	inPAL    bool
+	priv     [isa.NumPrivRegs]uint64
+
+	// Branch predictor speculative state.
+	ghr  uint64
+	path uint64
+
+	// Fetch plumbing.
+	fetchBuf          []*uop // fetched, awaiting decode (availAt gates entry)
+	fetchStalled      bool   // stalled on an unpredictable redirect (RFE)
+	haltedFetch       bool   // ran off code or HALT fetched
+	fetchBlockedUntil uint64 // redirect / OS-service fetch embargo
+
+	// Fetch-order last-writer tables for dataflow construction. The
+	// shadow table covers PAL-shadow integer registers (traditional
+	// in-thread handlers); PAL code uses no FP registers.
+	lwInt    [32]*uop
+	lwFP     [32]*uop
+	lwShadow [32]*uop
+
+	// trapCtx is the live traditional-trap handler instance, if any.
+	trapCtx *handlerCtx
+	// lastTLBWR is the most recent TLB write fetched in PAL mode; RFE
+	// serializes against it.
+	lastTLBWR *uop
+
+	// In-flight instructions in fetch order (the per-thread FIFO
+	// view of the shared window plus fetch/decode pipes).
+	inflight []*uop
+
+	icount int // fetched-not-retired count for the ICOUNT chooser
+
+	// Speculative store buffer, fetch order.
+	ssb []specStore
+
+	// Exception-context linkage (Figure 4 state), valid in
+	// ctxException: which thread and instruction this handler
+	// serves.
+	exc *handlerCtx
+
+	// Quick-start: this idle context's fetch buffer holds a
+	// pre-staged handler (Section 5.4). primedKind records which
+	// handler the history-based exception-type predictor staged.
+	primed     bool
+	primedKind excKind
+
+	// Statistics.
+	retired    uint64 // application instructions retired
+	retiredPAL uint64
+}
+
+// handlerCtx tracks one in-flight exception handler: the spawned
+// thread (multithreaded), the hardware walk (hardware), or the
+// in-thread trap (traditional). It is the paper's Figure 4 control
+// state plus the secondary-miss buffering of Section 4.5.
+// excKind distinguishes the exception classes the machine handles in
+// software.
+type excKind uint8
+
+const (
+	kindTLB       excKind = iota // data-TLB miss
+	kindEmu                      // instruction emulation (Section 6)
+	kindUnaligned                // unaligned access (Section 6)
+)
+
+type handlerCtx struct {
+	mech      Mechanism
+	kind      excKind
+	tid       int // handler thread id (multithreaded) or master tid
+	masterTid int
+	master    *uop // the (oldest) excepting instruction
+	faultVPN  uint64
+	faultVA   uint64
+	specTag   uint64 // TLB speculative-fill tag
+	excPC     uint64 // PC of the excepting instruction (restart point)
+	firstSeq  uint64 // first handler-instruction sequence (traditional)
+	// waiters are secondary misses to the same page, parked until the
+	// fill completes (Section 4.5).
+	waiters []*uop
+	// filled is set once TLBWR (or the walk) has filled the TLB.
+	filled bool
+	// fetchBudget: handler instructions left to fetch (perfect
+	// handler-length prediction per Table 1).
+	fetchBudget int
+	// reserveLeft: window slots still held in reserve for this
+	// handler (Section 4.4).
+	reserveLeft int
+	// rfeRetired marks the handler fully retired (splice complete).
+	rfeRetired bool
+	// Hardware-walk state. Two-level tables walk in two stages.
+	walkStarted bool
+	walkStage   int
+	walkDone    uint64
+	dead        bool
+	detectAt    uint64 // cycle the (master) miss was detected, for stats
+}
+
+// runnable reports whether the context currently fetches and executes
+// instructions.
+func (t *thread) runnable() bool {
+	return t.state == ctxRunning || t.state == ctxException
+}
+
+// writerTables selects the last-writer tables matching the register
+// file fetched instructions currently target (see curRF).
+func (t *thread) writerTables() (*[32]*uop, *[32]*uop) {
+	if t.inPAL && t.state != ctxException {
+		return &t.lwShadow, &t.lwFP
+	}
+	return &t.lwInt, &t.lwFP
+}
+
+// oldestInflight returns the head of the thread's FIFO, skipping
+// already-retired/squashed entries (which are pruned lazily).
+func (t *thread) pruneInflight() {
+	i := 0
+	for i < len(t.inflight) {
+		s := t.inflight[i].stage
+		if s == stageRetired || s == stageSquashed {
+			i++
+			continue
+		}
+		break
+	}
+	if i > 0 {
+		t.inflight = t.inflight[i:]
+	}
+}
+
+// lookupSSB searches the speculative store buffer for the youngest
+// store older than seq that overlaps [addr, addr+size). It reports
+// a full forwarding value when found. Partial overlaps are composed
+// byte-wise by the caller via overlaySSB.
+func (t *thread) lookupSSB(seq, addr, size uint64) (*specStore, bool) {
+	for i := len(t.ssb) - 1; i >= 0; i-- {
+		e := &t.ssb[i]
+		if e.u.seq >= seq {
+			continue
+		}
+		if e.addr < addr+size && addr < e.addr+e.size {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// overlaySSB composes the bytes of mem value v at [addr,addr+size)
+// with all older buffered stores, oldest first, returning the value a
+// load at seq must observe.
+func (t *thread) overlaySSB(seq, addr, size, v uint64) uint64 {
+	for i := range t.ssb {
+		e := &t.ssb[i]
+		if e.u.seq >= seq {
+			break
+		}
+		if e.addr >= addr+size || addr >= e.addr+e.size {
+			continue
+		}
+		// Overlay overlapping bytes.
+		for b := uint64(0); b < size; b++ {
+			ba := addr + b
+			if ba >= e.addr && ba < e.addr+e.size {
+				byteVal := e.value >> ((ba - e.addr) * 8) & 0xff
+				v = v&^(0xff<<(b*8)) | byteVal<<(b*8)
+			}
+		}
+	}
+	return v
+}
+
+// removeSSBFrom drops all buffered stores with seq >= from (squash).
+func (t *thread) removeSSBFrom(from uint64) {
+	i := len(t.ssb)
+	for i > 0 && t.ssb[i-1].u.seq >= from {
+		i--
+	}
+	t.ssb = t.ssb[:i]
+}
+
+// popSSBHead removes the head entry, which must belong to u (called
+// at store retirement).
+func (t *thread) popSSBHead(u *uop) bool {
+	if len(t.ssb) == 0 || t.ssb[0].u != u {
+		return false
+	}
+	t.ssb = t.ssb[1:]
+	return true
+}

@@ -1,0 +1,55 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"mtexc/internal/trace"
+)
+
+// TestTraceHookLifecycles: the trace hook must see every retired and
+// squashed instruction with monotone, complete stage timestamps.
+func TestTraceHookLifecycles(t *testing.T) {
+	cfg := testConfig()
+	cfg.Mech = MechMultithreaded
+	setup, _ := pageWalkSetup(64)
+	m := buildMachine(t, cfg, emitPageWalk(64, 2), setup)
+	col := trace.NewCollector(100000)
+	m.TraceHook = col.Add
+	res := m.Run()
+
+	recs := col.Records()
+	if uint64(len(recs)) < res.AppInsts {
+		t.Fatalf("trace saw %d records for %d retired app insts", len(recs), res.AppInsts)
+	}
+	var retired, squashed, pal int
+	for _, r := range recs {
+		if r.Squashed {
+			squashed++
+			if r.EndAt < r.FetchAt {
+				t.Fatalf("seq %d squashed before fetch (%d < %d)", r.Seq, r.EndAt, r.FetchAt)
+			}
+			continue
+		}
+		retired++
+		if r.PAL {
+			pal++
+		}
+		if !(r.FetchAt < r.AvailAt && r.AvailAt <= r.WindowAt &&
+			r.WindowAt <= r.IssueAt && r.IssueAt < r.DoneAt && r.DoneAt <= r.EndAt) {
+			t.Fatalf("seq %d non-monotone lifecycle: f%d a%d w%d i%d d%d e%d",
+				r.Seq, r.FetchAt, r.AvailAt, r.WindowAt, r.IssueAt, r.DoneAt, r.EndAt)
+		}
+	}
+	if pal == 0 {
+		t.Error("no handler instructions traced")
+	}
+	if squashed == 0 {
+		t.Error("no squashed instructions traced")
+	}
+	var sb strings.Builder
+	col.Summary(&sb)
+	if !strings.Contains(sb.String(), "retired") {
+		t.Error("summary empty")
+	}
+}

@@ -1,0 +1,105 @@
+package cpu
+
+import (
+	"testing"
+
+	"mtexc/internal/isa"
+	"mtexc/internal/isa/asm"
+	"mtexc/internal/vm"
+)
+
+func haltInst() isa.Instruction { return isa.Instruction{Op: isa.OpHalt} }
+
+// buildMachine2L is buildMachine over a two-level page table.
+func buildMachine2L(t *testing.T, cfg Config, emit func(b *asm.Builder), setup func(as *vm.AddressSpace)) (*Machine, *vm.AddressSpace) {
+	t.Helper()
+	cfg.PageTable = vm.PTTwoLevel
+	m := New(cfg)
+	b := asm.NewBuilder()
+	emit(b)
+	code, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := vm.NewAddressSpaceTwoLevel(m.Phys(), 1, 1<<20)
+	img := &vm.Image{Name: "test2l", Code: code, Space: as}
+	if err := img.Load(m.Phys()); err != nil {
+		t.Fatal(err)
+	}
+	if setup != nil {
+		setup(as)
+	}
+	if _, err := m.AddProgram(img); err != nil {
+		t.Fatal(err)
+	}
+	return m, as
+}
+
+// TestTwoLevelAllMechanisms: a page-walking program over a two-level
+// table computes the right result under every mechanism, and the
+// paper's cycle ordering holds.
+func TestTwoLevelAllMechanisms(t *testing.T) {
+	const pages = 64
+	setup, want := pageWalkSetup(pages)
+	cycles := map[Mechanism]uint64{}
+	for _, mech := range []Mechanism{MechPerfect, MechTraditional, MechMultithreaded, MechHardware} {
+		cfg := testConfig()
+		cfg.Mech = mech
+		cfg.DTLBEntries = 32
+		m, as := buildMachine2L(t, cfg, emitPageWalk(pages, 8), setup)
+		res := m.Run()
+		if got := as.ReadU64(testResultVA); got != 8*want {
+			t.Fatalf("%v: result = %d, want %d", mech, got, 8*want)
+		}
+		if mech != MechPerfect && res.DTLBMisses == 0 {
+			t.Fatalf("%v: no fills over a two-level table", mech)
+		}
+		cycles[mech] = res.Cycles
+	}
+	if !(cycles[MechPerfect] < cycles[MechHardware] &&
+		cycles[MechHardware] < cycles[MechMultithreaded] &&
+		cycles[MechMultithreaded] < cycles[MechTraditional]) {
+		t.Errorf("two-level ordering broken: %v", cycles)
+	}
+}
+
+// TestTwoLevelCostsMoreThanLinear: the deeper walk costs cycles under
+// software handling (two dependent loads instead of one).
+func TestTwoLevelCostsMoreThanLinear(t *testing.T) {
+	const pages = 64
+	setup, _ := pageWalkSetup(pages)
+	cfg := testConfig()
+	cfg.Mech = MechMultithreaded
+	cfg.DTLBEntries = 32
+
+	mLin := buildMachine(t, cfg, emitPageWalk(pages, 8), setup)
+	lin := mLin.Run()
+	m2l, _ := buildMachine2L(t, cfg, emitPageWalk(pages, 8), setup)
+	two := m2l.Run()
+	if !(two.Cycles > lin.Cycles) {
+		t.Errorf("two-level (%d cycles) not slower than linear (%d)", two.Cycles, lin.Cycles)
+	}
+}
+
+// TestAddProgramRejectsOrganizationMismatch: the machine refuses an
+// address space built for a different page-table organization than
+// its handler walks.
+func TestAddProgramRejectsOrganizationMismatch(t *testing.T) {
+	cfg := testConfig()
+	cfg.PageTable = vm.PTTwoLevel
+	m := New(cfg)
+	as := vm.NewAddressSpace(m.Phys(), 1, 1<<16) // linear: mismatched
+	b := asm.NewBuilder()
+	b.Emit(haltInst())
+	code, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := &vm.Image{Name: "mismatch", Code: code, Space: as}
+	if err := img.Load(m.Phys()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddProgram(img); err == nil {
+		t.Error("organization mismatch accepted")
+	}
+}

@@ -1,0 +1,167 @@
+package cpu
+
+import (
+	"mtexc/internal/bpred"
+	"mtexc/internal/isa"
+)
+
+// uopStage tracks a dynamic instruction's position in the pipeline.
+type uopStage uint8
+
+const (
+	stageFetched uopStage = iota // in a fetch buffer / fetch pipe
+	stageWindow                  // dispatched into the instruction window
+	stageIssued                  // executing
+	stageDone                    // completed, awaiting retirement
+	stageRetired
+	stageSquashed
+)
+
+// regFileKind distinguishes destination/journal register files.
+type regFileKind uint8
+
+const (
+	regNone regFileKind = iota
+	regInt
+	regFP
+)
+
+// uop is one dynamic instruction. Functional results are computed at
+// fetch time along the predicted path; the timing fields track its
+// progress through the machine.
+type uop struct {
+	seq uint64 // global fetch order (also the window age ordering)
+	// schedSeq is the age used for oldest-first scheduling. Handler
+	// instructions inherit their master's age: they retire before the
+	// excepting instruction, so they compete for issue slots as if
+	// fetched in its place.
+	schedSeq uint64
+	tid      int // hardware context
+	pc       uint64
+	inst     isa.Instruction
+	pal      bool // fetched in PAL (handler) mode
+	// excFetch marks instructions fetched by an exception-handler
+	// context (multithreaded mechanism); they are subject to the
+	// Table 3 limit-study exemptions.
+	excFetch bool
+
+	// Functional (oracle) results, valid along the fetched path.
+	nextPC   uint64      // architectural next PC
+	predPC   uint64      // predicted next PC at fetch time
+	mispred  bool        // predPC != nextPC
+	taken    bool        // actual direction for conditional branches
+	result   uint64      // destination value (int or FP bits)
+	destKind regFileKind // which file result targets
+	destReg  uint8
+	slot     *uint64 // the register slot written (journal target)
+	oldVal   uint64  // journal: previous value of *slot, for squash undo
+	srcVal   uint64  // first source operand value (emulated instructions)
+	ea       uint64  // effective address for memory ops
+	storeVal uint64  // value stored (stores only)
+	memBytes uint64  // access width, 0 for non-memory
+
+	// Dataflow: producers this uop waits on (nil entries ignored).
+	srcs [3]*uop
+
+	// Timing.
+	stage      uopStage
+	fetchAt    uint64 // cycle the uop was fetched
+	availAt    uint64 // cycle the uop leaves the fetch pipe (decode-ready)
+	windowAt   uint64 // cycle it entered the window
+	issueAt    uint64 // cycle of the (last) issue
+	doneAt     uint64 // completion time, valid once issued
+	issuedOnce bool   // has occupied an FU at least once (stats)
+
+	// Branch prediction repair state.
+	histBefore uint64 // GHR before this branch's outcome was shifted in
+	pathBefore uint64 // path history before this control transfer
+	rasCp      bpred.Checkpoint
+
+	// Exception state.
+	dtlbWait bool   // parked waiting for a TLB fill
+	faultVPN uint64 // VPN it missed on (while dtlbWait)
+	// handlerBy is the handler/walk this uop's miss is linked to
+	// (as master or as a buffered secondary miss).
+	handlerBy *handlerCtx
+	hadMiss   bool   // experienced a DTLB miss (retire-time accounting)
+	missAt    uint64 // cycle the miss was detected
+	wokeAt    uint64 // cycle the fill released it
+	missMain  bool   // was the master of a fill (not a merged secondary)
+
+	// palCtx links PAL-mode instructions to their handler instance.
+	palCtx *handlerCtx
+	// palAfter is the thread's fetch mode after this instruction;
+	// squash recovery restores it.
+	palAfter bool
+	// instant marks a handler instruction materialized under the
+	// LimitInstantFetch study: it dispatches with zero decode and
+	// schedule latency and consumes no decode bandwidth, but still
+	// obeys window-space rules.
+	instant bool
+	// fwdStore is the buffered store this load forwards from, if any.
+	fwdStore *uop
+}
+
+// classNames label the retirement-mix statistics.
+var classNames = map[isa.Class]string{
+	isa.ClassNop: "nop", isa.ClassIntALU: "intalu", isa.ClassIntMul: "intmul",
+	isa.ClassIntDiv: "intdiv", isa.ClassFPAdd: "fpadd", isa.ClassFPMul: "fpmul",
+	isa.ClassFPDiv: "fpdiv", isa.ClassLoad: "load", isa.ClassStore: "store",
+	isa.ClassBranch: "branch", isa.ClassJump: "jump", isa.ClassPriv: "priv",
+	isa.ClassRfe: "rfe", isa.ClassHardExc: "hardexc", isa.ClassHalt: "halt",
+}
+
+func (u *uop) isBranch() bool { return isa.ClassOf(u.inst.Op) == isa.ClassBranch }
+
+func (u *uop) isControl() bool { return u.inst.Op.IsControl() }
+
+func (u *uop) isLoad() bool { return isa.ClassOf(u.inst.Op) == isa.ClassLoad }
+
+func (u *uop) isStore() bool { return isa.ClassOf(u.inst.Op) == isa.ClassStore }
+
+func (u *uop) isMem() bool { return u.isLoad() || u.isStore() }
+
+// ready reports whether all producers have completed by cycle now and
+// the register-read delay has elapsed.
+func (u *uop) ready(now uint64, regRead uint64) bool {
+	if u.dtlbWait {
+		return false
+	}
+	if now < u.windowAt+regRead {
+		return false
+	}
+	for _, s := range u.srcs {
+		if s != nil && (s.stage != stageDone && s.stage != stageRetired || s.doneAt > now) {
+			return false
+		}
+	}
+	return true
+}
+
+// latencyClass maps an opcode to its functional-unit class and
+// execution latency under the configuration.
+func (c *Config) latencyOf(op isa.Op) uint64 {
+	switch isa.ClassOf(op) {
+	case isa.ClassIntALU, isa.ClassNop, isa.ClassPriv, isa.ClassRfe,
+		isa.ClassHardExc, isa.ClassHalt, isa.ClassBranch, isa.ClassJump:
+		return c.LatIntALU
+	case isa.ClassIntMul:
+		return c.LatIntMul
+	case isa.ClassIntDiv:
+		return c.LatIntDiv
+	case isa.ClassFPAdd:
+		return c.LatFPAdd
+	case isa.ClassFPMul:
+		return c.LatFPMul
+	case isa.ClassFPDiv:
+		if op == isa.OpFsqrt {
+			return c.LatFPSqrt
+		}
+		return c.LatFPDiv
+	case isa.ClassLoad:
+		return c.Hier.LoadLat
+	case isa.ClassStore:
+		return c.Hier.StoreLat
+	}
+	return 1
+}

@@ -1,0 +1,532 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mtexc/internal/core"
+	"mtexc/internal/workload"
+)
+
+// Options controls experiment scale. The zero value means the full
+// suite at the default instruction budget.
+type Options struct {
+	// Insts is the per-run application-instruction budget (default
+	// 1,000,000 — runs are length-scaled from the paper's 100M).
+	Insts uint64
+	// Benchmarks restricts the suite (names or abbreviations).
+	Benchmarks []string
+	// Mixes overrides Figure 7's multiprogrammed combinations
+	// (default: the paper's eight).
+	Mixes [][3]string
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+func (o Options) insts() uint64 {
+	if o.Insts == 0 {
+		return 1_000_000
+	}
+	return o.Insts
+}
+
+func (o Options) suite() ([]*workload.Bench, error) {
+	if len(o.Benchmarks) == 0 {
+		return workload.All(), nil
+	}
+	var benches []*workload.Bench
+	for _, n := range o.Benchmarks {
+		b, err := workload.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		benches = append(benches, b)
+	}
+	return benches, nil
+}
+
+// runner executes simulations, caching perfect-TLB baselines so each
+// machine shape runs its baseline once per workload set.
+type runner struct {
+	opt   Options
+	cache map[string]core.Result
+}
+
+func newRunner(opt Options) *runner {
+	return &runner{opt: opt, cache: make(map[string]core.Result)}
+}
+
+func (r *runner) log(format string, args ...any) {
+	if r.opt.Progress != nil {
+		fmt.Fprintf(r.opt.Progress, format+"\n", args...)
+	}
+}
+
+func mixKey(benches []*workload.Bench) string {
+	names := make([]string, len(benches))
+	for i, b := range benches {
+		names[i] = b.Short()
+	}
+	return strings.Join(names, "-")
+}
+
+// shapeKey identifies a perfect-TLB baseline: the full configuration
+// with the exception-architecture fields normalized away. Every other
+// field (machine shape, predictor, knobs, workload mix) must match,
+// or penalties would conflate mechanism cost with configuration
+// differences.
+func shapeKey(cfg core.Config, benches []*workload.Bench) string {
+	cfg.Mech = core.MechPerfect
+	cfg.QuickStart = false
+	cfg.Limit = core.LimitNone
+	return fmt.Sprintf("%s|%+v", mixKey(benches), cfg)
+}
+
+func asWorkloads(benches []*workload.Bench) []core.Workload {
+	ws := make([]core.Workload, len(benches))
+	for i, b := range benches {
+		ws[i] = b
+	}
+	return ws
+}
+
+// compare runs cfg against its cached perfect baseline.
+func (r *runner) compare(cfg core.Config, benches ...*workload.Bench) (core.Comparison, error) {
+	subj, err := core.Run(cfg, asWorkloads(benches)...)
+	if err != nil {
+		return core.Comparison{}, err
+	}
+	r.log("  %-14s %-13s %9d cycles  %6d fills  IPC %.2f",
+		mixKey(benches), label(cfg), subj.Cycles, subj.DTLBMisses, subj.IPC)
+
+	key := shapeKey(cfg, benches)
+	perf, ok := r.cache[key]
+	if !ok {
+		pcfg := cfg
+		pcfg.Mech = core.MechPerfect
+		pcfg.QuickStart = false
+		pcfg.Limit = core.LimitNone
+		perf, err = core.Run(pcfg, asWorkloads(benches)...)
+		if err != nil {
+			return core.Comparison{}, err
+		}
+		r.cache[key] = perf
+	}
+	return core.Comparison{Subject: subj, Perfect: perf}, nil
+}
+
+func label(cfg core.Config) string {
+	s := cfg.Mech.String()
+	if cfg.QuickStart {
+		s = "quickstart"
+	}
+	if cfg.Limit != core.LimitNone {
+		s += fmt.Sprintf("/limit%d", cfg.Limit)
+	}
+	return s
+}
+
+// baseConfig is the Table 1 machine scaled to the harness budget.
+// contexts = application threads + idle contexts for handlers.
+func (r *runner) baseConfig(mech core.Mechanism, appThreads, idleContexts int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Mech = mech
+	cfg.Contexts = appThreads + idleContexts
+	cfg.MaxInsts = r.opt.insts()
+	cfg.MaxCycles = 400 * r.opt.insts()
+	return cfg
+}
+
+// Figure2 regenerates the pipeline-depth trend: traditional-trap
+// penalty cycles per miss on an 8-wide machine with 3, 7 and 11
+// stages between fetch and execute.
+func Figure2(opt Options) (*Table, error) {
+	r := newRunner(opt)
+	benches, err := opt.suite()
+	if err != nil {
+		return nil, err
+	}
+	depths := []int{3, 7, 11}
+	cols := make([]string, len(depths))
+	for i, d := range depths {
+		cols[i] = fmt.Sprintf("%d stages", d)
+	}
+	t := NewTable("Figure 2: software TLB miss penalty vs pipeline depth (penalty cycles/miss, traditional)", names(benches), cols)
+	for bi, b := range benches {
+		for di, d := range depths {
+			cfg := r.baseConfig(core.MechTraditional, 1, 0).WithPipeDepth(d)
+			cmp, err := r.compare(cfg, b)
+			if err != nil {
+				return nil, err
+			}
+			t.Set(bi, di, cmp.PenaltyPerMiss())
+		}
+	}
+	t.AddAverageRow()
+	return t, nil
+}
+
+// Figure3 regenerates the machine-width trend: the fraction of
+// execution time spent on TLB miss handling for 2/4/8-wide machines
+// with 32/64/128-entry windows, normalized to the 2-wide case as the
+// paper plots it.
+func Figure3(opt Options) (*Table, error) {
+	r := newRunner(opt)
+	benches, err := opt.suite()
+	if err != nil {
+		return nil, err
+	}
+	shapes := []struct {
+		width, window int
+	}{{2, 32}, {4, 64}, {8, 128}}
+	cols := make([]string, len(shapes))
+	for i, s := range shapes {
+		cols[i] = fmt.Sprintf("%dw/%dwin", s.width, s.window)
+	}
+	t := NewTable("Figure 3: relative TLB miss handling time vs machine width (normalized to 2-wide)", names(benches), cols)
+	t.Format = "%10.2f"
+	for bi, b := range benches {
+		var base float64
+		for si, s := range shapes {
+			cfg := r.baseConfig(core.MechTraditional, 1, 0).WithWidth(s.width, s.window)
+			cmp, err := r.compare(cfg, b)
+			if err != nil {
+				return nil, err
+			}
+			rel := cmp.RelativeTLBTime()
+			if si == 0 {
+				base = rel
+			}
+			if base > 0 {
+				t.Set(bi, si, rel/base)
+			} else {
+				t.Set(bi, si, 0)
+			}
+		}
+	}
+	t.AddAverageRow()
+	return t, nil
+}
+
+// Figure5 regenerates the mechanism comparison: penalty cycles per
+// miss for the traditional trap, multithreaded handling with one and
+// three idle contexts, and the hardware walker.
+func Figure5(opt Options) (*Table, error) {
+	r := newRunner(opt)
+	benches, err := opt.suite()
+	if err != nil {
+		return nil, err
+	}
+	type config struct {
+		name string
+		cfg  core.Config
+	}
+	configs := []config{
+		{"traditional", r.baseConfig(core.MechTraditional, 1, 0)},
+		{"multi(1)", r.baseConfig(core.MechMultithreaded, 1, 1)},
+		{"multi(3)", r.baseConfig(core.MechMultithreaded, 1, 3)},
+		{"hardware", r.baseConfig(core.MechHardware, 1, 0)},
+	}
+	cols := make([]string, len(configs))
+	for i, c := range configs {
+		cols[i] = c.name
+	}
+	t := NewTable("Figure 5: TLB miss penalty by exception architecture (penalty cycles/miss)", names(benches), cols)
+	for bi, b := range benches {
+		for ci, c := range configs {
+			cmp, err := r.compare(c.cfg, b)
+			if err != nil {
+				return nil, err
+			}
+			t.Set(bi, ci, cmp.PenaltyPerMiss())
+		}
+	}
+	t.AddAverageRow()
+	return t, nil
+}
+
+func names(benches []*workload.Bench) []string {
+	ns := make([]string, len(benches))
+	for i, b := range benches {
+		ns[i] = b.Name()
+	}
+	return ns
+}
+
+// Table3 regenerates the limit studies: the average multithreaded(3)
+// penalty with each overhead removed in turn, bracketed by the
+// traditional and hardware mechanisms.
+func Table3(opt Options) (*Table, error) {
+	r := newRunner(opt)
+	benches, err := opt.suite()
+	if err != nil {
+		return nil, err
+	}
+	rows := []struct {
+		name  string
+		mech  core.Mechanism
+		idle  int
+		limit core.LimitStudy
+	}{
+		{"traditional", core.MechTraditional, 0, core.LimitNone},
+		{"multithreaded", core.MechMultithreaded, 3, core.LimitNone},
+		{"no exec bw", core.MechMultithreaded, 3, core.LimitNoExecBW},
+		{"no window", core.MechMultithreaded, 3, core.LimitNoWindow},
+		{"no fetch bw", core.MechMultithreaded, 3, core.LimitNoFetchBW},
+		{"instant fetch", core.MechMultithreaded, 3, core.LimitInstantFetch},
+		{"hardware", core.MechHardware, 0, core.LimitNone},
+	}
+	rowNames := make([]string, len(rows))
+	for i, rw := range rows {
+		rowNames[i] = rw.name
+	}
+	t := NewTable("Table 3: limit studies — average penalty cycles/miss", rowNames, []string{"penalty/miss"})
+	for ri, rw := range rows {
+		var sum float64
+		for _, b := range benches {
+			cfg := r.baseConfig(rw.mech, 1, rw.idle)
+			cfg.Limit = rw.limit
+			cmp, err := r.compare(cfg, b)
+			if err != nil {
+				return nil, err
+			}
+			sum += cmp.PenaltyPerMiss()
+		}
+		t.Set(ri, 0, sum/float64(len(benches)))
+	}
+	return t, nil
+}
+
+// Figure6 regenerates the quick-start evaluation.
+func Figure6(opt Options) (*Table, error) {
+	r := newRunner(opt)
+	benches, err := opt.suite()
+	if err != nil {
+		return nil, err
+	}
+	quick := r.baseConfig(core.MechMultithreaded, 1, 1)
+	quick.QuickStart = true
+	configs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"traditional", r.baseConfig(core.MechTraditional, 1, 0)},
+		{"multi(1)", r.baseConfig(core.MechMultithreaded, 1, 1)},
+		{"quickstart(1)", quick},
+		{"hardware", r.baseConfig(core.MechHardware, 1, 0)},
+	}
+	rowNames := names(benches)
+	cols := make([]string, len(configs))
+	for i, c := range configs {
+		cols[i] = c.name
+	}
+	t := NewTable("Figure 6: quick-starting multithreaded handler (penalty cycles/miss)", rowNames, cols)
+	for bi, b := range benches {
+		for ci, c := range configs {
+			cmp, err := r.compare(c.cfg, b)
+			if err != nil {
+				return nil, err
+			}
+			t.Set(bi, ci, cmp.PenaltyPerMiss())
+		}
+	}
+	t.AddAverageRow()
+	return t, nil
+}
+
+// PaperMixes are Figure 7's three-application combinations.
+var PaperMixes = [...][3]string{
+	{"adm", "gcc", "vor"},
+	{"apl", "cmp", "h2d"},
+	{"apl", "dbl", "vor"},
+	{"dbl", "gcc", "h2d"},
+	{"adm", "cmp", "vor"},
+	{"adm", "h2d", "mph"},
+	{"apl", "dbl", "mph"},
+	{"cmp", "gcc", "mph"},
+}
+
+// Figure7 regenerates the multiprogrammed evaluation: three
+// application threads plus one idle context.
+func Figure7(opt Options) (*Table, error) {
+	r := newRunner(opt)
+	mixes := opt.Mixes
+	if len(mixes) == 0 {
+		mixes = PaperMixes[:]
+	}
+	quick := r.baseConfig(core.MechMultithreaded, 3, 1)
+	quick.QuickStart = true
+	configs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"traditional", r.baseConfig(core.MechTraditional, 3, 0)},
+		{"multi(1)", r.baseConfig(core.MechMultithreaded, 3, 1)},
+		{"quickstart(1)", quick},
+		{"hardware", r.baseConfig(core.MechHardware, 3, 0)},
+	}
+	rowNames := make([]string, len(mixes))
+	for i, m := range mixes {
+		rowNames[i] = fmt.Sprintf("%s-%s-%s", m[0], m[1], m[2])
+	}
+	cols := make([]string, len(configs))
+	for i, c := range configs {
+		cols[i] = c.name
+	}
+	cols = append(cols, "hdl-active%")
+	t := NewTable("Figure 7: TLB miss penalties with 3 applications on the SMT (penalty cycles/miss)", rowNames, cols)
+	t.Note = "hdl-active%: fraction of cycles a handler context is busy under multi(1) — the paper reports 5-40%, averaging ~20%"
+	for mi, mix := range mixes {
+		var benches []*workload.Bench
+		for _, n := range mix {
+			b, err := workload.ByName(n)
+			if err != nil {
+				return nil, err
+			}
+			benches = append(benches, b)
+		}
+		for ci, c := range configs {
+			cmp, err := r.compare(c.cfg, benches...)
+			if err != nil {
+				return nil, err
+			}
+			t.Set(mi, ci, cmp.PenaltyPerMiss())
+			if c.name == "multi(1)" {
+				active := float64(cmp.Subject.Stats.Get("handler.activecycles")) /
+					float64(cmp.Subject.Cycles) * 100
+				t.Set(mi, len(configs), active)
+			}
+		}
+	}
+	t.AddAverageRow()
+	return t, nil
+}
+
+// Table4 regenerates the speedup summary: per-benchmark speedup over
+// the traditional mechanism for each architecture, plus TLB miss rate
+// and base IPC.
+func Table4(opt Options) (*Table, error) {
+	r := newRunner(opt)
+	benches, err := opt.suite()
+	if err != nil {
+		return nil, err
+	}
+	quick1 := r.baseConfig(core.MechMultithreaded, 1, 1)
+	quick1.QuickStart = true
+	quick3 := r.baseConfig(core.MechMultithreaded, 1, 3)
+	quick3.QuickStart = true
+	configs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"perfect%", core.Config{}}, // filled from the baseline
+		{"hw%", r.baseConfig(core.MechHardware, 1, 0)},
+		{"multi1%", r.baseConfig(core.MechMultithreaded, 1, 1)},
+		{"multi3%", r.baseConfig(core.MechMultithreaded, 1, 3)},
+		{"quick1%", quick1},
+		{"quick3%", quick3},
+	}
+	cols := []string{"baseIPC", "miss/Kinst"}
+	for _, c := range configs {
+		cols = append(cols, c.name)
+	}
+	t := NewTable("Table 4: speedup over traditional software (percent), miss rate and base IPC", names(benches), cols)
+	t.Format = "%10.2f"
+	for bi, b := range benches {
+		trad, err := r.compare(r.baseConfig(core.MechTraditional, 1, 0), b)
+		if err != nil {
+			return nil, err
+		}
+		t.Set(bi, 0, trad.Perfect.IPC)
+		t.Set(bi, 1, float64(trad.Subject.DTLBMisses)/float64(trad.Subject.AppInsts)*1e3)
+		for ci, c := range configs {
+			var cycles uint64
+			if ci == 0 {
+				cycles = trad.Perfect.Cycles
+			} else {
+				cmp, err := r.compare(c.cfg, b)
+				if err != nil {
+					return nil, err
+				}
+				cycles = cmp.Subject.Cycles
+			}
+			speedup := (float64(trad.Subject.Cycles)/float64(cycles) - 1) * 100
+			t.Set(bi, 2+ci, speedup)
+		}
+	}
+	return t, nil
+}
+
+// Table2 summarizes the synthetic suite: the analogue of the paper's
+// benchmark table, with misses scaled to a 100M-instruction run.
+func Table2(opt Options) (*Table, error) {
+	r := newRunner(opt)
+	benches, err := opt.suite()
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("Table 2: benchmark summary (DTLB misses scaled to 100M instructions)", names(benches), []string{"misses/100M", "baseIPC"})
+	t.Format = "%10.1f"
+	for bi, b := range benches {
+		cfg := r.baseConfig(core.MechMultithreaded, 1, 1)
+		cmp, err := r.compare(cfg, b)
+		if err != nil {
+			return nil, err
+		}
+		t.Set(bi, 0, float64(cmp.Subject.DTLBMisses)/float64(cmp.Subject.AppInsts)*1e8)
+		t.Set(bi, 1, cmp.Perfect.IPC)
+	}
+	return t, nil
+}
+
+// Ablations evaluates the Section 4 design choices beyond the paper's
+// own studies: handler fetch priority, window reservation and
+// same-page relinking, as average penalty cycles/miss deltas.
+func Ablations(opt Options) (*Table, error) {
+	r := newRunner(opt)
+	benches, err := opt.suite()
+	if err != nil {
+		return nil, err
+	}
+	mk := func(mod func(*core.Config)) core.Config {
+		cfg := r.baseConfig(core.MechMultithreaded, 1, 1)
+		mod(&cfg)
+		return cfg
+	}
+	rows := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"baseline multi(1)", mk(func(*core.Config) {})},
+		{"no fetch priority", mk(func(c *core.Config) { c.NoHandlerFetchPriority = true })},
+		{"no window reservation", mk(func(c *core.Config) { c.NoWindowReservation = true })},
+		{"no same-page relink", mk(func(c *core.Config) { c.NoRelink = true })},
+		{"long handler (+12 insts)", mk(func(c *core.Config) {
+			c.Handler.ExtraPrologue += 8
+			c.Handler.ExtraDependent += 4
+		})},
+		{"round-robin fetch", mk(func(c *core.Config) { c.FetchRoundRobin = true })},
+		{"retire width 8", mk(func(c *core.Config) { c.RetireWidth = 8 })},
+		{"4-way set-assoc DTLB", mk(func(c *core.Config) { c.DTLBWays = 4 })},
+		{"gshare predictor", mk(func(c *core.Config) { c.BranchPredictor = "gshare" })},
+		{"bimodal predictor", mk(func(c *core.Config) { c.BranchPredictor = "bimodal" })},
+	}
+	rowNames := make([]string, len(rows))
+	for i, rw := range rows {
+		rowNames[i] = rw.name
+	}
+	t := NewTable("Ablations: multithreaded(1) design choices — average penalty cycles/miss", rowNames, []string{"penalty/miss"})
+	for ri, rw := range rows {
+		var sum float64
+		for _, b := range benches {
+			cmp, err := r.compare(rw.cfg, b)
+			if err != nil {
+				return nil, err
+			}
+			sum += cmp.PenaltyPerMiss()
+		}
+		t.Set(ri, 0, sum/float64(len(benches)))
+	}
+	return t, nil
+}

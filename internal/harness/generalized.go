@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"fmt"
+
+	"mtexc/internal/core"
+	"mtexc/internal/workload"
+)
+
+// Generalized evaluates Section 6's generalized exception mechanism
+// on instruction emulation: the POPC opcode is removed from the
+// hardware and emulated in software, traditionally or in a handler
+// thread. The baseline is the same machine with POPC implemented in
+// hardware, so the metric is penalty cycles per emulated instruction
+// — the analogue of the TLB study's penalty per miss. Columns sweep
+// the emulation density.
+func Generalized(opt Options) (*Table, error) {
+	r := newRunner(opt)
+	densities := []int{4, 16, 64} // inner iterations between POPCs
+	cols := make([]string, len(densities))
+	for i, d := range densities {
+		cols[i] = fmt.Sprintf("1/%d insts", d*12)
+	}
+	rows := []struct {
+		name  string
+		mech  core.Mechanism
+		idle  int
+		quick bool
+	}{
+		{"traditional", core.MechTraditional, 0, false},
+		{"multithreaded(1)", core.MechMultithreaded, 1, false},
+		{"quickstart(1)", core.MechMultithreaded, 1, true},
+	}
+	rowNames := make([]string, len(rows))
+	for i, rw := range rows {
+		rowNames[i] = rw.name
+	}
+	t := NewTable("Section 6: software emulation of POPC — penalty cycles per emulated instruction", rowNames, cols)
+	t.Note = "baseline: the same machine with POPC implemented in hardware"
+
+	for di, d := range densities {
+		w := workload.NewPopcount(d)
+		// Hardware-popc baseline for this density.
+		base := r.baseConfig(core.MechPerfect, 1, 0)
+		base.EmulatePopc = false
+		baseRes, err := core.Run(base, w)
+		if err != nil {
+			return nil, err
+		}
+		for ri, rw := range rows {
+			cfg := r.baseConfig(rw.mech, 1, rw.idle)
+			cfg.EmulatePopc = true
+			cfg.QuickStart = rw.quick
+			res, err := core.Run(cfg, w)
+			if err != nil {
+				return nil, err
+			}
+			emus := res.Stats.Get("emu.committed")
+			if emus == 0 {
+				return nil, fmt.Errorf("harness: no emulations committed for %s", rw.name)
+			}
+			penalty := float64(int64(res.Cycles)-int64(baseRes.Cycles)) / float64(emus)
+			t.Set(ri, di, penalty)
+			r.log("  popcount/%-3d  %-16s %9d cycles  %6d emus  penalty %.1f",
+				d, rw.name, res.Cycles, emus, penalty)
+		}
+	}
+	return t, nil
+}
+
+// Unaligned evaluates Section 6's second example: unaligned integer
+// loads removed from the hardware and serviced by a software handler
+// that performs two aligned loads and a merge. The baseline is the
+// same machine with hardware unaligned support (one extra cycle per
+// access). Columns sweep access density.
+func Unaligned(opt Options) (*Table, error) {
+	r := newRunner(opt)
+	densities := []int{4, 16, 64}
+	cols := make([]string, len(densities))
+	for i, d := range densities {
+		cols[i] = fmt.Sprintf("1/%d insts", d*8)
+	}
+	rows := []struct {
+		name  string
+		mech  core.Mechanism
+		idle  int
+		quick bool
+	}{
+		{"traditional", core.MechTraditional, 0, false},
+		{"multithreaded(1)", core.MechMultithreaded, 1, false},
+		{"quickstart(1)", core.MechMultithreaded, 1, true},
+	}
+	rowNames := make([]string, len(rows))
+	for i, rw := range rows {
+		rowNames[i] = rw.name
+	}
+	t := NewTable("Section 6: software-handled unaligned loads — penalty cycles per unaligned access", rowNames, cols)
+	t.Note = "baseline: the same machine with hardware unaligned-load support"
+
+	for di, d := range densities {
+		w := workload.NewUnaligned(d)
+		base := r.baseConfig(core.MechPerfect, 1, 0)
+		base.TrapUnaligned = true // hardware path still needs byte-accurate loads
+		baseRes, err := core.Run(base, w)
+		if err != nil {
+			return nil, err
+		}
+		for ri, rw := range rows {
+			cfg := r.baseConfig(rw.mech, 1, rw.idle)
+			cfg.TrapUnaligned = true
+			cfg.QuickStart = rw.quick
+			res, err := core.Run(cfg, w)
+			if err != nil {
+				return nil, err
+			}
+			n := res.Stats.Get("unaligned.committed")
+			if n == 0 {
+				return nil, fmt.Errorf("harness: no unaligned handlers committed for %s", rw.name)
+			}
+			penalty := float64(int64(res.Cycles)-int64(baseRes.Cycles)) / float64(n)
+			t.Set(ri, di, penalty)
+			r.log("  unaligned/%-3d %-16s %9d cycles  %6d traps  penalty %.1f",
+				d, rw.name, res.Cycles, n, penalty)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"fmt"
+
+	"mtexc/internal/core"
+	"mtexc/internal/vm"
+	"mtexc/internal/workload"
+)
+
+// TLBSweep checks the paper's methodological claim (Section 5.1) that
+// presenting results as penalty cycles per miss makes them insensitive
+// to TLB size: the miss *count* changes with TLB size, the per-miss
+// penalty should not. Rows are benchmarks; columns pair the committed
+// fills and the penalty/miss at 32-, 64- and 128-entry DTLBs under
+// multithreaded(1).
+func TLBSweep(opt Options) (*Table, error) {
+	r := newRunner(opt)
+	benches, err := opt.suite()
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int{32, 64, 128}
+	var cols []string
+	for _, sz := range sizes {
+		cols = append(cols, fmt.Sprintf("fills@%d", sz), fmt.Sprintf("pen@%d", sz))
+	}
+	t := NewTable("TLB-size sensitivity: committed fills and penalty/miss vs DTLB entries (multithreaded(1))", names(benches), cols)
+	t.Format = "%10.1f"
+	for bi, b := range benches {
+		for si, sz := range sizes {
+			cfg := r.baseConfig(core.MechMultithreaded, 1, 1)
+			cfg.DTLBEntries = sz
+			cmp, err := r.compare(cfg, b)
+			if err != nil {
+				return nil, err
+			}
+			t.Set(bi, 2*si, float64(cmp.Subject.DTLBMisses))
+			t.Set(bi, 2*si+1, cmp.PenaltyPerMiss())
+		}
+	}
+	return t, nil
+}
+
+// PTOrganization compares page-table organizations — the operating-
+// system flexibility software-managed TLBs exist to provide (Section
+// 2): a linear table (one load per walk) against a two-level radix
+// table (two dependent loads). Deeper walks lengthen every handler,
+// but the multithreaded mechanism overlaps more of the added latency
+// than the trap does.
+func PTOrganization(opt Options) (*Table, error) {
+	r := newRunner(opt)
+	benches := []string{"cmp", "vor", "mph"}
+	if len(opt.Benchmarks) > 0 {
+		benches = opt.Benchmarks
+	}
+	mechs := []struct {
+		name string
+		mech core.Mechanism
+		idle int
+	}{
+		{"traditional", core.MechTraditional, 0},
+		{"multi(1)", core.MechMultithreaded, 1},
+		{"hardware", core.MechHardware, 0},
+	}
+	var cols []string
+	for _, m := range mechs {
+		cols = append(cols, m.name+"/lin", m.name+"/2lvl")
+	}
+	rowNames := make([]string, len(benches))
+	t := NewTable("Page-table organization: penalty cycles/miss, linear vs two-level walks", rowNames, cols)
+	for bi, n := range benches {
+		b, err := workload.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows[bi] = b.Name()
+		for mi, mc := range mechs {
+			for oi, org := range []vm.PTOrg{vm.PTLinear, vm.PTTwoLevel} {
+				wb, err := workload.ByName(n)
+				if err != nil {
+					return nil, err
+				}
+				if org == vm.PTTwoLevel {
+					wb = wb.WithTwoLevelPT()
+				}
+				cfg := r.baseConfig(mc.mech, 1, mc.idle)
+				cfg.PageTable = org
+				// Perfect baselines differ per organization; bypass
+				// the shape cache by running the pair directly.
+				subj, err := core.Run(cfg, wb)
+				if err != nil {
+					return nil, err
+				}
+				pcfg := cfg
+				pcfg.Mech = core.MechPerfect
+				perf, err := core.Run(pcfg, wb)
+				if err != nil {
+					return nil, err
+				}
+				cmp := core.Comparison{Subject: subj, Perfect: perf}
+				t.Set(bi, mi*2+oi, cmp.PenaltyPerMiss())
+				r.log("  ptorg %-10s %-12s org=%d  %9d cycles  %5d fills  pen %.1f",
+					n, mc.name, org, subj.Cycles, subj.DTLBMisses, cmp.PenaltyPerMiss())
+			}
+		}
+	}
+	return t, nil
+}
+
+// FaultInjection measures the hard-exception path at scale: a
+// fraction of each benchmark's data pages is paged out, so first
+// touches run the handler to its HARDEXC escalation — under the
+// multithreaded mechanism that means reversion to the traditional
+// trap plus OS service. Hash-table benchmarks only (pointer-chase
+// workloads lose their rings when pages are dropped).
+func FaultInjection(opt Options) (*Table, error) {
+	r := newRunner(opt)
+	fractions := []float64{0, 0.25, 0.5}
+	benchNames := []string{"cmp", "mph"}
+	var rows []string
+	for _, n := range benchNames {
+		for _, f := range fractions {
+			rows = append(rows, fmt.Sprintf("%s %.0f%% out", n, f*100))
+		}
+	}
+	t := NewTable("Fault injection: page-out fraction vs hard-exception traffic (multithreaded(1))", rows,
+		[]string{"cycles/Kinst", "pagefaults", "reversions", "fills"})
+	t.Format = "%10.1f"
+	ri := 0
+	for _, n := range benchNames {
+		b, err := workload.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range fractions {
+			cfg := r.baseConfig(core.MechMultithreaded, 1, 1)
+			w := core.Workload(b)
+			if f > 0 {
+				w = &workload.Faulty{Inner: b, Fraction: f, Seed: 7}
+			}
+			res, err := core.Run(cfg, w)
+			if err != nil {
+				return nil, err
+			}
+			t.Set(ri, 0, float64(res.Cycles)/float64(res.AppInsts)*1e3)
+			t.Set(ri, 1, float64(res.Stats.Get("os.pagefaults")))
+			t.Set(ri, 2, float64(res.Stats.Get("handler.reversions")))
+			t.Set(ri, 3, float64(res.DTLBMisses))
+			r.log("  faults %-14s %9d cycles  %5d faults  %5d reversions",
+				rows[ri], res.Cycles, res.Stats.Get("os.pagefaults"), res.Stats.Get("handler.reversions"))
+			ri++
+		}
+	}
+	return t, nil
+}

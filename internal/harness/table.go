@@ -1,0 +1,130 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (Section 3 and Section 5): the pipeline-depth and
+// machine-width trends (Figures 2-3), the mechanism comparison
+// (Figure 5), the limit studies (Table 3), quick-start (Figure 6),
+// the multiprogrammed SMT mixes (Figure 7) and the speedup summary
+// (Table 4). Each experiment returns a Table whose rows/series match
+// what the paper plots; EXPERIMENTS.md records paper-vs-measured.
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a labelled numeric grid with a text rendering, the common
+// currency of all experiment runners.
+type Table struct {
+	Title string
+	Note  string
+	Cols  []string
+	Rows  []string
+	Cells [][]float64
+	// Format is the printf verb for cells, default %8.1f.
+	Format string
+}
+
+// NewTable allocates a rows x cols table.
+func NewTable(title string, rows, cols []string) *Table {
+	cells := make([][]float64, len(rows))
+	for i := range cells {
+		cells[i] = make([]float64, len(cols))
+	}
+	return &Table{Title: title, Cols: cols, Rows: rows, Cells: cells, Format: "%10.2f"}
+}
+
+// Set stores a cell by row/column index.
+func (t *Table) Set(r, c int, v float64) { t.Cells[r][c] = v }
+
+// Get reads a cell.
+func (t *Table) Get(r, c int) float64 { return t.Cells[r][c] }
+
+// Col returns the column index for a name, or -1.
+func (t *Table) Col(name string) int {
+	for i, c := range t.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Row returns the row index for a name, or -1.
+func (t *Table) Row(name string) int {
+	for i, r := range t.Rows {
+		if r == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Cell reads a cell by names; it panics on unknown names (harness
+// internal misuse).
+func (t *Table) Cell(row, col string) float64 {
+	r, c := t.Row(row), t.Col(col)
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("harness: no cell (%q, %q) in table %q", row, col, t.Title))
+	}
+	return t.Cells[r][c]
+}
+
+// AddAverageRow appends a row holding the per-column arithmetic mean,
+// as the paper's figures do.
+func (t *Table) AddAverageRow() {
+	avg := make([]float64, len(t.Cols))
+	for c := range t.Cols {
+		for r := range t.Rows {
+			avg[c] += t.Cells[r][c]
+		}
+		avg[c] /= float64(len(t.Rows))
+	}
+	t.Rows = append(t.Rows, "average")
+	t.Cells = append(t.Cells, avg)
+}
+
+// CSV renders the table as comma-separated values with a header row,
+// suitable for plotting the figures the paper drew.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("name")
+	for _, c := range t.Cols {
+		sb.WriteByte(',')
+		sb.WriteString(c)
+	}
+	sb.WriteByte('\n')
+	for r, name := range t.Rows {
+		sb.WriteString(name)
+		for c := range t.Cols {
+			fmt.Fprintf(&sb, ",%g", t.Cells[r][c])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&sb, "  (%s)\n", t.Note)
+	}
+	fmt.Fprintf(&sb, "%-14s", "")
+	for _, c := range t.Cols {
+		fmt.Fprintf(&sb, "%12s", c)
+	}
+	sb.WriteByte('\n')
+	format := t.Format
+	if format == "" {
+		format = "%10.2f"
+	}
+	for r, name := range t.Rows {
+		fmt.Fprintf(&sb, "%-14s", name)
+		for c := range t.Cols {
+			fmt.Fprintf(&sb, "  "+format, t.Cells[r][c])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

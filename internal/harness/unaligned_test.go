@@ -1,0 +1,21 @@
+package harness
+
+import "testing"
+
+func TestUnalignedShape(t *testing.T) {
+	tab, err := Unaligned(Options{Insts: 150_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.String())
+	for _, col := range tab.Cols {
+		trad := tab.Cell("traditional", col)
+		multi := tab.Cell("multithreaded(1)", col)
+		if !(multi < trad) {
+			t.Errorf("%s: multithreaded unaligned handling (%.1f) not cheaper than traditional (%.1f)", col, multi, trad)
+		}
+		if trad <= 0 {
+			t.Errorf("%s: traditional penalty %.1f not positive", col, trad)
+		}
+	}
+}

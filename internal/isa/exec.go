@@ -1,0 +1,131 @@
+package isa
+
+import (
+	"math"
+	"math/bits"
+)
+
+// EvalIntOp computes the result of an integer computational
+// instruction given its (already immediate-substituted) operand
+// values. Callers supply b = immediate for I-format opcodes. The
+// shift opcodes use only the low six bits of b, matching a 64-bit
+// datapath.
+func EvalIntOp(op Op, a, b uint64) uint64 {
+	switch op {
+	case OpAdd, OpAddi:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpDiv:
+		if b == 0 {
+			return 0
+		}
+		return uint64(int64(a) / int64(b))
+	case OpAnd, OpAndi:
+		return a & b
+	case OpOr, OpOri:
+		return a | b
+	case OpXor, OpXori:
+		return a ^ b
+	case OpSll, OpSlli:
+		return a << (b & 63)
+	case OpSrl, OpSrli:
+		return a >> (b & 63)
+	case OpSra, OpSrai:
+		return uint64(int64(a) >> (b & 63))
+	case OpCmpEq, OpCmpEqi:
+		if a == b {
+			return 1
+		}
+		return 0
+	case OpCmpLt, OpCmpLti:
+		if int64(a) < int64(b) {
+			return 1
+		}
+		return 0
+	case OpCmpLe:
+		if int64(a) <= int64(b) {
+			return 1
+		}
+		return 0
+	case OpCmpUlt:
+		if a < b {
+			return 1
+		}
+		return 0
+	case OpLdi:
+		return b
+	case OpLdih:
+		return a<<immBits | (b & (1<<immBits - 1))
+	case OpPopc:
+		return uint64(bits.OnesCount64(a))
+	}
+	return 0
+}
+
+// EvalFPOp computes the result of an FP computational instruction.
+// Operands and result are raw IEEE-754 bit patterns; comparison and
+// convert-to-int opcodes return integer values directly.
+func EvalFPOp(op Op, a, b uint64) uint64 {
+	fa := math.Float64frombits(a)
+	fb := math.Float64frombits(b)
+	switch op {
+	case OpFadd:
+		return math.Float64bits(fa + fb)
+	case OpFsub:
+		return math.Float64bits(fa - fb)
+	case OpFmul:
+		return math.Float64bits(fa * fb)
+	case OpFdiv:
+		return math.Float64bits(fa / fb)
+	case OpFsqrt:
+		return math.Float64bits(math.Sqrt(fa))
+	case OpFmov:
+		return a
+	case OpCvtif:
+		return math.Float64bits(float64(int64(a)))
+	case OpCvtfi:
+		return uint64(int64(fa))
+	case OpFcmpEq:
+		if fa == fb {
+			return 1
+		}
+		return 0
+	case OpFcmpLt:
+		if fa < fb {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// BranchTaken evaluates a conditional branch given the value of its
+// tested register.
+func BranchTaken(op Op, a uint64) bool {
+	switch op {
+	case OpBeq:
+		return a == 0
+	case OpBne:
+		return a != 0
+	case OpBlt:
+		return int64(a) < 0
+	case OpBge:
+		return int64(a) >= 0
+	}
+	return false
+}
+
+// MemBytes reports the access width in bytes of a load or store
+// opcode, or zero for non-memory opcodes.
+func MemBytes(op Op) uint64 {
+	switch op {
+	case OpLdq, OpStq, OpLdf, OpStf:
+		return 8
+	case OpLdl, OpStl:
+		return 4
+	}
+	return 0
+}

@@ -1,0 +1,88 @@
+package isa
+
+import "fmt"
+
+// Architectural register conventions. r31 reads as zero and ignores
+// writes. r30 is the stack pointer and r26 the link register by
+// software convention only; the hardware treats them as ordinary
+// registers.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+
+	RegZero = 31 // hardwired zero
+	RegSP   = 30 // stack pointer (convention)
+	RegLR   = 26 // link register used by JAL/JALR/RET
+)
+
+// PrivReg names a privileged (PAL-visible) register. The data-TLB
+// miss handler reads the faulting virtual address and the page-table
+// base from these; the scratch registers let handlers run without
+// touching the application's register state.
+type PrivReg uint8
+
+// Privileged register file.
+const (
+	PrFaultVA  PrivReg = iota // virtual address of the faulting access
+	PrPTBase                  // physical base address of the linear page table
+	PrExcPC                   // PC of the excepting instruction
+	PrPageSize                // page size in bytes (read-only convenience)
+	PrSrcVal0                 // first source value of the excepting instruction
+	PrExcInfo                 // exception detail (e.g. access size for unaligned)
+	PrPalData                 // physical base of the PAL data area (lookup tables)
+	PrScratch0
+	PrScratch1
+	PrScratch2
+	PrScratch3
+	NumPrivRegs
+)
+
+var privNames = [...]string{
+	PrFaultVA: "faultva", PrPTBase: "ptbase", PrExcPC: "excpc",
+	PrPageSize: "pagesize",
+	PrSrcVal0:  "srcval0", PrExcInfo: "excinfo", PrPalData: "paldata",
+	PrScratch0: "scr0", PrScratch1: "scr1", PrScratch2: "scr2",
+	PrScratch3: "scr3",
+}
+
+// String returns the assembler name of the privileged register.
+func (p PrivReg) String() string {
+	if int(p) < len(privNames) {
+		return privNames[p]
+	}
+	return fmt.Sprintf("pr(%d)", uint8(p))
+}
+
+// IntRegName formats an integer register for the assembler.
+func IntRegName(r uint8) string { return fmt.Sprintf("r%d", r) }
+
+// FPRegName formats a floating-point register for the assembler.
+func FPRegName(r uint8) string { return fmt.Sprintf("f%d", r) }
+
+// RegFile is a thread's architectural register state. FP registers
+// store raw IEEE-754 bits so that loads, stores and moves are exact.
+type RegFile struct {
+	Int [NumIntRegs]uint64
+	FP  [NumFPRegs]uint64 // Float64bits
+}
+
+// ReadInt reads an integer register, honouring the hardwired zero.
+func (rf *RegFile) ReadInt(r uint8) uint64 {
+	if r == RegZero {
+		return 0
+	}
+	return rf.Int[r]
+}
+
+// WriteInt writes an integer register; writes to r31 are discarded.
+func (rf *RegFile) WriteInt(r uint8, v uint64) {
+	if r != RegZero {
+		rf.Int[r] = v
+	}
+}
+
+// ReadFP reads the raw bits of an FP register.
+func (rf *RegFile) ReadFP(r uint8) uint64 { return rf.FP[r] }
+
+// WriteFP writes the raw bits of an FP register.
+func (rf *RegFile) WriteFP(r uint8, v uint64) { rf.FP[r] = v }

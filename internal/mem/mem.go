@@ -1,0 +1,112 @@
+// Package mem models physical memory as a sparse collection of
+// fixed-size frames. Frames are allocated on demand by a bump
+// allocator, mirroring a machine whose operating system hands out
+// physical pages. All accessors are little-endian.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame geometry. 8 KB pages match the Alpha 21164 the paper's
+// simulator modelled.
+const (
+	FrameShift = 13
+	FrameSize  = 1 << FrameShift
+	frameMask  = FrameSize - 1
+)
+
+// Physical is a sparse physical address space.
+type Physical struct {
+	frames   map[uint64]*[FrameSize]byte
+	nextFree uint64 // bump pointer for frame allocation, in frame numbers
+}
+
+// NewPhysical returns an empty physical memory. Frame number zero is
+// reserved so that a zero PFN can mean "invalid" in page-table
+// entries.
+func NewPhysical() *Physical {
+	return &Physical{
+		frames:   make(map[uint64]*[FrameSize]byte),
+		nextFree: 1,
+	}
+}
+
+// AllocFrame reserves the next free physical frame and returns its
+// frame number (PFN). The frame's backing store is created lazily on
+// first access.
+func (p *Physical) AllocFrame() uint64 {
+	pfn := p.nextFree
+	p.nextFree++
+	return pfn
+}
+
+// AllocFrames reserves n contiguous physical frames and returns the
+// first PFN.
+func (p *Physical) AllocFrames(n uint64) uint64 {
+	pfn := p.nextFree
+	p.nextFree += n
+	return pfn
+}
+
+// FramesAllocated reports how many frames have been reserved.
+func (p *Physical) FramesAllocated() uint64 { return p.nextFree - 1 }
+
+func (p *Physical) frame(pa uint64) *[FrameSize]byte {
+	fn := pa >> FrameShift
+	f, ok := p.frames[fn]
+	if !ok {
+		f = new([FrameSize]byte)
+		p.frames[fn] = f
+	}
+	return f
+}
+
+// ReadU8 reads one byte at physical address pa.
+func (p *Physical) ReadU8(pa uint64) uint8 {
+	return p.frame(pa)[pa&frameMask]
+}
+
+// WriteU8 writes one byte at physical address pa.
+func (p *Physical) WriteU8(pa uint64, v uint8) {
+	p.frame(pa)[pa&frameMask] = v
+}
+
+// ReadU32 reads a little-endian 32-bit word; the access must not
+// cross a frame boundary (the simulator only issues naturally
+// aligned accesses).
+func (p *Physical) ReadU32(pa uint64) uint32 {
+	off := pa & frameMask
+	if off+4 > FrameSize {
+		panic(fmt.Sprintf("mem: unaligned frame-crossing 32-bit read at %#x", pa))
+	}
+	return binary.LittleEndian.Uint32(p.frame(pa)[off : off+4])
+}
+
+// WriteU32 writes a little-endian 32-bit word.
+func (p *Physical) WriteU32(pa uint64, v uint32) {
+	off := pa & frameMask
+	if off+4 > FrameSize {
+		panic(fmt.Sprintf("mem: unaligned frame-crossing 32-bit write at %#x", pa))
+	}
+	binary.LittleEndian.PutUint32(p.frame(pa)[off:off+4], v)
+}
+
+// ReadU64 reads a little-endian 64-bit word.
+func (p *Physical) ReadU64(pa uint64) uint64 {
+	off := pa & frameMask
+	if off+8 > FrameSize {
+		panic(fmt.Sprintf("mem: unaligned frame-crossing 64-bit read at %#x", pa))
+	}
+	return binary.LittleEndian.Uint64(p.frame(pa)[off : off+8])
+}
+
+// WriteU64 writes a little-endian 64-bit word.
+func (p *Physical) WriteU64(pa uint64, v uint64) {
+	off := pa & frameMask
+	if off+8 > FrameSize {
+		panic(fmt.Sprintf("mem: unaligned frame-crossing 64-bit write at %#x", pa))
+	}
+	binary.LittleEndian.PutUint64(p.frame(pa)[off:off+8], v)
+}

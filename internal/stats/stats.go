@@ -1,0 +1,200 @@
+// Package stats provides lightweight statistics plumbing for the
+// simulator: named counters, distributions, and derived rates. All
+// structures are single-threaded by design; the simulator is a
+// deterministic single-goroutine cycle loop.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.Value += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Value++ }
+
+// Histogram accumulates integer samples and reports summary moments.
+type Histogram struct {
+	Name    string
+	count   uint64
+	sum     float64
+	sumSq   float64
+	min     int64
+	max     int64
+	buckets map[int64]uint64
+}
+
+// NewHistogram returns an empty histogram with the given name.
+func NewHistogram(name string) *Histogram {
+	return &Histogram{
+		Name:    name,
+		min:     math.MaxInt64,
+		max:     math.MinInt64,
+		buckets: make(map[int64]uint64),
+	}
+}
+
+// Observe records a sample.
+func (h *Histogram) Observe(v int64) {
+	h.count++
+	f := float64(v)
+	h.sum += f
+	h.sumSq += f * f
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[v]++
+}
+
+// Count reports the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum reports the sum of all samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean reports the sample mean, or zero for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// StdDev reports the population standard deviation.
+func (h *Histogram) StdDev() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	m := h.Mean()
+	v := h.sumSq/float64(h.count) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Min reports the smallest sample, or zero for an empty histogram.
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest sample, or zero for an empty histogram.
+func (h *Histogram) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Percentile reports the p-th percentile (0 <= p <= 100) using the
+// nearest-rank method over the exact sample buckets.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	keys := make([]int64, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	rank := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for _, k := range keys {
+		seen += h.buckets[k]
+		if seen >= rank {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// Set is a registry of counters and histograms keyed by name, used as
+// the per-simulation statistics sink.
+type Set struct {
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	order    []string
+}
+
+// NewSet returns an empty statistics registry.
+func NewSet() *Set {
+	return &Set{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on
+// first use.
+func (s *Set) Counter(name string) *Counter {
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	c := &Counter{Name: name}
+	s.counters[name] = c
+	s.order = append(s.order, name)
+	return c
+}
+
+// Histogram returns the histogram with the given name, creating it on
+// first use.
+func (s *Set) Histogram(name string) *Histogram {
+	if h, ok := s.hists[name]; ok {
+		return h
+	}
+	h := NewHistogram(name)
+	s.hists[name] = h
+	s.order = append(s.order, name)
+	return h
+}
+
+// Get reports the value of a counter, or zero if it was never touched.
+func (s *Set) Get(name string) uint64 {
+	if c, ok := s.counters[name]; ok {
+		return c.Value
+	}
+	return 0
+}
+
+// Ratio reports counter a divided by counter b, or zero when b is zero.
+func (s *Set) Ratio(a, b string) float64 {
+	den := s.Get(b)
+	if den == 0 {
+		return 0
+	}
+	return float64(s.Get(a)) / float64(den)
+}
+
+// String renders every registered statistic, one per line, in
+// registration order.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, name := range s.order {
+		if c, ok := s.counters[name]; ok {
+			fmt.Fprintf(&b, "%-40s %12d\n", name, c.Value)
+		} else if h, ok := s.hists[name]; ok {
+			fmt.Fprintf(&b, "%-40s n=%d mean=%.2f min=%d max=%d\n",
+				name, h.Count(), h.Mean(), h.Min(), h.Max())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	s := NewSet()
+	c := s.Counter("cycles")
+	c.Inc()
+	c.Add(9)
+	if s.Get("cycles") != 10 {
+		t.Errorf("cycles = %d, want 10", s.Get("cycles"))
+	}
+	if s.Counter("cycles") != c {
+		t.Error("Counter did not return the same instance")
+	}
+	if s.Get("missing") != 0 {
+		t.Error("missing counter nonzero")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	s := NewSet()
+	s.Counter("a").Add(30)
+	s.Counter("b").Add(10)
+	if got := s.Ratio("a", "b"); got != 3 {
+		t.Errorf("Ratio = %v, want 3", got)
+	}
+	if got := s.Ratio("a", "zero"); got != 0 {
+		t.Errorf("Ratio with zero denominator = %v, want 0", got)
+	}
+}
+
+func TestHistogramMoments(t *testing.T) {
+	h := NewHistogram("h")
+	for _, v := range []int64{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Mean() != 5 {
+		t.Errorf("mean = %v, want 5", h.Mean())
+	}
+	if math.Abs(h.StdDev()-2) > 1e-9 {
+		t.Errorf("stddev = %v, want 2", h.StdDev())
+	}
+	if h.Min() != 2 || h.Max() != 9 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if got := h.Percentile(50); got != 4 {
+		t.Errorf("p50 = %d, want 4", got)
+	}
+	if got := h.Percentile(100); got != 9 {
+		t.Errorf("p100 = %d, want 9", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram("e")
+	if h.Mean() != 0 || h.StdDev() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(50) != 0 {
+		t.Error("empty histogram returns nonzero summary")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := NewSet()
+	s.Counter("first").Add(1)
+	s.Histogram("second").Observe(5)
+	out := s.String()
+	if !strings.Contains(out, "first") || !strings.Contains(out, "second") {
+		t.Errorf("String() missing entries:\n%s", out)
+	}
+	if strings.Index(out, "first") > strings.Index(out, "second") {
+		t.Error("registration order not preserved")
+	}
+}

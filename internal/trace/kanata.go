@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteKanata emits the retained records in the Kanata pipeline-
+// visualizer log format (version 4), as produced by Onikiri2 and
+// consumed by the Kanata/Konata viewers. Stage lanes: F (fetch pipe),
+// D (decode/dispatch), W (window wait), X (execute), C (completed,
+// awaiting retirement). Squashed instructions end with a retirement
+// record of type 1 (flush).
+//
+// The format, line-oriented:
+//
+//	Kanata	0004
+//	C=	<cycle>          first cycle
+//	C	<delta>          advance the clock
+//	I	<id> <insn-id> <tid>
+//	L	<id> 0 <text>    label
+//	S	<id> 0 <stage>   stage begin (lane 0)
+//	R	<id> <retire-id> <type>  0 = retire, 1 = flush
+func WriteKanata(w io.Writer, recs []Record) error {
+	if len(recs) == 0 {
+		return fmt.Errorf("trace: no records to export")
+	}
+	sorted := make([]Record, len(recs))
+	copy(sorted, recs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].FetchAt < sorted[j].FetchAt })
+
+	type event struct {
+		cycle uint64
+		line  string
+	}
+	var events []event
+	add := func(cycle uint64, format string, args ...any) {
+		events = append(events, event{cycle, fmt.Sprintf(format, args...)})
+	}
+
+	for id, r := range sorted {
+		add(r.FetchAt, "I\t%d\t%d\t%d", id, r.Seq, r.Tid)
+		label := r.Op
+		if r.PAL {
+			label += " [pal]"
+		}
+		if r.HadMiss {
+			label += " [miss]"
+		}
+		add(r.FetchAt, "L\t%d\t0\t%x: %s", id, r.PC, label)
+		add(r.FetchAt, "S\t%d\t0\tF", id)
+		if r.Squashed {
+			add(r.EndAt, "R\t%d\t%d\t1", id, r.Seq)
+			continue
+		}
+		add(r.AvailAt, "S\t%d\t0\tD", id)
+		add(r.WindowAt, "S\t%d\t0\tW", id)
+		add(r.IssueAt, "S\t%d\t0\tX", id)
+		add(r.DoneAt, "S\t%d\t0\tC", id)
+		add(r.EndAt, "R\t%d\t%d\t0", id, r.Seq)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].cycle < events[j].cycle })
+
+	if _, err := fmt.Fprintf(w, "Kanata\t0004\nC=\t%d\n", events[0].cycle); err != nil {
+		return err
+	}
+	cur := events[0].cycle
+	for _, e := range events {
+		if e.cycle > cur {
+			if _, err := fmt.Fprintf(w, "C\t%d\n", e.cycle-cur); err != nil {
+				return err
+			}
+			cur = e.cycle
+		}
+		if _, err := fmt.Fprintln(w, e.line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKanataHeaderAndClock(t *testing.T) {
+	var sb strings.Builder
+	recs := []Record{
+		rec(1, 10, 13, 15, 17, 18, 20),
+		rec(2, 11, 14, 16, 18, 19, 21),
+	}
+	if err := WriteKanata(&sb, recs); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "Kanata\t0004\nC=\t10\n") {
+		t.Errorf("bad header:\n%s", out[:40])
+	}
+	for _, want := range []string{"I\t0\t1\t0", "I\t1\t2\t0", "S\t0\t0\tF", "S\t0\t0\tX", "R\t0\t1\t0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestKanataFlushRecord(t *testing.T) {
+	var sb strings.Builder
+	r := rec(7, 5, 8, 0, 0, 0, 9)
+	r.Squashed = true
+	if err := WriteKanata(&sb, []Record{r}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "R\t0\t7\t1") {
+		t.Errorf("no flush record:\n%s", sb.String())
+	}
+}
+
+func TestKanataLabels(t *testing.T) {
+	var sb strings.Builder
+	r := rec(3, 0, 3, 5, 7, 8, 9)
+	r.PAL, r.HadMiss, r.Op, r.PC = true, true, "ldq", 0x4000
+	if err := WriteKanata(&sb, []Record{r}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "4000: ldq [pal] [miss]") {
+		t.Errorf("label missing:\n%s", sb.String())
+	}
+}
+
+func TestKanataEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteKanata(&sb, nil); err == nil {
+		t.Error("empty export succeeded")
+	}
+}
+
+func TestKanataClockMonotone(t *testing.T) {
+	var sb strings.Builder
+	recs := []Record{
+		rec(1, 100, 103, 105, 107, 110, 120),
+		rec(2, 90, 93, 95, 97, 98, 99),
+	}
+	if err := WriteKanata(&sb, recs); err != nil {
+		t.Fatal(err)
+	}
+	// All C lines are positive deltas.
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, "C\t") {
+			if strings.Contains(line, "-") {
+				t.Errorf("negative clock delta: %q", line)
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func rec(seq, fetch, avail, window, issue, done, end uint64) Record {
+	return Record{
+		Seq: seq, Op: "add",
+		FetchAt: fetch, AvailAt: avail, WindowAt: window,
+		IssueAt: issue, DoneAt: done, EndAt: end,
+	}
+}
+
+func TestCollectorRing(t *testing.T) {
+	c := NewCollector(3)
+	for i := uint64(1); i <= 5; i++ {
+		c.Add(rec(i, i, i+1, i+2, i+3, i+4, i+5))
+	}
+	if c.Total() != 5 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	recs := c.Records()
+	if len(recs) != 3 {
+		t.Fatalf("retained %d records, want 3", len(recs))
+	}
+	for i, want := range []uint64{3, 4, 5} {
+		if recs[i].Seq != want {
+			t.Errorf("record %d seq = %d, want %d", i, recs[i].Seq, want)
+		}
+	}
+}
+
+func TestCollectorUnderfill(t *testing.T) {
+	c := NewCollector(10)
+	c.Add(rec(1, 0, 3, 5, 7, 8, 9))
+	recs := c.Records()
+	if len(recs) != 1 || recs[0].Seq != 1 {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestRenderLane(t *testing.T) {
+	c := NewCollector(4)
+	c.Add(rec(1, 0, 3, 5, 7, 8, 9))
+	var sb strings.Builder
+	c.Render(&sb)
+	out := sb.String()
+	// fetch cycles 0-2 (fff), decode-wait 3-4 (dd), window 5-6 (ww),
+	// exec 7 (E), done-wait 8 (.), retire at 9 (R).
+	if !strings.Contains(out, "|fffddwwE.R|") {
+		t.Errorf("lane missing expected pattern:\n%s", out)
+	}
+}
+
+func TestRenderSquashed(t *testing.T) {
+	c := NewCollector(4)
+	r := rec(2, 0, 3, 0, 0, 0, 5)
+	r.Squashed = true
+	c.Add(r)
+	var sb strings.Builder
+	c.Render(&sb)
+	if !strings.Contains(sb.String(), "x") {
+		t.Errorf("squashed lane lacks kill marker:\n%s", sb.String())
+	}
+}
+
+func TestRenderFlags(t *testing.T) {
+	c := NewCollector(4)
+	r := rec(3, 0, 3, 5, 7, 8, 9)
+	r.PAL = true
+	r.HadMiss = true
+	r.Op = "ldq"
+	c.Add(r)
+	var sb strings.Builder
+	c.Render(&sb)
+	if !strings.Contains(sb.String(), "ldq*!") {
+		t.Errorf("flags not rendered:\n%s", sb.String())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	c := NewCollector(8)
+	c.Add(rec(1, 0, 3, 5, 7, 8, 9))
+	sq := rec(2, 1, 4, 0, 0, 0, 6)
+	sq.Squashed = true
+	c.Add(sq)
+	var sb strings.Builder
+	c.Summary(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "retired 1") || !strings.Contains(out, "squashed 1") {
+		t.Errorf("summary wrong:\n%s", out)
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	c := NewCollector(4)
+	var sb strings.Builder
+	c.Render(&sb)
+	c.Summary(&sb)
+	if !strings.Contains(sb.String(), "no records") {
+		t.Error("empty collector did not say so")
+	}
+}

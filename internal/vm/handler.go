@@ -1,0 +1,222 @@
+package vm
+
+import (
+	"mtexc/internal/isa"
+	"mtexc/internal/isa/asm"
+)
+
+// PALBaseVA is the virtual address at which PAL-mode code (the
+// exception handlers) resides. PAL fetches bypass translation: the
+// CPU maps PAL VAs to the physical frames the handler image occupies.
+const PALBaseVA = uint64(1) << 40
+
+// HandlerConfig shapes the generated software TLB miss handler. The
+// defaults model the Alpha 21164 data-TLB miss PALcode flow: a small
+// prologue, a single page-table load, a validity check, the TLB write
+// and the return. ExtraPrologue/ExtraDependent let experiments vary
+// handler length — the prologue work is off the critical path (mode
+// and fault-class checks on values available at entry), while
+// dependent work lengthens the VPN-computation chain.
+type HandlerConfig struct {
+	ExtraPrologue  int // independent filler instructions before the walk
+	ExtraDependent int // extra instructions on the VPN dependence chain
+}
+
+// DefaultHandlerConfig produces an 18-instruction common-case
+// handler, in the "tens of instructions" range the paper cites.
+func DefaultHandlerConfig() HandlerConfig {
+	return HandlerConfig{ExtraPrologue: 5, ExtraDependent: 2}
+}
+
+// Handler is the generated software TLB miss handler.
+type Handler struct {
+	Code    []isa.Instruction
+	EntryVA uint64
+	// CommonLen is the number of instructions on the common-case
+	// (no page fault) path, used for perfect handler-length
+	// prediction per the paper's Table 1 assumptions.
+	CommonLen int
+	// HardIdx is the index of the HARDEXC escalation instruction.
+	HardIdx int
+}
+
+// GenerateDTBMissHandler emits the PAL-mode data-TLB miss handler.
+//
+// Register usage is the handler thread's own (or PAL-shadow) file, so
+// no application registers are read or written — the property that
+// lets the multithreaded mechanism avoid cross-thread renaming. The
+// handler reads the faulting VA and page-table base from privileged
+// registers, loads one PTE (a physical-mode load that competes for
+// cache space like any other data reference), and either writes the
+// TLB and returns or escalates a page fault to the traditional
+// mechanism via HARDEXC.
+func GenerateDTBMissHandler(cfg HandlerConfig) *Handler {
+	b := asm.NewBuilder()
+
+	// Prologue: fault-class bookkeeping on entry values. These model
+	// the mode/IPR housekeeping at the top of real PALcode; they are
+	// off the PTE-load critical path.
+	b.I(isa.OpMfpr, 7, 0, int64(isa.PrExcPC)) // r7 = excepting PC
+	for i := 0; i < cfg.ExtraPrologue; i++ {
+		b.I(isa.OpAddi, 8, 7, int64(i+1)) // r8 = pc + k (bookkeeping)
+	}
+
+	// Critical path: compute the PTE address and load it.
+	b.I(isa.OpMfpr, 1, 0, int64(isa.PrFaultVA)) // r1 = faulting VA
+	b.I(isa.OpMfpr, 2, 0, int64(isa.PrPTBase))  // r2 = PT base (physical)
+	b.I(isa.OpSrli, 3, 1, PageShift)            // r3 = VPN
+	for i := 0; i < cfg.ExtraDependent; i++ {
+		// Dependent no-progress work (e.g. region checks) that
+		// lengthens the address-generation chain.
+		b.I(isa.OpAddi, 3, 3, 0)
+	}
+	b.I(isa.OpSlli, 4, 3, 3) // r4 = VPN * 8
+	b.R(isa.OpAdd, 4, 2, 4)  // r4 = &PTE
+	b.I(isa.OpLdq, 5, 4, 0)  // r5 = PTE (physical-mode load)
+	b.I(isa.OpAndi, 6, 5, PTEValid)
+	b.Branch(isa.OpBeq, 6, "hard") // invalid -> page fault
+	b.R(isa.OpTlbwr, 0, 1, 5)      // fill TLB from (VA, PTE)
+	b.Emit(isa.Instruction{Op: isa.OpRfe})
+	commonLen := b.Len()
+
+	b.Label("hard")
+	hardIdx := b.Len()
+	b.Emit(isa.Instruction{Op: isa.OpHardExc})
+
+	return &Handler{
+		Code:      b.MustFinish(),
+		EntryVA:   PALBaseVA, // reassigned when added to a PALImage
+		CommonLen: commonLen,
+		HardIdx:   hardIdx,
+	}
+}
+
+// GenerateDTBMissHandlerTwoLevel emits the miss handler for the
+// two-level (radix) page table: the same structure as the linear
+// handler but with two dependent loads — root entry, then leaf PTE —
+// demonstrating the organizational flexibility software-managed TLBs
+// give the operating system (Section 2).
+func GenerateDTBMissHandlerTwoLevel(cfg HandlerConfig) *Handler {
+	b := asm.NewBuilder()
+
+	b.I(isa.OpMfpr, 10, 0, int64(isa.PrExcPC))
+	for i := 0; i < cfg.ExtraPrologue; i++ {
+		b.I(isa.OpAddi, 11, 10, int64(i+1))
+	}
+
+	b.I(isa.OpMfpr, 1, 0, int64(isa.PrFaultVA)) // r1 = faulting VA
+	b.I(isa.OpMfpr, 2, 0, int64(isa.PrPTBase))  // r2 = root base (physical)
+	b.I(isa.OpSrli, 3, 1, PageShift)            // r3 = VPN
+	for i := 0; i < cfg.ExtraDependent; i++ {
+		b.I(isa.OpAddi, 3, 3, 0)
+	}
+	b.I(isa.OpSrli, 4, 3, LeafBits) // root index
+	b.I(isa.OpSlli, 4, 4, 3)
+	b.R(isa.OpAdd, 4, 2, 4)
+	b.I(isa.OpLdq, 5, 4, 0) // root entry (first dependent load)
+	b.I(isa.OpAndi, 6, 5, PTEValid)
+	b.Branch(isa.OpBeq, 6, "hard")
+	b.I(isa.OpSrli, 5, 5, 8)         // leaf PFN
+	b.I(isa.OpSlli, 5, 5, PageShift) // leaf base
+	b.I(isa.OpAndi, 7, 3, LeafMask)
+	b.I(isa.OpSlli, 7, 7, 3)
+	b.R(isa.OpAdd, 7, 5, 7)
+	b.I(isa.OpLdq, 8, 7, 0) // leaf PTE (second dependent load)
+	b.I(isa.OpAndi, 9, 8, PTEValid)
+	b.Branch(isa.OpBeq, 9, "hard")
+	b.R(isa.OpTlbwr, 0, 1, 8)
+	b.Emit(isa.Instruction{Op: isa.OpRfe})
+	commonLen := b.Len()
+
+	b.Label("hard")
+	hardIdx := b.Len()
+	b.Emit(isa.Instruction{Op: isa.OpHardExc})
+
+	return &Handler{
+		Code:      b.MustFinish(),
+		EntryVA:   PALBaseVA,
+		CommonLen: commonLen,
+		HardIdx:   hardIdx,
+	}
+}
+
+// GenerateDTBMissHandlerFor selects the handler matching a page-table
+// organization.
+func GenerateDTBMissHandlerFor(org PTOrg, cfg HandlerConfig) *Handler {
+	if org == PTTwoLevel {
+		return GenerateDTBMissHandlerTwoLevel(cfg)
+	}
+	return GenerateDTBMissHandler(cfg)
+}
+
+// GenerateUnalignedHandler emits the PAL-mode unaligned-load handler
+// — the second of Section 6's generalized-exception examples. The
+// hardware records the access's translated physical address in
+// SRCVAL0 and its size in EXCINFO; the handler performs two aligned
+// physical loads around the address, shifts and merges them, applies
+// LDL sign extension for 4-byte accesses, and completes the faulting
+// load with WRTDEST. Accesses never cross a page boundary (the
+// machine restricts trapped unaligned accesses to within a page).
+func GenerateUnalignedHandler() *Handler {
+	b := asm.NewBuilder()
+	b.I(isa.OpMfpr, 1, 0, int64(isa.PrSrcVal0)) // r1 = physical address
+	b.I(isa.OpAndi, 3, 1, -8)                   // r3 = aligned base
+	b.I(isa.OpLdq, 4, 3, 0)                     // low word
+	b.I(isa.OpLdq, 5, 3, 8)                     // high word
+	b.I(isa.OpAndi, 6, 1, 7)                    // byte offset
+	b.I(isa.OpSlli, 6, 6, 3)                    // bit offset (8..56)
+	b.R(isa.OpSrl, 4, 4, 6)
+	b.I(isa.OpLdi, 7, 0, 64)
+	b.R(isa.OpSub, 7, 7, 6) // 64 - bits (8..56, never 64)
+	b.R(isa.OpSll, 5, 5, 7)
+	b.R(isa.OpOr, 4, 4, 5) // merged 8 bytes at the unaligned address
+	b.I(isa.OpMfpr, 8, 0, int64(isa.PrExcInfo))
+	b.I(isa.OpCmpEqi, 9, 8, 8)
+	b.Branch(isa.OpBne, 9, "done")
+	// 4-byte access: LDL semantics (sign-extended low word).
+	b.I(isa.OpSlli, 4, 4, 32)
+	b.I(isa.OpSrai, 4, 4, 32)
+	b.Label("done")
+	b.R(isa.OpWrtDest, 0, 4, 0)
+	b.Emit(isa.Instruction{Op: isa.OpRfe})
+	code := b.MustFinish()
+	return &Handler{
+		Code:      code,
+		EntryVA:   PALBaseVA,
+		CommonLen: len(code),
+		HardIdx:   -1,
+	}
+}
+
+// GenerateEmulationHandler emits the PAL-mode instruction-emulation
+// handler for the POPC opcode — the paper's Section 6 generalized
+// mechanism. The handler reads the excepting instruction's source
+// value from a privileged register (the hardware records source
+// physical register IDs at the exception), computes the population
+// count in software with a byte-table lookup against the PAL data
+// area, writes the result directly to the excepting instruction's
+// destination register with WRTDEST (which converts the instruction
+// to a nop and wakes its consumers), and returns.
+func GenerateEmulationHandler() *Handler {
+	b := asm.NewBuilder()
+	b.I(isa.OpMfpr, 1, 0, int64(isa.PrSrcVal0)) // r1 = source value
+	b.I(isa.OpMfpr, 2, 0, int64(isa.PrPalData)) // r2 = table base (physical)
+	b.I(isa.OpLdi, 3, 0, 0)                     // r3 = accumulator
+	for byteIdx := 0; byteIdx < 8; byteIdx++ {
+		b.I(isa.OpAndi, 4, 1, 0xff)
+		b.I(isa.OpSlli, 4, 4, 3)
+		b.R(isa.OpAdd, 4, 2, 4)
+		b.I(isa.OpLdq, 5, 4, 0) // physical load from the PAL table
+		b.R(isa.OpAdd, 3, 3, 5)
+		b.I(isa.OpSrli, 1, 1, 8)
+	}
+	b.R(isa.OpWrtDest, 0, 3, 0)
+	b.Emit(isa.Instruction{Op: isa.OpRfe})
+	code := b.MustFinish()
+	return &Handler{
+		Code:      code,
+		EntryVA:   PALBaseVA,
+		CommonLen: len(code),
+		HardIdx:   -1, // emulation has no page-fault escalation path
+	}
+}

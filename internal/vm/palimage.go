@@ -1,0 +1,89 @@
+package vm
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mtexc/internal/isa"
+	"mtexc/internal/isa/asm"
+	"mtexc/internal/mem"
+)
+
+// PALImage is the machine's PAL region: one or more exception
+// handlers laid out on separate pages of a contiguous virtual window
+// starting at PALBaseVA, plus a small PAL data area holding lookup
+// tables handlers may use (currently the byte-popcount table of the
+// instruction-emulation handler). Handler fetches exercise the
+// shared instruction cache; data-area loads are ordinary physical
+// loads through the shared data cache.
+type PALImage struct {
+	handlers []*Handler
+	bases    []uint64 // physical base per handler
+	// DataPA is the physical base of the PAL data area.
+	DataPA uint64
+}
+
+// palDataWords is the size of the PAL data area in 64-bit words: a
+// 256-entry byte-popcount table.
+const palDataWords = 256
+
+// NewPALImage allocates the PAL data area and populates the
+// popcount table (one 64-bit word per byte value, as the emulation
+// handler's LDQ-based lookup expects).
+func NewPALImage(phys *mem.Physical) *PALImage {
+	frames := (palDataWords*8 + mem.FrameSize - 1) / mem.FrameSize
+	base := phys.AllocFrames(uint64(frames)) << mem.FrameShift
+	for i := 0; i < palDataWords; i++ {
+		phys.WriteU64(base+uint64(i)*8, uint64(bits.OnesCount8(uint8(i))))
+	}
+	return &PALImage{DataPA: base}
+}
+
+// Add places a handler into the PAL region, assigning its EntryVA,
+// and writes its encoded instructions into fresh physical frames.
+func (p *PALImage) Add(phys *mem.Physical, h *Handler) error {
+	words, err := asm.EncodeAll(h.Code)
+	if err != nil {
+		return fmt.Errorf("vm: encoding PAL handler: %w", err)
+	}
+	frames := (uint64(len(words))*4 + mem.FrameSize - 1) / mem.FrameSize
+	base := phys.AllocFrames(frames) << mem.FrameShift
+	h.EntryVA = PALBaseVA + uint64(len(p.handlers))*(PageSize<<2)
+	for i, w := range words {
+		phys.WriteU32(base+uint64(i)*4, w)
+	}
+	p.handlers = append(p.handlers, h)
+	p.bases = append(p.bases, base)
+	return nil
+}
+
+func (p *PALImage) locate(va uint64) (int, uint64, bool) {
+	for i, h := range p.handlers {
+		if va < h.EntryVA || (va-h.EntryVA)%4 != 0 {
+			continue
+		}
+		idx := (va - h.EntryVA) / 4
+		if idx < uint64(len(h.Code)) {
+			return i, idx, true
+		}
+	}
+	return 0, 0, false
+}
+
+// FetchInst returns the handler instruction at PAL virtual address va.
+func (p *PALImage) FetchInst(va uint64) (in isa.Instruction, ok bool) {
+	hi, idx, ok := p.locate(va)
+	if !ok {
+		return in, false
+	}
+	return p.handlers[hi].Code[idx], true
+}
+
+// InstPA maps a PAL VA to its physical address for I-cache timing.
+func (p *PALImage) InstPA(va uint64) uint64 {
+	hi, idx, ok := p.locate(va)
+	if !ok {
+		return p.DataPA // off-range fetch; harmless timing address
+	}
+	return p.bases[hi] + idx*4
+}

@@ -1,0 +1,309 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mtexc/internal/isa"
+	"mtexc/internal/isa/asm"
+	"mtexc/internal/mem"
+	"mtexc/internal/vm"
+)
+
+// Bench is one synthetic benchmark. It satisfies core.Workload.
+type Bench struct {
+	name  string
+	short string
+	desc  string
+	// inner is the compute-loop trip count per far-memory phase; it
+	// sets the DTLB miss density.
+	inner int
+	// data sizes the memory image.
+	data dataInit
+	// farPhase and body emit the miss-generating phase and the
+	// compute-loop body.
+	farPhase func(e *emitter)
+	body     func(e *emitter)
+	// fpConsts preloads f1/f2 from the hot table when true.
+	fpConsts bool
+	// leaf emits functions after the main loop, keyed by label.
+	leaf map[string]int
+	// ptOrg selects the page-table organization (default linear).
+	ptOrg vm.PTOrg
+}
+
+// WithTwoLevelPT returns the benchmark configured to build its
+// address space over a two-level page table.
+func (bn *Bench) WithTwoLevelPT() *Bench {
+	bn.ptOrg = vm.PTTwoLevel
+	return bn
+}
+
+// Name returns the benchmark's full name (Table 2).
+func (bn *Bench) Name() string { return bn.name }
+
+// Short returns the paper's abbreviation (adm, apl, ...).
+func (bn *Bench) Short() string { return bn.short }
+
+// Description returns the Table 2 description analogue.
+func (bn *Bench) Description() string { return bn.desc }
+
+// Build generates, assembles and loads the benchmark program.
+func (bn *Bench) Build(phys *mem.Physical, asn uint8) (*vm.Image, error) {
+	b := asm.NewBuilder()
+	e := &emitter{b: b}
+
+	if bn.fpConsts {
+		b.I(isa.OpLdf, 2, rHotTab, 0) // f2 = multiplier constant
+		b.I(isa.OpLdf, 1, rHotTab, 8) // f1 = accumulator seed
+		for f := uint8(3); f <= 8; f++ {
+			b.I(isa.OpLdf, f, rHotTab, 8)
+		}
+	}
+	b.Label("outer")
+	bn.farPhase(e)
+	b.I(isa.OpLdi, rInner, 0, int64(bn.inner))
+	b.Label("inner")
+	bn.body(e)
+	b.I(isa.OpAddi, rInner, rInner, -1)
+	b.Branch(isa.OpBne, rInner, "inner")
+	b.Jump(isa.OpBr, "outer")
+	// Leaf functions, in deterministic order.
+	names := make([]string, 0, len(bn.leaf))
+	for n := range bn.leaf {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		e.leafFunc(n, bn.leaf[n])
+	}
+
+	d := bn.data
+	if d.hotWords == 0 {
+		d.hotWords = 512
+	}
+	img, err := assembleImageOrg(phys, asn, bn.name, b, e, d, bn.ptOrg)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", bn.name, err)
+	}
+	// FP constants at the head of the hot table.
+	if bn.fpConsts {
+		if err := img.Space.WriteU64(hotVA, math.Float64bits(1.0000001)); err != nil {
+			return nil, err
+		}
+		if err := img.Space.WriteU64(hotVA+8, math.Float64bits(1.25)); err != nil {
+			return nil, err
+		}
+	}
+	return img, nil
+}
+
+// The suite. Parameters are calibrated so that DTLB miss density and
+// base IPC land near the paper's Tables 2 and 4 (see EXPERIMENTS.md
+// for measured values).
+
+// Alphadoom: game loop — wide integer work, table lookups, some FP,
+// well-predicted control, light TLB pressure.
+func newAlphadoom() *Bench {
+	return &Bench{
+		name:  "alphadoom",
+		short: "adm",
+		desc:  "X-windows first-person-shooter game loop (synthetic stand-in)",
+		inner: 420,
+		data:  dataInit{farPages: 512, seed: 1},
+		farPhase: func(e *emitter) {
+			e.hashTouch(512, false)
+		},
+		body: func(e *emitter) {
+			e.intParallel(8)
+			e.hotLoad()
+			e.fpParallel(2)
+			e.call("fx")
+		},
+		fpConsts: true,
+		leaf:     map[string]int{"fx": 3},
+	}
+}
+
+// Applu: parabolic/elliptic PDE solver — FP streams with moderate
+// parallelism.
+func newApplu() *Bench {
+	return &Bench{
+		name:  "applu",
+		short: "apl",
+		desc:  "parabolic/elliptical PDE solver (SpecFP95 stand-in)",
+		inner: 300,
+		data:  dataInit{farPages: 512, streamKB: 32, seed: 2},
+		farPhase: func(e *emitter) {
+			e.hashTouch(512, false)
+		},
+		body: func(e *emitter) {
+			e.fpStream(32<<10, -16)
+			e.fpParallel(6)
+			e.intParallel(3)
+		},
+		fpConsts: true,
+	}
+}
+
+// Compress: adaptive Lempel-Ziv — hash-table probes dominate; the
+// heaviest TLB presser in the suite.
+func newCompress() *Bench {
+	return &Bench{
+		name:  "compress",
+		short: "cmp",
+		desc:  "adaptive Lempel-Ziv text compression (SpecInt95 stand-in)",
+		inner: 44,
+		data:  dataInit{farPages: 2048, seed: 3},
+		farPhase: func(e *emitter) {
+			e.hashTouch(2048, false)
+			e.hashTouch(2048, true) // table update store
+		},
+		body: func(e *emitter) {
+			e.intSerial(2)
+			e.noisyBranch()
+			e.hotLoad()
+			e.intParallel(3)
+		},
+	}
+}
+
+// Deltablue: incremental dataflow constraint solver — pointer graph
+// walking and virtual dispatch.
+func newDeltablue() *Bench {
+	return &Bench{
+		name:  "deltablue",
+		short: "dbl",
+		desc:  "object-oriented incremental dataflow constraint solver (C++ stand-in)",
+		inner: 225,
+		data:  dataInit{farPages: 0, chaseRings: 1, chasePages: 512, seed: 4},
+		farPhase: func(e *emitter) {
+			e.chaseTouch(0)
+		},
+		body: func(e *emitter) {
+			e.dispatch()
+			e.call("eval")
+			e.intSerial(2)
+			e.hotLoad()
+		},
+		leaf: map[string]int{"eval": 2},
+	}
+}
+
+// Gcc: optimizing compiler — branchy integer code with unpredictable
+// control; its speculative loads are the paper's cache-pollution
+// case study.
+func newGcc() *Bench {
+	return &Bench{
+		name:  "gcc",
+		short: "gcc",
+		desc:  "GNU optimizing C compiler (SpecInt95 stand-in)",
+		inner: 325,
+		data:  dataInit{farPages: 512, seed: 5},
+		farPhase: func(e *emitter) {
+			e.hashTouch(512, false)
+		},
+		body: func(e *emitter) {
+			e.noisyBranch()
+			e.intSerial(2)
+			e.hotLoad()
+			e.intParallel(3)
+			e.noisyBranch()
+		},
+	}
+}
+
+// Hydro2d: Navier-Stokes solver — long dependent FP chains; the
+// suite's lowest-IPC member.
+func newHydro2d() *Bench {
+	return &Bench{
+		name:  "hydro2d",
+		short: "h2d",
+		desc:  "astrophysical hydrodynamics Navier-Stokes solver (SpecFP95 stand-in)",
+		inner: 210,
+		data:  dataInit{farPages: 512, streamKB: 64, seed: 6},
+		farPhase: func(e *emitter) {
+			e.hashTouch(512, false)
+		},
+		body: func(e *emitter) {
+			e.fpStream(64<<10, 16)
+			e.fpSerial(4, isa.OpFadd)
+			e.fpSerial(1, isa.OpFmul)
+		},
+		fpConsts: true,
+	}
+}
+
+// Murphi: explicit-state model checker — hashing into a huge state
+// table with wide integer work.
+func newMurphi() *Bench {
+	return &Bench{
+		name:  "murphi",
+		short: "mph",
+		desc:  "finite-state-space exploration for verification (C++ stand-in)",
+		inner: 172,
+		data:  dataInit{farPages: 1024, seed: 7},
+		farPhase: func(e *emitter) {
+			e.hashTouch(1024, false)
+		},
+		body: func(e *emitter) {
+			e.intParallel(8)
+			e.hotLoad()
+			e.intParallel(4)
+		},
+	}
+}
+
+// Vortex: object-oriented transactional database — several
+// independent object streams, calls and dispatch; the suite's
+// highest-IPC and second-heaviest TLB presser.
+func newVortex() *Bench {
+	return &Bench{
+		name:  "vortex",
+		short: "vor",
+		desc:  "single-user object-oriented transactional database (SpecInt95 stand-in)",
+		inner: 145,
+		data:  dataInit{farPages: 256, chaseRings: 2, chasePages: 256, seed: 8},
+		farPhase: func(e *emitter) {
+			e.chaseTouch(0)
+			e.chaseTouch(1)
+			e.hashTouch(256, false)
+		},
+		body: func(e *emitter) {
+			e.intParallel(8)
+			e.hotLoad()
+			e.call("method")
+			e.intParallel(6)
+		},
+		leaf: map[string]int{"method": 2},
+	}
+}
+
+// All returns the full suite in the paper's (alphabetical) order.
+func All() []*Bench {
+	return []*Bench{
+		newAlphadoom(), newApplu(), newCompress(), newDeltablue(),
+		newGcc(), newHydro2d(), newMurphi(), newVortex(),
+	}
+}
+
+// Names lists the suite's full names.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, b := range all {
+		names[i] = b.Name()
+	}
+	return names
+}
+
+// ByName finds a benchmark by full name or paper abbreviation.
+func ByName(name string) (*Bench, error) {
+	for _, b := range All() {
+		if b.Name() == name || b.Short() == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+}

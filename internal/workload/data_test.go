@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"testing"
+
+	"mtexc/internal/isa"
+	"mtexc/internal/mem"
+	"mtexc/internal/vm"
+)
+
+// TestChaseRingsAreClosedCycles verifies every pointer-chase ring a
+// benchmark builds is a single closed cycle covering all its pages —
+// a broken ring would silently collapse the TLB pressure the
+// benchmark exists to create.
+func TestChaseRingsAreClosedCycles(t *testing.T) {
+	for _, bn := range All() {
+		if bn.data.chaseRings == 0 {
+			continue
+		}
+		bn := bn
+		t.Run(bn.Short(), func(t *testing.T) {
+			phys := mem.NewPhysical()
+			img, err := bn.Build(phys, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ring := 0; ring < bn.data.chaseRings; ring++ {
+				start, ok := img.InitInt[chaseRegs[ring]]
+				if !ok {
+					t.Fatalf("ring %d: no start cursor in InitInt", ring)
+				}
+				seen := map[uint64]bool{}
+				cur := start
+				for steps := 0; steps < bn.data.chasePages+1; steps++ {
+					page := cur >> vm.PageShift
+					if seen[page] {
+						if cur == start && steps == bn.data.chasePages {
+							break
+						}
+						t.Fatalf("ring %d: revisited page %#x after %d steps", ring, page, steps)
+					}
+					seen[page] = true
+					next := img.Space.ReadU64(cur)
+					if next == 0 {
+						t.Fatalf("ring %d: null link at %#x (step %d)", ring, cur, steps)
+					}
+					cur = next
+				}
+				if cur != start {
+					t.Errorf("ring %d: walk did not return to start (%#x vs %#x)", ring, cur, start)
+				}
+				if len(seen) != bn.data.chasePages {
+					t.Errorf("ring %d: cycle covers %d pages, want %d", ring, len(seen), bn.data.chasePages)
+				}
+			}
+		})
+	}
+}
+
+// TestJumpTablesPointIntoCode verifies dispatch jump tables hold
+// word-aligned addresses inside the code segment.
+func TestJumpTablesPointIntoCode(t *testing.T) {
+	for _, bn := range []*Bench{newDeltablue(), newVortex()} {
+		phys := mem.NewPhysical()
+		img, err := bn.Build(phys, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codeEnd := img.CodeVA + uint64(len(img.Code))*4
+		n := 0
+		for off := uint64(0); ; off += 8 {
+			target := img.Space.ReadU64(jtabVA + off)
+			if target == 0 {
+				break
+			}
+			n++
+			if target < img.CodeVA || target >= codeEnd {
+				t.Errorf("%s: jump-table entry %#x outside code [%#x,%#x)", bn.Short(), target, img.CodeVA, codeEnd)
+			}
+			if target%4 != 0 {
+				t.Errorf("%s: unaligned jump-table entry %#x", bn.Short(), target)
+			}
+			in, ok := img.FetchInst(target)
+			if !ok {
+				t.Errorf("%s: jump-table entry %#x not fetchable", bn.Short(), target)
+			} else if in.Op == isa.OpHalt {
+				t.Errorf("%s: dispatch target is halt", bn.Short())
+			}
+		}
+		if bn.Short() == "dbl" && n == 0 {
+			t.Error("deltablue has an empty jump table")
+		}
+	}
+}
+
+// TestBenchmarkFootprints: far regions must exceed the 64-entry TLB
+// reach (512 KB) so the benchmarks actually press the TLB, yet their
+// cacheable footprint must not dwarf the L2 (the paper's regime).
+func TestBenchmarkFootprints(t *testing.T) {
+	for _, bn := range All() {
+		totalPages := bn.data.farPages + bn.data.chaseRings*bn.data.chasePages
+		if totalPages*int(vm.PageSize) <= 512<<10 {
+			t.Errorf("%s: footprint %d pages within TLB reach; no steady-state misses", bn.Short(), totalPages)
+		}
+	}
+}
+
+// TestBenchmarkCodeEncodes: every generated program must encode to
+// valid architectural words (no out-of-range immediates slipping
+// through the generators).
+func TestBenchmarkCodeEncodes(t *testing.T) {
+	phys := mem.NewPhysical()
+	for i, bn := range All() {
+		img, err := bn.Build(phys, uint8(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, in := range img.Code {
+			if _, err := isa.Encode(in); err != nil {
+				t.Errorf("%s: instruction %d (%v): %v", bn.Short(), j, in, err)
+			}
+		}
+		if len(img.Code) > 4096 {
+			t.Errorf("%s: %d instructions — generated code unexpectedly large", bn.Short(), len(img.Code))
+		}
+	}
+}

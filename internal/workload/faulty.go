@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"math/rand"
+
+	"mtexc/internal/mem"
+	"mtexc/internal/vm"
+)
+
+// Faulty wraps a benchmark and pages out a fraction of its data pages
+// after loading, so first touches raise page faults through the
+// hard-exception path (handler HARDEXC → reversion → OS service).
+// Used by the fault-injection sensitivity study.
+type Faulty struct {
+	Inner    *Bench
+	Fraction float64
+	Seed     int64
+}
+
+// Name identifies the wrapped workload.
+func (f *Faulty) Name() string { return f.Inner.Name() + "+faults" }
+
+// Build builds the inner benchmark and unmaps the chosen fraction of
+// its data pages (never code pages).
+func (f *Faulty) Build(phys *mem.Physical, asn uint8) (*vm.Image, error) {
+	img, err := f.Inner.Build(phys, asn)
+	if err != nil {
+		return nil, err
+	}
+	UnmapDataFraction(img, f.Fraction, f.Seed)
+	return img, nil
+}
+
+// UnmapDataFraction pages out approximately the given fraction of an
+// image's mapped data pages (pages outside the code segment),
+// deterministically under seed. Paged-out contents are lost, as with
+// a real page-out without backing store; first access faults and the
+// OS maps a fresh zero frame.
+func UnmapDataFraction(img *vm.Image, fraction float64, seed int64) {
+	if fraction <= 0 {
+		return
+	}
+	codeStart := img.CodeVA >> vm.PageShift
+	codeEnd := (img.CodeVA + uint64(len(img.Code))*4) >> vm.PageShift
+	var candidates []uint64
+	img.Space.ForEachMapped(func(vpn uint64) {
+		if vpn >= codeStart && vpn <= codeEnd {
+			return
+		}
+		candidates = append(candidates, vpn)
+	})
+	rng := rand.New(rand.NewSource(seed))
+	for _, vpn := range candidates {
+		if rng.Float64() < fraction {
+			img.Space.UnmapPage(vpn)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+// Package workload generates the eight synthetic benchmark programs
+// standing in for the paper's Table 2 suite (SPEC95 subset plus
+// alphadoom, deltablue and murphi). The original Alpha binaries and
+// SimpleScalar checkpoints are unavailable, so each benchmark is a
+// deterministic ISA program whose *locus behaviour around a TLB miss*
+// — dependence structure, branch character, page-table locality,
+// footprint — is shaped to the paper's per-benchmark DTLB miss
+// density and base IPC (Tables 2 and 4). See DESIGN.md §2 for the
+// substitution argument.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mtexc/internal/isa"
+	"mtexc/internal/isa/asm"
+	"mtexc/internal/mem"
+	"mtexc/internal/vm"
+)
+
+// Register conventions used by generated programs.
+const (
+	rInner  = 1  // inner-loop counter
+	rTmp    = 4  // scratch
+	rAcc0   = 5  // accumulators r5..r9
+	rHot    = 12 // hot-table cursor
+	rLCG    = 22 // linear congruential generator state
+	rFarBuf = 19 // last far-loaded value
+	rFar    = 20 // far-region base
+	rChase0 = 21 // pointer-chase cursors r21, r23, r24, r25
+	rHotTab = 13 // hot table base
+	rJTab   = 14 // jump-table base
+	rStride = 15 // streaming cursor
+	rTmp2   = 16
+	rTmp3   = 17
+	rTmp4   = 18
+	rRand   = 10 // random-bit cursor for data-dependent control
+)
+
+var chaseRegs = []uint8{21, 23, 24, 25}
+
+// Memory layout of generated programs.
+const (
+	farVA    = uint64(0x4000_0000) // large far region (TLB-missing)
+	hotVA    = uint64(0x1000_0000) // small hot table (TLB/cache resident)
+	jtabVA   = uint64(0x1200_0000) // jump table of code addresses
+	streamVA = uint64(0x2000_0000) // streaming arrays (FP benchmarks)
+	lcgMul   = 6364136223846793005
+	lcgAdd   = 1442695040888963407
+)
+
+// emitter wraps the instruction builder with the kernel fragments
+// benchmarks are composed from.
+type emitter struct {
+	b *asm.Builder
+	n int // unique local label counter
+	// jtCases records dispatch-case labels in emission order; they
+	// resolve to the jump-table contents at assembly time.
+	jtCases []string
+}
+
+func (e *emitter) label(prefix string) string {
+	e.n++
+	return fmt.Sprintf("%s_%d", prefix, e.n)
+}
+
+// hashTouch emits one multiplicative-hash probe into the far region:
+// the address depends serially on the LCG state, like a hash-table
+// lookup. pages must be a power of two.
+func (e *emitter) hashTouch(pages int, store bool) {
+	b := e.b
+	b.LoadImm(rTmp2, lcgMul)
+	b.R(isa.OpMul, rLCG, rLCG, rTmp2)
+	b.LoadImm(rTmp2, lcgAdd)
+	b.R(isa.OpAdd, rLCG, rLCG, rTmp2)
+	b.I(isa.OpSrli, rTmp, rLCG, 29)
+	b.I(isa.OpAndi, rTmp, rTmp, int64(pages-1))
+	b.I(isa.OpSlli, rTmp, rTmp, int64(vm.PageShift))
+	// Pseudo-random aligned offset within the first lines of the
+	// page: the suite models the paper's regime where the TLB cannot
+	// map what the L2 holds, so far data is largely cache-resident
+	// while still TLB-missing.
+	b.I(isa.OpSrli, rTmp3, rLCG, 11)
+	b.I(isa.OpAndi, rTmp3, rTmp3, 0xf8)
+	b.R(isa.OpAdd, rTmp, rTmp, rTmp3)
+	b.R(isa.OpAdd, rTmp, rTmp, rFar)
+	if store {
+		b.I(isa.OpStq, rFarBuf, rTmp, 0)
+	} else {
+		b.I(isa.OpLdq, rFarBuf, rTmp, 0)
+		b.R(isa.OpAdd, rAcc0, rAcc0, rFarBuf)
+	}
+}
+
+// chaseTouch advances pointer-chase ring i by one link (a serial
+// dependent load, like walking an object graph).
+func (e *emitter) chaseTouch(ring int) {
+	r := chaseRegs[ring]
+	e.b.I(isa.OpLdq, r, r, 0)
+}
+
+// hotLoad emits a load from the small cache-resident table, cycling
+// through it.
+func (e *emitter) hotLoad() {
+	b := e.b
+	b.I(isa.OpAddi, rHot, rHot, 8)
+	b.I(isa.OpAndi, rHot, rHot, 0xff8)
+	b.R(isa.OpAdd, rTmp2, rHotTab, rHot)
+	b.I(isa.OpLdq, rTmp3, rTmp2, 0)
+	b.R(isa.OpAdd, rAcc0+1, rAcc0+1, rTmp3)
+}
+
+// intParallel emits n independent integer operations spread over the
+// accumulator registers (instruction-level parallelism fodder).
+func (e *emitter) intParallel(n int) {
+	for i := 0; i < n; i++ {
+		r := uint8(rAcc0 + i%5)
+		e.b.I(isa.OpAddi, r, r, int64(i+1))
+	}
+}
+
+// intSerial emits an n-deep dependent integer chain.
+func (e *emitter) intSerial(n int) {
+	for i := 0; i < n; i++ {
+		e.b.I(isa.OpAddi, rAcc0, rAcc0, 1)
+	}
+}
+
+// fpSerial emits an n-deep dependent floating-point chain (latency
+// bound, as in the inner loops of hydro2d).
+func (e *emitter) fpSerial(n int, op isa.Op) {
+	for i := 0; i < n; i++ {
+		e.b.R(op, 1, 1, 2) // f1 = f1 op f2
+	}
+}
+
+// fpParallel emits n independent FP operations across f3..f6.
+func (e *emitter) fpParallel(n int) {
+	for i := 0; i < n; i++ {
+		f := uint8(3 + i%4)
+		e.b.R(isa.OpFadd, f, f, 2)
+	}
+}
+
+// fpStream emits a stencil step: load two stream elements, combine,
+// store one at storeOff from the cursor, advance. A positive storeOff
+// creates a loop-carried memory recurrence (the store feeds the next
+// iteration's load — hydro2d's latency-bound character); a negative
+// one stores behind the reads and streams freely (applu).
+func (e *emitter) fpStream(streamBytes, storeOff int64) {
+	b := e.b
+	b.I(isa.OpLdf, 7, rStride, 0)
+	b.I(isa.OpLdf, 8, rStride, 8)
+	b.R(isa.OpFadd, 7, 7, 8)
+	b.R(isa.OpFmul, 7, 7, 2)
+	b.I(isa.OpStf, 7, rStride, storeOff)
+	b.I(isa.OpAddi, rStride, rStride, 8)
+	// Wrap the cursor within the stream region.
+	lbl := e.label("wrap")
+	b.LoadImm(rTmp2, streamVA+uint64(streamBytes))
+	b.R(isa.OpCmpUlt, rTmp3, rStride, rTmp2)
+	b.Branch(isa.OpBne, rTmp3, lbl)
+	b.LoadImm(rStride, streamVA+16)
+	b.Label(lbl)
+}
+
+// randBits advances the random-bit cursor (r10) and loads the word of
+// pre-generated random data it points into, leaving it in rTmp3
+// shifted so the cursor's low bits select fresh bits. Branch
+// directions and dispatch targets derived from it are deterministic
+// per run but unlearnable by the predictors, like the data-dependent
+// control in gcc and deltablue.
+func (e *emitter) randBits(step int64) {
+	b := e.b
+	b.I(isa.OpAddi, rRand, rRand, step)
+	b.I(isa.OpSrli, rTmp2, rRand, 6)
+	b.I(isa.OpAndi, rTmp2, rTmp2, 0x1f8) // word index within 64 words
+	b.R(isa.OpAdd, rTmp2, rHotTab, rTmp2)
+	b.I(isa.OpLdq, rTmp3, rTmp2, 2048) // random words live at +2KB
+	b.R(isa.OpSrl, rTmp3, rTmp3, rRand)
+}
+
+// noisyBranch emits a data-dependent, unpredictable branch hammock
+// (the character of gcc's control flow).
+func (e *emitter) noisyBranch() {
+	b := e.b
+	skip := e.label("nb")
+	e.randBits(1)
+	b.I(isa.OpAndi, rTmp3, rTmp3, 1)
+	b.Branch(isa.OpBeq, rTmp3, skip)
+	b.I(isa.OpAddi, rAcc0+2, rAcc0+2, 3)
+	b.Label(skip)
+}
+
+// dispatch emits an indirect jump through the in-memory jump table —
+// virtual-function-call behaviour (deltablue, vortex). The table has
+// 4 targets chosen by LCG bits; each case is a short distinct body.
+func (e *emitter) dispatch() {
+	b := e.b
+	join := e.label("join")
+	cases := make([]string, 4)
+	for i := range cases {
+		cases[i] = e.label("case")
+	}
+	e.randBits(2)
+	b.I(isa.OpAndi, rTmp3, rTmp3, 3)
+	b.I(isa.OpSlli, rTmp3, rTmp3, 3)
+	b.R(isa.OpAdd, rTmp3, rJTab, rTmp3)
+	b.I(isa.OpLdq, rTmp3, rTmp3, 0)
+	b.R(isa.OpJr, 0, rTmp3, 0)
+	for i, c := range cases {
+		b.Label(c)
+		b.I(isa.OpAddi, uint8(rAcc0+i%4), uint8(rAcc0+i%4), int64(i+1))
+		b.Jump(isa.OpBr, join)
+	}
+	b.Label(join)
+	// Record the case labels for jump-table initialization.
+	e.jtCases = append(e.jtCases, cases...)
+}
+
+// call emits a call to a small leaf function (RAS exercise). The
+// function must have been emitted with leafFunc.
+func (e *emitter) call(fn string) {
+	e.b.Jump(isa.OpJal, fn)
+}
+
+// leafFunc emits a short leaf function: a few ops and a return.
+func (e *emitter) leafFunc(name string, work int) {
+	b := e.b
+	b.Label(name)
+	for i := 0; i < work; i++ {
+		b.I(isa.OpAddi, rAcc0+3, rAcc0+3, 2)
+	}
+	b.Emit(isa.Instruction{Op: isa.OpRet})
+}
+
+// dataInit captures the memory initialization a benchmark needs.
+type dataInit struct {
+	farPages   int
+	chasePages int
+	chaseRings int
+	hotWords   int
+	streamKB   int
+	jtVAs      []uint64 // resolved dispatch-case code addresses
+	seed       int64
+}
+
+// buildData maps and initializes the benchmark's data regions.
+func buildData(as *vm.AddressSpace, img *vm.Image, d dataInit) error {
+	rng := rand.New(rand.NewSource(d.seed))
+
+	for i := 0; i < d.farPages; i++ {
+		va := farVA + uint64(i)*vm.PageSize
+		if err := as.WriteU64(va, uint64(rng.Int63())); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < d.hotWords; i++ {
+		if err := as.WriteU64(hotVA+uint64(i)*8, uint64(i*3+1)); err != nil {
+			return err
+		}
+	}
+	// Random control words at +2KB drive data-dependent branches and
+	// dispatch (see emitter.randBits).
+	for i := 0; i < 64; i++ {
+		if err := as.WriteU64(hotVA+2048+uint64(i)*8, uint64(rng.Int63())|uint64(rng.Intn(2))<<63); err != nil {
+			return err
+		}
+	}
+	if d.streamKB > 0 {
+		// Map the stream region plus one spill page for the stencil's
+		// trailing store; seed a value per page.
+		bytes := uint64(d.streamKB) << 10
+		for off := uint64(0); off <= bytes; off += vm.PageSize {
+			if err := as.WriteU64(streamVA+off, math.Float64bits(1.0001)); err != nil {
+				return err
+			}
+		}
+	}
+	if d.chaseRings > 0 {
+		// Random rings over d.chasePages pages each, offset so rings
+		// do not collide. The link word sits at a per-page
+		// pseudo-random offset to spread cache sets.
+		for ring := 0; ring < d.chaseRings; ring++ {
+			base := farVA + uint64(d.farPages+ring*d.chasePages)*vm.PageSize
+			perm := rng.Perm(d.chasePages)
+			offs := make([]uint64, d.chasePages)
+			for i := range offs {
+				offs[i] = uint64(rng.Intn(1000)) * 8
+			}
+			for i := 0; i < d.chasePages; i++ {
+				from := base + uint64(perm[i])*vm.PageSize + offs[perm[i]]
+				next := perm[(i+1)%d.chasePages]
+				to := base + uint64(next)*vm.PageSize + offs[next]
+				if err := as.WriteU64(from, to); err != nil {
+					return err
+				}
+			}
+			// Start cursor.
+			start := base + uint64(perm[0])*vm.PageSize + offs[perm[0]]
+			img.InitInt[chaseRegs[ring]] = start
+		}
+	}
+	for i, va := range d.jtVAs {
+		if err := as.WriteU64(jtabVA+uint64(i)*8, va); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// assembleImage finishes the builder into a loaded image.
+func assembleImage(phys *mem.Physical, asn uint8, name string, b *asm.Builder, e *emitter, d dataInit) (*vm.Image, error) {
+	return assembleImageOrg(phys, asn, name, b, e, d, vm.PTLinear)
+}
+
+// assembleImageOrg is assembleImage with an explicit page-table
+// organization.
+func assembleImageOrg(phys *mem.Physical, asn uint8, name string, b *asm.Builder, e *emitter, d dataInit, org vm.PTOrg) (*vm.Image, error) {
+	// Resolve dispatch-case labels to code addresses before Finish
+	// consumes the builder.
+	caseVAs := make([]uint64, len(e.jtCases))
+	for i, lbl := range e.jtCases {
+		idx, ok := b.LabelIndex(lbl)
+		if !ok {
+			return nil, fmt.Errorf("workload: unresolved dispatch label %q", lbl)
+		}
+		caseVAs[i] = vm.DefaultCodeVA + uint64(idx)*4
+	}
+	code, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	as := vm.NewAddressSpace(phys, asn, 1<<22)
+	if org == vm.PTTwoLevel {
+		as = vm.NewAddressSpaceTwoLevel(phys, asn, 1<<22)
+	}
+	img := &vm.Image{
+		Name:    name,
+		Code:    code,
+		Space:   as,
+		InitInt: map[uint8]uint64{},
+	}
+	if err := img.Load(phys); err != nil {
+		return nil, err
+	}
+	d.jtVAs = caseVAs
+	if err := buildData(as, img, d); err != nil {
+		return nil, err
+	}
+	img.InitInt[rFar] = farVA
+	img.InitInt[rHotTab] = hotVA
+	img.InitInt[rJTab] = jtabVA
+	img.InitInt[rStride] = streamVA + 16
+	img.InitInt[rLCG] = uint64(d.seed)*2654435761 + 12345
+	return img, nil
+}

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"mtexc/internal/isa"
+	"mtexc/internal/isa/asm"
+	"mtexc/internal/mem"
+	"mtexc/internal/vm"
+)
+
+// PopcountBench exercises the generalized exception mechanism
+// (Section 6): a bit-manipulation kernel whose POPC instructions can
+// be software-emulated. The data footprint fits comfortably in the
+// TLB, so emulation exceptions are the only exception traffic — the
+// clean setting for measuring per-emulation penalty.
+type PopcountBench struct {
+	// Every inner iterations of compute, one POPC executes; the
+	// iteration body is ~12 instructions.
+	Every int
+}
+
+// NewPopcount returns a popcount workload with roughly one POPC per
+// every*12 instructions.
+func NewPopcount(every int) *PopcountBench {
+	if every < 1 {
+		every = 1
+	}
+	return &PopcountBench{Every: every}
+}
+
+// Name identifies the workload.
+func (p *PopcountBench) Name() string { return "popcount" }
+
+// Build generates the program.
+func (p *PopcountBench) Build(phys *mem.Physical, asn uint8) (*vm.Image, error) {
+	b := asm.NewBuilder()
+	e := &emitter{b: b}
+
+	b.Label("outer")
+	// One POPC on a fresh LCG value.
+	b.LoadImm(rTmp2, lcgMul)
+	b.R(isa.OpMul, rLCG, rLCG, rTmp2)
+	b.I(isa.OpAddi, rLCG, rLCG, 1442)
+	b.R(isa.OpPopc, rTmp, rLCG, 0)
+	b.R(isa.OpAdd, rAcc0, rAcc0, rTmp)
+	// Compute filler between POPCs.
+	b.I(isa.OpLdi, rInner, 0, int64(p.Every))
+	b.Label("inner")
+	e.intParallel(6)
+	e.hotLoad()
+	b.I(isa.OpAddi, rInner, rInner, -1)
+	b.Branch(isa.OpBne, rInner, "inner")
+	b.Jump(isa.OpBr, "outer")
+
+	return assembleImage(phys, asn, p.Name(), b, e, dataInit{hotWords: 512, seed: 99})
+}

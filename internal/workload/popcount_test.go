@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"testing"
+
+	"mtexc/internal/core"
+	"mtexc/internal/vm"
+)
+
+func TestPopcountWorkloadEmulation(t *testing.T) {
+	w := NewPopcount(8)
+	if w.Name() != "popcount" {
+		t.Errorf("name = %q", w.Name())
+	}
+	cfg := core.DefaultConfig()
+	cfg.MaxInsts = 40_000
+	cfg.Contexts = 2
+	cfg.Mech = core.MechMultithreaded
+	cfg.EmulatePopc = true
+	res, err := core.Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Get("emu.committed") == 0 {
+		t.Error("popcount workload raised no emulation exceptions")
+	}
+	if res.DTLBMisses > 32 {
+		t.Errorf("popcount workload took %d TLB fills; it should stay TLB-resident", res.DTLBMisses)
+	}
+}
+
+func TestPopcountDensityKnob(t *testing.T) {
+	run := func(every int) uint64 {
+		cfg := core.DefaultConfig()
+		cfg.MaxInsts = 60_000
+		cfg.Contexts = 2
+		cfg.Mech = core.MechMultithreaded
+		cfg.EmulatePopc = true
+		res, err := core.Run(cfg, NewPopcount(every))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Get("emu.committed")
+	}
+	dense, sparse := run(2), run(32)
+	if !(dense > sparse*4) {
+		t.Errorf("density knob weak: every=2 -> %d emus, every=32 -> %d", dense, sparse)
+	}
+}
+
+func TestFaultyWrapper(t *testing.T) {
+	inner, err := ByName("mph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Faulty{Inner: inner, Fraction: 0.5, Seed: 3}
+	if f.Name() != "murphi+faults" {
+		t.Errorf("name = %q", f.Name())
+	}
+	cfg := core.DefaultConfig()
+	cfg.MaxInsts = 60_000
+	cfg.Contexts = 2
+	cfg.Mech = core.MechMultithreaded
+	res, err := core.Run(cfg, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Get("os.pagefaults") == 0 {
+		t.Error("faulty wrapper produced no page faults")
+	}
+	if res.AppInsts < cfg.MaxInsts {
+		t.Errorf("run stalled at %d/%d instructions", res.AppInsts, cfg.MaxInsts)
+	}
+}
+
+func TestTwoLevelBenchmarkBuilds(t *testing.T) {
+	b, err := ByName("cmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = b.WithTwoLevelPT()
+	cfg := core.DefaultConfig()
+	cfg.MaxInsts = 40_000
+	cfg.Contexts = 2
+	cfg.Mech = core.MechMultithreaded
+	cfg.PageTable = vm.PTTwoLevel
+	res, err := core.Run(cfg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DTLBMisses == 0 {
+		t.Error("two-level compress took no fills")
+	}
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"testing"
+
+	"mtexc/internal/core"
+)
+
+func calCfg(insts uint64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.MaxInsts = insts
+	cfg.MaxCycles = 100_000_000
+	return cfg
+}
+
+// TestSuiteCompleteness pins the suite composition to Table 2.
+func TestSuiteCompleteness(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("suite has %d benchmarks, want 8", len(all))
+	}
+	wantShort := map[string]bool{
+		"adm": true, "apl": true, "cmp": true, "dbl": true,
+		"gcc": true, "h2d": true, "mph": true, "vor": true,
+	}
+	for _, b := range all {
+		if !wantShort[b.Short()] {
+			t.Errorf("unexpected abbreviation %q", b.Short())
+		}
+		if b.Description() == "" {
+			t.Errorf("%s has no description", b.Name())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("compress"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("cmp"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("unknown benchmark did not error")
+	}
+}
+
+// TestBenchmarksExecute runs every benchmark briefly under the
+// traditional mechanism: it must retire its instruction budget, take
+// TLB misses, and not stall out.
+func TestBenchmarksExecute(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Short(), func(t *testing.T) {
+			cfg := calCfg(60_000)
+			cfg.Mech = core.MechTraditional
+			res, err := core.Run(cfg, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.AppInsts < cfg.MaxInsts {
+				t.Fatalf("retired only %d/%d instructions in %d cycles",
+					res.AppInsts, cfg.MaxInsts, res.Cycles)
+			}
+			if res.DTLBMisses == 0 {
+				t.Error("no TLB misses — benchmark exerts no translation pressure")
+			}
+			if res.IPC < 0.3 || res.IPC > 8 {
+				t.Errorf("implausible IPC %.2f", res.IPC)
+			}
+		})
+	}
+}
+
+// TestBenchmarkDeterminism: identical configurations produce
+// identical runs (a requirement for mechanism comparisons).
+func TestBenchmarkDeterminism(t *testing.T) {
+	b := newCompress()
+	cfg := calCfg(40_000)
+	cfg.Mech = core.MechMultithreaded
+	r1, err := core.Run(cfg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.Run(cfg, newCompress())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.DTLBMisses != r2.DTLBMisses {
+		t.Errorf("nondeterministic: %d/%d cycles, %d/%d misses",
+			r1.Cycles, r2.Cycles, r1.DTLBMisses, r2.DTLBMisses)
+	}
+}
+
+// TestCalibration reports (and loosely bounds) each benchmark's base
+// IPC and DTLB miss density against the paper's Tables 2 and 4. Run
+// with -v for the calibration table.
+func TestCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	// Paper targets: misses per million instructions and base IPC.
+	targets := map[string]struct {
+		missPerM float64
+		ipc      float64
+	}{
+		"adm": {110, 4.3},
+		"apl": {160, 2.6},
+		"cmp": {2300, 2.6},
+		"dbl": {160, 2.2},
+		"gcc": {140, 2.8},
+		"h2d": {230, 1.3},
+		"mph": {360, 3.9},
+		"vor": {860, 4.9},
+	}
+	t.Logf("%-12s %10s %10s %8s %8s", "bench", "miss/M", "target", "IPC", "target")
+	for _, b := range All() {
+		cfg := calCfg(300_000)
+		cfg.Mech = core.MechMultithreaded
+		res, err := core.Run(cfg, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pcfg := cfg
+		pcfg.Mech = core.MechPerfect
+		pres, err := core.Run(pcfg, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tgt := targets[b.Short()]
+		missPerM := float64(res.DTLBMisses) / float64(res.AppInsts) * 1e6
+		t.Logf("%-12s %10.0f %10.0f %8.2f %8.2f", b.Short(), missPerM, tgt.missPerM, pres.IPC, tgt.ipc)
+		// Generous envelope: within 3x on miss density, within 40%
+		// relative on IPC — we reproduce the spread, not the digits.
+		if missPerM < tgt.missPerM/3 || missPerM > tgt.missPerM*3 {
+			t.Errorf("%s: miss density %.0f/M outside 3x of target %.0f/M", b.Short(), missPerM, tgt.missPerM)
+		}
+		if pres.IPC < tgt.ipc*0.6 || pres.IPC > tgt.ipc*1.5 {
+			t.Errorf("%s: base IPC %.2f outside envelope of target %.2f", b.Short(), pres.IPC, tgt.ipc)
+		}
+	}
+}
