@@ -5,12 +5,13 @@
 #   make test         full test suite (includes slow harness tests)
 #   make test-short   quick tests only
 #   make bench        one benchmark per paper table/figure
+#   make bench-json   machine-readable snapshots of the headline runs
 #   make experiments  regenerate every table and figure (minutes)
 #   make report       automated claim-by-claim reproduction report
 
 GO ?= go
 
-.PHONY: build test test-short bench experiments report vet fmt clean
+.PHONY: build test test-short bench bench-json experiments report vet fmt clean
 
 build:
 	$(GO) build ./...
@@ -29,6 +30,18 @@ test-short: build
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' .
+
+# One JSON snapshot per exception architecture on the compress
+# benchmark (see docs/observability.md for the schema), plus the
+# experiment tables as JSON rows.
+bench-json:
+	mkdir -p out
+	for mech in traditional multithreaded hardware; do \
+		$(GO) run ./cmd/mtexcsim -bench compress -mech $$mech \
+			-json out/compress-$$mech.json || exit 1; \
+	done
+	$(GO) run ./cmd/mtexc-experiments -fig5 -json > out/fig5.ndjson
+	@echo "snapshots in out/"
 
 experiments:
 	$(GO) run ./cmd/mtexc-experiments -all -general -unaligned -tlbsweep -faults -ptorg

@@ -45,6 +45,7 @@ func main() {
 		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all 8)")
 		verbose = flag.Bool("v", false, "log every simulation run")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut = flag.Bool("json", false, "emit newline-delimited JSON rows instead of aligned text")
 	)
 	flag.Parse()
 
@@ -111,9 +112,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mtexc-experiments:", r.err)
 			os.Exit(1)
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			if err := r.tab.WriteJSONRows(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "mtexc-experiments:", err)
+				os.Exit(1)
+			}
+		case *csv:
 			fmt.Printf("# %s\n%s\n", r.tab.Title, r.tab.CSV())
-		} else {
+		default:
 			fmt.Println(r.tab)
 		}
 	}

@@ -2,27 +2,43 @@
 // reproduction report, checking every reproducible claim of the paper
 // against the measured results. Exits nonzero if any claim fails.
 //
+// With -json it instead reads a snapshot written by `mtexcsim -json`
+// and renders its contents (run identity, slot accounting, per-miss
+// latency breakdown, sampled series) as markdown.
+//
 // Usage:
 //
 //	mtexc-report -insts 1000000 > report.md
+//	mtexc-report -json run.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"mtexc/internal/harness"
+	"mtexc/internal/obs"
 )
 
 func main() {
 	var (
 		insts   = flag.Uint64("insts", 500_000, "application instructions per run")
 		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all 8)")
+		jsonIn  = flag.String("json", "", "render a snapshot file written by mtexcsim -json instead of running the evaluation")
 		verbose = flag.Bool("v", false, "log every simulation run to stderr")
 	)
 	flag.Parse()
+
+	if *jsonIn != "" {
+		if err := renderSnapshot(*jsonIn); err != nil {
+			fmt.Fprintln(os.Stderr, "mtexc-report:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opt := harness.Options{Insts: *insts}
 	if *benches != "" {
@@ -35,4 +51,83 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mtexc-report:", err)
 		os.Exit(1)
 	}
+}
+
+// renderSnapshot prints a snapshot as markdown.
+func renderSnapshot(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snap, err := obs.ReadSnapshot(f)
+	if err != nil {
+		return err
+	}
+
+	m := snap.Meta
+	fmt.Printf("# mtexc run snapshot (schema %d)\n\n", snap.Schema)
+	fmt.Printf("- benchmarks: %s\n", strings.Join(m.Benchmarks, ", "))
+	mech := m.Mechanism
+	if m.QuickStart {
+		mech += " + quickstart"
+	}
+	fmt.Printf("- mechanism: %s\n", mech)
+	fmt.Printf("- machine: %d-wide, %d-entry window, %d contexts, %d-entry DTLB\n",
+		m.Width, m.Window, m.Contexts, m.DTLBSize)
+	fmt.Printf("- cycles: %d, app instructions: %d, IPC: %.3f, DTLB fills: %d\n",
+		m.Cycles, m.AppInsts, m.IPC, m.DTLBMisses)
+
+	if s := snap.Slots; s != nil {
+		fmt.Printf("\n## Issue-slot accounting (%d slots = %d cycles × %d wide, identity %v)\n\n",
+			s.Width*s.Cycles, s.Cycles, s.Width, s.Identity)
+		fmt.Printf("| category | slots | share |\n|---|---:|---:|\n")
+		total := s.Width * s.Cycles
+		for _, k := range obs.SlotKinds() {
+			v := s.Categories[k.String()]
+			share := 0.0
+			if total > 0 {
+				share = float64(v) / float64(total) * 100
+			}
+			fmt.Printf("| %s | %d | %.1f%% |\n", k, v, share)
+		}
+	}
+
+	if len(snap.Breakdown) > 0 {
+		fmt.Printf("\n## Per-miss latency breakdown (cycles)\n\n")
+		fmt.Printf("| phase | n | mean | p50 | p95 | p99 | max |\n|---|---:|---:|---:|---:|---:|---:|\n")
+		names := make([]string, 0, len(snap.Breakdown))
+		for n := range snap.Breakdown {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			h := snap.Breakdown[n]
+			fmt.Printf("| %s | %d | %.1f | %d | %d | %d | %d |\n",
+				strings.TrimPrefix(n, "span."), h.Count, h.Mean, h.P50, h.P95, h.P99, h.Max)
+		}
+	}
+
+	if len(snap.Series) > 0 {
+		fmt.Printf("\n## Sampled series\n\n")
+		for _, s := range snap.Series {
+			if len(s.Values) == 0 {
+				continue
+			}
+			lo, hi := s.Values[0], s.Values[0]
+			for _, v := range s.Values {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			fmt.Printf("- %s: %d samples, min %.3f, max %.3f, last %.3f\n",
+				s.Name, len(s.Values), lo, hi, s.Values[len(s.Values)-1])
+		}
+	}
+	fmt.Printf("\n%d retained miss spans, %d counters, %d histograms\n",
+		len(snap.Spans), len(snap.Counters), len(snap.Histograms))
+	return nil
 }

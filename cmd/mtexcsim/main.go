@@ -15,9 +15,14 @@ import (
 	"strings"
 
 	"mtexc/internal/core"
+	"mtexc/internal/obs"
 	"mtexc/internal/trace"
 	"mtexc/internal/workload"
 )
+
+// defaultTraceCap is the trace-record capacity implied by the trace
+// exporters (-kanata, -chrome) when -trace was not given explicitly.
+const defaultTraceCap = 512
 
 func main() {
 	var (
@@ -32,7 +37,11 @@ func main() {
 		dtlb       = flag.Int("dtlb", 64, "DTLB entries")
 		showStats  = flag.Bool("stats", false, "dump all machine statistics")
 		traceN     = flag.Int("trace", 0, "print a pipeline diagram of the last N instructions")
-		kanata     = flag.String("kanata", "", "write the trace in Kanata viewer format to this file (with -trace)")
+		kanata     = flag.String("kanata", "", "write the trace in Kanata viewer format to this file (implies -trace 512)")
+		chromeOut  = flag.String("chrome", "", "write the trace as Chrome trace_event JSON to this file (implies -trace 512)")
+		jsonOut    = flag.String("json", "", "write the full run snapshot (stats, slot account, miss breakdown, series) as JSON to this file")
+		interval   = flag.Uint64("interval", 0, "sample interval in cycles for time series (0: 10000 when exporting, else off)")
+		seriesCSV  = flag.String("seriescsv", "", "write the sampled time series as CSV to this file")
 		list       = flag.Bool("list", false, "list available benchmarks and exit")
 	)
 	flag.Parse()
@@ -44,11 +53,21 @@ func main() {
 		return
 	}
 
+	// The trace exporters need records to export: turn tracing on at a
+	// default capacity when a trace file was requested without -trace.
+	if (*kanata != "" || *chromeOut != "") && *traceN <= 0 {
+		*traceN = defaultTraceCap
+	}
+
 	cfg := core.DefaultConfig().WithWidth(*width, *window).WithPipeDepth(*depth)
 	cfg.DTLBEntries = *dtlb
 	cfg.MaxInsts = *insts
 	cfg.MaxCycles = 400 * *insts
 	cfg.QuickStart = *quickstart
+	cfg.SampleInterval = *interval
+	if cfg.SampleInterval == 0 && (*jsonOut != "" || *seriesCSV != "") {
+		cfg.SampleInterval = 10_000
+	}
 	switch *mechName {
 	case "perfect":
 		cfg.Mech = core.MechPerfect
@@ -116,6 +135,13 @@ func main() {
 	fmt.Printf("IPC        : %.3f\n", res.IPC)
 	fmt.Printf("DTLB fills : %d (%.0f per 100M instructions)\n",
 		res.DTLBMisses, float64(res.DTLBMisses)/float64(res.AppInsts)*1e8)
+	if o := res.Obs; o != nil && o.Slots != nil && o.Slots.Total() > 0 {
+		fmt.Printf("slot mix   :")
+		for _, k := range obs.SlotKinds() {
+			fmt.Printf(" %s %.1f%%", k, o.Slots.Fraction(k)*100)
+		}
+		fmt.Println()
+	}
 	if *showStats {
 		fmt.Println("\nstatistics:")
 		fmt.Print(res.Stats.String())
@@ -125,16 +151,53 @@ func main() {
 		collector.Render(os.Stdout)
 		collector.Summary(os.Stdout)
 		if *kanata != "" {
-			f, err := os.Create(*kanata)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "mtexcsim:", err)
-				os.Exit(1)
-			}
-			if err := trace.WriteKanata(f, collector.Records()); err != nil {
-				fmt.Fprintln(os.Stderr, "mtexcsim:", err)
-			}
-			f.Close()
-			fmt.Printf("kanata trace written to %s\n", *kanata)
+			writeFile(*kanata, "kanata trace", func(f *os.File) error {
+				return trace.WriteKanata(f, collector.Records())
+			})
+		}
+		if *chromeOut != "" {
+			writeFile(*chromeOut, "chrome trace", func(f *os.File) error {
+				return obs.WriteChromeTrace(f, collector.Records())
+			})
 		}
 	}
+	if *jsonOut != "" {
+		snap := core.Snapshot(cfg, benchNames(*benchList), res)
+		writeFile(*jsonOut, "snapshot", func(f *os.File) error {
+			return obs.WriteJSON(f, snap)
+		})
+	}
+	if *seriesCSV != "" {
+		writeFile(*seriesCSV, "series CSV", func(f *os.File) error {
+			return obs.WriteSeriesCSV(f, res.Obs.Series())
+		})
+	}
+}
+
+func benchNames(list string) []string {
+	var names []string
+	for _, n := range strings.Split(list, ",") {
+		names = append(names, strings.TrimSpace(n))
+	}
+	return names
+}
+
+// writeFile creates path and runs the exporter, failing loudly: a
+// requested export that cannot be produced is an error, not a note.
+func writeFile(path, what string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mtexcsim: writing %s: %v\n", what, err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "mtexcsim: writing %s: %v\n", what, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "mtexcsim: writing %s: %v\n", what, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s written to %s\n", what, path)
 }

@@ -10,6 +10,7 @@ import (
 
 	"mtexc/internal/cpu"
 	"mtexc/internal/mem"
+	"mtexc/internal/obs"
 	"mtexc/internal/vm"
 )
 
@@ -84,6 +85,27 @@ func Run(cfg Config, workloads ...Workload) (Result, error) {
 		m.WarmPageTable(img.Space)
 	}
 	return m.Run(), nil
+}
+
+// Snapshot assembles the machine-readable export of a completed run:
+// configuration identity, every counter and histogram, the
+// slot-accounting ledger, the per-miss latency breakdown and any
+// interval series (see internal/obs for the schema).
+func Snapshot(cfg Config, benchmarks []string, res Result) *obs.Snapshot {
+	meta := obs.Meta{
+		Benchmarks: benchmarks,
+		Mechanism:  cfg.Mech.String(),
+		QuickStart: cfg.QuickStart,
+		Width:      cfg.Width,
+		Window:     cfg.WindowSize,
+		Contexts:   cfg.Contexts,
+		DTLBSize:   cfg.DTLBEntries,
+		Cycles:     res.Cycles,
+		AppInsts:   res.AppInsts,
+		DTLBMisses: res.DTLBMisses,
+		IPC:        res.IPC,
+	}
+	return obs.BuildSnapshot(meta, res.Stats, res.Obs)
 }
 
 // Comparison holds a subject run and its perfect-TLB baseline over

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"mtexc/internal/obs"
+	"mtexc/internal/workload"
+)
+
+// TestSlotAccountingIdentity runs every exception architecture on two
+// benchmarks and checks the slot-accounting identity — every issue
+// slot of every cycle lands in exactly one category — both per cycle
+// (CheckInvariants) and on the final ledger.
+func TestSlotAccountingIdentity(t *testing.T) {
+	mechs := []Mechanism{MechPerfect, MechTraditional, MechMultithreaded, MechHardware}
+	for _, benchName := range []string{"cmp", "vor"} {
+		b, err := workload.ByName(benchName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mech := range mechs {
+			t.Run(benchName+"/"+mech.String(), func(t *testing.T) {
+				cfg := quickCfg()
+				cfg.Mech = mech
+				cfg.MaxInsts = 30_000
+				cfg.CheckInvariants = true
+				res, err := Run(cfg, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				slots := res.Obs.Slots
+				if err := slots.CheckIdentity(); err != nil {
+					t.Fatal(err)
+				}
+				if slots.Cycles() != res.Cycles {
+					t.Errorf("ledger closed %d cycles, machine ran %d",
+						slots.Cycles(), res.Cycles)
+				}
+				if slots.Get(obs.SlotUsefulApp) == 0 {
+					t.Error("no useful-app slots booked")
+				}
+				if mech == MechMultithreaded && slots.Get(obs.SlotHandler) == 0 {
+					t.Error("multithreaded run booked no handler slots")
+				}
+				if mech == MechTraditional && slots.Get(obs.SlotSquashWaste) == 0 {
+					t.Error("traditional run booked no squash waste")
+				}
+			})
+		}
+	}
+}
+
+// TestPenaltyOrderingPreserved is the paper's headline result (Figure
+// 5): software trap handling is the most expensive per miss,
+// multithreaded handling recovers most of that cost, and the hardware
+// walker is cheapest. The observability layer must not perturb it.
+func TestPenaltyOrderingPreserved(t *testing.T) {
+	b, err := workload.ByName("cmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg()
+	cfg.MaxInsts = 100_000
+	cfg.SampleInterval = 1_000 // sampling on: it must be free
+	penalty := make(map[Mechanism]float64)
+	for _, mech := range []Mechanism{MechTraditional, MechMultithreaded, MechHardware} {
+		c := cfg
+		c.Mech = mech
+		cmp, err := Compare(c, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		penalty[mech] = cmp.PenaltyPerMiss()
+	}
+	if !(penalty[MechTraditional] > penalty[MechMultithreaded]) {
+		t.Errorf("traditional (%.1f) not costlier than multithreaded (%.1f)",
+			penalty[MechTraditional], penalty[MechMultithreaded])
+	}
+	if !(penalty[MechMultithreaded] > penalty[MechHardware]) {
+		t.Errorf("multithreaded (%.1f) not costlier than hardware (%.1f)",
+			penalty[MechMultithreaded], penalty[MechHardware])
+	}
+}
+
+// TestSnapshotFromRun exercises the full export path on a real run:
+// build, serialize, read back, and check the sections line up with
+// the run summary.
+func TestSnapshotFromRun(t *testing.T) {
+	b, err := workload.ByName("cmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg()
+	cfg.Mech = MechMultithreaded
+	cfg.MaxInsts = 30_000
+	cfg.SampleInterval = 2_000
+	res, err := Run(cfg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := Snapshot(cfg, []string{"compress"}, res)
+	var buf bytes.Buffer
+	if err := obs.WriteJSON(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := obs.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.Cycles != res.Cycles || got.Meta.Mechanism != "multithreaded" {
+		t.Errorf("meta = %+v", got.Meta)
+	}
+	if got.Slots == nil || !got.Slots.Identity {
+		t.Fatalf("slot section missing or identity broken: %+v", got.Slots)
+	}
+	if len(got.Series) == 0 {
+		t.Error("no sampled series in snapshot")
+	}
+	if h, ok := got.Breakdown["span.detect2retire"]; !ok || h.Count == 0 {
+		t.Errorf("per-miss breakdown missing detect2retire: %v", got.Breakdown)
+	}
+	if got.Counters["retire.insts"] == 0 {
+		t.Error("counters not exported")
+	}
+}
+
+// TestMissSpansConsistent checks the recorded spans are causally
+// ordered and that completed multithreaded misses account for most
+// committed fills.
+func TestMissSpansConsistent(t *testing.T) {
+	b, err := workload.ByName("vor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mech := range []Mechanism{MechTraditional, MechMultithreaded, MechHardware} {
+		cfg := quickCfg()
+		cfg.Mech = mech
+		cfg.MaxInsts = 30_000
+		res, err := Run(cfg, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Obs.Misses.Completed() == 0 {
+			t.Errorf("%s: no completed miss spans", mech)
+		}
+		for _, s := range res.Obs.Misses.Spans() {
+			if s.Aborted {
+				continue
+			}
+			if s.FillAt != 0 && s.FillAt < s.DetectAt {
+				t.Errorf("%s: fill %d before detect %d", mech, s.FillAt, s.DetectAt)
+			}
+			if s.HandlerDoneAt != 0 && s.FillAt != 0 && s.HandlerDoneAt < s.FillAt {
+				t.Errorf("%s: done %d before fill %d", mech, s.HandlerDoneAt, s.FillAt)
+			}
+			if s.RetireAt != 0 && s.HandlerDoneAt != 0 && s.RetireAt < s.HandlerDoneAt {
+				t.Errorf("%s: retire %d before done %d", mech, s.RetireAt, s.HandlerDoneAt)
+			}
+		}
+	}
+}

@@ -62,6 +62,12 @@ func (m *Machine) completeSideEffects(u *uop) {
 			ctx.master.dtlbWait = false
 			ctx.master.stage = stageIssued
 			ctx.master.doneAt = m.now + 1
+			if ctx.span != nil && ctx.span.FillAt == 0 {
+				// The destination write is the service point of an
+				// emulation/unaligned exception.
+				ctx.span.FillAt = m.now
+				ctx.span.WakeAt = m.now
+			}
 			m.Stats.Counter("emu.destwrites").Inc()
 			if ctx.detectAt > 0 {
 				m.Stats.Histogram("handler.spawn2wrt").Observe(int64(m.now - ctx.detectAt))
@@ -103,6 +109,9 @@ func (m *Machine) completeTLBWrite(u *uop) {
 	}
 	m.dtlb.Insert(mt.as.ASN, vpn, vm.PTEPFN(pte), ctx.specTag)
 	ctx.filled = true
+	if ctx.span != nil && ctx.span.FillAt == 0 {
+		ctx.span.FillAt = m.now
+	}
 	m.Stats.Counter("handler.fills").Inc()
 	if ctx.detectAt > 0 {
 		m.Stats.Histogram("handler.spawn2fill").Observe(int64(m.now - ctx.detectAt))

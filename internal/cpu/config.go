@@ -167,6 +167,15 @@ type Config struct {
 	// cycle, panicking on the first violation (test configurations).
 	CheckInvariants bool
 
+	// SampleInterval, when nonzero, attaches an interval sampler that
+	// snapshots IPC, miss rate, window occupancy, handler activity
+	// and per-thread in-flight counts every SampleInterval cycles
+	// (Result.Obs.Sampler).
+	SampleInterval uint64
+	// SpanKeep bounds how many raw per-miss latency spans are
+	// retained for export; zero means the obs package default.
+	SpanKeep int
+
 	// Run control: the simulation stops when MaxInsts application
 	// instructions have retired (across all application threads) or
 	// at MaxCycles, whichever is first.

@@ -8,6 +8,7 @@ import (
 	"mtexc/internal/cache"
 	"mtexc/internal/isa"
 	"mtexc/internal/mem"
+	"mtexc/internal/obs"
 	"mtexc/internal/stats"
 	"mtexc/internal/trace"
 	"mtexc/internal/vm"
@@ -46,6 +47,11 @@ type Machine struct {
 	appRetired uint64
 
 	Stats *stats.Set
+
+	// Observ collects the run's observability data: the issue-slot
+	// account, per-miss latency spans, and (when configured) the
+	// interval sampler. Always non-nil.
+	Observ *obs.Observations
 
 	// RetireHook, when set, observes every retiring instruction in
 	// global retirement order (tests verify the Figure 1 splice
@@ -108,7 +114,43 @@ func New(cfg Config) *Machine {
 		m.threads = append(m.threads, &thread{id: i, state: ctxIdle})
 		m.ras = append(m.ras, bpred.NewRAS(64))
 	}
+	m.Observ = &obs.Observations{
+		Slots:  obs.NewSlotAccount(cfg.Width),
+		Misses: obs.NewMissRecorder(m.Stats, cfg.SpanKeep),
+	}
+	if cfg.SampleInterval > 0 {
+		m.attachSampler(cfg.SampleInterval)
+	}
 	return m
+}
+
+// attachSampler wires the default interval time series: IPC, detected
+// miss rate, window occupancy, handler-context activity, squash rate
+// and per-thread in-flight occupancy.
+func (m *Machine) attachSampler(every uint64) {
+	sp := obs.NewSampler(every)
+	sp.Register("ipc", obs.SampleRate, func() float64 {
+		return float64(m.appRetired)
+	})
+	sp.Register("dtlb.missrate", obs.SampleRate, func() float64 {
+		return float64(m.Stats.Get("dtlb.misses.detected"))
+	})
+	sp.Register("window.occupancy", obs.SampleLevel, func() float64 {
+		return float64(m.windowCount)
+	})
+	sp.Register("handler.active", obs.SampleRate, func() float64 {
+		return float64(m.Stats.Get("handler.activecycles"))
+	})
+	sp.Register("squash.rate", obs.SampleRate, func() float64 {
+		return float64(m.Stats.Get("squash.insts"))
+	})
+	for _, t := range m.threads {
+		t := t
+		sp.Register(fmt.Sprintf("thread%d.inflight", t.id), obs.SampleLevel, func() float64 {
+			return float64(t.icount)
+		})
+	}
+	m.Observ.Sampler = sp
 }
 
 // Phys exposes the physical memory for program construction.
@@ -178,6 +220,9 @@ type Result struct {
 	DTLBMisses uint64 // committed fills (the paper's per-miss divisor)
 	IPC        float64
 	Stats      *stats.Set
+	// Obs carries the run's observability data: slot accounting,
+	// per-miss latency spans and interval series.
+	Obs *obs.Observations
 }
 
 // Run simulates until MaxInsts application instructions retire or
@@ -191,11 +236,15 @@ func (m *Machine) Run() Result {
 		}
 	}
 	m.Stats.Counter("cycles").Add(m.now - m.Stats.Get("cycles"))
+	if sp := m.Observ.Sampler; sp != nil {
+		sp.Flush(m.now)
+	}
 	res := Result{
 		Cycles:     m.now,
 		AppInsts:   m.appRetired,
 		DTLBMisses: m.Stats.Get("dtlb.fills.committed"),
 		Stats:      m.Stats,
+		Obs:        m.Observ,
 	}
 	if m.now > 0 {
 		res.IPC = float64(m.appRetired) / float64(m.now)
@@ -223,8 +272,14 @@ func (m *Machine) step() {
 	}
 	if m.cfg.CheckInvariants {
 		m.checkInvariants()
+		if err := m.Observ.Slots.CheckIdentity(); err != nil {
+			m.invariantPanic("%v", err)
+		}
 	}
 	m.now++
+	if sp := m.Observ.Sampler; sp != nil {
+		sp.Tick(m.now)
+	}
 }
 
 // allHalted reports whether no context can make further progress.

@@ -32,9 +32,16 @@ func (m *Machine) onDTLBMiss(u *uop) {
 			if ctx.mech == MechMultithreaded && !m.cfg.NoRelink {
 				m.Stats.Counter("handler.relinks").Inc()
 				ctx.waiters = append(ctx.waiters, ctx.master)
+				// The latency span follows the master link: the older
+				// instruction is now the splice point.
+				ctx.master.span = nil
 				ctx.master, u.missMain = u, true
 				ctx.master.missMain = true
 				u.handlerBy = ctx
+				if ctx.span != nil {
+					ctx.span.Seq = u.seq
+					u.span = ctx.span
+				}
 				return
 			}
 			// Without relinking an older same-page miss cannot reuse
@@ -164,6 +171,8 @@ func (m *Machine) spawnHandler(h *thread, u *uop, kind excKind) {
 		m.reserved += ctx.reserveLeft
 	}
 	ctx.detectAt = m.now
+	ctx.span = m.Observ.Misses.Begin(u.seq, u.faultVPN, kind.spanName(), "multithreaded", m.now)
+	u.span = ctx.span
 	u.handlerBy = ctx
 	u.missMain = true
 	m.handlers = append(m.handlers, ctx)
@@ -272,6 +281,7 @@ func (m *Machine) trapTraditional(u *uop, kind excKind) {
 		specTag:   u.seq,
 		firstSeq:  m.seqCounter + 1,
 	}
+	ctx.span = m.Observ.Misses.Begin(u.seq, u.faultVPN, kind.spanName(), "traditional", m.now)
 	m.handlers = append(m.handlers, ctx)
 	t.trapCtx = ctx
 
@@ -314,6 +324,8 @@ func (m *Machine) startHardwareWalk(u *uop) {
 		excPC:     u.pc,
 		specTag:   0, // hardware fills commit immediately
 	}
+	ctx.span = m.Observ.Misses.Begin(u.seq, u.faultVPN, kindTLB.spanName(), "hardware", m.now)
+	u.span = ctx.span
 	u.handlerBy = ctx
 	u.missMain = true
 	m.handlers = append(m.handlers, ctx)
@@ -338,7 +350,9 @@ func (m *Machine) completeWalks() {
 			if !vm.PTEIsValid(root) {
 				ctx.dead = true
 				m.Stats.Counter("walker.pagefaults").Inc()
+				m.Observ.Misses.Abort(ctx.span)
 				if ctx.master.stage != stageSquashed {
+					ctx.master.span = nil
 					m.trapTraditional(ctx.master, kindTLB)
 				}
 				continue
@@ -358,7 +372,9 @@ func (m *Machine) completeWalks() {
 			// Page fault: fall back to the software path.
 			ctx.dead = true
 			m.Stats.Counter("walker.pagefaults").Inc()
+			m.Observ.Misses.Abort(ctx.span)
 			if ctx.master.stage != stageSquashed {
+				ctx.master.span = nil
 				m.trapTraditional(ctx.master, kindTLB)
 			}
 			continue
@@ -366,6 +382,12 @@ func (m *Machine) completeWalks() {
 		m.dtlb.Insert(mt.as.ASN, ctx.faultVPN, vm.PTEPFN(pte), 0)
 		m.Stats.Counter("walker.fills").Inc()
 		ctx.filled = true
+		if ctx.span != nil {
+			// The walk is the whole handler: fill and completion
+			// coincide.
+			ctx.span.FillAt = m.now
+			ctx.span.HandlerDoneAt = m.now
+		}
 		m.wakeWaiters(ctx)
 	}
 }
@@ -373,6 +395,9 @@ func (m *Machine) completeWalks() {
 // wakeWaiters releases the master and all buffered secondary misses
 // to re-issue through the scheduler.
 func (m *Machine) wakeWaiters(ctx *handlerCtx) {
+	if ctx.span != nil && ctx.span.WakeAt == 0 {
+		ctx.span.WakeAt = m.now
+	}
 	if ctx.master != nil && ctx.master.stage != stageSquashed {
 		ctx.master.dtlbWait = false
 		ctx.master.wokeAt = m.now
@@ -408,6 +433,7 @@ func (m *Machine) killHandler(ctx *handlerCtx) {
 		return
 	}
 	ctx.dead = true
+	m.Observ.Misses.Abort(ctx.span)
 	m.debugf("killHandler kind=%d tid=%d masterSeq=%d", ctx.kind, ctx.tid, ctx.master.seq)
 	m.dtlb.SquashSpec(ctx.specTag)
 	m.reserved -= ctx.reserveLeft

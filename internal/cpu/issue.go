@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"mtexc/internal/isa"
+	"mtexc/internal/obs"
 	"mtexc/internal/vm"
 )
 
@@ -213,16 +214,47 @@ func (m *Machine) issue() {
 	}
 	ready := m.collectReady()
 	m.Stats.Histogram("issue.ready").Observe(int64(len(ready)))
+	blocked := 0 // ready but denied an FU / issue slot this cycle
 	for _, u := range ready {
 		if u.stage != stageWindow {
 			continue // squashed by a trap taken earlier this cycle
 		}
 		exempt := u.excFetch && m.cfg.Limit == LimitNoExecBW
 		if !budget.slotFor(u.inst.Op, exempt) {
+			blocked++
 			continue
+		}
+		if !exempt {
+			// Book the issue slot before executing: if execution
+			// itself traps and squashes this uop, the squash path
+			// moves the booking to the waste category.
+			kind := obs.SlotUsefulApp
+			if u.pal || u.excFetch {
+				kind = obs.SlotHandler
+			}
+			m.Observ.Slots.Use(kind, 1)
+			u.issueSlots++
 		}
 		m.executeUop(u)
 	}
+	m.Observ.Slots.EndCycle(m.issueResidual(blocked))
+}
+
+// issueResidual attributes this cycle's unused issue slots: ready
+// instructions denied by structural limits or a populated window with
+// nothing ready are window stalls; an empty window under a runnable
+// context is a front-end bubble (pipeline refill after a squash);
+// otherwise the machine has no work at all.
+func (m *Machine) issueResidual(blocked int) obs.SlotKind {
+	if blocked > 0 || m.windowCount > 0 {
+		return obs.SlotWindowStall
+	}
+	for _, t := range m.threads {
+		if t.runnable() {
+			return obs.SlotFetchBubble
+		}
+	}
+	return obs.SlotIdleContext
 }
 
 // executeUop begins execution of u at the current cycle, computing

@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"mtexc/internal/isa"
+	"mtexc/internal/obs"
 )
 
 // retire commits completed instructions in per-thread fetch order.
@@ -90,6 +91,14 @@ func (m *Machine) retireUop(t *thread, u *uop) {
 		m.osPageFaultService(t, u)
 	}
 
+	if u.span != nil {
+		// The excepting instruction reached the splice point: close
+		// its latency span.
+		u.span.RetireAt = m.now
+		m.Observ.Misses.Finish(u.span)
+		u.span = nil
+	}
+
 	if u.pal {
 		t.retiredPAL++
 	} else {
@@ -137,6 +146,14 @@ func (m *Machine) retireRFE(t *thread, u *uop) {
 	if ctx.detectAt > 0 && ctx.mech == MechMultithreaded {
 		m.Stats.Histogram("handler.lifetime").Observe(int64(m.now - ctx.detectAt))
 	}
+	if ctx.span != nil {
+		ctx.span.HandlerDoneAt = m.now
+		if ctx.mech == MechTraditional {
+			// The trap's master was squashed at redirect; the RFE is
+			// the last observable event of a traditional miss.
+			m.Observ.Misses.Finish(ctx.span)
+		}
+	}
 	switch ctx.kind {
 	case kindEmu:
 		m.Stats.Counter("emu.committed").Inc()
@@ -177,6 +194,7 @@ func (m *Machine) osPageFaultService(t *thread, u *uop) {
 		return
 	}
 	m.Stats.Counter("os.pagefaults").Inc()
+	m.Observ.Misses.Abort(ctx.span)
 	m.debugf("os-fault tid=%d vpn=%#x resume=%#x", t.id, ctx.faultVPN, ctx.excPC)
 	mt := m.threads[ctx.masterTid]
 	if pfn, err := mt.as.MapPage(ctx.faultVPN); err == nil {
@@ -258,6 +276,7 @@ func (m *Machine) finishSquash(t *thread, from uint64) {
 		m.debugf("trapctx-killed tid=%d from=%d firstSeq=%d", t.id, from, ctx.firstSeq)
 		ctx.dead = true
 		m.dtlb.SquashSpec(ctx.specTag)
+		m.Observ.Misses.Abort(ctx.span)
 		t.trapCtx = nil
 	}
 	m.compactWindow()
@@ -276,6 +295,14 @@ func (m *Machine) squashUop(t *thread, u *uop) {
 	t.icount--
 	if u.slot != nil {
 		*u.slot = u.oldVal
+	}
+	if u.issueSlots > 0 {
+		from := obs.SlotUsefulApp
+		if u.pal || u.excFetch {
+			from = obs.SlotHandler
+		}
+		m.Observ.Slots.Move(from, obs.SlotSquashWaste, uint64(u.issueSlots))
+		u.issueSlots = 0
 	}
 	m.Stats.Counter("squash.insts").Inc()
 	if m.TraceHook != nil {
@@ -307,6 +334,7 @@ func (m *Machine) unlinkSquashedMiss(u *uop) {
 		case MechHardware:
 			m.Stats.Counter("walker.cancelled").Inc()
 			ctx.dead = true
+			m.Observ.Misses.Abort(ctx.span)
 		}
 		return
 	}

@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"mtexc/internal/isa"
+	"mtexc/internal/obs"
 	"mtexc/internal/vm"
 )
 
@@ -137,6 +138,18 @@ type handlerCtx struct {
 	walkDone    uint64
 	dead        bool
 	detectAt    uint64 // cycle the (master) miss was detected, for stats
+	// span is this exception's latency-breakdown record.
+	span *obs.MissSpan
+}
+
+// spanKindNames label exception kinds in miss spans.
+var spanKindNames = [...]string{kindTLB: "tlb", kindEmu: "emu", kindUnaligned: "unaligned"}
+
+func (k excKind) spanName() string {
+	if int(k) < len(spanKindNames) {
+		return spanKindNames[k]
+	}
+	return "unknown"
 }
 
 // runnable reports whether the context currently fetches and executes

@@ -3,6 +3,7 @@ package cpu
 import (
 	"mtexc/internal/bpred"
 	"mtexc/internal/isa"
+	"mtexc/internal/obs"
 )
 
 // uopStage tracks a dynamic instruction's position in the pipeline.
@@ -100,6 +101,14 @@ type uop struct {
 	instant bool
 	// fwdStore is the buffered store this load forwards from, if any.
 	fwdStore *uop
+
+	// issueSlots counts the issue slots this uop consumed (a parked
+	// TLB-miss instruction issues more than once); squash moves them
+	// to the waste category of the slot account.
+	issueSlots uint32
+	// span is the miss-latency span this uop masters, stamped with
+	// its retirement (the splice point).
+	span *obs.MissSpan
 }
 
 // classNames label the retirement-mix statistics.

@@ -8,7 +8,9 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 )
 
@@ -101,6 +103,31 @@ func (t *Table) CSV() string {
 		sb.WriteByte('\n')
 	}
 	return sb.String()
+}
+
+// WriteJSONRows emits the table as newline-delimited JSON, one object
+// per row, so experiment output can be concatenated across tables and
+// consumed by external analysis without parsing the text rendering:
+//
+//	{"table":"Figure 5","row":"compress","cells":{"traditional":120.3,...}}
+func (t *Table) WriteJSONRows(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for r, name := range t.Rows {
+		cells := make(map[string]float64, len(t.Cols))
+		for c, col := range t.Cols {
+			cells[col] = t.Cells[r][c]
+		}
+		row := struct {
+			Table string             `json:"table"`
+			Note  string             `json:"note,omitempty"`
+			Row   string             `json:"row"`
+			Cells map[string]float64 `json:"cells"`
+		}{Table: t.Title, Note: t.Note, Row: name, Cells: cells}
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // String renders the table as aligned text.

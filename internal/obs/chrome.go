@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"mtexc/internal/trace"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// array flavour consumed by chrome://tracing and Perfetto). Cycles
+// map to microseconds one-to-one, so viewer timestamps read directly
+// as cycle numbers.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"`
+	Dur   uint64         `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// stage is one rendered lifecycle segment of an instruction.
+type chromeStage struct {
+	name     string
+	from, to uint64
+}
+
+// chromeStages slices a record's lifecycle into its pipeline
+// segments, dropping degenerate or never-reached ones.
+func chromeStages(r trace.Record) []chromeStage {
+	if r.Squashed {
+		// A squashed instruction renders as a single segment from
+		// fetch to the squash point; its partial stage times may be
+		// zero and are not trustworthy past the kill.
+		if r.EndAt > r.FetchAt {
+			return []chromeStage{{"squashed", r.FetchAt, r.EndAt}}
+		}
+		return nil
+	}
+	segs := []chromeStage{
+		{"fetch", r.FetchAt, r.AvailAt},
+		{"decode", r.AvailAt, r.WindowAt},
+		{"window", r.WindowAt, r.IssueAt},
+		{"execute", r.IssueAt, r.DoneAt},
+		{"commit-wait", r.DoneAt, r.EndAt},
+	}
+	out := segs[:0]
+	for _, s := range segs {
+		if s.to > s.from {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// WriteChromeTrace renders pipeline records as Chrome trace_event
+// JSON: one process per hardware context, one row (thread) per
+// dynamic instruction, one duration event per pipeline stage. Open
+// the output in chrome://tracing or https://ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, recs []trace.Record) error {
+	if len(recs) == 0 {
+		return fmt.Errorf("obs: no records to export")
+	}
+	sorted := make([]trace.Record, len(recs))
+	copy(sorted, recs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Seq < sorted[j].Seq })
+
+	var events []chromeEvent
+	seenCtx := make(map[int]bool)
+	for _, r := range sorted {
+		if !seenCtx[r.Tid] {
+			seenCtx[r.Tid] = true
+			events = append(events, chromeEvent{
+				Name:  "process_name",
+				Phase: "M",
+				PID:   r.Tid,
+				Args:  map[string]any{"name": fmt.Sprintf("context %d", r.Tid)},
+			})
+		}
+		label := fmt.Sprintf("%#x %s", r.PC, r.Op)
+		args := map[string]any{
+			"seq": r.Seq,
+			"pc":  fmt.Sprintf("%#x", r.PC),
+			"op":  r.Op,
+		}
+		if r.PAL {
+			args["pal"] = true
+		}
+		if r.HadMiss {
+			args["dtlb_miss"] = true
+		}
+		events = append(events, chromeEvent{
+			Name:  label,
+			Phase: "M",
+			PID:   r.Tid,
+			TID:   r.Seq,
+			Args:  map[string]any{"name": label},
+		})
+		events[len(events)-1].Name = "thread_name"
+		for _, s := range chromeStages(r) {
+			events = append(events, chromeEvent{
+				Name:  s.name,
+				Phase: "X",
+				TS:    s.from,
+				Dur:   s.to - s.from,
+				PID:   r.Tid,
+				TID:   r.Seq,
+				Args:  args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

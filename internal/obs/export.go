@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"mtexc/internal/stats"
+)
+
+// SchemaVersion tags the JSON snapshot layout. Readers reject
+// snapshots with a newer major schema than they understand.
+const SchemaVersion = 1
+
+// HistStat is one histogram's JSON summary.
+type HistStat struct {
+	Count  uint64  `json:"count"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    int64   `json:"min"`
+	P50    int64   `json:"p50"`
+	P95    int64   `json:"p95"`
+	P99    int64   `json:"p99"`
+	Max    int64   `json:"max"`
+	Sum    float64 `json:"sum"`
+}
+
+// SlotReport is the slot-accounting section of a snapshot.
+type SlotReport struct {
+	Width      uint64            `json:"width"`
+	Cycles     uint64            `json:"cycles"`
+	Categories map[string]uint64 `json:"categories"`
+	// Identity confirms sum(categories) == cycles × width held when
+	// the snapshot was taken.
+	Identity bool `json:"identity_holds"`
+}
+
+// Meta identifies the run a snapshot describes. The simulator layers
+// above obs fill it in; obs itself stays free of cpu/core imports.
+type Meta struct {
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	Mechanism  string   `json:"mechanism"`
+	QuickStart bool     `json:"quickstart,omitempty"`
+	Width      int      `json:"width,omitempty"`
+	Window     int      `json:"window,omitempty"`
+	Contexts   int      `json:"contexts,omitempty"`
+	DTLBSize   int      `json:"dtlb_entries,omitempty"`
+
+	Cycles     uint64  `json:"cycles"`
+	AppInsts   uint64  `json:"app_insts"`
+	DTLBMisses uint64  `json:"dtlb_misses"`
+	IPC        float64 `json:"ipc"`
+}
+
+// Snapshot is the machine-readable image of one completed run: run
+// identity, every counter and histogram, the slot-accounting ledger,
+// the per-miss latency breakdown, the interval series, and a sample
+// of raw miss spans.
+type Snapshot struct {
+	Schema int    `json:"schema"`
+	Tool   string `json:"tool,omitempty"`
+
+	Meta Meta `json:"meta"`
+
+	Counters   map[string]uint64   `json:"counters"`
+	Histograms map[string]HistStat `json:"histograms"`
+
+	Slots *SlotReport `json:"slots,omitempty"`
+	// Breakdown duplicates the span.* histograms for direct access:
+	// the per-miss latency decomposition by phase.
+	Breakdown map[string]HistStat `json:"miss_breakdown,omitempty"`
+
+	Series []Series   `json:"series,omitempty"`
+	Spans  []MissSpan `json:"spans,omitempty"`
+}
+
+// histStat summarizes one histogram.
+func histStat(h *stats.Histogram) HistStat {
+	return HistStat{
+		Count:  h.Count(),
+		Mean:   h.Mean(),
+		StdDev: h.StdDev(),
+		Min:    h.Min(),
+		P50:    h.Percentile(50),
+		P95:    h.Percentile(95),
+		P99:    h.Percentile(99),
+		Max:    h.Max(),
+		Sum:    h.Sum(),
+	}
+}
+
+// BuildSnapshot assembles a snapshot from a run's statistics and
+// observations. o may be nil (stats-only export); within o, the
+// sampler may be nil.
+func BuildSnapshot(meta Meta, set *stats.Set, o *Observations) *Snapshot {
+	snap := &Snapshot{
+		Schema:     SchemaVersion,
+		Tool:       "mtexc",
+		Meta:       meta,
+		Counters:   make(map[string]uint64),
+		Histograms: make(map[string]HistStat),
+	}
+	if set != nil {
+		set.Each(func(name string, c *stats.Counter, h *stats.Histogram) {
+			if c != nil {
+				snap.Counters[name] = c.Value
+			} else {
+				snap.Histograms[name] = histStat(h)
+			}
+		})
+	}
+	if o != nil {
+		if o.Slots != nil {
+			snap.Slots = &SlotReport{
+				Width:      o.Slots.Width(),
+				Cycles:     o.Slots.Cycles(),
+				Categories: o.Slots.Map(),
+				Identity:   o.Slots.CheckIdentity() == nil,
+			}
+		}
+		if o.Misses != nil {
+			snap.Spans = o.Misses.Spans()
+		}
+		snap.Series = o.Series()
+	}
+	snap.Breakdown = make(map[string]HistStat)
+	for name, h := range snap.Histograms {
+		if len(name) > 5 && name[:5] == "span." {
+			snap.Breakdown[name] = h
+		}
+	}
+	return snap
+}
+
+// WriteJSON serializes the snapshot, indented for readability.
+func WriteJSON(w io.Writer, snap *Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// ReadSnapshot parses and validates a snapshot written by WriteJSON.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var snap Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("obs: parsing snapshot: %w", err)
+	}
+	if snap.Schema == 0 {
+		return nil, fmt.Errorf("obs: not an mtexc snapshot (no schema field)")
+	}
+	if snap.Schema > SchemaVersion {
+		return nil, fmt.Errorf("obs: snapshot schema %d is newer than this reader (%d)",
+			snap.Schema, SchemaVersion)
+	}
+	return &snap, nil
+}
+
+// WriteSeriesCSV writes sampled series in long format — one row per
+// (series, epoch) pair — which tolerates series of different lengths:
+//
+//	series,cycle,value
+//	ipc,10000,2.41
+func WriteSeriesCSV(w io.Writer, series []Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "cycle", "value"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i, c := range s.Cycles {
+			rec := []string{
+				s.Name,
+				strconv.FormatUint(c, 10),
+				strconv.FormatFloat(s.Values[i], 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,43 @@
+// Package obs is the simulator's observability layer: it explains
+// *where the cycles go* rather than just how many there were.
+//
+// Three collectors feed it:
+//
+//   - SlotAccount classifies every issue slot of every cycle into a
+//     small set of top-down categories (useful application work,
+//     handler overhead, squash waste, fetch bubble, window stall,
+//     idle context) under the identity
+//     sum(categories) == cycles × width.
+//   - MissRecorder tracks one MissSpan per software-handled exception
+//     (detect → fill → handler done → splice/retire), feeding the
+//     per-miss latency-breakdown histograms that decompose the
+//     paper's penalty-cycles-per-miss metric.
+//   - Sampler snapshots registered counters at a fixed cycle
+//     interval, producing IPC-over-time, miss-rate-over-time and
+//     occupancy time series.
+//
+// The exporters serialize all of it: a schema-versioned JSON
+// Snapshot (with readback), CSV for the series, and Chrome
+// trace_event JSON for pipeline records (chrome://tracing /
+// Perfetto), alongside the existing Kanata writer in package trace.
+package obs
+
+// Observations bundles the per-run collectors a machine maintains.
+type Observations struct {
+	// Slots is the top-down issue-slot account (always collected).
+	Slots *SlotAccount
+	// Misses is the per-exception latency recorder (always collected).
+	Misses *MissRecorder
+	// Sampler holds the interval time-series sampler; nil unless the
+	// run was configured with a sample interval.
+	Sampler *Sampler
+}
+
+// Series returns the sampled time series, or nil when no sampler was
+// attached.
+func (o *Observations) Series() []Series {
+	if o == nil || o.Sampler == nil {
+		return nil
+	}
+	return o.Sampler.Series()
+}

@@ -1,0 +1,155 @@
+package obs
+
+import "fmt"
+
+// SlotKind classifies one issue slot of one cycle, top-down-style:
+// the machine offers width slots per cycle, and every slot is either
+// spent executing something or attributable to a reason it was not.
+type SlotKind uint8
+
+const (
+	// SlotUsefulApp: the slot issued an application instruction that
+	// was not subsequently squashed (committed or still in flight).
+	SlotUsefulApp SlotKind = iota
+	// SlotHandler: the slot issued a PAL/handler-thread instruction
+	// that was not subsequently squashed — the execution cost of
+	// software exception handling.
+	SlotHandler
+	// SlotSquashWaste: the slot issued an instruction (application or
+	// handler) that was later squashed — wrong-path work, trap
+	// squashes, deadlock-avoidance squashes.
+	SlotSquashWaste
+	// SlotFetchBubble: the slot went unused while the window was
+	// empty but some context was runnable — the front end was still
+	// delivering (pipeline refill after a trap or mispredict).
+	SlotFetchBubble
+	// SlotWindowStall: the slot went unused while the window held
+	// instructions, none of which could issue (dependences, memory,
+	// TLB-miss parking, or functional-unit structural limits).
+	SlotWindowStall
+	// SlotIdleContext: the slot went unused because no context could
+	// run at all (all halted or idle).
+	SlotIdleContext
+
+	// NumSlotKinds bounds the category space.
+	NumSlotKinds
+)
+
+var slotNames = [NumSlotKinds]string{
+	"useful-app", "handler-overhead", "squash-waste",
+	"fetch-bubble", "window-stall", "idle-context",
+}
+
+// String names the category for reports and exports.
+func (k SlotKind) String() string {
+	if int(k) < len(slotNames) {
+		return slotNames[k]
+	}
+	return "unknown"
+}
+
+// SlotKinds lists every category in rendering order.
+func SlotKinds() []SlotKind {
+	ks := make([]SlotKind, NumSlotKinds)
+	for i := range ks {
+		ks[i] = SlotKind(i)
+	}
+	return ks
+}
+
+// SlotAccount is the per-run issue-slot ledger. The issue stage books
+// used slots as it issues and closes each cycle with EndCycle, which
+// attributes the remainder; squash recovery reclassifies the slots of
+// killed instructions with Move. The identity
+//
+//	Total() == Cycles() × width
+//
+// holds at every cycle boundary and is enforced by CheckIdentity.
+type SlotAccount struct {
+	width  uint64
+	cycles uint64
+	used   uint64 // slots booked since the last EndCycle
+	slots  [NumSlotKinds]uint64
+}
+
+// NewSlotAccount returns an empty ledger for a width-wide machine.
+func NewSlotAccount(width int) *SlotAccount {
+	if width < 1 {
+		width = 1
+	}
+	return &SlotAccount{width: uint64(width)}
+}
+
+// Width reports the machine width the ledger accounts against.
+func (a *SlotAccount) Width() uint64 { return a.width }
+
+// Cycles reports how many cycles have been closed with EndCycle.
+func (a *SlotAccount) Cycles() uint64 { return a.cycles }
+
+// Use books n used slots of kind k within the current cycle.
+func (a *SlotAccount) Use(k SlotKind, n uint64) {
+	a.slots[k] += n
+	a.used += n
+}
+
+// Move reclassifies n previously booked slots from one category to
+// another (squash recovery: useful → waste). It never underflows; a
+// short source is drained to zero.
+func (a *SlotAccount) Move(from, to SlotKind, n uint64) {
+	if n > a.slots[from] {
+		n = a.slots[from]
+	}
+	a.slots[from] -= n
+	a.slots[to] += n
+}
+
+// EndCycle closes the current cycle, attributing the unused remainder
+// of the width to the residual category.
+func (a *SlotAccount) EndCycle(residual SlotKind) {
+	if a.used < a.width {
+		a.slots[residual] += a.width - a.used
+	}
+	a.used = 0
+	a.cycles++
+}
+
+// Get reads one category's slot count.
+func (a *SlotAccount) Get(k SlotKind) uint64 { return a.slots[k] }
+
+// Total sums every category.
+func (a *SlotAccount) Total() uint64 {
+	var t uint64
+	for _, v := range a.slots {
+		t += v
+	}
+	return t
+}
+
+// Fraction reports category k's share of all slots, in [0,1].
+func (a *SlotAccount) Fraction(k SlotKind) float64 {
+	t := a.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(a.slots[k]) / float64(t)
+}
+
+// Map renders the ledger as name → slots, for exports.
+func (a *SlotAccount) Map() map[string]uint64 {
+	m := make(map[string]uint64, NumSlotKinds)
+	for k := SlotKind(0); k < NumSlotKinds; k++ {
+		m[k.String()] = a.slots[k]
+	}
+	return m
+}
+
+// CheckIdentity verifies the slot-accounting identity at a cycle
+// boundary: every category summed must equal cycles × width exactly.
+func (a *SlotAccount) CheckIdentity() error {
+	want := a.cycles * a.width
+	if got := a.Total(); got != want {
+		return fmt.Errorf("obs: slot identity broken: sum %d != %d cycles × %d width = %d",
+			got, a.cycles, a.width, want)
+	}
+	return nil
+}

@@ -32,6 +32,9 @@ type Histogram struct {
 	min     int64
 	max     int64
 	buckets map[int64]uint64
+	// sorted caches the bucket keys in ascending order for percentile
+	// queries; Observe invalidates it.
+	sorted []int64
 }
 
 // NewHistogram returns an empty histogram with the given name.
@@ -55,6 +58,9 @@ func (h *Histogram) Observe(v int64) {
 	}
 	if v > h.max {
 		h.max = v
+	}
+	if _, seen := h.buckets[v]; !seen {
+		h.sorted = nil // new bucket key: the sorted cache is stale
 	}
 	h.buckets[v]++
 }
@@ -103,16 +109,22 @@ func (h *Histogram) Max() int64 {
 }
 
 // Percentile reports the p-th percentile (0 <= p <= 100) using the
-// nearest-rank method over the exact sample buckets.
+// nearest-rank method over the exact sample buckets. The sorted bucket
+// keys are cached between calls and rebuilt only after a sample lands
+// in a previously unseen bucket.
 func (h *Histogram) Percentile(p float64) int64 {
 	if h.count == 0 {
 		return 0
 	}
-	keys := make([]int64, 0, len(h.buckets))
-	for k := range h.buckets {
-		keys = append(keys, k)
+	keys := h.sorted
+	if keys == nil {
+		keys = make([]int64, 0, len(h.buckets))
+		for k := range h.buckets {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		h.sorted = keys
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	rank := uint64(math.Ceil(p / 100 * float64(h.count)))
 	if rank == 0 {
 		rank = 1
@@ -184,16 +196,30 @@ func (s *Set) Ratio(a, b string) float64 {
 	return float64(s.Get(a)) / float64(den)
 }
 
+// Each visits every registered statistic in registration order.
+// Exactly one of c and h is non-nil per call.
+func (s *Set) Each(fn func(name string, c *Counter, h *Histogram)) {
+	for _, name := range s.order {
+		if c, ok := s.counters[name]; ok {
+			fn(name, c, nil)
+		} else if h, ok := s.hists[name]; ok {
+			fn(name, nil, h)
+		}
+	}
+}
+
 // String renders every registered statistic, one per line, in
-// registration order.
+// registration order. Histograms report the full summary: moments
+// and the p50/p95/p99 tail.
 func (s *Set) String() string {
 	var b strings.Builder
 	for _, name := range s.order {
 		if c, ok := s.counters[name]; ok {
 			fmt.Fprintf(&b, "%-40s %12d\n", name, c.Value)
 		} else if h, ok := s.hists[name]; ok {
-			fmt.Fprintf(&b, "%-40s n=%d mean=%.2f min=%d max=%d\n",
-				name, h.Count(), h.Mean(), h.Min(), h.Max())
+			fmt.Fprintf(&b, "%-40s n=%d mean=%.2f sd=%.2f min=%d p50=%d p95=%d p99=%d max=%d\n",
+				name, h.Count(), h.Mean(), h.StdDev(), h.Min(),
+				h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max())
 		}
 	}
 	return b.String()

@@ -66,6 +66,67 @@ func TestHistogramEmpty(t *testing.T) {
 	}
 }
 
+// TestPercentileCacheInvalidation pins the sorted-keys cache: observing
+// a new value after a Percentile call must invalidate it, while
+// re-observing an existing bucket must keep the cached order usable.
+func TestPercentileCacheInvalidation(t *testing.T) {
+	h := NewHistogram("c")
+	h.Observe(10)
+	h.Observe(20)
+	if got := h.Percentile(50); got != 10 {
+		t.Fatalf("p50 = %d, want 10", got)
+	}
+	h.Observe(20) // existing bucket: cache stays valid
+	if got := h.Percentile(50); got != 20 {
+		t.Errorf("p50 after reweight = %d, want 20", got)
+	}
+	h.Observe(1) // new bucket: cache must rebuild
+	if got := h.Percentile(25); got != 1 {
+		t.Errorf("p25 after new bucket = %d, want 1", got)
+	}
+	if got := h.Percentile(100); got != 20 {
+		t.Errorf("p100 = %d, want 20", got)
+	}
+}
+
+func TestSetStringHistogramPercentiles(t *testing.T) {
+	s := NewSet()
+	h := s.Histogram("lat")
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	out := s.String()
+	for _, want := range []string{"p50=50", "p95=95", "p99=99", "sd="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSetEach(t *testing.T) {
+	s := NewSet()
+	s.Counter("a").Add(1)
+	s.Histogram("b").Observe(2)
+	s.Counter("c").Add(3)
+	var order []string
+	s.Each(func(name string, c *Counter, h *Histogram) {
+		order = append(order, name)
+		switch name {
+		case "a", "c":
+			if c == nil || h != nil {
+				t.Errorf("%s not reported as counter", name)
+			}
+		case "b":
+			if h == nil || c != nil {
+				t.Errorf("%s not reported as histogram", name)
+			}
+		}
+	})
+	if strings.Join(order, ",") != "a,b,c" {
+		t.Errorf("Each order = %v", order)
+	}
+}
+
 func TestSetString(t *testing.T) {
 	s := NewSet()
 	s.Counter("first").Add(1)

@@ -116,19 +116,27 @@ func lane(r Record, base uint64) string {
 			pos++
 		}
 	}
-	start := r.FetchAt - base
-	emit(start, ' ')
+	// rel maps an absolute cycle to a column, clamping instead of
+	// wrapping: a zero stage field (never reached) must not underflow
+	// into a maxCols-wide row.
+	rel := func(at uint64) uint64 {
+		if at <= base {
+			return 0
+		}
+		return at - base
+	}
+	emit(rel(r.FetchAt), ' ')
 
-	end := r.EndAt - base
+	end := rel(r.EndAt)
 	if r.Squashed {
 		// Show progress up to the squash point, then the kill.
 		stop := end
-		emit(min64(r.AvailAt-base, stop), 'f')
+		emit(min64(rel(r.AvailAt), stop), 'f')
 		if r.WindowAt > 0 {
-			emit(min64(r.WindowAt-base, stop), 'd')
+			emit(min64(rel(r.WindowAt), stop), 'd')
 		}
 		if r.IssueAt > 0 {
-			emit(min64(r.IssueAt-base, stop), 'w')
+			emit(min64(rel(r.IssueAt), stop), 'w')
 		}
 		emit(stop, 'w')
 		if pos < maxCols {
@@ -137,10 +145,10 @@ func lane(r Record, base uint64) string {
 		return sb.String()
 	}
 
-	emit(r.AvailAt-base, 'f')
-	emit(r.WindowAt-base, 'd')
-	emit(r.IssueAt-base, 'w')
-	emit(r.DoneAt-base, 'E')
+	emit(rel(r.AvailAt), 'f')
+	emit(rel(r.WindowAt), 'd')
+	emit(rel(r.IssueAt), 'w')
+	emit(rel(r.DoneAt), 'E')
 	emit(end, '.')
 	if pos < maxCols {
 		sb.WriteByte('R')
@@ -153,6 +161,15 @@ func min64(a, b uint64) uint64 {
 		return a
 	}
 	return b
+}
+
+// sub64 is a saturating subtraction: stage timestamps on malformed or
+// partially filled records must not wrap.
+func sub64(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
 }
 
 // Summary aggregates stage occupancy over the retained records.
@@ -172,10 +189,10 @@ func (c *Collector) Summary(w io.Writer) {
 		if r.HadMiss {
 			miss++
 		}
-		fetchPipe += r.AvailAt - r.FetchAt
-		windowWait += r.IssueAt - r.WindowAt
-		exec += r.DoneAt - r.IssueAt
-		retireWait += r.EndAt - r.DoneAt
+		fetchPipe += sub64(r.AvailAt, r.FetchAt)
+		windowWait += sub64(r.IssueAt, r.WindowAt)
+		exec += sub64(r.DoneAt, r.IssueAt)
+		retireWait += sub64(r.EndAt, r.DoneAt)
 	}
 	done := n - squashed
 	if done == 0 {

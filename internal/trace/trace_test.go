@@ -94,6 +94,58 @@ func TestSummary(t *testing.T) {
 	}
 }
 
+func TestSummaryAllSquashed(t *testing.T) {
+	c := NewCollector(4)
+	for i := uint64(1); i <= 3; i++ {
+		r := rec(i, i, 0, 0, 0, 0, i+2)
+		r.Squashed = true
+		c.Add(r)
+	}
+	var sb strings.Builder
+	c.Summary(&sb)
+	out := sb.String()
+	// Every record squashed: there is no average to report, and the
+	// zero divisor must not produce NaNs or a panic.
+	if !strings.Contains(out, "no retired records") {
+		t.Errorf("all-squashed summary wrong:\n%s", out)
+	}
+}
+
+// TestLaneSquashedZeroStagesHighBase pins the uint64 underflow guard:
+// a squashed record that never left fetch (WindowAt == IssueAt == 0)
+// rendered against a nonzero base cycle must not wrap 0-base into a
+// huge column and flood the row.
+func TestLaneSquashedZeroStagesHighBase(t *testing.T) {
+	c := NewCollector(4)
+	c.Add(rec(1, 100, 103, 105, 107, 108, 109)) // sets base = 100
+	sq := rec(2, 104, 0, 0, 0, 0, 106)
+	sq.Squashed = true
+	c.Add(sq)
+	var sb strings.Builder
+	c.Render(&sb)
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.Contains(line, "|") && len(line) > 64 {
+			t.Errorf("lane overflow (len %d): %q", len(line), line)
+		}
+	}
+	if !strings.Contains(sb.String(), "x") {
+		t.Errorf("squashed record lost its kill marker:\n%s", sb.String())
+	}
+}
+
+// TestSummaryMalformedRecordSaturates: a retired record with zero
+// stage fields must contribute zero, not 2^64-ish garbage.
+func TestSummaryMalformedRecordSaturates(t *testing.T) {
+	c := NewCollector(4)
+	c.Add(rec(1, 5, 0, 0, 0, 0, 9)) // retired but stage fields unset
+	var sb strings.Builder
+	c.Summary(&sb)
+	out := sb.String()
+	if strings.Contains(out, "e+") || !strings.Contains(out, "fetch-pipe 0.0") {
+		t.Errorf("summary wrapped on malformed record:\n%s", out)
+	}
+}
+
 func TestEmptyCollector(t *testing.T) {
 	c := NewCollector(4)
 	var sb strings.Builder
