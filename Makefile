@@ -5,13 +5,14 @@
 #   make test         full test suite (includes slow harness tests)
 #   make test-short   quick tests only
 #   make bench        one benchmark per paper table/figure
+#   make bench-compare  headline benchmarks -> out/BENCH_<stamp>.json
 #   make bench-json   machine-readable snapshots of the headline runs
 #   make experiments  regenerate every table and figure (minutes)
 #   make report       automated claim-by-claim reproduction report
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-json experiments report vet fmt clean
+.PHONY: build test test-short bench bench-compare bench-json experiments report vet fmt clean
 
 build:
 	$(GO) build ./...
@@ -30,6 +31,14 @@ test-short: build
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' .
+
+# Headline throughput + allocation benchmarks, archived as a JSON
+# snapshot (out/BENCH_<stamp>.json) for cross-commit comparison; see
+# docs/performance.md.
+bench-compare:
+	mkdir -p out
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFigure5Mechanisms' \
+		-benchmem -benchtime=1x . | $(GO) run ./cmd/mtexc-benchsnap
 
 # One JSON snapshot per exception architecture on the compress
 # benchmark (see docs/observability.md for the schema), plus the

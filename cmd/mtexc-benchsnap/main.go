@@ -1,0 +1,141 @@
+// Command mtexc-benchsnap converts `go test -bench` output on stdin
+// into a machine-readable JSON snapshot, so benchmark runs can be
+// archived and diffed across commits:
+//
+//	go test -run '^$' -bench . -benchmem . | mtexc-benchsnap -out out/BENCH_dev.json
+//
+// Each benchmark line becomes one record keyed by benchmark name,
+// with every reported metric (ns/op, B/op, allocs/op and custom
+// metrics like sim-insts/s) preserved under its unit string.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type snapshot struct {
+	Taken      string   `json:"taken"`
+	Package    string   `json:"package,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output path (default out/BENCH_<timestamp>.json)")
+	flag.Parse()
+
+	snap := snapshot{Taken: time.Now().UTC().Format(time.RFC3339)}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		// Pass the raw output through so the snapshot pipe stays
+		// observable in CI logs.
+		fmt.Println(line)
+		if v, ok := strings.CutPrefix(line, "pkg: "); ok {
+			snap.Package = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+			snap.CPU = v
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		rec, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		snap.Benchmarks = append(snap.Benchmarks, rec)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "mtexc-benchsnap:", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "mtexc-benchsnap: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		if err := os.MkdirAll("out", 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "mtexc-benchsnap:", err)
+			os.Exit(1)
+		}
+		path = fmt.Sprintf("out/BENCH_%s.json", time.Now().UTC().Format("20060102-150405"))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtexc-benchsnap:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "mtexc-benchsnap:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "mtexc-benchsnap:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchmark snapshot written to %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+}
+
+// parseBenchLine splits a testing benchmark result line:
+//
+//	BenchmarkName-8   5   46696180 ns/op   2569819 sim-insts/s   6460 allocs/op
+//
+// into name, iteration count and unit-keyed metrics.
+func parseBenchLine(line string) (record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	rec := record{
+		Name:       strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", maxProcsSuffix(fields[0]))),
+		Iterations: iters,
+		Metrics:    make(map[string]float64),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		rec.Metrics[fields[i+1]] = v
+	}
+	return rec, true
+}
+
+// maxProcsSuffix extracts the trailing -N GOMAXPROCS suffix of a
+// benchmark name, or 0 when absent.
+func maxProcsSuffix(name string) int {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return 0
+	}
+	return n
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"mtexc/internal/harness"
+	"mtexc/internal/prof"
 )
 
 func main() {
@@ -41,20 +42,35 @@ func main() {
 		faults  = flag.Bool("faults", false, "page-fault injection / hard-exception study")
 		ptorg   = flag.Bool("ptorg", false, "page-table organization study (linear vs two-level)")
 		unalign = flag.Bool("unaligned", false, "generalized mechanism: unaligned loads (Section 6)")
-		insts   = flag.Uint64("insts", 1_000_000, "application instructions per run")
-		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all 8)")
-		verbose = flag.Bool("v", false, "log every simulation run")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		jsonOut = flag.Bool("json", false, "emit newline-delimited JSON rows instead of aligned text")
+		insts    = flag.Uint64("insts", 1_000_000, "application instructions per run")
+		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: all 8)")
+		verbose  = flag.Bool("v", false, "log every simulation run")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut  = flag.Bool("json", false, "emit newline-delimited JSON rows instead of aligned text")
+		parallel = flag.Int("parallel", 0, "simulations run concurrently per experiment (0 = one per CPU, 1 = serial)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
 	flag.Parse()
 
-	opt := harness.Options{Insts: *insts}
+	opt := harness.Options{
+		Insts:       *insts,
+		Parallelism: *parallel,
+		// One baseline cache across every enabled experiment: each
+		// perfect-TLB machine shape simulates once per invocation.
+		Baselines: harness.NewBaselineCache(),
+	}
 	if *benches != "" {
 		opt.Benchmarks = strings.Split(*benches, ",")
 	}
 	if *verbose {
 		opt.Progress = os.Stderr
+	}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtexc-experiments:", err)
+		os.Exit(1)
 	}
 
 	type experiment struct {
@@ -104,6 +120,11 @@ func main() {
 		}(i, e.run)
 	}
 	wg.Wait()
+	// The profiles cover the simulations, not the table printing.
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "mtexc-experiments:", err)
+		os.Exit(1)
+	}
 	for _, r := range results {
 		if r == nil {
 			continue

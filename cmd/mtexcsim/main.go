@@ -16,6 +16,7 @@ import (
 
 	"mtexc/internal/core"
 	"mtexc/internal/obs"
+	"mtexc/internal/prof"
 	"mtexc/internal/trace"
 	"mtexc/internal/workload"
 )
@@ -43,6 +44,8 @@ func main() {
 		interval   = flag.Uint64("interval", 0, "sample interval in cycles for time series (0: 10000 when exporting, else off)")
 		seriesCSV  = flag.String("seriescsv", "", "write the sampled time series as CSV to this file")
 		list       = flag.Bool("list", false, "list available benchmarks and exit")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
 	flag.Parse()
 
@@ -93,6 +96,12 @@ func main() {
 	}
 	cfg.Contexts = len(loads) + *idle
 
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtexcsim:", err)
+		os.Exit(1)
+	}
+
 	var collector *trace.Collector
 	var res core.Result
 	if *traceN > 0 {
@@ -120,6 +129,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mtexcsim:", err)
 			os.Exit(1)
 		}
+	}
+	// The profiles cover the simulation, not the reporting below.
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "mtexcsim:", err)
+		os.Exit(1)
 	}
 
 	fmt.Printf("benchmarks : %s\n", *benchList)

@@ -1,8 +1,6 @@
 package cpu
 
 import (
-	"sort"
-
 	"mtexc/internal/isa"
 	"mtexc/internal/vm"
 )
@@ -12,15 +10,21 @@ import (
 // traditional-handler returns, hard-exception reversion, and hardware
 // walk completions.
 func (m *Machine) complete() {
-	var done []*uop
+	done := m.doneScratch[:0]
 	for _, u := range m.window {
 		if u.stage == stageIssued && u.doneAt <= m.now {
 			done = append(done, u)
 		}
 	}
 	// Oldest first: an older mispredict squashes younger completions
-	// before their (wrong-path) side effects apply.
-	sort.Slice(done, func(i, j int) bool { return done[i].seq < done[j].seq })
+	// before their (wrong-path) side effects apply. The window is
+	// nearly fetch-ordered, so insertion sort runs in linear time.
+	for i := 1; i < len(done); i++ {
+		for j := i; j > 0 && done[j].seq < done[j-1].seq; j-- {
+			done[j], done[j-1] = done[j-1], done[j]
+		}
+	}
+	m.doneScratch = done
 	for _, u := range done {
 		if u.stage != stageIssued {
 			continue // squashed by an older completion this cycle
@@ -57,11 +61,14 @@ func (m *Machine) completeSideEffects(u *uop) {
 		// The handler wrote the excepting instruction's destination:
 		// convert it to a nop — it completes now without executing —
 		// and its consumers wake through the normal dataflow.
-		if ctx := u.palCtx; ctx != nil && !ctx.dead && ctx.master != nil &&
-			ctx.master.stage == stageWindow {
-			ctx.master.dtlbWait = false
-			ctx.master.stage = stageIssued
-			ctx.master.doneAt = m.now + 1
+		ctx := u.palCtx
+		if ctx == nil || ctx.dead {
+			break
+		}
+		if mu := ctx.master.live(); mu != nil && mu.stage == stageWindow {
+			mu.dtlbWait = false
+			mu.stage = stageIssued
+			mu.doneAt = m.now + 1
 			if ctx.span != nil && ctx.span.FillAt == 0 {
 				// The destination write is the service point of an
 				// emulation/unaligned exception.
@@ -125,7 +132,7 @@ func (m *Machine) completeTLBWrite(u *uop) {
 // that created that path repairs everything when it resolves.
 func (m *Machine) resolveMispredict(u *uop) {
 	t := m.threads[u.tid]
-	m.Stats.Counter("bpred.resolved.mispredicts").Inc()
+	m.hot.resolvedMispred.Inc()
 	m.squashFrom(t, u.seq+1)
 
 	// Rewind speculative predictor state to just after u, with u's

@@ -2,7 +2,6 @@ package cpu
 
 import (
 	"fmt"
-	"sort"
 
 	"mtexc/internal/bpred"
 	"mtexc/internal/cache"
@@ -68,6 +67,90 @@ type Machine struct {
 
 	// scratch reused each cycle
 	readyScratch []*uop
+	doneScratch  []*uop
+	orderScratch []*thread
+
+	// uopFree recycles uop storage: one allocation per *live* window
+	// entry instead of one per fetched instruction. Released at
+	// retire/squash compaction (see releaseUop for the invariants).
+	uopFree []*uop
+
+	// hot caches lazily bound handles on the per-cycle statistics so
+	// the cycle loop skips the registry's map lookups.
+	hot hotStats
+}
+
+// hotStats holds lazily bound handles on the statistics the cycle
+// loop touches per instruction or per cycle. Binding is lazy, so the
+// Set's first-use registration order — and therefore the rendered
+// stat output — is identical to direct Set.Counter calls.
+type hotStats struct {
+	fetchInsts      *stats.CachedCounter
+	fetchCycles     *stats.CachedCounter
+	dispatchInsts   *stats.CachedCounter
+	issueInsts      *stats.CachedCounter
+	retireInsts     *stats.CachedCounter
+	squashInsts     *stats.CachedCounter
+	fetchMispred    *stats.CachedCounter
+	resolvedMispred *stats.CachedCounter
+	memForwards     *stats.CachedCounter
+	handlerActive   *stats.CachedCounter
+	retireClass     [numClasses]*stats.CachedCounter
+	windowOcc       *stats.CachedHistogram
+	issueReady      *stats.CachedHistogram
+}
+
+func (m *Machine) bindHotStats() {
+	s := m.Stats
+	m.hot = hotStats{
+		fetchInsts:      s.Cached("fetch.insts"),
+		fetchCycles:     s.Cached("fetch.cycles"),
+		dispatchInsts:   s.Cached("dispatch.insts"),
+		issueInsts:      s.Cached("issue.insts"),
+		retireInsts:     s.Cached("retire.insts"),
+		squashInsts:     s.Cached("squash.insts"),
+		fetchMispred:    s.Cached("bpred.fetchtime.mispredicts"),
+		resolvedMispred: s.Cached("bpred.resolved.mispredicts"),
+		memForwards:     s.Cached("mem.forwards"),
+		handlerActive:   s.Cached("handler.activecycles"),
+		windowOcc:       s.CachedHist("window.occupancy"),
+		issueReady:      s.CachedHist("issue.ready"),
+	}
+	for c := 0; c < numClasses; c++ {
+		m.hot.retireClass[c] = s.Cached("retire.class." + classNames[c])
+	}
+}
+
+// newUop takes a uop from the free list (or allocates one), reset to
+// the zero state with its recycling generation preserved.
+func (m *Machine) newUop() *uop {
+	if n := len(m.uopFree); n > 0 {
+		u := m.uopFree[n-1]
+		m.uopFree = m.uopFree[:n-1]
+		*u = uop{gen: u.gen}
+		return u
+	}
+	return &uop{}
+}
+
+// releaseUop returns a retired or squashed uop to the free list and
+// bumps its generation so every outstanding depRef to it goes stale.
+//
+// Release safety: a uop is released only once it has left every
+// by-pointer structure — the window (compactWindow drops it in the
+// same pass), the per-thread inflight list (retirement pops the head;
+// squash truncates the tail before finishSquash runs), the fetch
+// buffer and the speculative store buffer (finishSquash strips both
+// before releasing fetch-buffer-only squashed uops). Remaining
+// references — consumer srcs, writer tables, fwdStore, lastTLBWR —
+// are generation-checked depRefs that resolve to nil from here on.
+func (m *Machine) releaseUop(u *uop) {
+	if u.pooled {
+		return
+	}
+	u.pooled = true
+	u.gen++
+	m.uopFree = append(m.uopFree, u)
 }
 
 // RetiredInst describes one retirement event for RetireHook.
@@ -121,6 +204,7 @@ func New(cfg Config) *Machine {
 	if cfg.SampleInterval > 0 {
 		m.attachSampler(cfg.SampleInterval)
 	}
+	m.bindHotStats()
 	return m
 }
 
@@ -263,10 +347,10 @@ func (m *Machine) step() {
 	m.issue()
 	m.dispatch()
 	m.fetch()
-	m.Stats.Histogram("window.occupancy").Observe(int64(m.windowCount))
+	m.hot.windowOcc.Observe(int64(m.windowCount))
 	for _, t := range m.threads {
 		if t.state == ctxException {
-			m.Stats.Counter("handler.activecycles").Inc()
+			m.hot.handlerActive.Inc()
 			break
 		}
 	}
@@ -353,14 +437,18 @@ func (m *Machine) addToWindow(u *uop, when uint64) {
 	}
 }
 
-// removeFromWindowLocked compacts retired/squashed entries out of the
-// window slice. Occupancy is decremented eagerly by retire/squash;
-// this only drops the pointers.
+// compactWindow drops retired/squashed entries out of the window
+// slice and recycles their storage. Occupancy is decremented eagerly
+// by retire/squash; this drops the pointers and releases the uops —
+// by this point they have left the inflight, fetch-buffer and
+// store-buffer structures (see releaseUop).
 func (m *Machine) compactWindow() {
 	w := m.window[:0]
 	for _, u := range m.window {
 		if u.stage != stageRetired && u.stage != stageSquashed {
 			w = append(w, u)
+		} else {
+			m.releaseUop(u)
 		}
 	}
 	m.window = w
@@ -387,12 +475,22 @@ func (m *Machine) collectReady() []*uop {
 			ready = append(ready, u)
 		}
 	}
-	sort.Slice(ready, func(i, j int) bool {
-		if ready[i].schedSeq != ready[j].schedSeq {
-			return ready[i].schedSeq < ready[j].schedSeq
+	// Insertion sort on (schedSeq, seq): the window is scanned in
+	// dispatch order, so the list is nearly sorted already and the
+	// sort runs in linear time without sort.Slice's allocations.
+	for i := 1; i < len(ready); i++ {
+		for j := i; j > 0 && uopLess(ready[j], ready[j-1]); j-- {
+			ready[j], ready[j-1] = ready[j-1], ready[j]
 		}
-		return ready[i].seq < ready[j].seq
-	})
+	}
 	m.readyScratch = ready
 	return ready
+}
+
+// uopLess orders uops oldest scheduled age first, ties by fetch order.
+func uopLess(a, b *uop) bool {
+	if a.schedSeq != b.schedSeq {
+		return a.schedSeq < b.schedSeq
+	}
+	return a.seq < b.seq
 }

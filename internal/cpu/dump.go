@@ -28,11 +28,10 @@ func (m *Machine) DumpState() string {
 		}
 	}
 	for i, ctx := range m.handlers {
-		masterSeq := uint64(0)
+		masterSeq := ctx.masterSeq
 		masterStage := uopStage(0)
-		if ctx.master != nil {
-			masterSeq = ctx.master.seq
-			masterStage = ctx.master.stage
+		if mu := ctx.master.live(); mu != nil {
+			masterStage = mu.stage
 		}
 		fmt.Fprintf(&sb, "handler %d: mech=%v kind=%d tid=%d master=%d(stage %d) vpn=%#x filled=%v dead=%v rfeRetired=%v budget=%d stage=%d\n",
 			i, ctx.mech, ctx.kind, ctx.tid, masterSeq, masterStage,

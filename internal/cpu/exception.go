@@ -22,21 +22,26 @@ func (m *Machine) onDTLBMiss(u *uop) {
 	// miss is *older* than the handler's master relinks the handler to
 	// the older instruction so retirement splices correctly.
 	for _, ctx := range m.handlers {
-		if ctx.dead || ctx.filled || ctx.masterTid != u.tid || ctx.faultVPN != u.faultVPN {
+		// rfeRetired contexts are spent (they are reaped on the next
+		// complete pass, and their master may already have retired and
+		// been recycled): a new miss must not attach to one.
+		if ctx.dead || ctx.filled || ctx.rfeRetired || ctx.masterTid != u.tid || ctx.faultVPN != u.faultVPN {
 			continue
 		}
 		if ctx.mech == MechTraditional {
 			continue // trap in progress; the refetch will re-lookup
 		}
-		if u.seq < ctx.master.seq {
+		if u.seq < ctx.masterSeq {
 			if ctx.mech == MechMultithreaded && !m.cfg.NoRelink {
 				m.Stats.Counter("handler.relinks").Inc()
-				ctx.waiters = append(ctx.waiters, ctx.master)
-				// The latency span follows the master link: the older
-				// instruction is now the splice point.
-				ctx.master.span = nil
-				ctx.master, u.missMain = u, true
-				ctx.master.missMain = true
+				if old := ctx.master.live(); old != nil {
+					ctx.waiters = append(ctx.waiters, old)
+					// The latency span follows the master link: the
+					// older instruction is now the splice point.
+					old.span = nil
+				}
+				ctx.setMaster(u)
+				u.missMain = true
 				u.handlerBy = ctx
 				if ctx.span != nil {
 					ctx.span.Seq = u.seq
@@ -159,12 +164,12 @@ func (m *Machine) spawnHandler(h *thread, u *uop, kind excKind) {
 		kind:      kind,
 		tid:       h.id,
 		masterTid: u.tid,
-		master:    u,
 		faultVPN:  u.faultVPN,
 		faultVA:   u.ea,
 		excPC:     u.pc,
 		specTag:   u.seq,
 	}
+	ctx.setMaster(u)
 	ctx.fetchBudget = hand.CommonLen
 	if !m.cfg.NoWindowReservation {
 		ctx.reserveLeft = hand.CommonLen
@@ -192,9 +197,9 @@ func (m *Machine) spawnHandler(h *thread, u *uop, kind excKind) {
 	h.ghr, h.path = 0, 0
 	h.haltedFetch, h.fetchStalled = false, false
 	h.fetchBlockedUntil = m.now + 1
-	h.lastTLBWR = nil
-	h.lwInt = [32]*uop{}
-	h.lwFP = [32]*uop{}
+	h.lastTLBWR = depRef{}
+	h.lwInt = [32]depRef{}
+	h.lwFP = [32]depRef{}
 	m.Stats.Counter("handler.spawns").Inc()
 	m.debugf("spawn kind=%d tid=%d master seq=%d pc=%#x vpn=%#x", kind, h.id, u.seq, u.pc, u.faultVPN)
 
@@ -274,21 +279,23 @@ func (m *Machine) trapTraditional(u *uop, kind excKind) {
 		kind:      kind,
 		tid:       t.id,
 		masterTid: t.id,
-		master:    u, // already squashed; kept for accounting only
 		faultVPN:  u.faultVPN,
 		faultVA:   u.ea,
 		excPC:     resume,
 		specTag:   u.seq,
 		firstSeq:  m.seqCounter + 1,
 	}
+	// The master was just squashed; its storage is recycled, so from
+	// here on only the setMaster snapshots are read.
+	ctx.setMaster(u)
 	ctx.span = m.Observ.Misses.Begin(u.seq, u.faultVPN, kind.spanName(), "traditional", m.now)
 	m.handlers = append(m.handlers, ctx)
 	t.trapCtx = ctx
 
 	t.inPAL = true
 	t.shadowRF = isa.RegFile{}
-	t.lwShadow = [32]*uop{}
-	t.lastTLBWR = nil
+	t.lwShadow = [32]depRef{}
+	t.lastTLBWR = depRef{}
 	t.priv[isa.PrFaultVA] = u.ea
 	t.priv[isa.PrExcPC] = resume
 	t.priv[isa.PrSrcVal0] = u.srcVal
@@ -318,12 +325,12 @@ func (m *Machine) startHardwareWalk(u *uop) {
 		mech:      MechHardware,
 		tid:       u.tid,
 		masterTid: u.tid,
-		master:    u,
 		faultVPN:  u.faultVPN,
 		faultVA:   u.ea,
 		excPC:     u.pc,
 		specTag:   0, // hardware fills commit immediately
 	}
+	ctx.setMaster(u)
 	ctx.span = m.Observ.Misses.Begin(u.seq, u.faultVPN, kindTLB.spanName(), "hardware", m.now)
 	u.span = ctx.span
 	u.handlerBy = ctx
@@ -351,9 +358,9 @@ func (m *Machine) completeWalks() {
 				ctx.dead = true
 				m.Stats.Counter("walker.pagefaults").Inc()
 				m.Observ.Misses.Abort(ctx.span)
-				if ctx.master.stage != stageSquashed {
-					ctx.master.span = nil
-					m.trapTraditional(ctx.master, kindTLB)
+				if mu := ctx.master.live(); mu != nil && mu.stage != stageSquashed {
+					mu.span = nil
+					m.trapTraditional(mu, kindTLB)
 				}
 				continue
 			}
@@ -373,9 +380,9 @@ func (m *Machine) completeWalks() {
 			ctx.dead = true
 			m.Stats.Counter("walker.pagefaults").Inc()
 			m.Observ.Misses.Abort(ctx.span)
-			if ctx.master.stage != stageSquashed {
-				ctx.master.span = nil
-				m.trapTraditional(ctx.master, kindTLB)
+			if mu := ctx.master.live(); mu != nil && mu.stage != stageSquashed {
+				mu.span = nil
+				m.trapTraditional(mu, kindTLB)
 			}
 			continue
 		}
@@ -398,10 +405,10 @@ func (m *Machine) wakeWaiters(ctx *handlerCtx) {
 	if ctx.span != nil && ctx.span.WakeAt == 0 {
 		ctx.span.WakeAt = m.now
 	}
-	if ctx.master != nil && ctx.master.stage != stageSquashed {
-		ctx.master.dtlbWait = false
-		ctx.master.wokeAt = m.now
-		m.Stats.Histogram("fill.latency").Observe(int64(m.now - ctx.master.missAt))
+	if mu := ctx.master.live(); mu != nil && mu.stage != stageSquashed {
+		mu.dtlbWait = false
+		mu.wokeAt = m.now
+		m.Stats.Histogram("fill.latency").Observe(int64(m.now - mu.missAt))
 	}
 	for _, w := range ctx.waiters {
 		if w.stage != stageSquashed {
@@ -417,7 +424,7 @@ func (m *Machine) wakeWaiters(ctx *handlerCtx) {
 // handler re-executes through the traditional mechanism (Section 4.3).
 func (m *Machine) revertToTraditional(ctx *handlerCtx) {
 	m.Stats.Counter("handler.reversions").Inc()
-	master := ctx.master
+	master := ctx.master.live()
 	kind := ctx.kind
 	m.killHandler(ctx)
 	if master != nil && master.stage != stageSquashed {
@@ -434,7 +441,7 @@ func (m *Machine) killHandler(ctx *handlerCtx) {
 	}
 	ctx.dead = true
 	m.Observ.Misses.Abort(ctx.span)
-	m.debugf("killHandler kind=%d tid=%d masterSeq=%d", ctx.kind, ctx.tid, ctx.master.seq)
+	m.debugf("killHandler kind=%d tid=%d masterSeq=%d", ctx.kind, ctx.tid, ctx.masterSeq)
 	m.dtlb.SquashSpec(ctx.specTag)
 	m.reserved -= ctx.reserveLeft
 	ctx.reserveLeft = 0
@@ -444,10 +451,10 @@ func (m *Machine) killHandler(ctx *handlerCtx) {
 		m.freeHandlerContext(h, ctx.kind)
 	}
 	// Unlink survivors so they can miss again and re-launch.
-	if ctx.master != nil && ctx.master.handlerBy == ctx {
-		ctx.master.handlerBy = nil
-		if ctx.master.stage != stageSquashed && ctx.master.dtlbWait && !ctx.filled {
-			ctx.master.dtlbWait = false // re-issue, re-detect
+	if mu := ctx.master.live(); mu != nil && mu.handlerBy == ctx {
+		mu.handlerBy = nil
+		if mu.stage != stageSquashed && mu.dtlbWait && !ctx.filled {
+			mu.dtlbWait = false // re-issue, re-detect
 		}
 	}
 	for _, w := range ctx.waiters {
@@ -473,7 +480,7 @@ func (m *Machine) freeHandlerContext(h *thread, kind excKind) {
 	h.fetchBuf = h.fetchBuf[:0]
 	h.inflight = h.inflight[:0]
 	h.icount = 0
-	h.lastTLBWR = nil
+	h.lastTLBWR = depRef{}
 	if m.cfg.QuickStart {
 		h.primed = true
 		h.primedKind = kind

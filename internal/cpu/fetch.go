@@ -128,11 +128,11 @@ func (m *Machine) fetchThread(t *thread) {
 		}
 		t.pc = u.predPC
 		fetched++
-		m.Stats.Counter("fetch.insts").Inc()
+		m.hot.fetchInsts.Inc()
 		m.postFetchControl(t, u)
 	}
 	if fetched > 0 {
-		m.Stats.Counter("fetch.cycles").Inc()
+		m.hot.fetchCycles.Inc()
 	}
 }
 
@@ -164,18 +164,17 @@ func (m *Machine) postFetchControl(t *thread, u *uop) {
 }
 
 func (m *Machine) buildUop(t *thread, in isa.Instruction) *uop {
-	u := &uop{
-		seq:      m.nextSeq(),
-		tid:      t.id,
-		pc:       t.pc,
-		inst:     in,
-		pal:      t.inPAL,
-		excFetch: t.state == ctxException,
-		palCtx:   m.palCtxFor(t),
-	}
+	u := m.newUop()
+	u.seq = m.nextSeq()
+	u.tid = t.id
+	u.pc = t.pc
+	u.inst = in
+	u.pal = t.inPAL
+	u.excFetch = t.state == ctxException
+	u.palCtx = m.palCtxFor(t)
 	u.schedSeq = u.seq
-	if u.excFetch && t.exc != nil && t.exc.master != nil {
-		u.schedSeq = t.exc.master.seq
+	if u.excFetch && t.exc != nil && t.exc.masterSeq != 0 {
+		u.schedSeq = t.exc.masterSeq
 	}
 	return u
 }
@@ -218,20 +217,26 @@ func (m *Machine) execFunctional(t *thread, u *uop) {
 	rf := t.curRF()
 	in := u.inst
 
-	// Dataflow edges from the fetch-order last-writer tables.
+	// Dataflow edges from the fetch-order last-writer tables. Stale
+	// table entries are skipped: their writer has retired, so the
+	// dependency is already satisfied.
 	ns := 0
-	addSrc := func(w *uop) {
-		if w != nil && ns < len(u.srcs) {
+	addSrc := func(w depRef) {
+		if w.live() != nil && ns < len(u.srcs) {
 			u.srcs[ns] = w
 			ns++
 		}
 	}
 	lwInt, lwFP := t.writerTables()
-	for _, r := range in.IntSources() {
-		addSrc(lwInt[r])
+	if srcs, n := in.IntSrcRegs(); n > 0 {
+		for _, r := range srcs[:n] {
+			addSrc(lwInt[r])
+		}
 	}
-	for _, r := range in.FPSources() {
-		addSrc(lwFP[r])
+	if srcs, n := in.FPSrcRegs(); n > 0 {
+		for _, r := range srcs[:n] {
+			addSrc(lwFP[r])
+		}
 	}
 
 	// Prediction repair state (before this uop's own actions).
@@ -246,7 +251,7 @@ func (m *Machine) execFunctional(t *thread, u *uop) {
 			u.slot = &rf.Int[rd]
 			u.oldVal = rf.Int[rd]
 			rf.Int[rd] = v
-			lwInt[rd] = u
+			lwInt[rd] = ref(u)
 		}
 	}
 	writeFP := func(rd uint8, v uint64) {
@@ -256,7 +261,7 @@ func (m *Machine) execFunctional(t *thread, u *uop) {
 		u.slot = &rf.FP[rd]
 		u.oldVal = rf.FP[rd]
 		rf.FP[rd] = v
-		lwFP[rd] = u
+		lwFP[rd] = ref(u)
 	}
 
 	nextPC := u.pc + 4
@@ -384,7 +389,7 @@ func (m *Machine) execFunctional(t *thread, u *uop) {
 		case isa.OpTlbwr:
 			u.ea = rf.ReadInt(in.Ra)       // faulting VA
 			u.storeVal = rf.ReadInt(in.Rb) // PTE
-			t.lastTLBWR = u
+			t.lastTLBWR = ref(u)
 		case isa.OpWrtDest:
 			// Write the handler-computed value to the excepting
 			// instruction's destination register (Section 6). In a
@@ -395,18 +400,20 @@ func (m *Machine) execFunctional(t *thread, u *uop) {
 			// the master instruction, whose oracle value already
 			// matches.
 			u.srcVal = rf.ReadInt(in.Ra)
-			if ctx := u.palCtx; ctx != nil && ctx.master != nil && t.state != ctxException {
-				dest := ctx.master.inst.Rd
+			if ctx := u.palCtx; ctx != nil && ctx.masterSeq != 0 && t.state != ctxException {
+				// The trap squashed (and recycled) the master, so its
+				// destination comes from the context snapshot.
+				dest := ctx.masterDest
 				if dest != isa.RegZero {
 					u.slot = &t.rf.Int[dest]
 					u.oldVal = t.rf.Int[dest]
 					t.rf.Int[dest] = u.srcVal
 					u.destKind = regInt
 					u.destReg = dest
-					t.lwInt[dest] = u
+					t.lwInt[dest] = ref(u)
 				}
 			}
-			t.lastTLBWR = u // RFE serializes behind the destination write
+			t.lastTLBWR = ref(u) // RFE serializes behind the destination write
 		}
 
 	case isa.ClassRfe:
@@ -425,7 +432,7 @@ func (m *Machine) execFunctional(t *thread, u *uop) {
 	u.nextPC = nextPC
 	u.palAfter = t.inPAL && in.Op != isa.OpRfe
 	if u.mispred {
-		m.Stats.Counter("bpred.fetchtime.mispredicts").Inc()
+		m.hot.fetchMispred.Inc()
 	}
 }
 
@@ -482,12 +489,12 @@ func (m *Machine) physReadSized(pa, size uint64) uint64 {
 
 // addMemDep makes a load wait on the youngest older overlapping
 // buffered store (store-to-load forwarding timing).
-func (m *Machine) addMemDep(t *thread, u *uop, addSrc func(*uop)) {
+func (m *Machine) addMemDep(t *thread, u *uop, addSrc func(depRef)) {
 	if u.pal {
 		return // handler loads read only the page table
 	}
 	if e, ok := t.lookupSSB(u.seq, u.ea&^(u.memBytes-1), u.memBytes); ok {
-		addSrc(e.u)
-		u.fwdStore = e.u
+		addSrc(ref(e.u))
+		u.fwdStore = ref(e.u)
 	}
 }

@@ -18,6 +18,9 @@ func (m *Machine) checkInvariants() {
 	// Window occupancy accounting matches the window contents.
 	count := 0
 	for _, u := range m.window {
+		if u.pooled {
+			m.invariantPanic("window holds a pooled uop (seq %d)", u.seq)
+		}
 		switch u.stage {
 		case stageWindow, stageIssued, stageDone:
 			if !(u.excFetch && m.cfg.Limit == LimitNoWindow) {
@@ -64,6 +67,9 @@ func (m *Machine) checkThreadInvariants(t *thread) {
 	live := 0
 	var prev uint64
 	for i, u := range t.inflight {
+		if u.pooled {
+			m.invariantPanic("thread %d inflight holds a pooled uop (seq %d)", t.id, u.seq)
+		}
 		if u.tid != t.id {
 			m.invariantPanic("thread %d inflight holds seq %d of thread %d", t.id, u.seq, u.tid)
 		}
@@ -82,6 +88,9 @@ func (m *Machine) checkThreadInvariants(t *thread) {
 	// The fetch buffer holds only live, fetched-stage entries in order.
 	prev = 0
 	for i, u := range t.fetchBuf {
+		if u.pooled {
+			m.invariantPanic("thread %d fetch buffer holds a pooled uop (seq %d)", t.id, u.seq)
+		}
 		if u.stage != stageFetched {
 			m.invariantPanic("thread %d fetch buffer entry %d in stage %d", t.id, i, u.stage)
 		}
@@ -112,6 +121,9 @@ func (m *Machine) checkThreadInvariants(t *thread) {
 		m.invariantPanic("thread %d SSB has %d entries, %d unretired stores in flight", t.id, len(t.ssb), len(stores))
 	}
 	for i, e := range t.ssb {
+		if e.u.pooled {
+			m.invariantPanic("thread %d SSB holds a pooled uop (seq %d)", t.id, e.u.seq)
+		}
 		if e.u != stores[i] {
 			m.invariantPanic("thread %d SSB entry %d (seq %d) != in-flight store (seq %d)",
 				t.id, i, e.u.seq, stores[i].seq)

@@ -42,13 +42,13 @@ func (m *Machine) dispatch() {
 			if !exempt {
 				budget--
 			}
-			m.Stats.Counter("dispatch.insts").Inc()
+			m.hot.dispatchInsts.Inc()
 		}
 	}
 }
 
 func (m *Machine) dispatchOrder() []*thread {
-	order := make([]*thread, 0, len(m.threads))
+	order := m.orderScratch[:0]
 	for _, t := range m.threads {
 		if t.state == ctxException {
 			order = append(order, t)
@@ -67,6 +67,7 @@ func (m *Machine) dispatchOrder() []*thread {
 			app[j], app[j-1] = app[j-1], app[j]
 		}
 	}
+	m.orderScratch = order
 	return order
 }
 
@@ -74,7 +75,7 @@ func (m *Machine) dispatchOrder() []*thread {
 // squashing the youngest post-exception instructions of the master
 // thread — never the excepting instruction itself (Section 4.4).
 func (m *Machine) deadlockAvoidSquash(ctx *handlerCtx) {
-	if ctx == nil || ctx.master == nil {
+	if ctx == nil || ctx.masterSeq == 0 {
 		return
 	}
 	mt := m.threads[ctx.masterTid]
@@ -93,7 +94,7 @@ func (m *Machine) deadlockAvoidSquash(ctx *handlerCtx) {
 		if u.stage != stageWindow && u.stage != stageIssued && u.stage != stageDone {
 			continue
 		}
-		if u.tid != ctx.masterTid || u.seq <= ctx.master.seq {
+		if u.tid != ctx.masterTid || u.seq <= ctx.masterSeq {
 			continue
 		}
 		if u.pal {
@@ -109,12 +110,13 @@ func (m *Machine) deadlockAvoidSquash(ctx *handlerCtx) {
 		// Squash that whole handler instance and refetch its
 		// excepting instruction from scratch; the firstSeq rule in
 		// squashFrom reclaims its context.
-		if tc := mt.trapCtx; tc != nil && !tc.dead && tc.master != nil &&
-			tc.master.seq > ctx.master.seq {
+		// The trap's master was squashed and recycled at redirect; the
+		// refetch target comes from the context snapshots.
+		if tc := mt.trapCtx; tc != nil && !tc.dead && tc.masterSeq > ctx.masterSeq {
 			m.Stats.Counter("window.deadlock.trapsquashes").Inc()
-			m.debugf("deadlock-trapsquash tid=%d from=%d refetch=%#x", mt.id, tc.firstSeq, tc.master.pc)
-			refetchPC := tc.master.pc
-			hist, path, cp := tc.master.histBefore, tc.master.pathBefore, tc.master.rasCp
+			m.debugf("deadlock-trapsquash tid=%d from=%d refetch=%#x", mt.id, tc.firstSeq, tc.masterPC)
+			refetchPC := tc.masterPC
+			hist, path, cp := tc.masterHist, tc.masterPath, tc.masterRAS
 			m.squashFrom(mt, tc.firstSeq)
 			mt.ghr, mt.path = hist, path
 			m.ras[mt.id].Restore(cp)
@@ -213,7 +215,7 @@ func (m *Machine) issue() {
 		m.startWalks(&budget)
 	}
 	ready := m.collectReady()
-	m.Stats.Histogram("issue.ready").Observe(int64(len(ready)))
+	m.hot.issueReady.Observe(int64(len(ready)))
 	blocked := 0 // ready but denied an FU / issue slot this cycle
 	for _, u := range ready {
 		if u.stage != stageWindow {
@@ -266,7 +268,7 @@ func (m *Machine) executeUop(u *uop) {
 	t := m.threads[u.tid]
 	u.issuedOnce = true
 	u.issueAt = m.now
-	m.Stats.Counter("issue.insts").Inc()
+	m.hot.issueInsts.Inc()
 
 	if u.inst.Op == isa.OpPopc && m.cfg.EmulatePopc && !u.pal &&
 		(m.cfg.Mech == MechTraditional || m.cfg.Mech == MechMultithreaded) {
@@ -330,10 +332,10 @@ func (m *Machine) executeMem(t *thread, u *uop) {
 		u.doneAt = m.now + m.cfg.Hier.StoreLat
 		return
 	}
-	if u.fwdStore != nil && u.fwdStore.stage != stageRetired {
+	if st := u.fwdStore.live(); st != nil && st.stage != stageRetired {
 		// Store-to-load forwarding from the speculative store buffer.
 		u.doneAt = m.now + 1
-		m.Stats.Counter("mem.forwards").Inc()
+		m.hot.memForwards.Inc()
 		return
 	}
 	u.doneAt = m.hier.AccessData(m.now, pa, false)

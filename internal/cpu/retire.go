@@ -68,8 +68,8 @@ func (m *Machine) retireUop(t *thread, u *uop) {
 	t.icount--
 	t.inflight = t.inflight[1:]
 	m.retireBudget--
-	m.Stats.Counter("retire.insts").Inc()
-	m.Stats.Counter("retire.class." + classNames[isa.ClassOf(u.inst.Op)]).Inc()
+	m.hot.retireInsts.Inc()
+	m.hot.retireClass[isa.ClassOf(u.inst.Op)].Inc()
 	if m.RetireHook != nil {
 		m.RetireHook(RetiredInst{
 			Tid: u.tid, Seq: u.seq, PC: u.pc, Op: u.inst.Op,
@@ -237,36 +237,44 @@ func (m *Machine) squashFrom(t *thread, from uint64) {
 }
 
 func (m *Machine) finishSquash(t *thread, from uint64) {
-	// Drop squashed entries from the fetch buffer.
+	// The store buffer is stripped before the fetch buffer so a
+	// squashed store's storage (it can sit in both) is never released
+	// while the SSB still points at it.
+	t.removeSSBFrom(from)
+
+	// Drop squashed entries from the fetch buffer and recycle their
+	// storage: a squashed fetch-buffer entry never entered the window,
+	// so compactWindow would never see it.
 	fb := t.fetchBuf[:0]
 	for _, u := range t.fetchBuf {
 		if u.stage != stageSquashed {
 			fb = append(fb, u)
+		} else {
+			m.releaseUop(u)
 		}
 	}
 	t.fetchBuf = fb
-	t.removeSSBFrom(from)
 
 	// Rebuild last-writer tables from the surviving instructions.
-	t.lwInt = [32]*uop{}
-	t.lwFP = [32]*uop{}
-	t.lwShadow = [32]*uop{}
-	t.lastTLBWR = nil
+	t.lwInt = [32]depRef{}
+	t.lwFP = [32]depRef{}
+	t.lwShadow = [32]depRef{}
+	t.lastTLBWR = depRef{}
 	for _, u := range t.inflight {
 		if u.slot != nil {
 			switch u.destKind {
 			case regInt:
 				if u.pal && !u.excFetch && u.inst.Op != isa.OpWrtDest {
-					t.lwShadow[u.destReg] = u
+					t.lwShadow[u.destReg] = ref(u)
 				} else {
-					t.lwInt[u.destReg] = u
+					t.lwInt[u.destReg] = ref(u)
 				}
 			case regFP:
-				t.lwFP[u.destReg] = u
+				t.lwFP[u.destReg] = ref(u)
 			}
 		}
 		if u.inst.Op == isa.OpTlbwr {
-			t.lastTLBWR = u
+			t.lastTLBWR = ref(u)
 		}
 	}
 
@@ -304,7 +312,7 @@ func (m *Machine) squashUop(t *thread, u *uop) {
 		m.Observ.Slots.Move(from, obs.SlotSquashWaste, uint64(u.issueSlots))
 		u.issueSlots = 0
 	}
-	m.Stats.Counter("squash.insts").Inc()
+	m.hot.squashInsts.Inc()
 	if m.TraceHook != nil {
 		m.emitTrace(u, true)
 	}
@@ -326,7 +334,7 @@ func (m *Machine) unlinkSquashedMiss(u *uop) {
 	if ctx == nil || ctx.dead {
 		return
 	}
-	if ctx.master == u {
+	if ctx.master.live() == u {
 		switch ctx.mech {
 		case MechMultithreaded:
 			m.Stats.Counter("handler.reclaimed").Inc()

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"mtexc/internal/bpred"
 	"mtexc/internal/isa"
 	"mtexc/internal/obs"
 	"mtexc/internal/vm"
@@ -58,16 +59,17 @@ type thread struct {
 
 	// Fetch-order last-writer tables for dataflow construction. The
 	// shadow table covers PAL-shadow integer registers (traditional
-	// in-thread handlers); PAL code uses no FP registers.
-	lwInt    [32]*uop
-	lwFP     [32]*uop
-	lwShadow [32]*uop
+	// in-thread handlers); PAL code uses no FP registers. Entries are
+	// generation-checked: a stale entry means the writer retired.
+	lwInt    [32]depRef
+	lwFP     [32]depRef
+	lwShadow [32]depRef
 
 	// trapCtx is the live traditional-trap handler instance, if any.
 	trapCtx *handlerCtx
 	// lastTLBWR is the most recent TLB write fetched in PAL mode; RFE
 	// serializes against it.
-	lastTLBWR *uop
+	lastTLBWR depRef
 
 	// In-flight instructions in fetch order (the per-thread FIFO
 	// view of the shared window plus fetch/decode pipes).
@@ -113,8 +115,19 @@ type handlerCtx struct {
 	kind      excKind
 	tid       int // handler thread id (multithreaded) or master tid
 	masterTid int
-	master    *uop // the (oldest) excepting instruction
-	faultVPN  uint64
+	// master is the (oldest) excepting instruction. The reference is
+	// generation-checked: a traditional trap squashes its master, whose
+	// storage is then pool-recycled, so every dereference must go
+	// through live(). The master* snapshots below preserve the fields
+	// the handler still needs after the uop itself is gone.
+	master     depRef
+	masterSeq  uint64 // master's fetch sequence number
+	masterPC   uint64 // master's PC (trap-squash refetch target)
+	masterDest uint8  // master's destination register (WRTDEST)
+	masterHist uint64 // master's GHR before fetch (squash repair)
+	masterPath uint64 // master's path history before fetch
+	masterRAS  bpred.Checkpoint
+	faultVPN   uint64
 	faultVA   uint64
 	specTag   uint64 // TLB speculative-fill tag
 	excPC     uint64 // PC of the excepting instruction (restart point)
@@ -142,6 +155,18 @@ type handlerCtx struct {
 	span *obs.MissSpan
 }
 
+// setMaster links u as the context's master and snapshots the fields
+// read after the uop may have been squashed and recycled.
+func (ctx *handlerCtx) setMaster(u *uop) {
+	ctx.master = ref(u)
+	ctx.masterSeq = u.seq
+	ctx.masterPC = u.pc
+	ctx.masterDest = u.inst.Rd
+	ctx.masterHist = u.histBefore
+	ctx.masterPath = u.pathBefore
+	ctx.masterRAS = u.rasCp
+}
+
 // spanKindNames label exception kinds in miss spans.
 var spanKindNames = [...]string{kindTLB: "tlb", kindEmu: "emu", kindUnaligned: "unaligned"}
 
@@ -160,7 +185,7 @@ func (t *thread) runnable() bool {
 
 // writerTables selects the last-writer tables matching the register
 // file fetched instructions currently target (see curRF).
-func (t *thread) writerTables() (*[32]*uop, *[32]*uop) {
+func (t *thread) writerTables() (*[32]depRef, *[32]depRef) {
 	if t.inPAL && t.state != ctxException {
 		return &t.lwShadow, &t.lwFP
 	}

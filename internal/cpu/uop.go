@@ -27,10 +27,48 @@ const (
 	regFP
 )
 
+// depRef is a generation-checked reference to a producer uop. uops
+// are pool-recycled at retire/squash (see Machine.releaseUop); a
+// recycled producer bumps its generation, so a stale reference —
+// whose producer has left the machine — resolves to nil instead of
+// aliasing the unrelated instruction now occupying the storage.
+// Consumers treat a stale reference as a satisfied dependency: a
+// reference only goes stale when its producer retired (a squashed
+// producer always takes its same-thread, younger consumers with it),
+// and a retired producer has completed by definition.
+type depRef struct {
+	u   *uop
+	gen uint32
+}
+
+// ref captures a generation-checked reference to u. Referencing an
+// already-released uop (a traditional trap links its master after the
+// squash recycled it) yields the empty reference rather than one that
+// would alias the storage's next occupant.
+func ref(u *uop) depRef {
+	if u == nil || u.pooled {
+		return depRef{}
+	}
+	return depRef{u: u, gen: u.gen}
+}
+
+// live resolves the reference, returning nil when empty or stale.
+func (r depRef) live() *uop {
+	if r.u != nil && r.u.gen == r.gen {
+		return r.u
+	}
+	return nil
+}
+
 // uop is one dynamic instruction. Functional results are computed at
 // fetch time along the predicted path; the timing fields track its
 // progress through the machine.
 type uop struct {
+	// gen is the pool-recycling generation, bumped every time the uop
+	// is released; pooled marks a uop currently in the free list.
+	gen    uint32
+	pooled bool
+
 	seq uint64 // global fetch order (also the window age ordering)
 	// schedSeq is the age used for oldest-first scheduling. Handler
 	// instructions inherit their master's age: they retire before the
@@ -61,8 +99,9 @@ type uop struct {
 	storeVal uint64  // value stored (stores only)
 	memBytes uint64  // access width, 0 for non-memory
 
-	// Dataflow: producers this uop waits on (nil entries ignored).
-	srcs [3]*uop
+	// Dataflow: producers this uop waits on (empty/stale entries are
+	// satisfied dependencies — see depRef).
+	srcs [3]depRef
 
 	// Timing.
 	stage      uopStage
@@ -99,8 +138,9 @@ type uop struct {
 	// schedule latency and consumes no decode bandwidth, but still
 	// obeys window-space rules.
 	instant bool
-	// fwdStore is the buffered store this load forwards from, if any.
-	fwdStore *uop
+	// fwdStore is the buffered store this load forwards from, if any
+	// (stale once the store retires).
+	fwdStore depRef
 
 	// issueSlots counts the issue slots this uop consumed (a parked
 	// TLB-miss instruction issues more than once); squash moves them
@@ -111,8 +151,11 @@ type uop struct {
 	span *obs.MissSpan
 }
 
+// numClasses sizes per-class lookup tables.
+const numClasses = int(isa.ClassHalt) + 1
+
 // classNames label the retirement-mix statistics.
-var classNames = map[isa.Class]string{
+var classNames = [numClasses]string{
 	isa.ClassNop: "nop", isa.ClassIntALU: "intalu", isa.ClassIntMul: "intmul",
 	isa.ClassIntDiv: "intdiv", isa.ClassFPAdd: "fpadd", isa.ClassFPMul: "fpmul",
 	isa.ClassFPDiv: "fpdiv", isa.ClassLoad: "load", isa.ClassStore: "store",
@@ -140,7 +183,8 @@ func (u *uop) ready(now uint64, regRead uint64) bool {
 		return false
 	}
 	for _, s := range u.srcs {
-		if s != nil && (s.stage != stageDone && s.stage != stageRetired || s.doneAt > now) {
+		p := s.live()
+		if p != nil && (p.stage != stageDone && p.stage != stageRetired || p.doneAt > now) {
 			return false
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"mtexc/internal/core"
 	"mtexc/internal/workload"
@@ -21,7 +22,18 @@ type Options struct {
 	// (default: the paper's eight).
 	Mixes [][3]string
 	// Progress, when non-nil, receives one line per completed run.
+	// Writes are serialized and issued one full line at a time, so
+	// concurrent completions never interleave partial lines.
 	Progress io.Writer
+	// Parallelism bounds the simulations running concurrently within
+	// one experiment (0 = one per available CPU, 1 = serial). Tables
+	// are assembled by cell index, so the result is identical at any
+	// setting.
+	Parallelism int
+	// Baselines, when non-nil, shares perfect-TLB baseline results
+	// across experiments: each distinct machine shape × workload mix
+	// simulates its baseline once per cache.
+	Baselines *BaselineCache
 }
 
 func (o Options) insts() uint64 {
@@ -47,20 +59,34 @@ func (o Options) suite() ([]*workload.Bench, error) {
 }
 
 // runner executes simulations, caching perfect-TLB baselines so each
-// machine shape runs its baseline once per workload set.
+// machine shape runs its baseline once per workload set. Its methods
+// are safe for the concurrent cell execution driven by forEach.
 type runner struct {
-	opt   Options
-	cache map[string]core.Result
+	opt  Options
+	base *BaselineCache
 }
 
 func newRunner(opt Options) *runner {
-	return &runner{opt: opt, cache: make(map[string]core.Result)}
+	bc := opt.Baselines
+	if bc == nil {
+		bc = NewBaselineCache()
+	}
+	return &runner{opt: opt, base: bc}
 }
 
+// progressMu serializes Progress writers across all runners: the
+// command-line driver runs several experiments concurrently against
+// one stderr, and a torn line helps nobody.
+var progressMu sync.Mutex
+
 func (r *runner) log(format string, args ...any) {
-	if r.opt.Progress != nil {
-		fmt.Fprintf(r.opt.Progress, format+"\n", args...)
+	if r.opt.Progress == nil {
+		return
 	}
+	line := fmt.Sprintf(format+"\n", args...)
+	progressMu.Lock()
+	io.WriteString(r.opt.Progress, line)
+	progressMu.Unlock()
 }
 
 func mixKey(benches []*workload.Bench) string {
@@ -100,18 +126,15 @@ func (r *runner) compare(cfg core.Config, benches ...*workload.Bench) (core.Comp
 	r.log("  %-14s %-13s %9d cycles  %6d fills  IPC %.2f",
 		mixKey(benches), label(cfg), subj.Cycles, subj.DTLBMisses, subj.IPC)
 
-	key := shapeKey(cfg, benches)
-	perf, ok := r.cache[key]
-	if !ok {
+	perf, err := r.base.get(shapeKey(cfg, benches), func() (core.Result, error) {
 		pcfg := cfg
 		pcfg.Mech = core.MechPerfect
 		pcfg.QuickStart = false
 		pcfg.Limit = core.LimitNone
-		perf, err = core.Run(pcfg, asWorkloads(benches)...)
-		if err != nil {
-			return core.Comparison{}, err
-		}
-		r.cache[key] = perf
+		return core.Run(pcfg, asWorkloads(benches)...)
+	})
+	if err != nil {
+		return core.Comparison{}, err
 	}
 	return core.Comparison{Subject: subj, Perfect: perf}, nil
 }
@@ -153,15 +176,18 @@ func Figure2(opt Options) (*Table, error) {
 		cols[i] = fmt.Sprintf("%d stages", d)
 	}
 	t := NewTable("Figure 2: software TLB miss penalty vs pipeline depth (penalty cycles/miss, traditional)", names(benches), cols)
-	for bi, b := range benches {
-		for di, d := range depths {
-			cfg := r.baseConfig(core.MechTraditional, 1, 0).WithPipeDepth(d)
-			cmp, err := r.compare(cfg, b)
-			if err != nil {
-				return nil, err
-			}
-			t.Set(bi, di, cmp.PenaltyPerMiss())
+	err = r.forEach(len(benches)*len(depths), func(i int) error {
+		bi, di := i/len(depths), i%len(depths)
+		cfg := r.baseConfig(core.MechTraditional, 1, 0).WithPipeDepth(depths[di])
+		cmp, err := r.compare(cfg, benches[bi])
+		if err != nil {
+			return err
 		}
+		t.Set(bi, di, cmp.PenaltyPerMiss())
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddAverageRow()
 	return t, nil
@@ -186,20 +212,28 @@ func Figure3(opt Options) (*Table, error) {
 	}
 	t := NewTable("Figure 3: relative TLB miss handling time vs machine width (normalized to 2-wide)", names(benches), cols)
 	t.Format = "%10.2f"
-	for bi, b := range benches {
-		var base float64
-		for si, s := range shapes {
-			cfg := r.baseConfig(core.MechTraditional, 1, 0).WithWidth(s.width, s.window)
-			cmp, err := r.compare(cfg, b)
-			if err != nil {
-				return nil, err
-			}
-			rel := cmp.RelativeTLBTime()
-			if si == 0 {
-				base = rel
-			}
+	// The cells are independent runs; the 2-wide normalization is a
+	// serial pass over the collected grid.
+	rel := make([]float64, len(benches)*len(shapes))
+	err = r.forEach(len(rel), func(i int) error {
+		bi, si := i/len(shapes), i%len(shapes)
+		s := shapes[si]
+		cfg := r.baseConfig(core.MechTraditional, 1, 0).WithWidth(s.width, s.window)
+		cmp, err := r.compare(cfg, benches[bi])
+		if err != nil {
+			return err
+		}
+		rel[i] = cmp.RelativeTLBTime()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi := range benches {
+		base := rel[bi*len(shapes)]
+		for si := range shapes {
 			if base > 0 {
-				t.Set(bi, si, rel/base)
+				t.Set(bi, si, rel[bi*len(shapes)+si]/base)
 			} else {
 				t.Set(bi, si, 0)
 			}
@@ -233,14 +267,17 @@ func Figure5(opt Options) (*Table, error) {
 		cols[i] = c.name
 	}
 	t := NewTable("Figure 5: TLB miss penalty by exception architecture (penalty cycles/miss)", names(benches), cols)
-	for bi, b := range benches {
-		for ci, c := range configs {
-			cmp, err := r.compare(c.cfg, b)
-			if err != nil {
-				return nil, err
-			}
-			t.Set(bi, ci, cmp.PenaltyPerMiss())
+	err = r.forEach(len(benches)*len(configs), func(i int) error {
+		bi, ci := i/len(configs), i%len(configs)
+		cmp, err := r.compare(configs[ci].cfg, benches[bi])
+		if err != nil {
+			return err
 		}
+		t.Set(bi, ci, cmp.PenaltyPerMiss())
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddAverageRow()
 	return t, nil
@@ -282,16 +319,28 @@ func Table3(opt Options) (*Table, error) {
 		rowNames[i] = rw.name
 	}
 	t := NewTable("Table 3: limit studies — average penalty cycles/miss", rowNames, []string{"penalty/miss"})
-	for ri, rw := range rows {
+	// Collect the full row × bench grid in parallel, then reduce each
+	// row serially so the averages sum in a fixed order.
+	pen := make([]float64, len(rows)*len(benches))
+	err = r.forEach(len(pen), func(i int) error {
+		ri, bi := i/len(benches), i%len(benches)
+		rw := rows[ri]
+		cfg := r.baseConfig(rw.mech, 1, rw.idle)
+		cfg.Limit = rw.limit
+		cmp, err := r.compare(cfg, benches[bi])
+		if err != nil {
+			return err
+		}
+		pen[i] = cmp.PenaltyPerMiss()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri := range rows {
 		var sum float64
-		for _, b := range benches {
-			cfg := r.baseConfig(rw.mech, 1, rw.idle)
-			cfg.Limit = rw.limit
-			cmp, err := r.compare(cfg, b)
-			if err != nil {
-				return nil, err
-			}
-			sum += cmp.PenaltyPerMiss()
+		for bi := range benches {
+			sum += pen[ri*len(benches)+bi]
 		}
 		t.Set(ri, 0, sum/float64(len(benches)))
 	}
@@ -322,14 +371,17 @@ func Figure6(opt Options) (*Table, error) {
 		cols[i] = c.name
 	}
 	t := NewTable("Figure 6: quick-starting multithreaded handler (penalty cycles/miss)", rowNames, cols)
-	for bi, b := range benches {
-		for ci, c := range configs {
-			cmp, err := r.compare(c.cfg, b)
-			if err != nil {
-				return nil, err
-			}
-			t.Set(bi, ci, cmp.PenaltyPerMiss())
+	err = r.forEach(len(benches)*len(configs), func(i int) error {
+		bi, ci := i/len(configs), i%len(configs)
+		cmp, err := r.compare(configs[ci].cfg, benches[bi])
+		if err != nil {
+			return err
 		}
+		t.Set(bi, ci, cmp.PenaltyPerMiss())
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddAverageRow()
 	return t, nil
@@ -377,27 +429,34 @@ func Figure7(opt Options) (*Table, error) {
 	cols = append(cols, "hdl-active%")
 	t := NewTable("Figure 7: TLB miss penalties with 3 applications on the SMT (penalty cycles/miss)", rowNames, cols)
 	t.Note = "hdl-active%: fraction of cycles a handler context is busy under multi(1) — the paper reports 5-40%, averaging ~20%"
+	// Resolve the workload mixes up front so cell bodies are pure runs.
+	mixBenches := make([][]*workload.Bench, len(mixes))
 	for mi, mix := range mixes {
-		var benches []*workload.Bench
 		for _, n := range mix {
 			b, err := workload.ByName(n)
 			if err != nil {
 				return nil, err
 			}
-			benches = append(benches, b)
+			mixBenches[mi] = append(mixBenches[mi], b)
 		}
-		for ci, c := range configs {
-			cmp, err := r.compare(c.cfg, benches...)
-			if err != nil {
-				return nil, err
-			}
-			t.Set(mi, ci, cmp.PenaltyPerMiss())
-			if c.name == "multi(1)" {
-				active := float64(cmp.Subject.Stats.Get("handler.activecycles")) /
-					float64(cmp.Subject.Cycles) * 100
-				t.Set(mi, len(configs), active)
-			}
+	}
+	err := r.forEach(len(mixes)*len(configs), func(i int) error {
+		mi, ci := i/len(configs), i%len(configs)
+		c := configs[ci]
+		cmp, err := r.compare(c.cfg, mixBenches[mi]...)
+		if err != nil {
+			return err
 		}
+		t.Set(mi, ci, cmp.PenaltyPerMiss())
+		if c.name == "multi(1)" {
+			active := float64(cmp.Subject.Stats.Get("handler.activecycles")) /
+				float64(cmp.Subject.Cycles) * 100
+			t.Set(mi, len(configs), active)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddAverageRow()
 	return t, nil
@@ -433,27 +492,42 @@ func Table4(opt Options) (*Table, error) {
 	}
 	t := NewTable("Table 4: speedup over traditional software (percent), miss rate and base IPC", names(benches), cols)
 	t.Format = "%10.2f"
-	for bi, b := range benches {
-		trad, err := r.compare(r.baseConfig(core.MechTraditional, 1, 0), b)
+	// Phase 1: the traditional run per benchmark — every speedup cell
+	// divides by its cycle count, so it runs first.
+	trads := make([]core.Comparison, len(benches))
+	err = r.forEach(len(benches), func(bi int) error {
+		trad, err := r.compare(r.baseConfig(core.MechTraditional, 1, 0), benches[bi])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		trads[bi] = trad
 		t.Set(bi, 0, trad.Perfect.IPC)
 		t.Set(bi, 1, float64(trad.Subject.DTLBMisses)/float64(trad.Subject.AppInsts)*1e3)
-		for ci, c := range configs {
-			var cycles uint64
-			if ci == 0 {
-				cycles = trad.Perfect.Cycles
-			} else {
-				cmp, err := r.compare(c.cfg, b)
-				if err != nil {
-					return nil, err
-				}
-				cycles = cmp.Subject.Cycles
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Phase 2: one cell per benchmark × mechanism.
+	err = r.forEach(len(benches)*len(configs), func(i int) error {
+		bi, ci := i/len(configs), i%len(configs)
+		trad := trads[bi]
+		var cycles uint64
+		if ci == 0 {
+			cycles = trad.Perfect.Cycles
+		} else {
+			cmp, err := r.compare(configs[ci].cfg, benches[bi])
+			if err != nil {
+				return err
 			}
-			speedup := (float64(trad.Subject.Cycles)/float64(cycles) - 1) * 100
-			t.Set(bi, 2+ci, speedup)
+			cycles = cmp.Subject.Cycles
 		}
+		speedup := (float64(trad.Subject.Cycles)/float64(cycles) - 1) * 100
+		t.Set(bi, 2+ci, speedup)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -468,14 +542,18 @@ func Table2(opt Options) (*Table, error) {
 	}
 	t := NewTable("Table 2: benchmark summary (DTLB misses scaled to 100M instructions)", names(benches), []string{"misses/100M", "baseIPC"})
 	t.Format = "%10.1f"
-	for bi, b := range benches {
+	err = r.forEach(len(benches), func(bi int) error {
 		cfg := r.baseConfig(core.MechMultithreaded, 1, 1)
-		cmp, err := r.compare(cfg, b)
+		cmp, err := r.compare(cfg, benches[bi])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		t.Set(bi, 0, float64(cmp.Subject.DTLBMisses)/float64(cmp.Subject.AppInsts)*1e8)
 		t.Set(bi, 1, cmp.Perfect.IPC)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -517,14 +595,23 @@ func Ablations(opt Options) (*Table, error) {
 		rowNames[i] = rw.name
 	}
 	t := NewTable("Ablations: multithreaded(1) design choices — average penalty cycles/miss", rowNames, []string{"penalty/miss"})
-	for ri, rw := range rows {
+	pen := make([]float64, len(rows)*len(benches))
+	err = r.forEach(len(pen), func(i int) error {
+		ri, bi := i/len(benches), i%len(benches)
+		cmp, err := r.compare(rows[ri].cfg, benches[bi])
+		if err != nil {
+			return err
+		}
+		pen[i] = cmp.PenaltyPerMiss()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri := range rows {
 		var sum float64
-		for _, b := range benches {
-			cmp, err := r.compare(rw.cfg, b)
-			if err != nil {
-				return nil, err
-			}
-			sum += cmp.PenaltyPerMiss()
+		for bi := range benches {
+			sum += pen[ri*len(benches)+bi]
 		}
 		t.Set(ri, 0, sum/float64(len(benches)))
 	}

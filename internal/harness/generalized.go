@@ -38,32 +38,45 @@ func Generalized(opt Options) (*Table, error) {
 	t := NewTable("Section 6: software emulation of POPC — penalty cycles per emulated instruction", rowNames, cols)
 	t.Note = "baseline: the same machine with POPC implemented in hardware"
 
-	for di, d := range densities {
-		w := workload.NewPopcount(d)
-		// Hardware-popc baseline for this density.
+	// Phase 1: the hardware-popc baseline per density — every penalty
+	// cell subtracts its cycle count.
+	baseRes := make([]core.Result, len(densities))
+	err := r.forEach(len(densities), func(di int) error {
 		base := r.baseConfig(core.MechPerfect, 1, 0)
 		base.EmulatePopc = false
-		baseRes, err := core.Run(base, w)
+		res, err := core.Run(base, workload.NewPopcount(densities[di]))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for ri, rw := range rows {
-			cfg := r.baseConfig(rw.mech, 1, rw.idle)
-			cfg.EmulatePopc = true
-			cfg.QuickStart = rw.quick
-			res, err := core.Run(cfg, w)
-			if err != nil {
-				return nil, err
-			}
-			emus := res.Stats.Get("emu.committed")
-			if emus == 0 {
-				return nil, fmt.Errorf("harness: no emulations committed for %s", rw.name)
-			}
-			penalty := float64(int64(res.Cycles)-int64(baseRes.Cycles)) / float64(emus)
-			t.Set(ri, di, penalty)
-			r.log("  popcount/%-3d  %-16s %9d cycles  %6d emus  penalty %.1f",
-				d, rw.name, res.Cycles, emus, penalty)
+		baseRes[di] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Phase 2: one cell per density × mechanism.
+	err = r.forEach(len(densities)*len(rows), func(i int) error {
+		di, ri := i/len(rows), i%len(rows)
+		d, rw := densities[di], rows[ri]
+		cfg := r.baseConfig(rw.mech, 1, rw.idle)
+		cfg.EmulatePopc = true
+		cfg.QuickStart = rw.quick
+		res, err := core.Run(cfg, workload.NewPopcount(d))
+		if err != nil {
+			return err
 		}
+		emus := res.Stats.Get("emu.committed")
+		if emus == 0 {
+			return fmt.Errorf("harness: no emulations committed for %s", rw.name)
+		}
+		penalty := float64(int64(res.Cycles)-int64(baseRes[di].Cycles)) / float64(emus)
+		t.Set(ri, di, penalty)
+		r.log("  popcount/%-3d  %-16s %9d cycles  %6d emus  penalty %.1f",
+			d, rw.name, res.Cycles, emus, penalty)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -97,31 +110,42 @@ func Unaligned(opt Options) (*Table, error) {
 	t := NewTable("Section 6: software-handled unaligned loads — penalty cycles per unaligned access", rowNames, cols)
 	t.Note = "baseline: the same machine with hardware unaligned-load support"
 
-	for di, d := range densities {
-		w := workload.NewUnaligned(d)
+	baseRes := make([]core.Result, len(densities))
+	err := r.forEach(len(densities), func(di int) error {
 		base := r.baseConfig(core.MechPerfect, 1, 0)
 		base.TrapUnaligned = true // hardware path still needs byte-accurate loads
-		baseRes, err := core.Run(base, w)
+		res, err := core.Run(base, workload.NewUnaligned(densities[di]))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for ri, rw := range rows {
-			cfg := r.baseConfig(rw.mech, 1, rw.idle)
-			cfg.TrapUnaligned = true
-			cfg.QuickStart = rw.quick
-			res, err := core.Run(cfg, w)
-			if err != nil {
-				return nil, err
-			}
-			n := res.Stats.Get("unaligned.committed")
-			if n == 0 {
-				return nil, fmt.Errorf("harness: no unaligned handlers committed for %s", rw.name)
-			}
-			penalty := float64(int64(res.Cycles)-int64(baseRes.Cycles)) / float64(n)
-			t.Set(ri, di, penalty)
-			r.log("  unaligned/%-3d %-16s %9d cycles  %6d traps  penalty %.1f",
-				d, rw.name, res.Cycles, n, penalty)
+		baseRes[di] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = r.forEach(len(densities)*len(rows), func(i int) error {
+		di, ri := i/len(rows), i%len(rows)
+		d, rw := densities[di], rows[ri]
+		cfg := r.baseConfig(rw.mech, 1, rw.idle)
+		cfg.TrapUnaligned = true
+		cfg.QuickStart = rw.quick
+		res, err := core.Run(cfg, workload.NewUnaligned(d))
+		if err != nil {
+			return err
 		}
+		n := res.Stats.Get("unaligned.committed")
+		if n == 0 {
+			return fmt.Errorf("harness: no unaligned handlers committed for %s", rw.name)
+		}
+		penalty := float64(int64(res.Cycles)-int64(baseRes[di].Cycles)) / float64(n)
+		t.Set(ri, di, penalty)
+		r.log("  unaligned/%-3d %-16s %9d cycles  %6d traps  penalty %.1f",
+			d, rw.name, res.Cycles, n, penalty)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

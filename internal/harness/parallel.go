@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mtexc/internal/core"
+)
+
+// BaselineCache is a concurrency-safe store of perfect-TLB baseline
+// results keyed by machine shape and workload mix (see shapeKey).
+// Concurrent requests for the same key are single-flighted: the first
+// caller runs the simulation, the rest block on it, so each baseline
+// runs exactly once per cache no matter how many experiment cells need
+// it — including across experiments when one cache is shared through
+// Options.Baselines.
+type BaselineCache struct {
+	mu   sync.Mutex
+	m    map[string]*baselineEntry
+	runs atomic.Int64
+}
+
+type baselineEntry struct {
+	once sync.Once
+	res  core.Result
+	err  error
+}
+
+// NewBaselineCache returns an empty cache ready for concurrent use.
+func NewBaselineCache() *BaselineCache {
+	return &BaselineCache{m: make(map[string]*baselineEntry)}
+}
+
+// get returns the cached result for key, running run (once) to fill it.
+func (c *BaselineCache) get(key string, run func() (core.Result, error)) (core.Result, error) {
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		e = &baselineEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		c.runs.Add(1)
+		e.res, e.err = run()
+	})
+	return e.res, e.err
+}
+
+// Runs reports how many baseline simulations actually executed —
+// the cache's duplicate-suppression at work.
+func (c *BaselineCache) Runs() int64 { return c.runs.Load() }
+
+// workers resolves the effective parallelism: Options.Parallelism if
+// set, else one worker per available CPU.
+func (r *runner) workers() int {
+	if r.opt.Parallelism > 0 {
+		return r.opt.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs body(0..n-1) on a bounded worker pool. Each body call
+// must write only to its own result slot, so table assembly is
+// deterministic regardless of completion order. On error the pool
+// stops handing out new work and the lowest-index error is returned.
+// With one worker (or one item) the loop degenerates to the serial
+// order, byte-identical to the pre-parallel harness.
+func (r *runner) forEach(n int, body func(i int) error) error {
+	workers := r.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := body(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errIdx   int
+		bail     atomic.Bool
+		wg       sync.WaitGroup
+	)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if bail.Load() {
+					continue
+				}
+				if err := body(i); err != nil {
+					mu.Lock()
+					if firstErr == nil || i < errIdx {
+						firstErr, errIdx = err, i
+					}
+					mu.Unlock()
+					bail.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return firstErr
+}

@@ -27,17 +27,20 @@ func TLBSweep(opt Options) (*Table, error) {
 	}
 	t := NewTable("TLB-size sensitivity: committed fills and penalty/miss vs DTLB entries (multithreaded(1))", names(benches), cols)
 	t.Format = "%10.1f"
-	for bi, b := range benches {
-		for si, sz := range sizes {
-			cfg := r.baseConfig(core.MechMultithreaded, 1, 1)
-			cfg.DTLBEntries = sz
-			cmp, err := r.compare(cfg, b)
-			if err != nil {
-				return nil, err
-			}
-			t.Set(bi, 2*si, float64(cmp.Subject.DTLBMisses))
-			t.Set(bi, 2*si+1, cmp.PenaltyPerMiss())
+	err = r.forEach(len(benches)*len(sizes), func(i int) error {
+		bi, si := i/len(sizes), i%len(sizes)
+		cfg := r.baseConfig(core.MechMultithreaded, 1, 1)
+		cfg.DTLBEntries = sizes[si]
+		cmp, err := r.compare(cfg, benches[bi])
+		if err != nil {
+			return err
 		}
+		t.Set(bi, 2*si, float64(cmp.Subject.DTLBMisses))
+		t.Set(bi, 2*si+1, cmp.PenaltyPerMiss())
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -75,35 +78,44 @@ func PTOrganization(opt Options) (*Table, error) {
 			return nil, err
 		}
 		t.Rows[bi] = b.Name()
-		for mi, mc := range mechs {
-			for oi, org := range []vm.PTOrg{vm.PTLinear, vm.PTTwoLevel} {
-				wb, err := workload.ByName(n)
-				if err != nil {
-					return nil, err
-				}
-				if org == vm.PTTwoLevel {
-					wb = wb.WithTwoLevelPT()
-				}
-				cfg := r.baseConfig(mc.mech, 1, mc.idle)
-				cfg.PageTable = org
-				// Perfect baselines differ per organization; bypass
-				// the shape cache by running the pair directly.
-				subj, err := core.Run(cfg, wb)
-				if err != nil {
-					return nil, err
-				}
-				pcfg := cfg
-				pcfg.Mech = core.MechPerfect
-				perf, err := core.Run(pcfg, wb)
-				if err != nil {
-					return nil, err
-				}
-				cmp := core.Comparison{Subject: subj, Perfect: perf}
-				t.Set(bi, mi*2+oi, cmp.PenaltyPerMiss())
-				r.log("  ptorg %-10s %-12s org=%d  %9d cycles  %5d fills  pen %.1f",
-					n, mc.name, org, subj.Cycles, subj.DTLBMisses, cmp.PenaltyPerMiss())
-			}
+	}
+	orgs := []vm.PTOrg{vm.PTLinear, vm.PTTwoLevel}
+	cells := len(benches) * len(mechs) * len(orgs)
+	err := r.forEach(cells, func(i int) error {
+		bi := i / (len(mechs) * len(orgs))
+		mi := i / len(orgs) % len(mechs)
+		oi := i % len(orgs)
+		n, mc, org := benches[bi], mechs[mi], orgs[oi]
+		wb, err := workload.ByName(n)
+		if err != nil {
+			return err
 		}
+		if org == vm.PTTwoLevel {
+			wb = wb.WithTwoLevelPT()
+		}
+		cfg := r.baseConfig(mc.mech, 1, mc.idle)
+		cfg.PageTable = org
+		// Perfect baselines differ per organization (the two-level
+		// workload variant shares the linear one's shape key); bypass
+		// the shape cache by running the pair directly.
+		subj, err := core.Run(cfg, wb)
+		if err != nil {
+			return err
+		}
+		pcfg := cfg
+		pcfg.Mech = core.MechPerfect
+		perf, err := core.Run(pcfg, wb)
+		if err != nil {
+			return err
+		}
+		cmp := core.Comparison{Subject: subj, Perfect: perf}
+		t.Set(bi, mi*2+oi, cmp.PenaltyPerMiss())
+		r.log("  ptorg %-10s %-12s org=%d  %9d cycles  %5d fills  pen %.1f",
+			n, mc.name, org, subj.Cycles, subj.DTLBMisses, cmp.PenaltyPerMiss())
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -127,30 +139,32 @@ func FaultInjection(opt Options) (*Table, error) {
 	t := NewTable("Fault injection: page-out fraction vs hard-exception traffic (multithreaded(1))", rows,
 		[]string{"cycles/Kinst", "pagefaults", "reversions", "fills"})
 	t.Format = "%10.1f"
-	ri := 0
-	for _, n := range benchNames {
+	err := r.forEach(len(benchNames)*len(fractions), func(ri int) error {
+		n := benchNames[ri/len(fractions)]
+		f := fractions[ri%len(fractions)]
 		b, err := workload.ByName(n)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, f := range fractions {
-			cfg := r.baseConfig(core.MechMultithreaded, 1, 1)
-			w := core.Workload(b)
-			if f > 0 {
-				w = &workload.Faulty{Inner: b, Fraction: f, Seed: 7}
-			}
-			res, err := core.Run(cfg, w)
-			if err != nil {
-				return nil, err
-			}
-			t.Set(ri, 0, float64(res.Cycles)/float64(res.AppInsts)*1e3)
-			t.Set(ri, 1, float64(res.Stats.Get("os.pagefaults")))
-			t.Set(ri, 2, float64(res.Stats.Get("handler.reversions")))
-			t.Set(ri, 3, float64(res.DTLBMisses))
-			r.log("  faults %-14s %9d cycles  %5d faults  %5d reversions",
-				rows[ri], res.Cycles, res.Stats.Get("os.pagefaults"), res.Stats.Get("handler.reversions"))
-			ri++
+		cfg := r.baseConfig(core.MechMultithreaded, 1, 1)
+		w := core.Workload(b)
+		if f > 0 {
+			w = &workload.Faulty{Inner: b, Fraction: f, Seed: 7}
 		}
+		res, err := core.Run(cfg, w)
+		if err != nil {
+			return err
+		}
+		t.Set(ri, 0, float64(res.Cycles)/float64(res.AppInsts)*1e3)
+		t.Set(ri, 1, float64(res.Stats.Get("os.pagefaults")))
+		t.Set(ri, 2, float64(res.Stats.Get("handler.reversions")))
+		t.Set(ri, 3, float64(res.DTLBMisses))
+		r.log("  faults %-14s %9d cycles  %5d faults  %5d reversions",
+			rows[ri], res.Cycles, res.Stats.Get("os.pagefaults"), res.Stats.Get("handler.reversions"))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

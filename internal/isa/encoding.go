@@ -189,39 +189,40 @@ func (in Instruction) WritesFPReg() (uint8, bool) {
 	return 0, false
 }
 
-// IntSources reports the integer registers the instruction reads (up
-// to two, RegZero excluded).
-func (in Instruction) IntSources() []uint8 {
-	var srcs []uint8
+// IntSrcRegs reports the integer registers the instruction reads (up
+// to two, RegZero excluded) without allocating: the registers occupy
+// srcs[:n].
+func (in Instruction) IntSrcRegs() (srcs [2]uint8, n int) {
 	add := func(r uint8) {
 		if r != RegZero {
-			srcs = append(srcs, r)
+			srcs[n] = r
+			n++
 		}
 	}
 	switch in.Op {
 	case OpNop, OpLdi, OpBr, OpJal, OpRfe, OpHardExc, OpHalt, OpMfpr:
-		return nil
+		return srcs, 0
 	case OpRet:
 		add(RegLR)
-		return srcs
+		return srcs, n
 	case OpJr, OpJalr, OpMtpr, OpWrtDest:
 		add(in.Ra)
-		return srcs
+		return srcs, n
 	case OpTlbwr:
 		add(in.Ra)
 		add(in.Rb)
-		return srcs
+		return srcs, n
 	case OpCvtif, OpPopc:
 		add(in.Ra)
-		return srcs
+		return srcs, n
 	case OpFcmpEq, OpFcmpLt, OpCvtfi, OpFadd, OpFsub, OpFmul, OpFdiv, OpFsqrt, OpFmov:
-		return nil
+		return srcs, 0
 	case OpLdf:
 		add(in.Ra) // base address
-		return srcs
+		return srcs, n
 	case OpStf:
 		add(in.Ra) // base address; data comes from FP
-		return srcs
+		return srcs, n
 	}
 	switch FormatOf(in.Op) {
 	case FmtR:
@@ -235,18 +236,38 @@ func (in Instruction) IntSources() []uint8 {
 	case FmtB:
 		add(in.Ra)
 	}
-	return srcs
+	return srcs, n
+}
+
+// IntSources reports the integer registers the instruction reads (up
+// to two, RegZero excluded).
+func (in Instruction) IntSources() []uint8 {
+	srcs, n := in.IntSrcRegs()
+	if n == 0 {
+		return nil
+	}
+	return srcs[:n:n]
+}
+
+// FPSrcRegs reports the FP registers the instruction reads without
+// allocating: the registers occupy srcs[:n].
+func (in Instruction) FPSrcRegs() (srcs [2]uint8, n int) {
+	switch in.Op {
+	case OpFadd, OpFsub, OpFmul, OpFdiv, OpFcmpEq, OpFcmpLt:
+		return [2]uint8{in.Ra, in.Rb}, 2
+	case OpFsqrt, OpFmov, OpCvtfi:
+		return [2]uint8{in.Ra}, 1
+	case OpStf:
+		return [2]uint8{in.Rd}, 1
+	}
+	return srcs, 0
 }
 
 // FPSources reports the FP registers the instruction reads.
 func (in Instruction) FPSources() []uint8 {
-	switch in.Op {
-	case OpFadd, OpFsub, OpFmul, OpFdiv, OpFcmpEq, OpFcmpLt:
-		return []uint8{in.Ra, in.Rb}
-	case OpFsqrt, OpFmov, OpCvtfi:
-		return []uint8{in.Ra}
-	case OpStf:
-		return []uint8{in.Rd}
+	srcs, n := in.FPSrcRegs()
+	if n == 0 {
+		return nil
 	}
-	return nil
+	return srcs[:n:n]
 }

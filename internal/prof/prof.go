@@ -1,0 +1,50 @@
+// Package prof wires runtime/pprof to the -cpuprofile/-memprofile
+// flags shared by the mtexc commands.
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start enables the requested profiles: CPU profiling begins
+// immediately when cpuPath is non-empty. The returned stop function
+// runs after the measured work; it ends the CPU profile and, when
+// memPath is non-empty, snapshots the heap (after a GC, so the
+// profile shows live objects rather than collectable garbage).
+// Either path may be empty; Start with both empty returns a no-op.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}

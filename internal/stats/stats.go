@@ -179,6 +179,60 @@ func (s *Set) Histogram(name string) *Histogram {
 	return h
 }
 
+// CachedCounter is a lazily bound counter handle for hot paths: it
+// avoids the map lookup of Set.Counter on every event while keeping
+// the Set's first-use registration order intact — the counter is not
+// registered until the first Inc/Add, exactly as direct Set.Counter
+// calls would register it.
+type CachedCounter struct {
+	set  *Set
+	name string
+	c    *Counter
+}
+
+// Cached returns a lazily bound handle on the named counter. The
+// counter is created and registered on the handle's first Inc or Add.
+func (s *Set) Cached(name string) *CachedCounter {
+	return &CachedCounter{set: s, name: name}
+}
+
+// Inc increments the counter by one, binding it on first use.
+func (cc *CachedCounter) Inc() {
+	if cc.c == nil {
+		cc.c = cc.set.Counter(cc.name)
+	}
+	cc.c.Value++
+}
+
+// Add increments the counter by n, binding it on first use.
+func (cc *CachedCounter) Add(n uint64) {
+	if cc.c == nil {
+		cc.c = cc.set.Counter(cc.name)
+	}
+	cc.c.Value += n
+}
+
+// CachedHistogram is the histogram analogue of CachedCounter.
+type CachedHistogram struct {
+	set  *Set
+	name string
+	h    *Histogram
+}
+
+// CachedHist returns a lazily bound handle on the named histogram,
+// registered on the first Observe.
+func (s *Set) CachedHist(name string) *CachedHistogram {
+	return &CachedHistogram{set: s, name: name}
+}
+
+// Observe records a sample, binding the histogram on first use.
+func (ch *CachedHistogram) Observe(v int64) {
+	if ch.h == nil {
+		ch.h = ch.set.Histogram(ch.name)
+	}
+	ch.h.Observe(v)
+}
+
 // Get reports the value of a counter, or zero if it was never touched.
 func (s *Set) Get(name string) uint64 {
 	if c, ok := s.counters[name]; ok {
