@@ -9,10 +9,13 @@
 #   make bench-json   machine-readable snapshots of the headline runs
 #   make experiments  regenerate every table and figure (minutes)
 #   make report       automated claim-by-claim reproduction report
+#   make fuzz         short burst of every fuzz target
+#   make resume-check kill-and-resume determinism of the journal
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build test test-short bench bench-compare bench-json experiments report vet fmt clean
+.PHONY: build test test-short bench bench-compare bench-json experiments report vet fmt clean fuzz resume-check
 
 build:
 	$(GO) build ./...
@@ -57,6 +60,28 @@ experiments:
 
 report:
 	$(GO) run ./cmd/mtexc-report -insts 500000
+
+# Short burst of every fuzz target (corrupt snapshots, hostile
+# instruction words, assembler input); see docs/robustness.md.
+fuzz:
+	$(GO) test ./internal/isa -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/isa/asm -run '^$$' -fuzz FuzzAssemble -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/obs -run '^$$' -fuzz FuzzReadSnapshot -fuzztime $(FUZZTIME)
+
+# Crash-safe resume: run Figure 5 with a journal, throw most of the
+# journal away (simulating a kill), resume, and demand byte-identical
+# output plus zero new simulations on a second, fully-journaled resume.
+resume-check:
+	mkdir -p out
+	$(GO) build -o out/mtexc-experiments ./cmd/mtexc-experiments
+	out/mtexc-experiments -fig5 -insts 100000 -journal out/resume-check.ndjson > out/resume-full.txt
+	head -3 out/resume-check.ndjson > out/resume-cut.ndjson && mv out/resume-cut.ndjson out/resume-check.ndjson
+	out/mtexc-experiments -fig5 -insts 100000 -journal out/resume-check.ndjson -resume > out/resume-resumed.txt
+	cmp out/resume-full.txt out/resume-resumed.txt
+	out/mtexc-experiments -fig5 -insts 100000 -journal out/resume-check.ndjson -resume -v > out/resume-again.txt 2> out/resume-again.err
+	cmp out/resume-full.txt out/resume-again.txt
+	grep -q "0 new entries" out/resume-again.err
+	@echo "resume-check: byte-identical"
 
 clean:
 	$(GO) clean ./...

@@ -13,12 +13,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 
 	"mtexc/internal/harness"
 	"mtexc/internal/prof"
@@ -26,22 +30,22 @@ import (
 
 func main() {
 	var (
-		all     = flag.Bool("all", false, "run every experiment")
-		table1  = flag.Bool("table1", false, "print the machine configuration (Table 1)")
-		table2  = flag.Bool("table2", false, "benchmark summary (Table 2)")
-		fig2    = flag.Bool("fig2", false, "pipeline-depth trend (Figure 2)")
-		fig3    = flag.Bool("fig3", false, "machine-width trend (Figure 3)")
-		fig5    = flag.Bool("fig5", false, "mechanism comparison (Figure 5)")
-		table3  = flag.Bool("table3", false, "limit studies (Table 3)")
-		fig6    = flag.Bool("fig6", false, "quick-start (Figure 6)")
-		fig7    = flag.Bool("fig7", false, "multiprogrammed mixes (Figure 7)")
-		table4  = flag.Bool("table4", false, "speedups, miss rates, IPC (Table 4)")
-		ablate  = flag.Bool("ablate", false, "design-choice ablations (beyond the paper)")
-		general = flag.Bool("general", false, "generalized mechanism: POPC emulation (Section 6)")
-		tlbsw   = flag.Bool("tlbsweep", false, "TLB-size sensitivity of the per-miss metric")
-		faults  = flag.Bool("faults", false, "page-fault injection / hard-exception study")
-		ptorg   = flag.Bool("ptorg", false, "page-table organization study (linear vs two-level)")
-		unalign = flag.Bool("unaligned", false, "generalized mechanism: unaligned loads (Section 6)")
+		all      = flag.Bool("all", false, "run every experiment")
+		table1   = flag.Bool("table1", false, "print the machine configuration (Table 1)")
+		table2   = flag.Bool("table2", false, "benchmark summary (Table 2)")
+		fig2     = flag.Bool("fig2", false, "pipeline-depth trend (Figure 2)")
+		fig3     = flag.Bool("fig3", false, "machine-width trend (Figure 3)")
+		fig5     = flag.Bool("fig5", false, "mechanism comparison (Figure 5)")
+		table3   = flag.Bool("table3", false, "limit studies (Table 3)")
+		fig6     = flag.Bool("fig6", false, "quick-start (Figure 6)")
+		fig7     = flag.Bool("fig7", false, "multiprogrammed mixes (Figure 7)")
+		table4   = flag.Bool("table4", false, "speedups, miss rates, IPC (Table 4)")
+		ablate   = flag.Bool("ablate", false, "design-choice ablations (beyond the paper)")
+		general  = flag.Bool("general", false, "generalized mechanism: POPC emulation (Section 6)")
+		tlbsw    = flag.Bool("tlbsweep", false, "TLB-size sensitivity of the per-miss metric")
+		faults   = flag.Bool("faults", false, "page-fault injection / hard-exception study")
+		ptorg    = flag.Bool("ptorg", false, "page-table organization study (linear vs two-level)")
+		unalign  = flag.Bool("unaligned", false, "generalized mechanism: unaligned loads (Section 6)")
 		insts    = flag.Uint64("insts", 1_000_000, "application instructions per run")
 		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: all 8)")
 		verbose  = flag.Bool("v", false, "log every simulation run")
@@ -50,21 +54,44 @@ func main() {
 		parallel = flag.Int("parallel", 0, "simulations run concurrently per experiment (0 = one per CPU, 1 = serial)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
+		journalP = flag.String("journal", "out/journal.ndjson", "NDJSON journal of completed simulations (empty disables journaling)")
+		resume   = flag.Bool("resume", false, "reuse results journaled by a previous (possibly killed) invocation instead of re-simulating them")
+		cellTime = flag.Duration("cell-timeout", 0, "wall-clock deadline per simulation (0 = none); an overrunning cell reports FAIL")
 	)
 	flag.Parse()
+
+	// A SIGINT/SIGTERM cancels in-flight simulations; cells journaled
+	// before the signal survive for a later -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	opt := harness.Options{
 		Insts:       *insts,
 		Parallelism: *parallel,
 		// One baseline cache across every enabled experiment: each
 		// perfect-TLB machine shape simulates once per invocation.
-		Baselines: harness.NewBaselineCache(),
+		Baselines:   harness.NewBaselineCache(),
+		CellTimeout: *cellTime,
+		Context:     ctx,
 	}
 	if *benches != "" {
 		opt.Benchmarks = strings.Split(*benches, ",")
 	}
 	if *verbose {
 		opt.Progress = os.Stderr
+	}
+	var journal *harness.Journal
+	if *journalP != "" {
+		var err error
+		journal, err = harness.OpenJournal(*journalP, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mtexc-experiments:", err)
+			os.Exit(1)
+		}
+		opt.Journal = journal
+		if *resume && *verbose {
+			fmt.Fprintf(os.Stderr, "resuming: %d journaled simulation(s) in %s\n", journal.Len(), *journalP)
+		}
 	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
@@ -75,23 +102,24 @@ func main() {
 
 	type experiment struct {
 		enabled *bool
+		name    string
 		run     func(harness.Options) (*harness.Table, error)
 	}
 	experiments := []experiment{
-		{table2, harness.Table2},
-		{fig2, harness.Figure2},
-		{fig3, harness.Figure3},
-		{fig5, harness.Figure5},
-		{table3, harness.Table3},
-		{fig6, harness.Figure6},
-		{fig7, harness.Figure7},
-		{table4, harness.Table4},
-		{ablate, harness.Ablations},
-		{general, harness.Generalized},
-		{tlbsw, harness.TLBSweep},
-		{faults, harness.FaultInjection},
-		{ptorg, harness.PTOrganization},
-		{unalign, harness.Unaligned},
+		{table2, "Table2", harness.Table2},
+		{fig2, "Figure2", harness.Figure2},
+		{fig3, "Figure3", harness.Figure3},
+		{fig5, "Figure5", harness.Figure5},
+		{table3, "Table3", harness.Table3},
+		{fig6, "Figure6", harness.Figure6},
+		{fig7, "Figure7", harness.Figure7},
+		{table4, "Table4", harness.Table4},
+		{ablate, "Ablations", harness.Ablations},
+		{general, "Generalized", harness.Generalized},
+		{tlbsw, "TLBSweep", harness.TLBSweep},
+		{faults, "FaultInjection", harness.FaultInjection},
+		{ptorg, "PTOrganization", harness.PTOrganization},
+		{unalign, "Unaligned", harness.Unaligned},
 	}
 
 	ran := false
@@ -114,10 +142,19 @@ func main() {
 		ran = true
 		results[i] = &outcome{}
 		wg.Add(1)
-		go func(i int, run func(harness.Options) (*harness.Table, error)) {
+		go func(i int, name string, run func(harness.Options) (*harness.Table, error)) {
 			defer wg.Done()
+			// Cell failures are contained inside the harness; this
+			// recover is the backstop for panics outside any cell
+			// (setup, table assembly), so one broken experiment never
+			// takes down its siblings' results.
+			defer func() {
+				if v := recover(); v != nil {
+					results[i].err = fmt.Errorf("%s: internal panic: %v", name, v)
+				}
+			}()
 			results[i].tab, results[i].err = run(opt)
-		}(i, e.run)
+		}(i, e.name, e.run)
 	}
 	wg.Wait()
 	// The profiles cover the simulations, not the table printing.
@@ -125,30 +162,74 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mtexc-experiments:", err)
 		os.Exit(1)
 	}
+	// Print every table — partial ones render failed cells as FAIL —
+	// then digest the failures, so one dead cell never hides the rest
+	// of the suite's results.
+	exitCode := 0
+	var failures []*harness.CellError
 	for _, r := range results {
 		if r == nil {
 			continue
 		}
-		if r.err != nil {
-			fmt.Fprintln(os.Stderr, "mtexc-experiments:", r.err)
-			os.Exit(1)
-		}
-		switch {
-		case *jsonOut:
-			if err := r.tab.WriteJSONRows(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, "mtexc-experiments:", err)
-				os.Exit(1)
+		if r.tab != nil {
+			switch {
+			case *jsonOut:
+				if err := r.tab.WriteJSONRows(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, "mtexc-experiments:", err)
+					os.Exit(1)
+				}
+			case *csv:
+				fmt.Printf("# %s\n%s\n", r.tab.Title, r.tab.CSV())
+			default:
+				fmt.Println(r.tab)
 			}
-		case *csv:
-			fmt.Printf("# %s\n%s\n", r.tab.Title, r.tab.CSV())
-		default:
-			fmt.Println(r.tab)
+		}
+		if r.err != nil {
+			exitCode = 1
+			var ee *harness.ExperimentError
+			if errors.As(r.err, &ee) {
+				failures = append(failures, ee.Cells...)
+			} else {
+				fmt.Fprintln(os.Stderr, "mtexc-experiments:", r.err)
+			}
+		}
+	}
+	for _, ce := range failures {
+		fmt.Fprintf(os.Stderr, "mtexc-experiments: FAILED %v\n", ce)
+		if repro := ce.Repro(); repro != "" {
+			fmt.Fprintf(os.Stderr, "  repro: %s\n", repro)
+		}
+		if *verbose && len(ce.Stack) > 0 {
+			fmt.Fprintf(os.Stderr, "  stack:\n%s\n", ce.Stack)
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "mtexc-experiments: %d cell(s) failed; rerun with -v for stacks\n", len(failures))
+	}
+	if journal != nil {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "journal: %d hit(s), %d new entr%s\n",
+				journal.Hits(), journal.Appends(), plural(journal.Appends(), "y", "ies"))
+		}
+		if err := journal.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mtexc-experiments:", err)
+			exitCode = 1
 		}
 	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if exitCode != 0 {
+		os.Exit(exitCode)
+	}
+}
+
+func plural(n int64, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 func printTable1(w io.Writer) {

@@ -44,6 +44,7 @@ func main() {
 		interval   = flag.Uint64("interval", 0, "sample interval in cycles for time series (0: 10000 when exporting, else off)")
 		seriesCSV  = flag.String("seriescsv", "", "write the sampled time series as CSV to this file")
 		list       = flag.Bool("list", false, "list available benchmarks and exit")
+		noprogress = flag.Uint64("noprogress", core.DefaultConfig().NoProgressLimit, "livelock watchdog: abort after this many cycles without a retirement (0 disables)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
@@ -67,6 +68,7 @@ func main() {
 	cfg.MaxInsts = *insts
 	cfg.MaxCycles = 400 * *insts
 	cfg.QuickStart = *quickstart
+	cfg.NoProgressLimit = *noprogress
 	cfg.SampleInterval = *interval
 	if cfg.SampleInterval == 0 && (*jsonOut != "" || *seriesCSV != "") {
 		cfg.SampleInterval = 10_000
@@ -121,11 +123,18 @@ func main() {
 		}
 		collector = trace.NewCollector(*traceN)
 		m.TraceHook = collector.Add
-		res = m.Run()
+		var err error
+		res, err = m.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mtexcsim:", err)
+			os.Exit(1)
+		}
 	} else {
 		var err error
 		res, err = core.Run(cfg, loads...)
 		if err != nil {
+			// A LivelockError already carries the machine dump; print
+			// it whole so the wedge is diagnosable from stderr.
 			fmt.Fprintln(os.Stderr, "mtexcsim:", err)
 			os.Exit(1)
 		}

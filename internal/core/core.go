@@ -6,6 +6,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"mtexc/internal/cpu"
@@ -68,6 +70,15 @@ type Workload interface {
 // Run simulates the given workloads (one hardware context each) on a
 // machine configured by cfg.
 func Run(cfg Config, workloads ...Workload) (Result, error) {
+	return RunCtx(context.Background(), cfg, workloads...)
+}
+
+// RunCtx is Run with cancellation: the simulation aborts with a
+// *cpu.CancelledError once ctx is done, carrying ctx.Err() as its
+// cause, so errors.Is(err, context.DeadlineExceeded) identifies a
+// timed-out run. The watchdog's *cpu.LivelockError passes through
+// unchanged.
+func RunCtx(ctx context.Context, cfg Config, workloads ...Workload) (Result, error) {
 	if len(workloads) == 0 {
 		return Result{}, fmt.Errorf("core: no workloads given")
 	}
@@ -84,7 +95,15 @@ func Run(cfg Config, workloads ...Workload) (Result, error) {
 		// with the page-table entries cache-warm accordingly.
 		m.WarmPageTable(img.Space)
 	}
-	return m.Run(), nil
+	if ctx != nil && ctx.Done() != nil {
+		m.SetCancel(ctx.Done())
+	}
+	res, err := m.Run()
+	var cancelled *cpu.CancelledError
+	if errors.As(err, &cancelled) && cancelled.Cause == nil {
+		cancelled.Cause = ctx.Err()
+	}
+	return res, err
 }
 
 // Snapshot assembles the machine-readable export of a completed run:

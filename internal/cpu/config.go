@@ -181,6 +181,16 @@ type Config struct {
 	// at MaxCycles, whichever is first.
 	MaxInsts  uint64
 	MaxCycles uint64
+
+	// NoProgressLimit arms the livelock watchdog: if no instruction
+	// (application or handler) retires for this many cycles while a
+	// context is still runnable, Run aborts with a LivelockError and
+	// a machine dump instead of spinning to MaxCycles. Zero disables
+	// the watchdog. The longest legitimate retirement gap is a
+	// pipeline refill plus a memory-latency chain plus OS fault
+	// service — hundreds of cycles — so the default leaves three
+	// orders of magnitude of headroom.
+	NoProgressLimit uint64
 }
 
 // DefaultConfig is the paper's Table 1 base machine: 8-wide, 128-entry
@@ -219,8 +229,9 @@ func DefaultConfig() Config {
 
 		OSFaultCycles: 500,
 
-		MaxInsts:  1_000_000,
-		MaxCycles: 50_000_000,
+		MaxInsts:        1_000_000,
+		MaxCycles:       50_000_000,
+		NoProgressLimit: 1_000_000,
 	}
 }
 

@@ -45,6 +45,14 @@ type Machine struct {
 	seqCounter uint64
 	appRetired uint64
 
+	// lastProgress is the cycle of the most recent retirement, the
+	// watchdog's notion of forward progress (Config.NoProgressLimit).
+	lastProgress uint64
+
+	// cancel, when non-nil, is polled periodically by Run; once it is
+	// closed the run aborts with a CancelledError (SetCancel).
+	cancel <-chan struct{}
+
 	Stats *stats.Set
 
 	// Observ collects the run's observability data: the issue-slot
@@ -240,6 +248,11 @@ func (m *Machine) attachSampler(every uint64) {
 // Phys exposes the physical memory for program construction.
 func (m *Machine) Phys() *mem.Physical { return m.phys }
 
+// SetCancel installs an abort channel, typically a context's Done
+// channel. Run polls it every cancelPollMask+1 cycles and returns a
+// CancelledError once it is closed. Must be called before Run.
+func (m *Machine) SetCancel(ch <-chan struct{}) { m.cancel = ch }
+
 // Handler exposes the generated PAL handler (tests, examples).
 func (m *Machine) Handler() *vm.Handler { return m.hand }
 
@@ -309,16 +322,49 @@ type Result struct {
 	Obs *obs.Observations
 }
 
+// cancelPollMask gates how often Run polls the cancel channel: every
+// (mask+1) cycles, cheap enough to leave on unconditionally.
+const cancelPollMask = 0x3FF
+
 // Run simulates until MaxInsts application instructions retire or
 // MaxCycles elapse, returning the run summary. A Machine runs once;
 // build a fresh one per simulation.
-func (m *Machine) Run() Result {
+//
+// Two abort paths return a partial Result alongside an error: the
+// retirement-progress watchdog (Config.NoProgressLimit) returns a
+// *LivelockError with a machine dump when no instruction retires for
+// the configured span, and a closed cancel channel (SetCancel)
+// returns a *CancelledError.
+func (m *Machine) Run() (Result, error) {
+	limit := m.cfg.NoProgressLimit
 	for m.appRetired < m.cfg.MaxInsts && m.now < m.cfg.MaxCycles {
 		m.step()
 		if m.allHalted() {
 			break
 		}
+		if limit > 0 && m.now-m.lastProgress > limit {
+			return m.finish(), &LivelockError{
+				Cycle:        m.now,
+				LastProgress: m.lastProgress,
+				Limit:        limit,
+				AppRetired:   m.appRetired,
+				Dump:         m.DumpState(),
+			}
+		}
+		if m.cancel != nil && m.now&cancelPollMask == 0 {
+			select {
+			case <-m.cancel:
+				return m.finish(), &CancelledError{Cycle: m.now}
+			default:
+			}
+		}
 	}
+	return m.finish(), nil
+}
+
+// finish closes out the statistics and assembles the run summary;
+// on abort paths the Result covers the cycles simulated so far.
+func (m *Machine) finish() Result {
 	m.Stats.Counter("cycles").Add(m.now - m.Stats.Get("cycles"))
 	if sp := m.Observ.Sampler; sp != nil {
 		sp.Flush(m.now)

@@ -54,6 +54,17 @@ func emitSumLoop(n int64) func(b *asm.Builder) {
 	}
 }
 
+// mustRun completes the simulation, failing the test on a watchdog
+// or cancellation abort.
+func mustRun(t *testing.T, m *Machine) Result {
+	t.Helper()
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("Machine.Run: %v", err)
+	}
+	return res
+}
+
 func testConfig() Config {
 	cfg := DefaultConfig()
 	cfg.MaxInsts = 10_000_000
@@ -73,7 +84,7 @@ func TestSumLoopAllMechanisms(t *testing.T) {
 			as = a
 			a.WriteU64(testResultVA, 0)
 		})
-		res := m.Run()
+		res := mustRun(t, m)
 		if got := as.ReadU64(testResultVA); got != want {
 			t.Errorf("%v: result = %d, want %d", mech, got, want)
 		}
@@ -92,7 +103,7 @@ func TestSumLoopIPCReasonable(t *testing.T) {
 	m := buildMachine(t, cfg, emitSumLoop(2000), func(a *vm.AddressSpace) {
 		a.WriteU64(testResultVA, 0)
 	})
-	res := m.Run()
+	res := mustRun(t, m)
 	// The loop body is a 3-instruction serial chain with a
 	// predictable branch; an 8-wide machine should sustain IPC >= 1.
 	if res.IPC < 1.0 {
@@ -148,7 +159,7 @@ func TestPageWalkGeneratesTLBMisses(t *testing.T) {
 			as = a
 			setup(a)
 		})
-		res := m.Run()
+		res := mustRun(t, m)
 		if got := as.ReadU64(testResultVA); got != want {
 			t.Errorf("%v: result = %d, want %d", mech, got, want)
 		}
@@ -178,7 +189,7 @@ func TestMechanismCycleOrdering(t *testing.T) {
 			as = a
 			setup(a)
 		})
-		res := m.Run()
+		res := mustRun(t, m)
 		if got := as.ReadU64(testResultVA); got != 8*want {
 			t.Fatalf("%v: result = %d, want %d", mech, got, 8*want)
 		}
@@ -204,7 +215,7 @@ func TestQuickStartBeatsPlainMultithreaded(t *testing.T) {
 		cfg.QuickStart = quick
 		cfg.DTLBEntries = 32
 		m := buildMachine(t, cfg, emitPageWalk(pages, 8), setup)
-		return m.Run().Cycles
+		return mustRun(t, m).Cycles
 	}
 	plain, quick := run(false), run(true)
 	if quick >= plain {
@@ -255,7 +266,7 @@ func TestBranchMispredictRecovery(t *testing.T) {
 			}
 			a.WriteU64(testResultVA, 0)
 		})
-		res := m.Run()
+		res := mustRun(t, m)
 		if got := as.ReadU64(testResultVA); got != want {
 			t.Errorf("%v: result = %d, want %d (mispredict recovery broken)", mech, got, want)
 		}
@@ -291,7 +302,7 @@ func TestStoreLoadForwarding(t *testing.T) {
 		a.WriteU64(testDataVA, 0)
 		a.WriteU64(testResultVA, 0)
 	})
-	res := m.Run()
+	res := mustRun(t, m)
 	// r5 walks 200,199+200... wait: r5 += r1 each iter with r1 counting
 	// down from 200: r5 takes values 200, 399, 597, ... sum them.
 	var r5, want uint64
@@ -322,7 +333,7 @@ func TestRetirementSpliceInvariant(t *testing.T) {
 
 	var events []RetiredInst
 	m.RetireHook = func(r RetiredInst) { events = append(events, r) }
-	res := m.Run()
+	res := mustRun(t, m)
 	if res.DTLBMisses == 0 {
 		t.Fatal("no misses; splice never exercised")
 	}
@@ -391,7 +402,7 @@ func TestPageFaultReversion(t *testing.T) {
 		a.WriteU64(testResultVA, 0)
 		// testDataVA page is intentionally NOT mapped.
 	})
-	res := m.Run()
+	res := mustRun(t, m)
 	if got := as.ReadU64(testResultVA); got != 5 {
 		t.Errorf("result = %d, want 5 (faulted load must read 0 after OS maps the page)", got)
 	}
@@ -436,7 +447,7 @@ func TestThreadExhaustionFallsBackToTraditional(t *testing.T) {
 		as = a
 		setup(a)
 	})
-	res := m.Run()
+	res := mustRun(t, m)
 	if got := as.ReadU64(testResultVA); got != want {
 		t.Errorf("result = %d, want %d", got, want)
 	}
@@ -480,7 +491,7 @@ func TestTwoApplicationThreadsSMT(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.Run()
+	mustRun(t, m)
 	if got := as1.ReadU64(testResultVA); got != 400*401/2 {
 		t.Errorf("thread 1 result = %d, want %d", got, 400*401/2)
 	}
@@ -501,7 +512,7 @@ func TestLimitStudiesOrdering(t *testing.T) {
 		cfg.Limit = l
 		cfg.DTLBEntries = 32
 		m := buildMachine(t, cfg, emitPageWalk(pages, 8), setup)
-		return m.Run().Cycles
+		return mustRun(t, m).Cycles
 	}
 	base := run(LimitNone)
 	for _, l := range []LimitStudy{LimitNoExecBW, LimitNoWindow, LimitNoFetchBW, LimitInstantFetch} {
@@ -520,7 +531,7 @@ func TestPerfectTLBHasNoFills(t *testing.T) {
 	cfg := testConfig()
 	cfg.Mech = MechPerfect
 	m := buildMachine(t, cfg, emitPageWalk(64, 2), setup)
-	res := m.Run()
+	res := mustRun(t, m)
 	if res.DTLBMisses != 0 {
 		t.Errorf("perfect TLB committed %d fills", res.DTLBMisses)
 	}
@@ -539,7 +550,7 @@ func TestWindowReservationAblation(t *testing.T) {
 		as = a
 		setup(a)
 	})
-	m.Run()
+	mustRun(t, m)
 	if got := as.ReadU64(testResultVA); got != 4*want {
 		t.Errorf("result = %d, want %d", got, 4*want)
 	}
@@ -552,7 +563,7 @@ func TestHandlerThreadActivityStats(t *testing.T) {
 	cfg.Mech = MechMultithreaded
 	cfg.DTLBEntries = 32
 	m := buildMachine(t, cfg, emitPageWalk(pages, 4), setup)
-	res := m.Run()
+	res := mustRun(t, m)
 	spawns := res.Stats.Get("handler.spawns")
 	fills := res.Stats.Get("handler.fills")
 	if spawns == 0 || fills == 0 {

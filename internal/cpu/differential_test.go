@@ -131,7 +131,7 @@ func runSignatureOrg(t *testing.T, code []isa.Instruction, pages int, mech Mecha
 	if _, err := m.AddProgram(img); err != nil {
 		t.Fatal(err)
 	}
-	res := m.Run()
+	res := mustRun(t, m)
 	if res.Cycles >= cfg.MaxCycles {
 		t.Fatalf("mech %v: did not halt within %d cycles", mech, cfg.MaxCycles)
 	}
@@ -220,7 +220,7 @@ func TestDifferentialLimitStudies(t *testing.T) {
 		if _, err := m.AddProgram(img); err != nil {
 			t.Fatal(err)
 		}
-		m.Run()
+		mustRun(t, m)
 		got := [3]uint64{
 			as.ReadU64(0x2000_0000),
 			as.ReadU64(0x2000_0008),
@@ -264,7 +264,7 @@ func TestDifferentialMachineShapes(t *testing.T) {
 		if _, err := m.AddProgram(img); err != nil {
 			t.Fatal(err)
 		}
-		m.Run()
+		mustRun(t, m)
 		got := [3]uint64{
 			as.ReadU64(0x2000_0000),
 			as.ReadU64(0x2000_0008),

@@ -53,7 +53,7 @@ func runPopcLoop(t *testing.T, mech Mechanism, contexts int, emulate, quick bool
 		as = a
 		a.WriteU64(testResultVA, 0)
 	})
-	res := m.Run()
+	res := mustRun(t, m)
 	return as.ReadU64(testResultVA), res
 }
 
@@ -122,7 +122,7 @@ func TestEmulationSpliceOrder(t *testing.T) {
 	})
 	var events []RetiredInst
 	m.RetireHook = func(r RetiredInst) { events = append(events, r) }
-	m.Run()
+	mustRun(t, m)
 
 	spliced := 0
 	for i := 0; i < len(events); i++ {
@@ -191,7 +191,7 @@ func TestEmulationMixedWithTLBMisses(t *testing.T) {
 			}
 			a.WriteU64(testResultVA, 0)
 		})
-		res := m.Run()
+		res := mustRun(t, m)
 		if got := as.ReadU64(testResultVA); got != want {
 			t.Errorf("quick=%v: result %d, want %d", quick, got, want)
 		}

@@ -24,7 +24,7 @@ func TestFetchRoundRobinRuns(t *testing.T) {
 		}
 		results[i] = as
 	}
-	m.Run()
+	mustRun(t, m)
 	if got := results[0].ReadU64(testResultVA); got != 300*301/2 {
 		t.Errorf("thread 1 result = %d", got)
 	}
@@ -66,7 +66,7 @@ func TestRetireWidthLimits(t *testing.T) {
 			as = a
 			setup(a)
 		})
-		res := m.Run()
+		res := mustRun(t, m)
 		return res.Cycles, as.ReadU64(testResultVA)
 	}
 	unlimCycles, unlimRes := run(0)
@@ -97,7 +97,7 @@ func TestSetAssocDTLBEndToEnd(t *testing.T) {
 			as = a
 			setup(a)
 		})
-		res := m.Run()
+		res := mustRun(t, m)
 		return res.DTLBMisses, as.ReadU64(testResultVA)
 	}
 	faFills, faRes := run(0)

@@ -68,6 +68,7 @@ func (m *Machine) retireUop(t *thread, u *uop) {
 	t.icount--
 	t.inflight = t.inflight[1:]
 	m.retireBudget--
+	m.lastProgress = m.now
 	m.hot.retireInsts.Inc()
 	m.hot.retireClass[isa.ClassOf(u.inst.Op)].Inc()
 	if m.RetireHook != nil {

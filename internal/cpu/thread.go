@@ -128,10 +128,10 @@ type handlerCtx struct {
 	masterPath uint64 // master's path history before fetch
 	masterRAS  bpred.Checkpoint
 	faultVPN   uint64
-	faultVA   uint64
-	specTag   uint64 // TLB speculative-fill tag
-	excPC     uint64 // PC of the excepting instruction (restart point)
-	firstSeq  uint64 // first handler-instruction sequence (traditional)
+	faultVA    uint64
+	specTag    uint64 // TLB speculative-fill tag
+	excPC      uint64 // PC of the excepting instruction (restart point)
+	firstSeq   uint64 // first handler-instruction sequence (traditional)
 	// waiters are secondary misses to the same page, parked until the
 	// fill completes (Section 4.5).
 	waiters []*uop

@@ -16,7 +16,7 @@ func TestTraceHookLifecycles(t *testing.T) {
 	m := buildMachine(t, cfg, emitPageWalk(64, 2), setup)
 	col := trace.NewCollector(100000)
 	m.TraceHook = col.Add
-	res := m.Run()
+	res := mustRun(t, m)
 
 	recs := col.Records()
 	if uint64(len(recs)) < res.AppInsts {

@@ -47,7 +47,7 @@ func TestTwoLevelAllMechanisms(t *testing.T) {
 		cfg.Mech = mech
 		cfg.DTLBEntries = 32
 		m, as := buildMachine2L(t, cfg, emitPageWalk(pages, 8), setup)
-		res := m.Run()
+		res := mustRun(t, m)
 		if got := as.ReadU64(testResultVA); got != 8*want {
 			t.Fatalf("%v: result = %d, want %d", mech, got, 8*want)
 		}
@@ -73,9 +73,9 @@ func TestTwoLevelCostsMoreThanLinear(t *testing.T) {
 	cfg.DTLBEntries = 32
 
 	mLin := buildMachine(t, cfg, emitPageWalk(pages, 8), setup)
-	lin := mLin.Run()
+	lin := mustRun(t, mLin)
 	m2l, _ := buildMachine2L(t, cfg, emitPageWalk(pages, 8), setup)
-	two := m2l.Run()
+	two := mustRun(t, m2l)
 	if !(two.Cycles > lin.Cycles) {
 		t.Errorf("two-level (%d cycles) not slower than linear (%d)", two.Cycles, lin.Cycles)
 	}

@@ -102,7 +102,7 @@ func TestUnalignedAllMechanisms(t *testing.T) {
 			as = a
 			setup(a)
 		})
-		res := m.Run()
+		res := mustRun(t, m)
 		if got := as.ReadU64(testResultVA); got != want {
 			t.Errorf("%s: sum = %#x, want %#x", c.name, got, want)
 		}
@@ -135,7 +135,7 @@ func TestUnalignedTimingOrdering(t *testing.T) {
 		// Several passes over the region, so the data is cache-warm
 		// and the measurement isolates exception handling.
 		m := buildMachine(t, cfg, emitUnalignedWalkN(n, filler, 6), setup)
-		return m.Run().Cycles
+		return mustRun(t, m).Cycles
 	}
 	hw := run(MechPerfect, 1, 40)
 	multi := run(MechMultithreaded, 2, 40)
@@ -183,7 +183,7 @@ func TestUnalignedSeesInFlightStores(t *testing.T) {
 			a.WriteU64(testDataVA+8, 0)
 			a.WriteU64(testResultVA, 0)
 		})
-		m.Run()
+		mustRun(t, m)
 		// Model the loop: r5 accumulates r1; the unaligned load reads
 		// bytes 3..10 of the two stored copies of r5.
 		var r5, want uint64

@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"mtexc/internal/core"
 	"mtexc/internal/workload"
@@ -34,6 +36,19 @@ type Options struct {
 	// across experiments: each distinct machine shape × workload mix
 	// simulates its baseline once per cache.
 	Baselines *BaselineCache
+	// Journal, when non-nil, records every completed simulation to a
+	// crash-safe NDJSON file and answers repeat requests from it —
+	// within a run (cross-experiment dedupe) and across runs (resume
+	// after a crash or kill). See OpenJournal.
+	Journal *Journal
+	// CellTimeout bounds the wall-clock time of each simulation; an
+	// overrunning run aborts with a *cpu.CancelledError wrapping
+	// context.DeadlineExceeded and the cell reports FAIL. Zero means
+	// no deadline.
+	CellTimeout time.Duration
+	// Context, when non-nil, cancels all in-flight simulations when it
+	// is done (e.g. on SIGINT). Defaults to context.Background().
+	Context context.Context
 }
 
 func (o Options) insts() uint64 {
@@ -60,18 +75,62 @@ func (o Options) suite() ([]*workload.Bench, error) {
 
 // runner executes simulations, caching perfect-TLB baselines so each
 // machine shape runs its baseline once per workload set. Its methods
-// are safe for the concurrent cell execution driven by forEach.
+// are safe for the concurrent cell execution driven by forEach. exp
+// names the experiment for failure reports and journal entries.
 type runner struct {
-	opt  Options
-	base *BaselineCache
+	opt      Options
+	exp      string
+	base     *BaselineCache
+	journal  *Journal
+	failSpec string // MTEXC_FAIL_CELL, read once per runner
 }
 
-func newRunner(opt Options) *runner {
+func newRunner(opt Options, exp string) *runner {
 	bc := opt.Baselines
 	if bc == nil {
 		bc = NewBaselineCache()
 	}
-	return &runner{opt: opt, base: bc}
+	return &runner{opt: opt, exp: exp, base: bc, journal: opt.Journal, failSpec: failCellSpec()}
+}
+
+// run is the single simulation entry point of the harness: it
+// fingerprints the run, lets the owning cell describe itself for
+// failure reports, answers from the journal when the identical
+// simulation already completed, and otherwise simulates under the
+// configured context and per-cell deadline, journaling the result.
+func (r *runner) run(c *cell, cfg core.Config, loads ...core.Workload) (core.Result, error) {
+	key := runKey(cfg, loads)
+	c.describe(cfg, loads, key)
+	// The injection hook fires after describe (so the failure report
+	// carries the configuration and a repro command) and before the
+	// journal lookup (so it fires on resumed runs too).
+	if c != nil && r.failSpec != "" && injectedFailure(r.exp, r.failSpec, c.index) {
+		panic(fmt.Sprintf("injected failure (%s=%q)", FailCellEnv, r.failSpec))
+	}
+	if r.journal != nil {
+		if res, ok := r.journal.lookup(key); ok {
+			return res, nil
+		}
+	}
+	ctx := r.opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if r.opt.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.opt.CellTimeout)
+		defer cancel()
+	}
+	res, err := core.RunCtx(ctx, cfg, loads...)
+	if err != nil {
+		return res, err
+	}
+	if r.journal != nil {
+		if jerr := r.journal.record(r.exp, key, cfg, loadNames(loads), res); jerr != nil {
+			return res, jerr
+		}
+	}
+	return res, nil
 }
 
 // progressMu serializes Progress writers across all runners: the
@@ -118,8 +177,8 @@ func asWorkloads(benches []*workload.Bench) []core.Workload {
 }
 
 // compare runs cfg against its cached perfect baseline.
-func (r *runner) compare(cfg core.Config, benches ...*workload.Bench) (core.Comparison, error) {
-	subj, err := core.Run(cfg, asWorkloads(benches)...)
+func (r *runner) compare(c *cell, cfg core.Config, benches ...*workload.Bench) (core.Comparison, error) {
+	subj, err := r.run(c, cfg, asWorkloads(benches)...)
 	if err != nil {
 		return core.Comparison{}, err
 	}
@@ -131,7 +190,7 @@ func (r *runner) compare(cfg core.Config, benches ...*workload.Bench) (core.Comp
 		pcfg.Mech = core.MechPerfect
 		pcfg.QuickStart = false
 		pcfg.Limit = core.LimitNone
-		return core.Run(pcfg, asWorkloads(benches)...)
+		return r.run(c, pcfg, asWorkloads(benches)...)
 	})
 	if err != nil {
 		return core.Comparison{}, err
@@ -165,7 +224,7 @@ func (r *runner) baseConfig(mech core.Mechanism, appThreads, idleContexts int) c
 // penalty cycles per miss on an 8-wide machine with 3, 7 and 11
 // stages between fetch and execute.
 func Figure2(opt Options) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner(opt, "Figure2")
 	benches, err := opt.suite()
 	if err != nil {
 		return nil, err
@@ -176,21 +235,19 @@ func Figure2(opt Options) (*Table, error) {
 		cols[i] = fmt.Sprintf("%d stages", d)
 	}
 	t := NewTable("Figure 2: software TLB miss penalty vs pipeline depth (penalty cycles/miss, traditional)", names(benches), cols)
-	err = r.forEach(len(benches)*len(depths), func(i int) error {
-		bi, di := i/len(depths), i%len(depths)
+	err = r.forEach(len(benches)*len(depths), func(c *cell) error {
+		bi, di := c.index/len(depths), c.index%len(depths)
 		cfg := r.baseConfig(core.MechTraditional, 1, 0).WithPipeDepth(depths[di])
-		cmp, err := r.compare(cfg, benches[bi])
+		cmp, err := r.compare(c, cfg, benches[bi])
 		if err != nil {
 			return err
 		}
 		t.Set(bi, di, cmp.PenaltyPerMiss())
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
+	markFailedCells(t, err, func(i int) [][2]int { return one(i/len(depths), i%len(depths)) })
 	t.AddAverageRow()
-	return t, nil
+	return t, err
 }
 
 // Figure3 regenerates the machine-width trend: the fraction of
@@ -198,7 +255,7 @@ func Figure2(opt Options) (*Table, error) {
 // with 32/64/128-entry windows, normalized to the 2-wide case as the
 // paper plots it.
 func Figure3(opt Options) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner(opt, "Figure3")
 	benches, err := opt.suite()
 	if err != nil {
 		return nil, err
@@ -215,20 +272,17 @@ func Figure3(opt Options) (*Table, error) {
 	// The cells are independent runs; the 2-wide normalization is a
 	// serial pass over the collected grid.
 	rel := make([]float64, len(benches)*len(shapes))
-	err = r.forEach(len(rel), func(i int) error {
-		bi, si := i/len(shapes), i%len(shapes)
+	err = r.forEach(len(rel), func(c *cell) error {
+		bi, si := c.index/len(shapes), c.index%len(shapes)
 		s := shapes[si]
 		cfg := r.baseConfig(core.MechTraditional, 1, 0).WithWidth(s.width, s.window)
-		cmp, err := r.compare(cfg, benches[bi])
+		cmp, err := r.compare(c, cfg, benches[bi])
 		if err != nil {
 			return err
 		}
-		rel[i] = cmp.RelativeTLBTime()
+		rel[c.index] = cmp.RelativeTLBTime()
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	for bi := range benches {
 		base := rel[bi*len(shapes)]
 		for si := range shapes {
@@ -239,15 +293,28 @@ func Figure3(opt Options) (*Table, error) {
 			}
 		}
 	}
+	// A failed 2-wide run poisons its whole row — every cell in the
+	// row is normalized to it.
+	markFailedCells(t, err, func(i int) [][2]int {
+		bi, si := i/len(shapes), i%len(shapes)
+		if si == 0 {
+			row := make([][2]int, len(shapes))
+			for s := range shapes {
+				row[s] = [2]int{bi, s}
+			}
+			return row
+		}
+		return one(bi, si)
+	})
 	t.AddAverageRow()
-	return t, nil
+	return t, err
 }
 
 // Figure5 regenerates the mechanism comparison: penalty cycles per
 // miss for the traditional trap, multithreaded handling with one and
 // three idle contexts, and the hardware walker.
 func Figure5(opt Options) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner(opt, "Figure5")
 	benches, err := opt.suite()
 	if err != nil {
 		return nil, err
@@ -267,20 +334,18 @@ func Figure5(opt Options) (*Table, error) {
 		cols[i] = c.name
 	}
 	t := NewTable("Figure 5: TLB miss penalty by exception architecture (penalty cycles/miss)", names(benches), cols)
-	err = r.forEach(len(benches)*len(configs), func(i int) error {
-		bi, ci := i/len(configs), i%len(configs)
-		cmp, err := r.compare(configs[ci].cfg, benches[bi])
+	err = r.forEach(len(benches)*len(configs), func(c *cell) error {
+		bi, ci := c.index/len(configs), c.index%len(configs)
+		cmp, err := r.compare(c, configs[ci].cfg, benches[bi])
 		if err != nil {
 			return err
 		}
 		t.Set(bi, ci, cmp.PenaltyPerMiss())
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
+	markFailedCells(t, err, func(i int) [][2]int { return one(i/len(configs), i%len(configs)) })
 	t.AddAverageRow()
-	return t, nil
+	return t, err
 }
 
 func names(benches []*workload.Bench) []string {
@@ -295,7 +360,7 @@ func names(benches []*workload.Bench) []string {
 // penalty with each overhead removed in turn, bracketed by the
 // traditional and hardware mechanisms.
 func Table3(opt Options) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner(opt, "Table3")
 	benches, err := opt.suite()
 	if err != nil {
 		return nil, err
@@ -322,21 +387,18 @@ func Table3(opt Options) (*Table, error) {
 	// Collect the full row × bench grid in parallel, then reduce each
 	// row serially so the averages sum in a fixed order.
 	pen := make([]float64, len(rows)*len(benches))
-	err = r.forEach(len(pen), func(i int) error {
-		ri, bi := i/len(benches), i%len(benches)
+	err = r.forEach(len(pen), func(c *cell) error {
+		ri, bi := c.index/len(benches), c.index%len(benches)
 		rw := rows[ri]
 		cfg := r.baseConfig(rw.mech, 1, rw.idle)
 		cfg.Limit = rw.limit
-		cmp, err := r.compare(cfg, benches[bi])
+		cmp, err := r.compare(c, cfg, benches[bi])
 		if err != nil {
 			return err
 		}
-		pen[i] = cmp.PenaltyPerMiss()
+		pen[c.index] = cmp.PenaltyPerMiss()
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	for ri := range rows {
 		var sum float64
 		for bi := range benches {
@@ -344,12 +406,15 @@ func Table3(opt Options) (*Table, error) {
 		}
 		t.Set(ri, 0, sum/float64(len(benches)))
 	}
-	return t, nil
+	// Each row averages over the benchmarks: any failed contributor
+	// invalidates its row's mean.
+	markFailedCells(t, err, func(i int) [][2]int { return one(i/len(benches), 0) })
+	return t, err
 }
 
 // Figure6 regenerates the quick-start evaluation.
 func Figure6(opt Options) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner(opt, "Figure6")
 	benches, err := opt.suite()
 	if err != nil {
 		return nil, err
@@ -371,20 +436,18 @@ func Figure6(opt Options) (*Table, error) {
 		cols[i] = c.name
 	}
 	t := NewTable("Figure 6: quick-starting multithreaded handler (penalty cycles/miss)", rowNames, cols)
-	err = r.forEach(len(benches)*len(configs), func(i int) error {
-		bi, ci := i/len(configs), i%len(configs)
-		cmp, err := r.compare(configs[ci].cfg, benches[bi])
+	err = r.forEach(len(benches)*len(configs), func(c *cell) error {
+		bi, ci := c.index/len(configs), c.index%len(configs)
+		cmp, err := r.compare(c, configs[ci].cfg, benches[bi])
 		if err != nil {
 			return err
 		}
 		t.Set(bi, ci, cmp.PenaltyPerMiss())
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
+	markFailedCells(t, err, func(i int) [][2]int { return one(i/len(configs), i%len(configs)) })
 	t.AddAverageRow()
-	return t, nil
+	return t, err
 }
 
 // PaperMixes are Figure 7's three-application combinations.
@@ -402,7 +465,7 @@ var PaperMixes = [...][3]string{
 // Figure7 regenerates the multiprogrammed evaluation: three
 // application threads plus one idle context.
 func Figure7(opt Options) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner(opt, "Figure7")
 	mixes := opt.Mixes
 	if len(mixes) == 0 {
 		mixes = PaperMixes[:]
@@ -440,33 +503,38 @@ func Figure7(opt Options) (*Table, error) {
 			mixBenches[mi] = append(mixBenches[mi], b)
 		}
 	}
-	err := r.forEach(len(mixes)*len(configs), func(i int) error {
-		mi, ci := i/len(configs), i%len(configs)
-		c := configs[ci]
-		cmp, err := r.compare(c.cfg, mixBenches[mi]...)
+	err := r.forEach(len(mixes)*len(configs), func(c *cell) error {
+		mi, ci := c.index/len(configs), c.index%len(configs)
+		cc := configs[ci]
+		cmp, err := r.compare(c, cc.cfg, mixBenches[mi]...)
 		if err != nil {
 			return err
 		}
 		t.Set(mi, ci, cmp.PenaltyPerMiss())
-		if c.name == "multi(1)" {
+		if cc.name == "multi(1)" {
 			active := float64(cmp.Subject.Stats.Get("handler.activecycles")) /
 				float64(cmp.Subject.Cycles) * 100
 			t.Set(mi, len(configs), active)
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
+	// The multi(1) cell also feeds the hdl-active% column.
+	markFailedCells(t, err, func(i int) [][2]int {
+		mi, ci := i/len(configs), i%len(configs)
+		if configs[ci].name == "multi(1)" {
+			return [][2]int{{mi, ci}, {mi, len(configs)}}
+		}
+		return one(mi, ci)
+	})
 	t.AddAverageRow()
-	return t, nil
+	return t, err
 }
 
 // Table4 regenerates the speedup summary: per-benchmark speedup over
 // the traditional mechanism for each architecture, plus TLB miss rate
 // and base IPC.
 func Table4(opt Options) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner(opt, "Table4")
 	benches, err := opt.suite()
 	if err != nil {
 		return nil, err
@@ -495,8 +563,9 @@ func Table4(opt Options) (*Table, error) {
 	// Phase 1: the traditional run per benchmark — every speedup cell
 	// divides by its cycle count, so it runs first.
 	trads := make([]core.Comparison, len(benches))
-	err = r.forEach(len(benches), func(bi int) error {
-		trad, err := r.compare(r.baseConfig(core.MechTraditional, 1, 0), benches[bi])
+	err1 := r.forEach(len(benches), func(c *cell) error {
+		bi := c.index
+		trad, err := r.compare(c, r.baseConfig(core.MechTraditional, 1, 0), benches[bi])
 		if err != nil {
 			return err
 		}
@@ -505,18 +574,24 @@ func Table4(opt Options) (*Table, error) {
 		t.Set(bi, 1, float64(trad.Subject.DTLBMisses)/float64(trad.Subject.AppInsts)*1e3)
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
+	// A failed traditional run poisons its whole row: every speedup
+	// cell divides by it.
+	markFailedCells(t, err1, func(bi int) [][2]int {
+		row := make([][2]int, len(t.Cols))
+		for c := range t.Cols {
+			row[c] = [2]int{bi, c}
+		}
+		return row
+	})
 	// Phase 2: one cell per benchmark × mechanism.
-	err = r.forEach(len(benches)*len(configs), func(i int) error {
-		bi, ci := i/len(configs), i%len(configs)
+	err2 := r.forEach(len(benches)*len(configs), func(c *cell) error {
+		bi, ci := c.index/len(configs), c.index%len(configs)
 		trad := trads[bi]
 		var cycles uint64
 		if ci == 0 {
 			cycles = trad.Perfect.Cycles
 		} else {
-			cmp, err := r.compare(configs[ci].cfg, benches[bi])
+			cmp, err := r.compare(c, configs[ci].cfg, benches[bi])
 			if err != nil {
 				return err
 			}
@@ -526,25 +601,24 @@ func Table4(opt Options) (*Table, error) {
 		t.Set(bi, 2+ci, speedup)
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return t, nil
+	markFailedCells(t, err2, func(i int) [][2]int { return one(i/len(configs), 2+i%len(configs)) })
+	return t, joinExperimentErrors("Table4", err1, err2)
 }
 
 // Table2 summarizes the synthetic suite: the analogue of the paper's
 // benchmark table, with misses scaled to a 100M-instruction run.
 func Table2(opt Options) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner(opt, "Table2")
 	benches, err := opt.suite()
 	if err != nil {
 		return nil, err
 	}
 	t := NewTable("Table 2: benchmark summary (DTLB misses scaled to 100M instructions)", names(benches), []string{"misses/100M", "baseIPC"})
 	t.Format = "%10.1f"
-	err = r.forEach(len(benches), func(bi int) error {
+	err = r.forEach(len(benches), func(c *cell) error {
+		bi := c.index
 		cfg := r.baseConfig(core.MechMultithreaded, 1, 1)
-		cmp, err := r.compare(cfg, benches[bi])
+		cmp, err := r.compare(c, cfg, benches[bi])
 		if err != nil {
 			return err
 		}
@@ -552,17 +626,15 @@ func Table2(opt Options) (*Table, error) {
 		t.Set(bi, 1, cmp.Perfect.IPC)
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return t, nil
+	markFailedCells(t, err, func(bi int) [][2]int { return [][2]int{{bi, 0}, {bi, 1}} })
+	return t, err
 }
 
 // Ablations evaluates the Section 4 design choices beyond the paper's
 // own studies: handler fetch priority, window reservation and
 // same-page relinking, as average penalty cycles/miss deltas.
 func Ablations(opt Options) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner(opt, "Ablations")
 	benches, err := opt.suite()
 	if err != nil {
 		return nil, err
@@ -596,18 +668,15 @@ func Ablations(opt Options) (*Table, error) {
 	}
 	t := NewTable("Ablations: multithreaded(1) design choices — average penalty cycles/miss", rowNames, []string{"penalty/miss"})
 	pen := make([]float64, len(rows)*len(benches))
-	err = r.forEach(len(pen), func(i int) error {
-		ri, bi := i/len(benches), i%len(benches)
-		cmp, err := r.compare(rows[ri].cfg, benches[bi])
+	err = r.forEach(len(pen), func(c *cell) error {
+		ri, bi := c.index/len(benches), c.index%len(benches)
+		cmp, err := r.compare(c, rows[ri].cfg, benches[bi])
 		if err != nil {
 			return err
 		}
-		pen[i] = cmp.PenaltyPerMiss()
+		pen[c.index] = cmp.PenaltyPerMiss()
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	for ri := range rows {
 		var sum float64
 		for bi := range benches {
@@ -615,5 +684,6 @@ func Ablations(opt Options) (*Table, error) {
 		}
 		t.Set(ri, 0, sum/float64(len(benches)))
 	}
-	return t, nil
+	markFailedCells(t, err, func(i int) [][2]int { return one(i/len(benches), 0) })
+	return t, err
 }

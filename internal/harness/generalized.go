@@ -15,7 +15,7 @@ import (
 // — the analogue of the TLB study's penalty per miss. Columns sweep
 // the emulation density.
 func Generalized(opt Options) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner(opt, "Generalized")
 	densities := []int{4, 16, 64} // inner iterations between POPCs
 	cols := make([]string, len(densities))
 	for i, d := range densities {
@@ -41,27 +41,34 @@ func Generalized(opt Options) (*Table, error) {
 	// Phase 1: the hardware-popc baseline per density — every penalty
 	// cell subtracts its cycle count.
 	baseRes := make([]core.Result, len(densities))
-	err := r.forEach(len(densities), func(di int) error {
+	err1 := r.forEach(len(densities), func(c *cell) error {
+		di := c.index
 		base := r.baseConfig(core.MechPerfect, 1, 0)
 		base.EmulatePopc = false
-		res, err := core.Run(base, workload.NewPopcount(densities[di]))
+		res, err := r.run(c, base, workload.NewPopcount(densities[di]))
 		if err != nil {
 			return err
 		}
 		baseRes[di] = res
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
+	// A failed density baseline poisons its whole column: every
+	// penalty cell subtracts its cycle count.
+	markFailedCells(t, err1, func(di int) [][2]int {
+		col := make([][2]int, len(rows))
+		for ri := range rows {
+			col[ri] = [2]int{ri, di}
+		}
+		return col
+	})
 	// Phase 2: one cell per density × mechanism.
-	err = r.forEach(len(densities)*len(rows), func(i int) error {
-		di, ri := i/len(rows), i%len(rows)
+	err2 := r.forEach(len(densities)*len(rows), func(c *cell) error {
+		di, ri := c.index/len(rows), c.index%len(rows)
 		d, rw := densities[di], rows[ri]
 		cfg := r.baseConfig(rw.mech, 1, rw.idle)
 		cfg.EmulatePopc = true
 		cfg.QuickStart = rw.quick
-		res, err := core.Run(cfg, workload.NewPopcount(d))
+		res, err := r.run(c, cfg, workload.NewPopcount(d))
 		if err != nil {
 			return err
 		}
@@ -75,10 +82,8 @@ func Generalized(opt Options) (*Table, error) {
 			d, rw.name, res.Cycles, emus, penalty)
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return t, nil
+	markFailedCells(t, err2, func(i int) [][2]int { return one(i%len(rows), i/len(rows)) })
+	return t, joinExperimentErrors("Generalized", err1, err2)
 }
 
 // Unaligned evaluates Section 6's second example: unaligned integer
@@ -87,7 +92,7 @@ func Generalized(opt Options) (*Table, error) {
 // same machine with hardware unaligned support (one extra cycle per
 // access). Columns sweep access density.
 func Unaligned(opt Options) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner(opt, "Unaligned")
 	densities := []int{4, 16, 64}
 	cols := make([]string, len(densities))
 	for i, d := range densities {
@@ -111,26 +116,31 @@ func Unaligned(opt Options) (*Table, error) {
 	t.Note = "baseline: the same machine with hardware unaligned-load support"
 
 	baseRes := make([]core.Result, len(densities))
-	err := r.forEach(len(densities), func(di int) error {
+	err1 := r.forEach(len(densities), func(c *cell) error {
+		di := c.index
 		base := r.baseConfig(core.MechPerfect, 1, 0)
 		base.TrapUnaligned = true // hardware path still needs byte-accurate loads
-		res, err := core.Run(base, workload.NewUnaligned(densities[di]))
+		res, err := r.run(c, base, workload.NewUnaligned(densities[di]))
 		if err != nil {
 			return err
 		}
 		baseRes[di] = res
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	err = r.forEach(len(densities)*len(rows), func(i int) error {
-		di, ri := i/len(rows), i%len(rows)
+	markFailedCells(t, err1, func(di int) [][2]int {
+		col := make([][2]int, len(rows))
+		for ri := range rows {
+			col[ri] = [2]int{ri, di}
+		}
+		return col
+	})
+	err2 := r.forEach(len(densities)*len(rows), func(c *cell) error {
+		di, ri := c.index/len(rows), c.index%len(rows)
 		d, rw := densities[di], rows[ri]
 		cfg := r.baseConfig(rw.mech, 1, rw.idle)
 		cfg.TrapUnaligned = true
 		cfg.QuickStart = rw.quick
-		res, err := core.Run(cfg, workload.NewUnaligned(d))
+		res, err := r.run(c, cfg, workload.NewUnaligned(d))
 		if err != nil {
 			return err
 		}
@@ -144,8 +154,6 @@ func Unaligned(opt Options) (*Table, error) {
 			d, rw.name, res.Cycles, n, penalty)
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return t, nil
+	markFailedCells(t, err2, func(i int) [][2]int { return one(i%len(rows), i/len(rows)) })
+	return t, joinExperimentErrors("Unaligned", err1, err2)
 }

@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"mtexc/internal/core"
+	"mtexc/internal/obs"
+	"mtexc/internal/stats"
+)
+
+// JournalEntry is one completed simulation in the on-disk journal:
+// the run fingerprint, the experiment that first needed it, and the
+// result in the schema-versioned snapshot vocabulary (obs.Meta plus
+// the raw counters). Everything a table cell derives from a Result —
+// cycles, instruction and miss counts, IPC, named counters — round-
+// trips exactly, so a journaled suite renders byte-identical tables.
+type JournalEntry struct {
+	Schema     int               `json:"schema"`
+	Key        string            `json:"key"`
+	Experiment string            `json:"experiment"`
+	Meta       obs.Meta          `json:"meta"`
+	Counters   map[string]uint64 `json:"counters"`
+}
+
+// Journal is a crash-safe append-only record of completed
+// simulations, NDJSON on disk, keyed by runKey fingerprints. Each
+// completed run is appended as one Write of one full line, so a kill
+// at any instant loses at most the line being written; Open tolerates
+// (and discards) a torn trailing line. In memory the journal doubles
+// as a cross-experiment result cache: two experiments needing the
+// same simulation run it once.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]*JournalEntry
+	hits    atomic.Int64
+	appends atomic.Int64
+}
+
+// journalScanCap bounds one journal line; entries are a few KB of
+// counters, so 1MB is generous.
+const journalScanCap = 1 << 20
+
+// OpenJournal opens (creating if needed) the NDJSON journal at path.
+// With resume set, existing entries are loaded and later lookups hit
+// them; without it the file is truncated, so a fresh suite never
+// replays stale results. Lines that fail to decode — the torn final
+// line of a killed run, foreign junk — are skipped, not fatal.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("harness: creating journal directory: %w", err)
+		}
+	}
+	flags := os.O_CREATE | os.O_RDWR
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: opening journal: %w", err)
+	}
+	j := &Journal{f: f, entries: make(map[string]*JournalEntry)}
+	if resume {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 64*1024), journalScanCap)
+		for sc.Scan() {
+			var e JournalEntry
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				continue // torn or foreign line
+			}
+			if e.Schema != obs.SchemaVersion || e.Key == "" {
+				continue
+			}
+			j.entries[e.Key] = &e
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("harness: reading journal: %w", err)
+		}
+		// A kill mid-Write can leave a torn final line with no
+		// newline. Terminate it so the next append starts a fresh
+		// line instead of fusing with (and corrupting) the remnant;
+		// the now-complete garbage line is skipped by future loads.
+		if st, err := f.Stat(); err == nil && st.Size() > 0 {
+			last := make([]byte, 1)
+			if _, err := f.ReadAt(last, st.Size()-1); err == nil && last[0] != '\n' {
+				if _, err := f.WriteAt([]byte("\n"), st.Size()); err != nil {
+					f.Close()
+					return nil, fmt.Errorf("harness: repairing journal tail: %w", err)
+				}
+			}
+		}
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("harness: seeking journal: %w", err)
+		}
+	}
+	return j, nil
+}
+
+// Close releases the journal file.
+func (j *Journal) Close() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	return j.f.Close()
+}
+
+// Len reports how many entries are resident (loaded plus appended).
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Hits reports how many simulations were answered from the journal.
+func (j *Journal) Hits() int64 { return j.hits.Load() }
+
+// Appends reports how many completed simulations this process
+// recorded — zero on a resume of an already-complete suite.
+func (j *Journal) Appends() int64 { return j.appends.Load() }
+
+// lookup reconstructs the journaled Result for key, if present. The
+// Result carries everything experiments consume: the Meta scalars and
+// a stats set holding the recorded counters. Histograms and raw
+// observations are not journaled; no table cell reads them.
+func (j *Journal) lookup(key string) (core.Result, bool) {
+	j.mu.Lock()
+	e := j.entries[key]
+	j.mu.Unlock()
+	if e == nil {
+		return core.Result{}, false
+	}
+	j.hits.Add(1)
+	set := stats.NewSet()
+	for name, v := range e.Counters {
+		set.Counter(name).Value = v
+	}
+	return core.Result{
+		Cycles:     e.Meta.Cycles,
+		AppInsts:   e.Meta.AppInsts,
+		DTLBMisses: e.Meta.DTLBMisses,
+		IPC:        e.Meta.IPC,
+		Stats:      set,
+	}, true
+}
+
+// record journals one completed simulation: one marshalled line, one
+// Write. Duplicate keys (the same simulation needed by two
+// experiments racing) are recorded once.
+func (j *Journal) record(exp, key string, cfg core.Config, benches []string, res core.Result) error {
+	e := &JournalEntry{
+		Schema:     obs.SchemaVersion,
+		Key:        key,
+		Experiment: exp,
+		Meta: obs.Meta{
+			Benchmarks: benches,
+			Mechanism:  cfg.Mech.String(),
+			QuickStart: cfg.QuickStart,
+			Width:      cfg.Width,
+			Window:     cfg.WindowSize,
+			Contexts:   cfg.Contexts,
+			DTLBSize:   cfg.DTLBEntries,
+			Cycles:     res.Cycles,
+			AppInsts:   res.AppInsts,
+			DTLBMisses: res.DTLBMisses,
+			IPC:        res.IPC,
+		},
+		Counters: counterMap(res.Stats),
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("harness: encoding journal entry: %w", err)
+	}
+	line = append(line, '\n')
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, dup := j.entries[key]; dup {
+		return nil
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("harness: appending journal entry: %w", err)
+	}
+	j.entries[key] = e
+	j.appends.Add(1)
+	return nil
+}
+
+// counterMap extracts the named counters of a run (histograms are
+// summarized by counters the experiments never read; they are not
+// journaled).
+func counterMap(set *stats.Set) map[string]uint64 {
+	m := make(map[string]uint64)
+	if set == nil {
+		return m
+	}
+	set.Each(func(name string, c *stats.Counter, h *stats.Histogram) {
+		if c != nil {
+			m[name] = c.Value
+		}
+	})
+	return m
+}

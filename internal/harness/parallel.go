@@ -1,7 +1,9 @@
 package harness
 
 import (
+	"errors"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -33,6 +35,10 @@ func NewBaselineCache() *BaselineCache {
 }
 
 // get returns the cached result for key, running run (once) to fill it.
+// A panic inside run is captured into the entry's error rather than
+// allowed to escape: sync.Once marks itself done even when f panics,
+// so an escaping panic would leave every later waiter a zero Result
+// with a nil error — a silent wrong answer instead of a failed cell.
 func (c *BaselineCache) get(key string, run func() (core.Result, error)) (core.Result, error) {
 	c.mu.Lock()
 	e := c.m[key]
@@ -42,6 +48,11 @@ func (c *BaselineCache) get(key string, run func() (core.Result, error)) (core.R
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
+		defer func() {
+			if v := recover(); v != nil {
+				e.err = &panicError{val: v, stack: debug.Stack()}
+			}
+		}()
 		c.runs.Add(1)
 		e.res, e.err = run()
 	})
@@ -61,57 +72,91 @@ func (r *runner) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// forEach runs body(0..n-1) on a bounded worker pool. Each body call
-// must write only to its own result slot, so table assembly is
-// deterministic regardless of completion order. On error the pool
-// stops handing out new work and the lowest-index error is returned.
+// forEach runs body over cells 0..n-1 on a bounded worker pool. Each
+// body call must write only to its own result slot, so table assembly
+// is deterministic regardless of completion order.
+//
+// Failures are contained per cell: a panic or error in one cell is
+// captured as a *CellError — carrying the failing configuration,
+// workloads and stack — and every other cell still runs to
+// completion, so one bad grid point costs one FAIL entry, not the
+// whole suite. When any cell failed, the return is an
+// *ExperimentError aggregating the failures in index order.
+//
 // With one worker (or one item) the loop degenerates to the serial
 // order, byte-identical to the pre-parallel harness.
-func (r *runner) forEach(n int, body func(i int) error) error {
+func (r *runner) forEach(n int, body func(c *cell) error) error {
+	fails := make([]*CellError, n)
+	runCell := func(i int) {
+		c := &cell{index: i, exp: r.exp}
+		err := func() (err error) {
+			defer func() {
+				if v := recover(); v != nil {
+					err = &panicError{val: v, stack: debug.Stack()}
+				}
+			}()
+			return body(c)
+		}()
+		if err != nil {
+			fails[i] = r.cellError(c, err)
+		}
+	}
+
 	workers := r.workers()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := body(i); err != nil {
-				return err
-			}
+			runCell(i)
 		}
-		return nil
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					runCell(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
 	}
 
-	var (
-		mu       sync.Mutex
-		firstErr error
-		errIdx   int
-		bail     atomic.Bool
-		wg       sync.WaitGroup
-	)
-	idx := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				if bail.Load() {
-					continue
-				}
-				if err := body(i); err != nil {
-					mu.Lock()
-					if firstErr == nil || i < errIdx {
-						firstErr, errIdx = err, i
-					}
-					mu.Unlock()
-					bail.Store(true)
-				}
-			}
-		}()
+	var cells []*CellError
+	for _, ce := range fails {
+		if ce != nil {
+			cells = append(cells, ce)
+		}
 	}
-	for i := 0; i < n; i++ {
-		idx <- i
+	if len(cells) == 0 {
+		return nil
 	}
-	close(idx)
-	wg.Wait()
-	return firstErr
+	return &ExperimentError{Experiment: r.exp, Cells: cells}
+}
+
+// cellError wraps a cell failure with the context the cell recorded
+// before dying: configuration, workloads, fingerprint, and the panic
+// stack when there is one.
+func (r *runner) cellError(c *cell, err error) *CellError {
+	cfg, loads, key := c.snapshot()
+	ce := &CellError{
+		Experiment:  r.exp,
+		Index:       c.index,
+		Config:      cfg,
+		Workloads:   loads,
+		Fingerprint: key,
+		Cause:       err,
+	}
+	var pe *panicError
+	if errors.As(err, &pe) {
+		ce.Stack = pe.stack
+	}
+	return ce
 }

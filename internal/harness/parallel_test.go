@@ -2,7 +2,9 @@ package harness
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -71,15 +73,15 @@ func TestBaselineCacheSingleflight(t *testing.T) {
 	}
 }
 
-// forEach must visit every index exactly once and surface the
-// lowest-index error when several cells fail.
+// forEach must visit every index exactly once, keep running every
+// cell when some fail, and aggregate the failures in index order.
 func TestForEach(t *testing.T) {
-	r := newRunner(Options{Parallelism: 4})
+	r := newRunner(Options{Parallelism: 4}, "TestForEach")
 	var mu sync.Mutex
 	seen := make(map[int]int)
-	if err := r.forEach(64, func(i int) error {
+	if err := r.forEach(64, func(c *cell) error {
 		mu.Lock()
-		seen[i]++
+		seen[c.index]++
 		mu.Unlock()
 		return nil
 	}); err != nil {
@@ -94,14 +96,53 @@ func TestForEach(t *testing.T) {
 		}
 	}
 
-	err := r.forEach(16, func(i int) error {
-		if i >= 3 {
-			return fmt.Errorf("cell %d failed", i)
+	// Failures must not stop the other cells: all 16 run, and every
+	// failing index is reported, in order.
+	ran := make(map[int]bool)
+	err := r.forEach(16, func(c *cell) error {
+		mu.Lock()
+		ran[c.index] = true
+		mu.Unlock()
+		if c.index >= 3 {
+			return fmt.Errorf("cell %d failed", c.index)
 		}
 		return nil
 	})
-	if err == nil {
-		t.Fatal("forEach swallowed the cell errors")
+	if len(ran) != 16 {
+		t.Errorf("only %d of 16 cells ran; failures must not cancel siblings", len(ran))
+	}
+	var ee *ExperimentError
+	if !errors.As(err, &ee) {
+		t.Fatalf("forEach returned %v, want *ExperimentError", err)
+	}
+	if len(ee.Cells) != 13 {
+		t.Errorf("aggregated %d cell errors, want 13", len(ee.Cells))
+	}
+	for i, ce := range ee.Cells {
+		if ce.Index != i+3 {
+			t.Errorf("cell error %d has index %d, want %d (index order)", i, ce.Index, i+3)
+		}
+		if ce.Experiment != "TestForEach" {
+			t.Errorf("cell error carries experiment %q", ce.Experiment)
+		}
+	}
+
+	// A panicking cell is contained the same way, with the stack
+	// captured.
+	err = r.forEach(8, func(c *cell) error {
+		if c.index == 5 {
+			panic("synthetic cell panic")
+		}
+		return nil
+	})
+	if !errors.As(err, &ee) || len(ee.Cells) != 1 {
+		t.Fatalf("panic not contained as a single cell error: %v", err)
+	}
+	if ee.Cells[0].Index != 5 || len(ee.Cells[0].Stack) == 0 {
+		t.Errorf("panic cell error lost its index or stack: %+v", ee.Cells[0])
+	}
+	if !strings.Contains(ee.Cells[0].Cause.Error(), "synthetic cell panic") {
+		t.Errorf("panic value lost: %v", ee.Cells[0].Cause)
 	}
 }
 

@@ -15,7 +15,7 @@ import (
 // fills and the penalty/miss at 32-, 64- and 128-entry DTLBs under
 // multithreaded(1).
 func TLBSweep(opt Options) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner(opt, "TLBSweep")
 	benches, err := opt.suite()
 	if err != nil {
 		return nil, err
@@ -27,11 +27,11 @@ func TLBSweep(opt Options) (*Table, error) {
 	}
 	t := NewTable("TLB-size sensitivity: committed fills and penalty/miss vs DTLB entries (multithreaded(1))", names(benches), cols)
 	t.Format = "%10.1f"
-	err = r.forEach(len(benches)*len(sizes), func(i int) error {
-		bi, si := i/len(sizes), i%len(sizes)
+	err = r.forEach(len(benches)*len(sizes), func(c *cell) error {
+		bi, si := c.index/len(sizes), c.index%len(sizes)
 		cfg := r.baseConfig(core.MechMultithreaded, 1, 1)
 		cfg.DTLBEntries = sizes[si]
-		cmp, err := r.compare(cfg, benches[bi])
+		cmp, err := r.compare(c, cfg, benches[bi])
 		if err != nil {
 			return err
 		}
@@ -39,10 +39,11 @@ func TLBSweep(opt Options) (*Table, error) {
 		t.Set(bi, 2*si+1, cmp.PenaltyPerMiss())
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return t, nil
+	markFailedCells(t, err, func(i int) [][2]int {
+		bi, si := i/len(sizes), i%len(sizes)
+		return [][2]int{{bi, 2 * si}, {bi, 2*si + 1}}
+	})
+	return t, err
 }
 
 // PTOrganization compares page-table organizations — the operating-
@@ -52,7 +53,7 @@ func TLBSweep(opt Options) (*Table, error) {
 // but the multithreaded mechanism overlaps more of the added latency
 // than the trap does.
 func PTOrganization(opt Options) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner(opt, "PTOrganization")
 	benches := []string{"cmp", "vor", "mph"}
 	if len(opt.Benchmarks) > 0 {
 		benches = opt.Benchmarks
@@ -81,10 +82,10 @@ func PTOrganization(opt Options) (*Table, error) {
 	}
 	orgs := []vm.PTOrg{vm.PTLinear, vm.PTTwoLevel}
 	cells := len(benches) * len(mechs) * len(orgs)
-	err := r.forEach(cells, func(i int) error {
-		bi := i / (len(mechs) * len(orgs))
-		mi := i / len(orgs) % len(mechs)
-		oi := i % len(orgs)
+	err := r.forEach(cells, func(c *cell) error {
+		bi := c.index / (len(mechs) * len(orgs))
+		mi := c.index / len(orgs) % len(mechs)
+		oi := c.index % len(orgs)
 		n, mc, org := benches[bi], mechs[mi], orgs[oi]
 		wb, err := workload.ByName(n)
 		if err != nil {
@@ -98,13 +99,13 @@ func PTOrganization(opt Options) (*Table, error) {
 		// Perfect baselines differ per organization (the two-level
 		// workload variant shares the linear one's shape key); bypass
 		// the shape cache by running the pair directly.
-		subj, err := core.Run(cfg, wb)
+		subj, err := r.run(c, cfg, wb)
 		if err != nil {
 			return err
 		}
 		pcfg := cfg
 		pcfg.Mech = core.MechPerfect
-		perf, err := core.Run(pcfg, wb)
+		perf, err := r.run(c, pcfg, wb)
 		if err != nil {
 			return err
 		}
@@ -114,10 +115,13 @@ func PTOrganization(opt Options) (*Table, error) {
 			n, mc.name, org, subj.Cycles, subj.DTLBMisses, cmp.PenaltyPerMiss())
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return t, nil
+	markFailedCells(t, err, func(i int) [][2]int {
+		bi := i / (len(mechs) * len(orgs))
+		mi := i / len(orgs) % len(mechs)
+		oi := i % len(orgs)
+		return one(bi, mi*2+oi)
+	})
+	return t, err
 }
 
 // FaultInjection measures the hard-exception path at scale: a
@@ -127,7 +131,7 @@ func PTOrganization(opt Options) (*Table, error) {
 // trap plus OS service. Hash-table benchmarks only (pointer-chase
 // workloads lose their rings when pages are dropped).
 func FaultInjection(opt Options) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner(opt, "FaultInjection")
 	fractions := []float64{0, 0.25, 0.5}
 	benchNames := []string{"cmp", "mph"}
 	var rows []string
@@ -139,7 +143,8 @@ func FaultInjection(opt Options) (*Table, error) {
 	t := NewTable("Fault injection: page-out fraction vs hard-exception traffic (multithreaded(1))", rows,
 		[]string{"cycles/Kinst", "pagefaults", "reversions", "fills"})
 	t.Format = "%10.1f"
-	err := r.forEach(len(benchNames)*len(fractions), func(ri int) error {
+	err := r.forEach(len(benchNames)*len(fractions), func(c *cell) error {
+		ri := c.index
 		n := benchNames[ri/len(fractions)]
 		f := fractions[ri%len(fractions)]
 		b, err := workload.ByName(n)
@@ -151,7 +156,7 @@ func FaultInjection(opt Options) (*Table, error) {
 		if f > 0 {
 			w = &workload.Faulty{Inner: b, Fraction: f, Seed: 7}
 		}
-		res, err := core.Run(cfg, w)
+		res, err := r.run(c, cfg, w)
 		if err != nil {
 			return err
 		}
@@ -163,8 +168,8 @@ func FaultInjection(opt Options) (*Table, error) {
 			rows[ri], res.Cycles, res.Stats.Get("os.pagefaults"), res.Stats.Get("handler.reversions"))
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return t, nil
+	markFailedCells(t, err, func(ri int) [][2]int {
+		return [][2]int{{ri, 0}, {ri, 1}, {ri, 2}, {ri, 3}}
+	})
+	return t, err
 }

@@ -24,6 +24,10 @@ type Table struct {
 	Cells [][]float64
 	// Format is the printf verb for cells, default %8.1f.
 	Format string
+	// failed marks cells whose simulation died (panic, livelock,
+	// timeout); they render as FAIL in every output format. Allocated
+	// lazily by MarkFailed, so tables without failures pay nothing.
+	failed [][]bool
 }
 
 // NewTable allocates a rows x cols table.
@@ -71,18 +75,52 @@ func (t *Table) Cell(row, col string) float64 {
 	return t.Cells[r][c]
 }
 
+// MarkFailed flags a cell as failed; it renders as FAIL everywhere.
+func (t *Table) MarkFailed(r, c int) {
+	if r < 0 || c < 0 || r >= len(t.Rows) || c >= len(t.Cols) {
+		return
+	}
+	if t.failed == nil {
+		t.failed = make([][]bool, 0, len(t.Rows))
+	}
+	for len(t.failed) < len(t.Rows) {
+		t.failed = append(t.failed, make([]bool, len(t.Cols)))
+	}
+	if len(t.failed[r]) < len(t.Cols) {
+		row := make([]bool, len(t.Cols))
+		copy(row, t.failed[r])
+		t.failed[r] = row
+	}
+	t.failed[r][c] = true
+}
+
+// FailedAt reports whether a cell was marked failed.
+func (t *Table) FailedAt(r, c int) bool {
+	return t.failed != nil && r < len(t.failed) && c < len(t.failed[r]) && t.failed[r][c]
+}
+
 // AddAverageRow appends a row holding the per-column arithmetic mean,
-// as the paper's figures do.
+// as the paper's figures do. A column with any failed contributor has
+// no meaningful mean: its average cell is marked failed too.
 func (t *Table) AddAverageRow() {
 	avg := make([]float64, len(t.Cols))
+	poisoned := make([]bool, len(t.Cols))
 	for c := range t.Cols {
 		for r := range t.Rows {
 			avg[c] += t.Cells[r][c]
+			if t.FailedAt(r, c) {
+				poisoned[c] = true
+			}
 		}
 		avg[c] /= float64(len(t.Rows))
 	}
 	t.Rows = append(t.Rows, "average")
 	t.Cells = append(t.Cells, avg)
+	for c, p := range poisoned {
+		if p {
+			t.MarkFailed(len(t.Rows)-1, c)
+		}
+	}
 }
 
 // CSV renders the table as comma-separated values with a header row,
@@ -98,7 +136,11 @@ func (t *Table) CSV() string {
 	for r, name := range t.Rows {
 		sb.WriteString(name)
 		for c := range t.Cols {
-			fmt.Fprintf(&sb, ",%g", t.Cells[r][c])
+			if t.FailedAt(r, c) {
+				sb.WriteString(",FAIL")
+			} else {
+				fmt.Fprintf(&sb, ",%g", t.Cells[r][c])
+			}
 		}
 		sb.WriteByte('\n')
 	}
@@ -114,15 +156,21 @@ func (t *Table) WriteJSONRows(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	for r, name := range t.Rows {
 		cells := make(map[string]float64, len(t.Cols))
+		var failed []string
 		for c, col := range t.Cols {
+			if t.FailedAt(r, c) {
+				failed = append(failed, col)
+				continue
+			}
 			cells[col] = t.Cells[r][c]
 		}
 		row := struct {
-			Table string             `json:"table"`
-			Note  string             `json:"note,omitempty"`
-			Row   string             `json:"row"`
-			Cells map[string]float64 `json:"cells"`
-		}{Table: t.Title, Note: t.Note, Row: name, Cells: cells}
+			Table  string             `json:"table"`
+			Note   string             `json:"note,omitempty"`
+			Row    string             `json:"row"`
+			Cells  map[string]float64 `json:"cells"`
+			Failed []string           `json:"failed,omitempty"`
+		}{Table: t.Title, Note: t.Note, Row: name, Cells: cells, Failed: failed}
 		if err := enc.Encode(row); err != nil {
 			return err
 		}
@@ -146,12 +194,37 @@ func (t *Table) String() string {
 	if format == "" {
 		format = "%10.2f"
 	}
+	width := formatWidth(format)
 	for r, name := range t.Rows {
 		fmt.Fprintf(&sb, "%-14s", name)
 		for c := range t.Cols {
-			fmt.Fprintf(&sb, "  "+format, t.Cells[r][c])
+			if t.FailedAt(r, c) {
+				fmt.Fprintf(&sb, "  %*s", width, "FAIL")
+			} else {
+				fmt.Fprintf(&sb, "  "+format, t.Cells[r][c])
+			}
 		}
 		sb.WriteByte('\n')
 	}
 	return sb.String()
+}
+
+// formatWidth extracts the field width of a printf verb like %10.2f,
+// so FAIL markers align with the numeric cells around them.
+func formatWidth(format string) int {
+	i := strings.IndexByte(format, '%')
+	if i < 0 {
+		return 10
+	}
+	w := 0
+	for _, ch := range format[i+1:] {
+		if ch < '0' || ch > '9' {
+			break
+		}
+		w = w*10 + int(ch-'0')
+	}
+	if w == 0 {
+		return 10
+	}
+	return w
 }

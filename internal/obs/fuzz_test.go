@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"mtexc/internal/stats"
+)
+
+// FuzzReadSnapshot hardens the snapshot reader against hostile or
+// damaged input: killed exports leave truncated files, schema drift
+// leaves type-confused fields, and pipelines feed it arbitrary junk.
+// Whatever the bytes, ReadSnapshot must return an error or a
+// snapshot — never panic.
+func FuzzReadSnapshot(f *testing.F) {
+	// Seed with a genuine snapshot (the round-trip the reader exists
+	// for), plus the failure shapes a crash leaves behind.
+	set := stats.NewSet()
+	set.Counter("dtlb.misses").Value = 42
+	set.Counter("retire.insts").Value = 100_000
+	h := set.Histogram("span.total")
+	for _, v := range []int64{12, 40, 113, 7} {
+		h.Observe(v)
+	}
+	meta := Meta{
+		Benchmarks: []string{"compress"},
+		Mechanism:  "multithreaded",
+		Width:      8,
+		Window:     128,
+		Contexts:   2,
+		DTLBSize:   64,
+		Cycles:     123_456,
+		AppInsts:   100_000,
+		DTLBMisses: 42,
+		IPC:        0.81,
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, BuildSnapshot(meta, set, nil)); err != nil {
+		f.Fatal(err)
+	}
+	full := buf.Bytes()
+	f.Add(full)
+	f.Add(full[:len(full)/2]) // truncated by a kill mid-write
+	f.Add(full[:len(full)-2]) // lost the closing brace
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"schema":"one"}`))                      // type-confused schema
+	f.Add([]byte(`{"schema":1,"counters":"not a map"}`))   // type-confused counters
+	f.Add([]byte(`{"schema":1,"meta":{"cycles":"many"}}`)) // type-confused meta
+	f.Add([]byte(`{"schema":1,"counters":{"a":-1}}`))      // negative uint
+	f.Add([]byte(`{"schema":999}`))                        // future schema
+	f.Add([]byte(`{"schema":1,"series":[{"cycles":[1],"values":[]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := ReadSnapshot(bytes.NewReader(data))
+		if err == nil && snap == nil {
+			t.Fatal("ReadSnapshot returned neither a snapshot nor an error")
+		}
+		if err == nil && snap.Schema > SchemaVersion {
+			t.Fatalf("accepted schema %d newer than reader version %d", snap.Schema, SchemaVersion)
+		}
+	})
+}

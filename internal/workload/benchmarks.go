@@ -43,6 +43,10 @@ func (bn *Bench) WithTwoLevelPT() *Bench {
 // Name returns the benchmark's full name (Table 2).
 func (bn *Bench) Name() string { return bn.name }
 
+// Key is the canonical identity used for journal fingerprints: it
+// folds in the page-table organization, which Name omits.
+func (bn *Bench) Key() string { return fmt.Sprintf("%s/pt%d", bn.name, bn.ptOrg) }
+
 // Short returns the paper's abbreviation (adm, apl, ...).
 func (bn *Bench) Short() string { return bn.short }
 

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"math/rand"
 
 	"mtexc/internal/mem"
@@ -19,6 +21,12 @@ type Faulty struct {
 
 // Name identifies the wrapped workload.
 func (f *Faulty) Name() string { return f.Inner.Name() + "+faults" }
+
+// Key is the canonical identity used for journal fingerprints: it
+// folds in the page-out fraction and seed, which Name omits.
+func (f *Faulty) Key() string {
+	return fmt.Sprintf("%s+faults/f%g/s%d", f.Inner.Key(), f.Fraction, f.Seed)
+}
 
 // Build builds the inner benchmark and unmaps the chosen fraction of
 // its data pages (never code pages).

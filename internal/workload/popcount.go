@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"mtexc/internal/isa"
 	"mtexc/internal/isa/asm"
 	"mtexc/internal/mem"
@@ -29,6 +31,10 @@ func NewPopcount(every int) *PopcountBench {
 
 // Name identifies the workload.
 func (p *PopcountBench) Name() string { return "popcount" }
+
+// Key is the canonical identity used for journal fingerprints: it
+// folds in the emulation density, which Name omits.
+func (p *PopcountBench) Key() string { return fmt.Sprintf("popcount/every%d", p.Every) }
 
 // Build generates the program.
 func (p *PopcountBench) Build(phys *mem.Physical, asn uint8) (*vm.Image, error) {

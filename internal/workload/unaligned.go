@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"mtexc/internal/isa"
 	"mtexc/internal/isa/asm"
 	"mtexc/internal/mem"
@@ -28,6 +30,10 @@ func NewUnaligned(every int) *UnalignedBench {
 
 // Name identifies the workload.
 func (p *UnalignedBench) Name() string { return "unaligned" }
+
+// Key is the canonical identity used for journal fingerprints: it
+// folds in the access density, which Name omits.
+func (p *UnalignedBench) Key() string { return fmt.Sprintf("unaligned/every%d", p.Every) }
 
 // regionSlots is the number of 16-byte record slots walked.
 const unalignedSlots = 512
