@@ -7,6 +7,7 @@
 #   make bench        one benchmark per paper table/figure
 #   make bench-compare  headline benchmarks -> out/BENCH_<stamp>.json
 #   make bench-json   machine-readable snapshots of the headline runs
+#   make lint         go vet + mtexc-lint invariant analyzers
 #   make experiments  regenerate every table and figure (minutes)
 #   make report       automated claim-by-claim reproduction report
 #   make fuzz         short burst of every fuzz target
@@ -15,13 +16,19 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test test-short bench bench-compare bench-json experiments report vet fmt clean fuzz resume-check
+.PHONY: build test test-short bench bench-compare bench-json experiments report vet lint fmt clean fuzz resume-check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static invariant checks: go vet plus the repo's own analyzer suite
+# (determinism, fingerprint purity, uop-pool lifetimes, hot-path stat
+# discipline). See docs/analysis.md.
+lint: vet
+	$(GO) run ./cmd/mtexc-lint ./...
 
 fmt:
 	gofmt -l -w .

@@ -6,7 +6,10 @@
 //
 // Each benchmark line becomes one record keyed by benchmark name,
 // with every reported metric (ns/op, B/op, allocs/op and custom
-// metrics like sim-insts/s) preserved under its unit string.
+// metrics like sim-insts/s) preserved under its unit string. The
+// snapshot carries the obs schema version so downstream tooling can
+// reject layouts newer than it understands, exactly as obs.ReadJSON
+// does for simulation snapshots.
 package main
 
 import (
@@ -14,10 +17,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 	"time"
+
+	"mtexc/internal/obs"
 )
 
 type record struct {
@@ -27,6 +33,7 @@ type record struct {
 }
 
 type snapshot struct {
+	Schema     int      `json:"schema"`
 	Taken      string   `json:"taken"`
 	Package    string   `json:"package,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
@@ -37,13 +44,50 @@ func main() {
 	out := flag.String("out", "", "output path (default out/BENCH_<timestamp>.json)")
 	flag.Parse()
 
-	snap := snapshot{Taken: time.Now().UTC().Format(time.RFC3339)}
-	sc := bufio.NewScanner(os.Stdin)
+	// Raw output passes through so the snapshot pipe stays observable
+	// in CI logs.
+	snap, err := parseSnapshot(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtexc-benchsnap:", err)
+		os.Exit(1)
+	}
+	snap.Taken = time.Now().UTC().Format(time.RFC3339)
+
+	path := *out
+	if path == "" {
+		if err := os.MkdirAll("out", 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "mtexc-benchsnap:", err)
+			os.Exit(1)
+		}
+		path = fmt.Sprintf("out/BENCH_%s.json", time.Now().UTC().Format("20060102-150405"))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtexc-benchsnap:", err)
+		os.Exit(1)
+	}
+	if err := writeSnapshot(f, snap); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "mtexc-benchsnap:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "mtexc-benchsnap:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchmark snapshot written to %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+}
+
+// parseSnapshot scans `go test -bench` output from r, echoing every
+// line to echo, and assembles the snapshot (without timestamp). It
+// fails when no benchmark line was seen: an empty snapshot archived
+// in CI would silently hide a wedged benchmark run.
+func parseSnapshot(r io.Reader, echo io.Writer) (snapshot, error) {
+	snap := snapshot{Schema: obs.SchemaVersion}
+	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
-		// Pass the raw output through so the snapshot pipe stays
-		// observable in CI logs.
-		fmt.Println(line)
+		fmt.Fprintln(echo, line)
 		if v, ok := strings.CutPrefix(line, "pkg: "); ok {
 			snap.Package = v
 			continue
@@ -62,39 +106,19 @@ func main() {
 		snap.Benchmarks = append(snap.Benchmarks, rec)
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "mtexc-benchsnap:", err)
-		os.Exit(1)
+		return snapshot{}, err
 	}
 	if len(snap.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "mtexc-benchsnap: no benchmark lines on stdin")
-		os.Exit(1)
+		return snapshot{}, fmt.Errorf("no benchmark lines on stdin")
 	}
+	return snap, nil
+}
 
-	path := *out
-	if path == "" {
-		if err := os.MkdirAll("out", 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "mtexc-benchsnap:", err)
-			os.Exit(1)
-		}
-		path = fmt.Sprintf("out/BENCH_%s.json", time.Now().UTC().Format("20060102-150405"))
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mtexc-benchsnap:", err)
-		os.Exit(1)
-	}
-	enc := json.NewEncoder(f)
+// writeSnapshot renders the snapshot as indented JSON.
+func writeSnapshot(w io.Writer, snap snapshot) error {
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(snap); err != nil {
-		f.Close()
-		fmt.Fprintln(os.Stderr, "mtexc-benchsnap:", err)
-		os.Exit(1)
-	}
-	if err := f.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "mtexc-benchsnap:", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "benchmark snapshot written to %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+	return enc.Encode(snap)
 }
 
 // parseBenchLine splits a testing benchmark result line:

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"mtexc/internal/obs"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: mtexc/internal/harness
+cpu: AMD EPYC 7B13
+BenchmarkFigure5Cell/cmp-8         	       5	 46696180 ns/op	   2569819 sim-insts/s	 1843 B/op	       6 allocs/op
+BenchmarkFigure5Cell/vor-8         	       3	 61240031 ns/op	   1959204 sim-insts/s	 2011 B/op	       7 allocs/op
+PASS
+ok  	mtexc/internal/harness	2.412s
+`
+
+// TestSnapshotRoundTrip drives the full pipe — parse bench output,
+// emit JSON, read it back — and validates the snapshot against the
+// obs schema version, as the archival tooling does.
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap, err := parseSnapshot(strings.NewReader(sampleBenchOutput), io.Discard)
+	if err != nil {
+		t.Fatalf("parseSnapshot: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := writeSnapshot(&buf, snap); err != nil {
+		t.Fatalf("writeSnapshot: %v", err)
+	}
+
+	var got snapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("re-reading emitted JSON: %v", err)
+	}
+	if got.Schema != obs.SchemaVersion {
+		t.Errorf("schema = %d, want obs.SchemaVersion = %d", got.Schema, obs.SchemaVersion)
+	}
+	if got.Schema > obs.SchemaVersion {
+		t.Errorf("emitted schema %d newer than the obs reader version %d", got.Schema, obs.SchemaVersion)
+	}
+	if got.Package != "mtexc/internal/harness" {
+		t.Errorf("package = %q, want %q", got.Package, "mtexc/internal/harness")
+	}
+	if got.CPU != "AMD EPYC 7B13" {
+		t.Errorf("cpu = %q, want %q", got.CPU, "AMD EPYC 7B13")
+	}
+	if len(got.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2", len(got.Benchmarks))
+	}
+	first := got.Benchmarks[0]
+	if first.Name != "BenchmarkFigure5Cell/cmp" {
+		t.Errorf("name = %q, want GOMAXPROCS suffix stripped", first.Name)
+	}
+	if first.Iterations != 5 {
+		t.Errorf("iterations = %d, want 5", first.Iterations)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op":       46696180,
+		"sim-insts/s": 2569819,
+		"B/op":        1843,
+		"allocs/op":   6,
+	} {
+		if got := first.Metrics[unit]; got != want {
+			t.Errorf("metric %q = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+// TestEmptyInputFails keeps the CI pipe honest: a wedged benchmark
+// run must fail the snapshot step, not archive an empty file.
+func TestEmptyInputFails(t *testing.T) {
+	if _, err := parseSnapshot(strings.NewReader("PASS\nok\n"), io.Discard); err == nil {
+		t.Fatal("expected an error for input without benchmark lines")
+	}
+}

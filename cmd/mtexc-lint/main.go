@@ -1,0 +1,99 @@
+// Command mtexc-lint runs the repository's invariant-checking
+// analyzer suite (internal/analysis) over the given packages:
+//
+//	mtexc-lint ./...
+//	mtexc-lint -list
+//	mtexc-lint -run detlint,poollint ./internal/cpu
+//
+// It prints one finding per line as file:line:col: analyzer: message
+// and exits 1 if anything fired. Findings are suppressed site by site
+// with `//lint:allow <analyzer> <reason>` comments. `make lint` runs
+// this after `go vet`; see docs/analysis.md for the catalogue.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mtexc/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mtexc-lint [-run names] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, strings.ReplaceAll(a.Doc, "\n", " "))
+		}
+		return
+	}
+	if *run != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fatalf("unknown analyzer %q (use -list)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pkgs, err := loader.Load(cwd, patterns...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := analysis.Run(a, pkg)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				name := pos.Filename
+				if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+					name = rel
+				}
+				fmt.Printf("%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "mtexc-lint: %d finding(s) in %d package(s)\n", findings, len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mtexc-lint: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,190 @@
+// Package analysis is mtexc-lint: a family of static analyzers that
+// check the invariants the reproduction's headline claims rest on —
+// wall-clock and map-order determinism in the simulator packages,
+// value-purity of the journal-fingerprinted configuration structs,
+// no use of pool-recycled uops after release, and hot-path statistics
+// discipline. See docs/analysis.md for the catalogue.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer / Pass / Diagnostic) but is built on the standard library
+// alone — go/parser + go/types with a module-aware source importer —
+// so the module stays dependency-free.
+//
+// Findings are suppressed, one site at a time, with an explanation:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and suppressions.
+	Name string
+	// Doc states the invariant the analyzer enforces, first line short.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzed package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Path is the package's import path (synthetic for golden tests).
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, positioned for file:line:col rendering.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Detlint, Fingerprintlint, Poollint, Statlint}
+}
+
+// Run applies one analyzer to one loaded package and returns its
+// findings with `//lint:allow` suppressions already filtered out and
+// the remainder sorted by position.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Path:     pkg.Path,
+		Files:    pkg.Files,
+		Types:    pkg.Types,
+		Info:     pkg.Info,
+		diags:    &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	diags = filterSuppressed(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// RunAll applies the whole suite to a package.
+func RunAll(pkg *Package) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range All() {
+		d, err := Run(a, pkg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d...)
+	}
+	return out, nil
+}
+
+// allowKey identifies one suppressed (file, line, analyzer) site.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// suppressions parses every `//lint:allow <analyzer> <reason>` comment
+// of the package. A suppression covers findings on its own line and on
+// the line directly below it (the comment-above-the-statement form).
+func suppressions(pkg *Package) map[allowKey]bool {
+	out := map[allowKey]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "lint:allow ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					// A suppression without a reason is itself a
+					// finding: the reason is the point.
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					out[allowKey{pos.Filename, line, fields[0]}] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// filterSuppressed drops findings covered by an allow comment.
+func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	allowed := suppressions(pkg)
+	if len(allowed) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !allowed[allowKey{pos.Filename, pos.Line, d.Analyzer}] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// hasMagicComment reports whether any file of the pass carries the
+// given marker comment (e.g. "mtexc:deterministic").
+func hasMagicComment(files []*ast.File, marker string) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == marker {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// docHasMarker reports whether a doc comment group contains marker.
+func docHasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == marker {
+			return true
+		}
+	}
+	return false
+}

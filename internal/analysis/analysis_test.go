@@ -1,0 +1,54 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mtexc/internal/analysis"
+	"mtexc/internal/analysis/analysistest"
+)
+
+func TestDetlint(t *testing.T) {
+	analysistest.Run(t, analysis.Detlint, "detlint/a")
+}
+
+func TestFingerprintlint(t *testing.T) {
+	analysistest.Run(t, analysis.Fingerprintlint, "fingerprint/a")
+}
+
+func TestPoollint(t *testing.T) {
+	analysistest.Run(t, analysis.Poollint, "poollint/a")
+}
+
+func TestStatlint(t *testing.T) {
+	analysistest.Run(t, analysis.Statlint, "statlint/a")
+}
+
+// TestRepoIsClean runs the full suite over the whole module, so the
+// acceptance bar — mtexc-lint exits 0 on the tree — is enforced by
+// plain `go test ./...`, not only by the lint CI job.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := loader.Load(loader.ModuleRoot, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAll(pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			t.Errorf("%s:%d: %s: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Detlint enforces wall-clock- and map-order-determinism in the
+// simulator packages. The serial-vs-parallel table identity, the
+// byte-identical -resume rendering and the journal fingerprints all
+// assume that a simulation's result is a pure function of its
+// configuration; a time.Now call, a globally seeded random draw or a
+// map iteration feeding ordered output silently breaks that long
+// before anything crashes.
+var Detlint = &Analyzer{
+	Name: "detlint",
+	Doc: `reject wall-clock reads, unseeded randomness and order-dependent
+map iteration in deterministic packages (internal/cpu, internal/core,
+internal/harness, internal/bpred, internal/cache, internal/vm, and any
+package carrying a //mtexc:deterministic comment)`,
+	Run: runDetlint,
+}
+
+// deterministicPaths lists the packages whose results must be a pure
+// function of their configuration.
+var deterministicPaths = []string{
+	"internal/cpu",
+	"internal/core",
+	"internal/harness",
+	"internal/bpred",
+	"internal/cache",
+	"internal/vm",
+}
+
+// wallClockFuncs are the time-package functions whose results vary
+// run to run.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true, "AfterFunc": true,
+}
+
+// seededConstructors are the math/rand entry points that build an
+// explicitly seeded generator; everything else at package level draws
+// from the global (unseeded or auto-seeded) source.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func inDeterministicScope(pass *Pass) bool {
+	for _, p := range deterministicPaths {
+		if pass.Path == p || strings.HasSuffix(pass.Path, "/"+p) ||
+			strings.Contains(pass.Path, "/"+p+"/") {
+			return true
+		}
+	}
+	return hasMagicComment(pass.Files, "mtexc:deterministic")
+}
+
+func runDetlint(pass *Pass) error {
+	if !inDeterministicScope(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkNondeterministicCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkNondeterministicCall flags uses of wall-clock time functions
+// and of the global math/rand source.
+func checkNondeterministicCall(pass *Pass, sel *ast.SelectorExpr) {
+	obj := pass.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	// Package-level functions only: methods on a rand.Rand value are
+	// the sanctioned seeded path.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			pass.Reportf(sel.Pos(),
+				"call to time.%s in deterministic package %s: results must be a pure function of the configuration (wall-clock reads break run-to-run and serial-vs-parallel identity)",
+				fn.Name(), pass.Path)
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededConstructors[fn.Name()] {
+			pass.Reportf(sel.Pos(),
+				"use of global %s.%s in deterministic package %s: draw from an explicitly seeded rand.New(rand.NewSource(seed)) instead",
+				fn.Pkg().Path(), fn.Name(), pass.Path)
+		}
+	}
+}
+
+// checkMapRange flags ranges over maps whose bodies do more than
+// map-local mutation or commutative scalar accumulation: anything
+// that appends, calls out or writes through fields/slices can leak
+// the nondeterministic iteration order into tables, journals or
+// registration-ordered statistics.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if bad := orderDependentStmt(pass, rng.Body); bad != nil {
+		pass.Reportf(rng.Pos(),
+			"range over map %s in deterministic package %s: iteration order is random and the loop body is not order-independent (%s at line %d); sort the keys first",
+			exprString(rng.X), pass.Path, nodeKind(bad), pass.Fset.Position(bad.Pos()).Line)
+	}
+}
+
+// orderDependentStmt returns the first statement (or expression) in
+// body that could observe or propagate the map's iteration order, or
+// nil when every statement is order-independent: delete on a map,
+// writes to map indices or plain variables, commutative ++/--,
+// if/for/block recursion over the same forms.
+func orderDependentStmt(pass *Pass, body *ast.BlockStmt) ast.Node {
+	var check func(ast.Stmt) ast.Node
+	exprOK := func(e ast.Expr) ast.Node { return callFreeExpr(pass, e) }
+	check = func(s ast.Stmt) ast.Node {
+		switch s := s.(type) {
+		case nil:
+			return nil
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				switch l := lhs.(type) {
+				case *ast.Ident:
+					// Accumulation into a variable is commutative
+					// only for scalar updates; the call check below
+					// catches append and friends.
+				case *ast.IndexExpr:
+					// Writes keyed by the ranged values are fine only
+					// into other maps (themselves unordered).
+					if tv, ok := pass.Info.Types[l.X]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+							return l
+						}
+					} else {
+						return l
+					}
+				default:
+					return lhs
+				}
+			}
+			for _, rhs := range s.Rhs {
+				if bad := exprOK(rhs); bad != nil {
+					return bad
+				}
+			}
+			return nil
+		case *ast.IncDecStmt:
+			switch s.X.(type) {
+			case *ast.Ident, *ast.IndexExpr:
+				return nil
+			}
+			return s
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if name, ok := builtinName(pass, call); ok && name == "delete" {
+					return nil
+				}
+			}
+			return s
+		case *ast.IfStmt:
+			if s.Init != nil {
+				if bad := check(s.Init); bad != nil {
+					return bad
+				}
+			}
+			if bad := exprOK(s.Cond); bad != nil {
+				return bad
+			}
+			if bad := orderDependentStmt(pass, s.Body); bad != nil {
+				return bad
+			}
+			switch e := s.Else.(type) {
+			case nil:
+				return nil
+			case *ast.BlockStmt:
+				return orderDependentStmt(pass, e)
+			case *ast.IfStmt:
+				return check(e)
+			}
+			return s.Else
+		case *ast.BlockStmt:
+			return orderDependentStmt(pass, s)
+		case *ast.BranchStmt:
+			return nil
+		case *ast.DeclStmt:
+			return nil
+		default:
+			return s
+		}
+	}
+	for _, s := range body.List {
+		if bad := check(s); bad != nil {
+			return bad
+		}
+	}
+	return nil
+}
+
+// callFreeExpr returns the first function call inside e other than
+// len/cap and type conversions, or nil. Any real call inside a map
+// range can both observe order (append) and act on it (I/O, stats).
+func callFreeExpr(pass *Pass, e ast.Expr) ast.Node {
+	if e == nil {
+		return nil
+	}
+	var bad ast.Node
+	ast.Inspect(e, func(n ast.Node) bool {
+		if bad != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, isBuiltin := builtinName(pass, call); isBuiltin && (name == "len" || name == "cap") {
+			return true
+		}
+		// Type conversions reorder nothing.
+		if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			return true
+		}
+		bad = call
+		return false
+	})
+	return bad
+}
+
+// builtinName resolves call's callee to a builtin name, if it is one.
+func builtinName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return "", false
+	}
+	return id.Name, true
+}
+
+func nodeKind(n ast.Node) string {
+	switch n.(type) {
+	case *ast.CallExpr:
+		return "a call"
+	case *ast.ReturnStmt:
+		return "a return"
+	case *ast.SendStmt:
+		return "a channel send"
+	case *ast.IndexExpr, *ast.SelectorExpr:
+		return "a write through a non-map"
+	default:
+		return "an order-sensitive statement"
+	}
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Fingerprintlint keeps the journal fingerprint stable. Resume keys
+// are sha256 over the %+v rendering of core.Config plus the workload
+// identities; that is only a fingerprint while every reachable field
+// is a pure value. A pointer, func, chan, map or interface field
+// renders as an address (or changes shape run to run), so the same
+// logical configuration would fingerprint differently — resume would
+// silently re-simulate, or worse, two configurations could collide.
+// SetCancel-style runtime state must live on the Machine, never on
+// the Config.
+var Fingerprintlint = &Analyzer{
+	Name: "fingerprintlint",
+	Doc: `reject pointer, func, chan, map and interface fields anywhere in
+the type graph of journal-fingerprinted structs (cpu.Config and any
+struct marked //mtexc:fingerprint)`,
+	Run: runFingerprintlint,
+}
+
+// fingerprintRoots are always checked, marker or not, so removing a
+// comment can never silently disable the invariant on the struct the
+// journal actually fingerprints.
+var fingerprintRoots = map[string]bool{
+	"mtexc/internal/cpu.Config": true,
+}
+
+func runFingerprintlint(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok || gen.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				marked := docHasMarker(ts.Doc, "mtexc:fingerprint") ||
+					(len(gen.Specs) == 1 && docHasMarker(gen.Doc, "mtexc:fingerprint"))
+				qualified := pass.Path + "." + ts.Name.Name
+				if !marked && !fingerprintRoots[qualified] {
+					continue
+				}
+				obj := pass.Info.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				w := &fpWalker{pass: pass, root: ts.Name.Name, seen: map[types.Type]bool{}}
+				w.walk(obj.Type(), ts.Name.Name, ts.Pos())
+			}
+		}
+	}
+	return nil
+}
+
+// fpWalker recursively checks a fingerprinted struct's type graph.
+// Findings anchor to the offending field when it is declared in the
+// analyzed package, otherwise to the nearest local field through
+// which the foreign type is reached.
+type fpWalker struct {
+	pass *Pass
+	root string
+	seen map[types.Type]bool
+}
+
+func (w *fpWalker) walk(t types.Type, path string, pos token.Pos) {
+	if w.seen[t] {
+		return
+	}
+	w.seen[t] = true
+	defer delete(w.seen, t)
+
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			fpos := pos
+			if f.Pkg() == w.pass.Types {
+				fpos = f.Pos()
+			}
+			w.walk(f.Type(), path+"."+f.Name(), fpos)
+		}
+	case *types.Array:
+		w.walk(u.Elem(), path+"[i]", pos)
+	case *types.Slice:
+		// A slice of pure values renders its elements; the elements
+		// still have to be pure.
+		w.walk(u.Elem(), path+"[i]", pos)
+	default:
+		w.report(path, t, pos)
+	}
+}
+
+func (w *fpWalker) report(path string, t types.Type, pos token.Pos) {
+	kind := "reference"
+	switch t.Underlying().(type) {
+	case *types.Pointer:
+		kind = "pointer"
+	case *types.Map:
+		kind = "map"
+	case *types.Chan:
+		kind = "chan"
+	case *types.Signature:
+		kind = "func"
+	case *types.Interface:
+		kind = "interface"
+	}
+	w.pass.Reportf(pos,
+		"fingerprinted struct %s: %s is a %s field (%s); the resume journal fingerprints sha256 over %%+v, which is only stable for pure value types — move runtime state off the struct (cf. Machine.SetCancel)",
+		w.root, path, kind, simpleTypeString(t))
+}
+
+// simpleTypeString renders a type without package qualification noise.
+func simpleTypeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

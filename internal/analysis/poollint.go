@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Poollint guards the uop free-list lifetime discipline. Machine uops
+// are pool-recycled at retire/squash: releaseUop bumps the recycling
+// generation and pushes the storage onto the free list, after which
+// the only sanctioned way to remember the instruction is a
+// generation-checked depRef taken *before* the release. Touching the
+// variable after release reads (or mutates) whatever unrelated
+// instruction reuses the storage next — the classic silent corruption
+// the transient-fault literature warns about, here in software form.
+//
+// The check is simple intra-procedural dataflow over the statement
+// structure: once a plain variable is passed to releaseUop, any use
+// of the same variable in a statement that executes sequentially
+// after the release — same block later, or an enclosing block's
+// continuation the release can fall through to — is flagged until
+// the variable is reassigned. Uses in sibling branches of the same
+// if/switch, and continuations cut off by a return or panic directly
+// after the release, are not flagged.
+var Poollint = &Analyzer{
+	Name: "poollint",
+	Doc: `reject uses of a pooled uop after it was passed to releaseUop:
+post-release the storage belongs to the free list and may be recycled
+into an unrelated instruction; capture a depRef before releasing`,
+	Run: runPoollint,
+}
+
+// releaseFuncName is the releasing entry point. Any function or
+// method with this name transfers its pointer argument to the free
+// list.
+const releaseFuncName = "releaseUop"
+
+func runPoollint(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// The releaser itself legitimately touches the released
+			// storage (generation bump, pooled flag, free-list push).
+			if fd.Name.Name == releaseFuncName {
+				continue
+			}
+			checkFuncForPoolUse(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+type releaseEvent struct {
+	obj  types.Object // the released variable
+	end  token.Pos    // end of the releasing call
+	path []pathStep   // statement path of the call within the body
+}
+
+func checkFuncForPoolUse(pass *Pass, body *ast.BlockStmt) {
+	var releases []releaseEvent
+	// kills[obj] holds positions where obj is reassigned (or rebound
+	// by a loop iteration), ending any released window before them.
+	kills := map[types.Object][]token.Pos{}
+	recordKill := func(e ast.Expr, pos token.Pos) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := identObject(pass, id); obj != nil {
+				kills[obj] = append(kills[obj], pos)
+			}
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if calleeName(n) != releaseFuncName || len(n.Args) != 1 {
+				return true
+			}
+			id, ok := n.Args[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := pass.Info.Uses[id]; obj != nil {
+				releases = append(releases, releaseEvent{
+					obj:  obj,
+					end:  n.End(),
+					path: stmtPath(body, n.Pos()),
+				})
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				recordKill(lhs, lhs.Pos())
+			}
+		case *ast.RangeStmt:
+			// Range variables are rebound every iteration; a release
+			// at the bottom of the body does not poison the next
+			// iteration's value.
+			recordKill(n.Key, n.Body.End())
+			recordKill(n.Value, n.Body.End())
+		}
+		return true
+	})
+	if len(releases) == 0 {
+		return
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		for _, rel := range releases {
+			if rel.obj != obj || id.Pos() <= rel.end {
+				continue
+			}
+			if killedBetween(kills[obj], rel.end, id.Pos()) {
+				continue
+			}
+			usePath := stmtPath(body, id.Pos())
+			if !executesAfter(rel.path, usePath) {
+				continue
+			}
+			pass.Reportf(id.Pos(),
+				"use of %s after releaseUop returned it to the free list (released at line %d): the storage may already hold an unrelated instruction; take a generation-checked depRef before releasing",
+				obj.Name(), pass.Fset.Position(rel.end).Line)
+			return true
+		}
+		return true
+	})
+}
+
+// pathStep locates one statement on the chain of nested blocks
+// leading to a position.
+type pathStep struct {
+	block *ast.BlockStmt
+	idx   int
+}
+
+// stmtPath walks the nested block structure from body down to the
+// statement containing pos, recording (block, statement index) at
+// each level.
+func stmtPath(body *ast.BlockStmt, pos token.Pos) []pathStep {
+	var path []pathStep
+	blk := body
+	for blk != nil {
+		idx := -1
+		for i, s := range blk.List {
+			if s.Pos() <= pos && pos < s.End() {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return path
+		}
+		path = append(path, pathStep{blk, idx})
+		blk = innerBlockAt(blk.List[idx], pos)
+	}
+	return path
+}
+
+// innerBlockAt returns the outermost block nested inside stmt that
+// contains pos, or nil when pos sits directly in stmt (condition,
+// expression statement, ...).
+func innerBlockAt(stmt ast.Stmt, pos token.Pos) *ast.BlockStmt {
+	var found *ast.BlockStmt
+	self, _ := stmt.(ast.Node)
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		b, ok := n.(*ast.BlockStmt)
+		if !ok || ast.Node(b) == self {
+			return true
+		}
+		if b.Pos() <= pos && pos < b.End() {
+			found = b
+			return false
+		}
+		// Blocks not containing pos still need descending past (an
+		// if statement's body precedes its else block).
+		return true
+	})
+	return found
+}
+
+// executesAfter reports whether the use-path statement runs
+// sequentially after the release-path statement: the paths share a
+// block in which the use's statement index is strictly greater, they
+// did not diverge into sibling branches first, and the release's
+// branch can actually fall through to that continuation (no
+// return/panic between the release and the shared block).
+func executesAfter(rel, use []pathStep) bool {
+	for i := 0; i < len(rel) && i < len(use); i++ {
+		if rel[i].block != use[i].block {
+			// Diverged into sibling branches of one statement:
+			// mutually exclusive, not sequential.
+			return false
+		}
+		if rel[i].idx != use[i].idx {
+			if use[i].idx < rel[i].idx {
+				return false
+			}
+			// The use is in a later statement of this shared block.
+			// Control only reaches it from the release by falling
+			// out of every deeper block, so a terminator below cuts
+			// the path.
+			return !terminatesBelow(rel, i)
+		}
+	}
+	return false
+}
+
+// terminatesBelow reports whether any block of the release path
+// deeper than level ends in a return or panic, making the enclosing
+// continuation unreachable from the release site.
+func terminatesBelow(rel []pathStep, level int) bool {
+	for j := len(rel) - 1; j > level; j-- {
+		blk := rel[j].block
+		if len(blk.List) == 0 {
+			continue
+		}
+		if isTerminator(blk.List[len(blk.List)-1]) {
+			return true
+		}
+	}
+	return false
+}
+
+func isTerminator(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE || s.Tok == token.BREAK || s.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}
+
+// killedBetween reports whether obj was reassigned between the
+// release and the use, which starts a fresh lifetime. The bound is
+// inclusive at the use end so the killing write's own left-hand side
+// (u = newUop()) is not itself flagged — assigning over a released
+// pointer never reads the stale storage.
+func killedBetween(kills []token.Pos, rel, use token.Pos) bool {
+	for _, k := range kills {
+		if k > rel && k <= use {
+			return true
+		}
+	}
+	return false
+}
+
+// identObject resolves an identifier whether it defines or uses.
+func identObject(pass *Pass, id *ast.Ident) types.Object {
+	if obj := pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[id]
+}
+
+// calleeName extracts the bare called name from f(...) or recv.f(...).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

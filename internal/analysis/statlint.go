@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Statlint enforces the hot-path statistics discipline established by
+// the zero-allocation work: per-event code must not re-resolve stat
+// handles through the registry's map on every iteration, and interval
+// sampler sources must all be registered before sampling starts (a
+// late registration produces a series whose early epochs are missing,
+// and shifts the delta baseline).
+var Statlint = &Analyzer{
+	Name: "statlint",
+	Doc: `reject stats.Set.Counter/Histogram lookups inside loops (hoist a
+Cached/CachedHist handle) and obs.Sampler.Register calls after the
+sampler has started ticking`,
+	Run: runStatlint,
+}
+
+// statsSetMethods are the registry lookups that hash the name on
+// every call; CachedCounter/CachedHistogram are their loop-safe
+// counterparts.
+var statsSetMethods = map[string]string{
+	"Counter":   "Cached",
+	"Histogram": "CachedHist",
+}
+
+func runStatlint(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkStatLookupsInLoops(pass, fd.Body, 0)
+			checkSamplerRegistration(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkStatLookupsInLoops walks body tracking loop nesting; a
+// registry lookup at depth > 0 runs once per iteration.
+func checkStatLookupsInLoops(pass *Pass, n ast.Node, loopDepth int) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.ForStmt:
+			if node.Init != nil {
+				checkStatLookupsInLoops(pass, node.Init, loopDepth)
+			}
+			checkStatLookupsInLoops(pass, node.Body, loopDepth+1)
+			return false
+		case *ast.RangeStmt:
+			checkStatLookupsInLoops(pass, node.Body, loopDepth+1)
+			return false
+		case *ast.CallExpr:
+			if loopDepth == 0 {
+				return true
+			}
+			sel, ok := node.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			hoisted, isLookup := statsSetMethods[sel.Sel.Name]
+			if !isLookup || !isMethodOn(pass, sel, "internal/stats", "Set") {
+				return true
+			}
+			// Only literal names are flagged: a lookup whose name
+			// varies per iteration has no single handle to hoist.
+			if len(node.Args) != 1 {
+				return true
+			}
+			lit, ok := node.Args[0].(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			arg := lit.Value
+			pass.Reportf(node.Pos(),
+				"stats.Set.%s(%s) inside a loop re-hashes the registry on every iteration; hoist a Set.%s handle (binds lazily, preserving registration order)",
+				sel.Sel.Name, arg, hoisted)
+		}
+		return true
+	})
+}
+
+// checkSamplerRegistration flags Sampler.Register calls that appear
+// after a Tick or Flush on the same receiver within one function: by
+// then the sampler has produced epochs the new source will never
+// backfill.
+func checkSamplerRegistration(pass *Pass, body *ast.BlockStmt) {
+	type firstTick struct {
+		pos  ast.Node
+		line int
+	}
+	started := map[types.Object]firstTick{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isMethodOn(pass, sel, "internal/obs", "Sampler") {
+			return true
+		}
+		recv := rootIdentObject(pass, sel.X)
+		if recv == nil {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Tick", "Flush":
+			if _, seen := started[recv]; !seen {
+				started[recv] = firstTick{pos: call, line: pass.Fset.Position(call.Pos()).Line}
+			}
+		case "Register":
+			if t, seen := started[recv]; seen && call.Pos() > t.pos.Pos() {
+				pass.Reportf(call.Pos(),
+					"obs.Sampler.Register after sampling started (first Tick/Flush at line %d): epochs already emitted will be missing from the new series and its delta baseline is wrong; register every source before the run loop",
+					t.line)
+			}
+		}
+		return true
+	})
+}
+
+// isMethodOn reports whether sel resolves to a method whose receiver
+// is the named type (possibly behind a pointer) declared in a package
+// whose import path ends with pkgSuffix.
+func isMethodOn(pass *Pass, sel *ast.SelectorExpr, pkgSuffix, typeName string) bool {
+	selection, ok := pass.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	if named.Obj().Name() != typeName || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == pkgSuffix || strings.HasSuffix(path, "/"+pkgSuffix)
+}
+
+// rootIdentObject resolves the leftmost identifier of a receiver
+// chain (s, m.sampler, ...) for same-receiver matching.
+func rootIdentObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return identObject(pass, x)
+		case *ast.SelectorExpr:
+			// Use the field itself as identity when the receiver is a
+			// field chain (m.sampler): distinct fields are distinct
+			// samplers.
+			return pass.Info.Uses[x.Sel]
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

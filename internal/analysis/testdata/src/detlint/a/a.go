@@ -1,0 +1,89 @@
+// Package a is the detlint golden package. It opts into the
+// deterministic scope via the marker comment below rather than by
+// import path, exercising the second half of the scope rule.
+//
+//mtexc:deterministic
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Wall-clock reads are never deterministic.
+func clocks() time.Duration {
+	start := time.Now() // want `call to time.Now in deterministic package`
+	work()
+	return time.Since(start) // want `call to time.Since in deterministic package`
+}
+
+// The global math/rand source is shared, auto-seeded state.
+func globalRand() int {
+	return rand.Intn(4) // want `use of global math/rand.Intn in deterministic package`
+}
+
+// An explicitly seeded generator is the sanctioned path: the
+// constructors and the methods on the resulting Rand are both clean.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(4)
+}
+
+// A suppression with a reason silences a single site.
+func suppressed() time.Time {
+	//lint:allow detlint golden-test fixture for the suppression syntax
+	return time.Now()
+}
+
+// Order-independent map loops are fine: scalar accumulation,
+// map-indexed writes, deletes, and min/max sweeps commute.
+func benignRanges(m map[string]uint64, dead map[string]bool) (uint64, uint64) {
+	var sum, max uint64
+	counts := map[string]int{}
+	for k, v := range m {
+		sum += v
+		counts[k]++
+		if v > max {
+			max = v
+		}
+	}
+	for k := range dead {
+		delete(dead, k)
+	}
+	return sum, max
+}
+
+// Appending inside a map range leaks the random iteration order into
+// the slice — even when the slice is sorted in *most* callers.
+func orderLeak(m map[string]uint64) []string {
+	var names []string
+	for name := range m { // want `iteration order is random and the loop body is not order-independent`
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Calling out of the loop body can observe the order (I/O, stats
+// registration, table writes).
+func callsOut(m map[string]uint64) {
+	for name, v := range m { // want `iteration order is random and the loop body is not order-independent`
+		record(name, v)
+	}
+}
+
+// The collect-then-sort idiom is still a range-with-append; the
+// sanctioned form carries an allow comment naming the sort.
+func collectSorted(m map[string]uint64) []string {
+	names := make([]string, 0, len(m))
+	//lint:allow detlint keys are sorted before they escape
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func work()                 {}
+func record(string, uint64) {}

@@ -1,0 +1,36 @@
+// Package a is the fingerprintlint golden package: a marked struct
+// whose reference-typed fields must all be rejected, nested and
+// direct, and an unmarked struct that stays out of scope.
+package a
+
+// Inner is reached through Cfg.In; its impure field is reported at
+// its own declaration with the full path from the fingerprint root.
+type Inner struct {
+	N   int
+	Bad map[string]int // want `fingerprinted struct Cfg: Cfg.In.Bad is a map field`
+}
+
+// Cfg stands in for cpu.Config: the resume journal fingerprints
+// sha256 over its %+v rendering.
+//
+//mtexc:fingerprint
+type Cfg struct {
+	Width int
+	Name  string
+	Arr   [4]uint64
+	Sl    []int
+	In    Inner
+
+	Ptr *int           // want `Cfg.Ptr is a pointer field`
+	Fn  func()         // want `Cfg.Fn is a func field`
+	Ch  chan int       // want `Cfg.Ch is a chan field`
+	Lut map[string]int // want `Cfg.Lut is a map field`
+	Any interface{}    // want `Cfg.Any is an? interface field`
+}
+
+// NotChecked carries the same impure fields but no marker: runtime
+// state is allowed anywhere the journal does not fingerprint.
+type NotChecked struct {
+	Cancel func() bool
+	Cache  map[uint64]uint64
+}

@@ -1,0 +1,114 @@
+// Package a is the poollint golden package: a miniature of the
+// Machine's uop free list. releaseUop transfers its argument to the
+// pool; any sequentially-later use of the same variable reads
+// recycled storage.
+package a
+
+type uop struct {
+	seq  uint64
+	gen  uint32
+	next *uop
+}
+
+type ref struct {
+	u   *uop
+	gen uint32
+}
+
+var freeList *uop
+
+// releaseUop is the releasing entry point; its own body legitimately
+// touches the released storage.
+func releaseUop(u *uop) {
+	u.gen++
+	u.next = freeList
+	freeList = u
+}
+
+func newUop() *uop { return &uop{} }
+
+func done(u *uop) bool { return u.seq != 0 }
+
+// Straight-line use after release: the classic violation.
+func useAfterRelease(u *uop) uint64 {
+	releaseUop(u)
+	return u.seq // want `use of u after releaseUop returned it to the free list`
+}
+
+// Storing the pointer after release retains recycled storage.
+func storeAfterRelease(u *uop, tbl map[uint64]*uop) {
+	releaseUop(u)
+	tbl[0] = u // want `use of u after releaseUop returned it to the free list`
+}
+
+// Taking a ref after release is exactly the bug the generation check
+// exists to catch before it happens.
+func refAfterRelease(u *uop) ref {
+	releaseUop(u)
+	return ref{u: u, gen: u.gen} // want `use of u after releaseUop` `use of u after releaseUop`
+}
+
+// A use in a later statement of an enclosing continuation is still
+// sequentially after the release.
+func useInLaterBranch(u *uop, c bool) uint64 {
+	releaseUop(u)
+	if c {
+		return u.seq // want `use of u after releaseUop`
+	}
+	return 0
+}
+
+// The sanctioned pattern: capture everything needed before releasing.
+func refBeforeRelease(u *uop) ref {
+	r := ref{u: u, gen: u.gen}
+	releaseUop(u)
+	return r
+}
+
+// Reassignment starts a fresh lifetime.
+func reassigned(u *uop) uint64 {
+	releaseUop(u)
+	u = newUop()
+	return u.seq
+}
+
+// A release in one branch must not poison the sibling branch.
+func siblingBranches(u *uop, c bool) uint64 {
+	if c {
+		releaseUop(u)
+	} else {
+		return u.seq
+	}
+	return 0
+}
+
+// A release directly followed by a return cannot fall through to the
+// enclosing continuation.
+func earlyReturn(u *uop, c bool) uint64 {
+	if c {
+		releaseUop(u)
+		return 0
+	}
+	return u.seq
+}
+
+// The retire-loop shape: release-and-continue skips the rest of the
+// iteration, and the range variable is rebound next iteration.
+func compactLoop(us []*uop) uint64 {
+	var live uint64
+	for _, u := range us {
+		if done(u) {
+			releaseUop(u)
+			continue
+		}
+		live += u.seq
+	}
+	return live
+}
+
+// A suppression with a reason silences a single site.
+func suppressed(u *uop) uint64 {
+	releaseUop(u)
+	//lint:allow poollint golden-test fixture for the suppression syntax
+	return u.seq
+}

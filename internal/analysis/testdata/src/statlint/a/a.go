@@ -1,0 +1,79 @@
+// Package a is the statlint golden package. It imports the real
+// stats and obs packages so the receiver-type matching is exercised
+// against the genuine Set and Sampler.
+package a
+
+import (
+	"mtexc/internal/obs"
+	"mtexc/internal/stats"
+)
+
+type machine struct {
+	set     *stats.Set
+	sampler *obs.Sampler
+	cycles  uint64
+}
+
+// Literal registry lookups inside loops re-hash the name per event.
+func hotLoop(m *machine, n int) {
+	for i := 0; i < n; i++ {
+		m.set.Counter("dtlb.misses").Inc()         // want `stats.Set.Counter\("dtlb.misses"\) inside a loop`
+		m.set.Histogram("miss.latency").Observe(3) // want `stats.Set.Histogram\("miss.latency"\) inside a loop`
+	}
+}
+
+// The hoisted form: bind cached handles once, use them per event.
+func hoisted(m *machine, n int) {
+	misses := m.set.Cached("dtlb.misses")
+	lat := m.set.CachedHist("miss.latency")
+	for i := 0; i < n; i++ {
+		misses.Inc()
+		lat.Observe(3)
+	}
+}
+
+// A lookup whose name varies per iteration has no single handle to
+// hoist; reads via Get are also outside the per-event discipline.
+func variableNames(m *machine, names []string) uint64 {
+	var total uint64
+	for _, name := range names {
+		total += m.set.Counter(name).Value
+		total += m.set.Get(name)
+	}
+	return total
+}
+
+// Lookups outside any loop bind once and are fine.
+func setup(m *machine) {
+	m.set.Counter("cycles").Inc()
+}
+
+// Registering every source before the run loop is the sanctioned
+// order.
+func goodSampler(m *machine) {
+	m.sampler.Register("ipc", obs.SampleLevel, func() float64 { return 1 })
+	m.sampler.Register("misses", obs.SampleDelta, func() float64 { return 0 })
+	for m.cycles < 100 {
+		m.cycles++
+		m.sampler.Tick(m.cycles)
+	}
+	m.sampler.Flush(m.cycles)
+}
+
+// A registration after the sampler has ticked yields a series with
+// missing epochs and a wrong delta baseline.
+func lateRegister(m *machine) {
+	m.sampler.Register("ipc", obs.SampleLevel, func() float64 { return 1 })
+	m.sampler.Tick(1)
+	m.sampler.Register("late", obs.SampleDelta, func() float64 { return 0 }) // want `obs.Sampler.Register after sampling started \(first Tick/Flush at line \d+\)`
+	m.sampler.Flush(2)
+}
+
+// Distinct samplers are tracked separately: ticking one does not
+// close registration on another.
+func twoSamplers(a, b *obs.Sampler) {
+	a.Register("x", obs.SampleLevel, func() float64 { return 0 })
+	a.Tick(1)
+	b.Register("y", obs.SampleLevel, func() float64 { return 0 })
+	b.Tick(1)
+}

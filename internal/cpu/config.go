@@ -77,6 +77,16 @@ const (
 
 // Config parameterizes the core. DefaultConfig reproduces the
 // paper's base machine.
+//
+// Config is journal-fingerprinted: the crash-safe resume journal keys
+// simulations by sha256 over its %+v rendering, so every field — and
+// every field of every struct it reaches — must be a pure value type.
+// Pointers, funcs, chans, maps and interfaces render as addresses (or
+// change shape run to run) and would silently destabilize the keys;
+// runtime controls like cancellation belong on the Machine
+// (SetCancel), never here. Enforced by mtexc-lint's fingerprintlint.
+//
+//mtexc:fingerprint
 type Config struct {
 	// Width is the shared fetch = decode = issue bandwidth.
 	Width int

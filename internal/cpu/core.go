@@ -103,6 +103,12 @@ type hotStats struct {
 	resolvedMispred *stats.CachedCounter
 	memForwards     *stats.CachedCounter
 	handlerActive   *stats.CachedCounter
+	relinks         *stats.CachedCounter
+	secondaryMisses *stats.CachedCounter
+	walkerWalks     *stats.CachedCounter
+	walkerFills     *stats.CachedCounter
+	walkerFaults    *stats.CachedCounter
+	fetchOffEnd     *stats.CachedCounter
 	retireClass     [numClasses]*stats.CachedCounter
 	windowOcc       *stats.CachedHistogram
 	issueReady      *stats.CachedHistogram
@@ -121,6 +127,12 @@ func (m *Machine) bindHotStats() {
 		resolvedMispred: s.Cached("bpred.resolved.mispredicts"),
 		memForwards:     s.Cached("mem.forwards"),
 		handlerActive:   s.Cached("handler.activecycles"),
+		relinks:         s.Cached("handler.relinks"),
+		secondaryMisses: s.Cached("dtlb.misses.secondary"),
+		walkerWalks:     s.Cached("walker.walks"),
+		walkerFills:     s.Cached("walker.fills"),
+		walkerFaults:    s.Cached("walker.pagefaults"),
+		fetchOffEnd:     s.Cached("fetch.offend"),
 		windowOcc:       s.CachedHist("window.occupancy"),
 		issueReady:      s.CachedHist("issue.ready"),
 	}
@@ -273,9 +285,13 @@ func (m *Machine) AddProgram(img *vm.Image) (int, error) {
 		t.pc = img.EntryVA
 		t.priv[isa.PrPTBase] = img.Space.PTBase()
 		t.priv[isa.PrPageSize] = vm.PageSize
+		// Each map key names a distinct register, so visit order
+		// cannot change the resulting register file.
+		//lint:allow detlint one write per distinct register; order-independent
 		for r, v := range img.InitInt {
 			t.rf.WriteInt(r, v)
 		}
+		//lint:allow detlint one write per distinct register; order-independent
 		for r, v := range img.InitFP {
 			t.rf.WriteFP(r, v)
 		}

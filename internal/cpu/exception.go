@@ -33,7 +33,7 @@ func (m *Machine) onDTLBMiss(u *uop) {
 		}
 		if u.seq < ctx.masterSeq {
 			if ctx.mech == MechMultithreaded && !m.cfg.NoRelink {
-				m.Stats.Counter("handler.relinks").Inc()
+				m.hot.relinks.Inc()
 				if old := ctx.master.live(); old != nil {
 					ctx.waiters = append(ctx.waiters, old)
 					// The latency span follows the master link: the
@@ -53,7 +53,7 @@ func (m *Machine) onDTLBMiss(u *uop) {
 			// the in-flight handler; it launches its own fill.
 			break
 		}
-		m.Stats.Counter("dtlb.misses.secondary").Inc()
+		m.hot.secondaryMisses.Inc()
 		ctx.waiters = append(ctx.waiters, u)
 		u.handlerBy = ctx
 		return
@@ -356,7 +356,7 @@ func (m *Machine) completeWalks() {
 			root := m.phys.ReadU64(mt.as.RootEntryAddr(ctx.faultVPN))
 			if !vm.PTEIsValid(root) {
 				ctx.dead = true
-				m.Stats.Counter("walker.pagefaults").Inc()
+				m.hot.walkerFaults.Inc()
 				m.Observ.Misses.Abort(ctx.span)
 				if mu := ctx.master.live(); mu != nil && mu.stage != stageSquashed {
 					mu.span = nil
@@ -378,7 +378,7 @@ func (m *Machine) completeWalks() {
 		if !vm.PTEIsValid(pte) {
 			// Page fault: fall back to the software path.
 			ctx.dead = true
-			m.Stats.Counter("walker.pagefaults").Inc()
+			m.hot.walkerFaults.Inc()
 			m.Observ.Misses.Abort(ctx.span)
 			if mu := ctx.master.live(); mu != nil && mu.stage != stageSquashed {
 				mu.span = nil
@@ -387,7 +387,7 @@ func (m *Machine) completeWalks() {
 			continue
 		}
 		m.dtlb.Insert(mt.as.ASN, ctx.faultVPN, vm.PTEPFN(pte), 0)
-		m.Stats.Counter("walker.fills").Inc()
+		m.hot.walkerFills.Inc()
 		ctx.filled = true
 		if ctx.span != nil {
 			// The walk is the whole handler: fill and completion

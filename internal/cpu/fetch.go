@@ -109,7 +109,7 @@ func (m *Machine) fetchThread(t *thread) {
 			// Ran off the code segment (a wrong path, or a garbage
 			// indirect target): fetch idles until a squash redirects.
 			t.haltedFetch = true
-			m.Stats.Counter("fetch.offend").Inc()
+			m.hot.fetchOffEnd.Inc()
 			break
 		}
 		if block := pa &^ lineMask; block != curBlock {

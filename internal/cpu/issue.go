@@ -398,7 +398,7 @@ func (m *Machine) startWalks(budget *fuBudget) {
 		// One cycle of FSM overhead around each page-table load.
 		ctx.walkDone = m.hier.AccessData(m.now, addr, false) + 1
 		if ctx.walkStage == 0 {
-			m.Stats.Counter("walker.walks").Inc()
+			m.hot.walkerWalks.Inc()
 		}
 	}
 }

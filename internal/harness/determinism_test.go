@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"mtexc/internal/core"
+	"mtexc/internal/obs"
+	"mtexc/internal/workload"
+)
+
+// The determinism contract the lint suite (detlint) guards statically,
+// checked dynamically: a simulation's machine-readable output must be
+// a pure function of its configuration, independent of scheduling.
+// GOMAXPROCS=1 forces every goroutine of the parallel harness onto
+// one OS thread — maximally different interleaving from the default —
+// and the rendered JSON must still match byte for byte.
+
+// TestFigure5BytesAcrossGOMAXPROCS renders a Figure 5 slice twice,
+// serial-scheduled and default-scheduled, and byte-compares the
+// newline-delimited JSON rows.
+func TestFigure5BytesAcrossGOMAXPROCS(t *testing.T) {
+	render := func() []byte {
+		t.Helper()
+		tab, err := Figure5(Options{
+			Insts:       30_000,
+			Benchmarks:  []string{"cmp", "vor"},
+			Parallelism: 4,
+		})
+		if err != nil {
+			t.Fatalf("Figure5: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := tab.WriteJSONRows(&buf); err != nil {
+			t.Fatalf("WriteJSONRows: %v", err)
+		}
+		return buf.Bytes()
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := render()
+	runtime.GOMAXPROCS(prev)
+	deflt := render()
+
+	if !bytes.Equal(serial, deflt) {
+		t.Errorf("Figure 5 JSON differs across GOMAXPROCS:\n--- GOMAXPROCS=1 ---\n%s\n--- default ---\n%s", serial, deflt)
+	}
+}
+
+// TestSnapshotBytesAcrossGOMAXPROCS does the same for a single run's
+// full obs snapshot — counters, histograms, slot ledger, miss spans
+// and the interval sampler series — the surface the journal and the
+// export tooling consume.
+func TestSnapshotBytesAcrossGOMAXPROCS(t *testing.T) {
+	render := func() []byte {
+		t.Helper()
+		bench, err := workload.ByName("cmp")
+		if err != nil {
+			t.Fatalf("workload: %v", err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.MaxInsts = 30_000
+		cfg.SampleInterval = 1_000
+		res, err := core.Run(cfg, bench)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		snap := core.Snapshot(cfg, []string{bench.Name()}, res)
+		var buf bytes.Buffer
+		if err := obs.WriteJSON(&buf, snap); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return buf.Bytes()
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := render()
+	runtime.GOMAXPROCS(prev)
+	deflt := render()
+
+	if !bytes.Equal(serial, deflt) {
+		t.Error("obs snapshot JSON differs across GOMAXPROCS (sampler series or stat order leaked scheduling)")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -140,9 +141,11 @@ func (j *Journal) lookup(key string) (core.Result, bool) {
 		return core.Result{}, false
 	}
 	j.hits.Add(1)
+	// Registration order is observable (Set.String, Set.Each, snapshot
+	// assembly), so the counters must not be registered in map order.
 	set := stats.NewSet()
-	for name, v := range e.Counters {
-		set.Counter(name).Value = v
+	for _, name := range sortedCounterNames(e.Counters) {
+		set.Counter(name).Value = e.Counters[name]
 	}
 	return core.Result{
 		Cycles:     e.Meta.Cycles,
@@ -193,6 +196,18 @@ func (j *Journal) record(exp, key string, cfg core.Config, benches []string, res
 	j.entries[key] = e
 	j.appends.Add(1)
 	return nil
+}
+
+// sortedCounterNames returns a counter map's names in sorted order,
+// so map iteration order never reaches an order-sensitive consumer.
+func sortedCounterNames(m map[string]uint64) []string {
+	names := make([]string, 0, len(m))
+	//lint:allow detlint keys are sorted before they escape
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // counterMap extracts the named counters of a run (histograms are

@@ -225,6 +225,7 @@ func (as *AddressSpace) EnsureMapped(va uint64) (uint64, error) {
 // ForEachMapped visits every resident VPN in ascending order.
 func (as *AddressSpace) ForEachMapped(visit func(vpn uint64)) {
 	vpns := make([]uint64, 0, len(as.mirror))
+	//lint:allow detlint keys are sorted below before any visit runs
 	for vpn := range as.mirror {
 		vpns = append(vpns, vpn)
 	}
