@@ -11,12 +11,13 @@
 #   make experiments  regenerate every table and figure (minutes)
 #   make report       automated claim-by-claim reproduction report
 #   make fuzz         short burst of every fuzz target
+#   make fuzz-long    longer differential-fuzzing soak (not a PR gate)
 #   make resume-check kill-and-resume determinism of the journal
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test test-short bench bench-compare bench-json experiments report vet lint fmt clean fuzz resume-check
+.PHONY: build test test-short bench bench-compare bench-json experiments report vet lint fmt clean fuzz fuzz-long resume-check
 
 build:
 	$(GO) build ./...
@@ -69,11 +70,20 @@ report:
 	$(GO) run ./cmd/mtexc-report -insts 500000
 
 # Short burst of every fuzz target (corrupt snapshots, hostile
-# instruction words, assembler input); see docs/robustness.md.
+# instruction words, assembler input, mechanism-vs-reference
+# differential checks); see docs/robustness.md and docs/fuzzing.md.
 fuzz:
 	$(GO) test ./internal/isa -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/isa/asm -run '^$$' -fuzz FuzzAssemble -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/obs -run '^$$' -fuzz FuzzReadSnapshot -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/diffsim -run '^$$' -fuzz FuzzDifferential -fuzztime $(FUZZTIME)
+
+# Longer differential soak: a five-minute FuzzDifferential run plus a
+# deterministic 200-seed sweep through the full configuration grid.
+# Not part of the PR gate.
+fuzz-long:
+	$(GO) test ./internal/diffsim -run '^$$' -fuzz FuzzDifferential -fuzztime 5m
+	$(GO) run ./cmd/mtexc-fuzz -seed 1 -n 200 -v
 
 # Crash-safe resume: run Figure 5 with a journal, throw most of the
 # journal away (simulating a kill), resume, and demand byte-identical

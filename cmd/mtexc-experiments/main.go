@@ -29,36 +29,44 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mtexc-experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		all      = flag.Bool("all", false, "run every experiment")
-		table1   = flag.Bool("table1", false, "print the machine configuration (Table 1)")
-		table2   = flag.Bool("table2", false, "benchmark summary (Table 2)")
-		fig2     = flag.Bool("fig2", false, "pipeline-depth trend (Figure 2)")
-		fig3     = flag.Bool("fig3", false, "machine-width trend (Figure 3)")
-		fig5     = flag.Bool("fig5", false, "mechanism comparison (Figure 5)")
-		table3   = flag.Bool("table3", false, "limit studies (Table 3)")
-		fig6     = flag.Bool("fig6", false, "quick-start (Figure 6)")
-		fig7     = flag.Bool("fig7", false, "multiprogrammed mixes (Figure 7)")
-		table4   = flag.Bool("table4", false, "speedups, miss rates, IPC (Table 4)")
-		ablate   = flag.Bool("ablate", false, "design-choice ablations (beyond the paper)")
-		general  = flag.Bool("general", false, "generalized mechanism: POPC emulation (Section 6)")
-		tlbsw    = flag.Bool("tlbsweep", false, "TLB-size sensitivity of the per-miss metric")
-		faults   = flag.Bool("faults", false, "page-fault injection / hard-exception study")
-		ptorg    = flag.Bool("ptorg", false, "page-table organization study (linear vs two-level)")
-		unalign  = flag.Bool("unaligned", false, "generalized mechanism: unaligned loads (Section 6)")
-		insts    = flag.Uint64("insts", 1_000_000, "application instructions per run")
-		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: all 8)")
-		verbose  = flag.Bool("v", false, "log every simulation run")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		jsonOut  = flag.Bool("json", false, "emit newline-delimited JSON rows instead of aligned text")
-		parallel = flag.Int("parallel", 0, "simulations run concurrently per experiment (0 = one per CPU, 1 = serial)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
-		journalP = flag.String("journal", "out/journal.ndjson", "NDJSON journal of completed simulations (empty disables journaling)")
-		resume   = flag.Bool("resume", false, "reuse results journaled by a previous (possibly killed) invocation instead of re-simulating them")
-		cellTime = flag.Duration("cell-timeout", 0, "wall-clock deadline per simulation (0 = none); an overrunning cell reports FAIL")
+		all      = fs.Bool("all", false, "run every experiment")
+		table1   = fs.Bool("table1", false, "print the machine configuration (Table 1)")
+		table2   = fs.Bool("table2", false, "benchmark summary (Table 2)")
+		fig2     = fs.Bool("fig2", false, "pipeline-depth trend (Figure 2)")
+		fig3     = fs.Bool("fig3", false, "machine-width trend (Figure 3)")
+		fig5     = fs.Bool("fig5", false, "mechanism comparison (Figure 5)")
+		table3   = fs.Bool("table3", false, "limit studies (Table 3)")
+		fig6     = fs.Bool("fig6", false, "quick-start (Figure 6)")
+		fig7     = fs.Bool("fig7", false, "multiprogrammed mixes (Figure 7)")
+		table4   = fs.Bool("table4", false, "speedups, miss rates, IPC (Table 4)")
+		ablate   = fs.Bool("ablate", false, "design-choice ablations (beyond the paper)")
+		general  = fs.Bool("general", false, "generalized mechanism: POPC emulation (Section 6)")
+		tlbsw    = fs.Bool("tlbsweep", false, "TLB-size sensitivity of the per-miss metric")
+		faults   = fs.Bool("faults", false, "page-fault injection / hard-exception study")
+		ptorg    = fs.Bool("ptorg", false, "page-table organization study (linear vs two-level)")
+		unalign  = fs.Bool("unaligned", false, "generalized mechanism: unaligned loads (Section 6)")
+		insts    = fs.Uint64("insts", 1_000_000, "application instructions per run")
+		benches  = fs.String("bench", "", "comma-separated benchmark subset (default: all 8)")
+		verbose  = fs.Bool("v", false, "log every simulation run")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut  = fs.Bool("json", false, "emit newline-delimited JSON rows instead of aligned text")
+		parallel = fs.Int("parallel", 0, "simulations run concurrently per experiment (0 = one per CPU, 1 = serial)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile (post-run) to this file")
+		journalP = fs.String("journal", "out/journal.ndjson", "NDJSON journal of completed simulations (empty disables journaling)")
+		resume   = fs.Bool("resume", false, "reuse results journaled by a previous (possibly killed) invocation instead of re-simulating them")
+		cellTime = fs.Duration("cell-timeout", 0, "wall-clock deadline per simulation (0 = none); an overrunning cell reports FAIL")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	// A SIGINT/SIGTERM cancels in-flight simulations; cells journaled
 	// before the signal survive for a later -resume.
@@ -78,26 +86,26 @@ func main() {
 		opt.Benchmarks = strings.Split(*benches, ",")
 	}
 	if *verbose {
-		opt.Progress = os.Stderr
+		opt.Progress = stderr
 	}
 	var journal *harness.Journal
 	if *journalP != "" {
 		var err error
 		journal, err = harness.OpenJournal(*journalP, *resume)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mtexc-experiments:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "mtexc-experiments:", err)
+			return 1
 		}
 		opt.Journal = journal
 		if *resume && *verbose {
-			fmt.Fprintf(os.Stderr, "resuming: %d journaled simulation(s) in %s\n", journal.Len(), *journalP)
+			fmt.Fprintf(stderr, "resuming: %d journaled simulation(s) in %s\n", journal.Len(), *journalP)
 		}
 	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mtexc-experiments:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mtexc-experiments:", err)
+		return 1
 	}
 
 	type experiment struct {
@@ -124,7 +132,7 @@ func main() {
 
 	ran := false
 	if *table1 || *all {
-		printTable1(os.Stdout)
+		printTable1(stdout)
 		ran = true
 	}
 	// Experiments are independent simulations; run the enabled ones
@@ -159,8 +167,8 @@ func main() {
 	wg.Wait()
 	// The profiles cover the simulations, not the table printing.
 	if err := stopProf(); err != nil {
-		fmt.Fprintln(os.Stderr, "mtexc-experiments:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mtexc-experiments:", err)
+		return 1
 	}
 	// Print every table — partial ones render failed cells as FAIL —
 	// then digest the failures, so one dead cell never hides the rest
@@ -174,14 +182,14 @@ func main() {
 		if r.tab != nil {
 			switch {
 			case *jsonOut:
-				if err := r.tab.WriteJSONRows(os.Stdout); err != nil {
-					fmt.Fprintln(os.Stderr, "mtexc-experiments:", err)
-					os.Exit(1)
+				if err := r.tab.WriteJSONRows(stdout); err != nil {
+					fmt.Fprintln(stderr, "mtexc-experiments:", err)
+					return 1
 				}
 			case *csv:
-				fmt.Printf("# %s\n%s\n", r.tab.Title, r.tab.CSV())
+				fmt.Fprintf(stdout, "# %s\n%s\n", r.tab.Title, r.tab.CSV())
 			default:
-				fmt.Println(r.tab)
+				fmt.Fprintln(stdout, r.tab)
 			}
 		}
 		if r.err != nil {
@@ -190,39 +198,37 @@ func main() {
 			if errors.As(r.err, &ee) {
 				failures = append(failures, ee.Cells...)
 			} else {
-				fmt.Fprintln(os.Stderr, "mtexc-experiments:", r.err)
+				fmt.Fprintln(stderr, "mtexc-experiments:", r.err)
 			}
 		}
 	}
 	for _, ce := range failures {
-		fmt.Fprintf(os.Stderr, "mtexc-experiments: FAILED %v\n", ce)
+		fmt.Fprintf(stderr, "mtexc-experiments: FAILED %v\n", ce)
 		if repro := ce.Repro(); repro != "" {
-			fmt.Fprintf(os.Stderr, "  repro: %s\n", repro)
+			fmt.Fprintf(stderr, "  repro: %s\n", repro)
 		}
 		if *verbose && len(ce.Stack) > 0 {
-			fmt.Fprintf(os.Stderr, "  stack:\n%s\n", ce.Stack)
+			fmt.Fprintf(stderr, "  stack:\n%s\n", ce.Stack)
 		}
 	}
 	if len(failures) > 0 {
-		fmt.Fprintf(os.Stderr, "mtexc-experiments: %d cell(s) failed; rerun with -v for stacks\n", len(failures))
+		fmt.Fprintf(stderr, "mtexc-experiments: %d cell(s) failed; rerun with -v for stacks\n", len(failures))
 	}
 	if journal != nil {
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "journal: %d hit(s), %d new entr%s\n",
+			fmt.Fprintf(stderr, "journal: %d hit(s), %d new entr%s\n",
 				journal.Hits(), journal.Appends(), plural(journal.Appends(), "y", "ies"))
 		}
 		if err := journal.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "mtexc-experiments:", err)
+			fmt.Fprintln(stderr, "mtexc-experiments:", err)
 			exitCode = 1
 		}
 	}
 	if !ran {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
-	if exitCode != 0 {
-		os.Exit(exitCode)
-	}
+	return exitCode
 }
 
 func plural(n int64, one, many string) string {

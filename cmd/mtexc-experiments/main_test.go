@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTable1(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-table1", "-journal", ""}, &out, &errb); rc != 0 {
+		t.Fatalf("-table1: rc = %d; stderr: %s", rc, errb.String())
+	}
+	if !strings.Contains(out.String(), "Table 1: base simulated machine configuration") {
+		t.Errorf("missing Table 1 header:\n%s", out.String())
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	rc := run([]string{"-table2", "-bench", "compress", "-insts", "20000", "-journal", ""}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("-table2: rc = %d; stderr: %s", rc, errb.String())
+	}
+	if !strings.Contains(out.String(), "compress") {
+		t.Errorf("table missing compress row:\n%s", out.String())
+	}
+}
+
+func TestUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-journal", ""}, &out, &errb); rc != 2 {
+		t.Errorf("no experiments selected: rc = %d, want 2", rc)
+	}
+	if !strings.Contains(errb.String(), "Usage of mtexc-experiments") {
+		t.Errorf("stderr missing usage text: %s", errb.String())
+	}
+	if rc := run([]string{"-made-up-flag"}, &out, &errb); rc != 2 {
+		t.Errorf("unknown flag: rc = %d, want 2", rc)
+	}
+}

@@ -1,0 +1,105 @@
+// Command mtexc-fuzz drives the differential-fuzzing subsystem from
+// the command line: it generates random seeded programs, runs each
+// under the reference emulator and under a sampled grid of machine
+// configurations (internal/diffsim), and reports any architectural
+// divergence, shrunk to a minimal reproducer:
+//
+//	mtexc-fuzz -seed 1 -n 200             # 200 programs from seed 1
+//	mtexc-fuzz -mech multithreaded -n 50  # one mechanism only
+//	mtexc-fuzz -replay v1.s2.p8.t3.f7.k1-17284-15991-10488
+//	mtexc-fuzz -inject resume-skip -n 20  # self-test: must diverge
+//
+// Exit status: 0 when no divergence was found, 1 on a divergence,
+// 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mtexc/internal/cpu"
+	"mtexc/internal/diffsim"
+	"mtexc/internal/diffsim/gen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mtexc-fuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed    = fs.Int64("seed", 1, "first generator seed; program i uses seed+i")
+		n       = fs.Int("n", 100, "number of programs to generate and cross-check")
+		budget  = fs.Int("budget", 200, "shrink budget: candidate executions per divergence")
+		mech    = fs.String("mech", "", "restrict the grid to one mechanism (perfect | traditional | multithreaded | hardware)")
+		shrink  = fs.Bool("shrink", true, "delta-debug failing programs to minimal reproducers")
+		replay  = fs.String("replay", "", "re-run one program spec instead of generating (v1.s...)")
+		inject  = fs.String("inject", "", "seed a deliberate core defect (self-test): none | resume-skip")
+		verbose = fs.Bool("v", false, "log every program spec as it is checked")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	bug, err := cpu.ParseInjectedBug(*inject)
+	if err != nil {
+		fmt.Fprintln(stderr, "mtexc-fuzz:", err)
+		return 2
+	}
+	opt := diffsim.Options{Mech: *mech, Inject: bug}
+
+	if *replay != "" {
+		p, err := gen.ParseSpec(*replay)
+		if err != nil {
+			fmt.Fprintln(stderr, "mtexc-fuzz:", err)
+			return 2
+		}
+		return checkOne(p, opt, *shrink, *budget, stdout, stderr)
+	}
+
+	worst := 0
+	for i := 0; i < *n; i++ {
+		p := gen.Generate(*seed+int64(i), gen.Limits{})
+		if *verbose {
+			fmt.Fprintf(stdout, "check %s\n", p.Spec())
+		}
+		if rc := checkOne(p, opt, *shrink, *budget, stdout, stderr); rc > worst {
+			worst = rc
+		}
+	}
+	if worst == 0 {
+		fmt.Fprintf(stdout, "mtexc-fuzz: %d programs, no divergence\n", *n)
+	}
+	return worst
+}
+
+// checkOne cross-checks a single program, shrinking and reporting any
+// divergence. Returns 0 (clean), 1 (divergence) or 2 (invalid
+// program — a generator bug, not a core bug).
+func checkOne(p *gen.Program, opt diffsim.Options, shrink bool, budget int, stdout, stderr io.Writer) int {
+	divs, err := diffsim.CheckProgram(p, opt)
+	if err != nil {
+		fmt.Fprintln(stderr, "mtexc-fuzz:", err)
+		return 2
+	}
+	if len(divs) == 0 {
+		return 0
+	}
+	d := divs[0]
+	fmt.Fprintf(stdout, "DIVERGENCE %s\n", d)
+	if shrink {
+		if res := diffsim.Shrink(p, opt, budget); res != nil {
+			d = res.Div
+			code, _ := res.Program.Build()
+			fmt.Fprintf(stdout, "shrunk to %d instructions (%d candidates): %s\n",
+				len(code), res.Tried, d)
+		}
+	}
+	fmt.Fprintf(stdout, "repro: %s\n", d.Repro())
+	fmt.Fprintf(stdout, "replay: go run ./cmd/mtexc-fuzz -replay %s\n", d.Spec)
+	return 1
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCleanSweep(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-seed", "1", "-n", "3"}, &out, &errb); rc != 0 {
+		t.Fatalf("rc = %d, want 0; stderr: %s\nstdout: %s", rc, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "no divergence") {
+		t.Errorf("stdout missing summary: %q", out.String())
+	}
+}
+
+func TestInjectedBugExitsNonzero(t *testing.T) {
+	// Seed 2 generates a faulting program (FaultPct > 0), which the
+	// resume-skip defect corrupts; the sweep must fail and print a
+	// runnable repro.
+	var out, errb bytes.Buffer
+	rc := run([]string{"-seed", "2", "-n", "1", "-inject", "resume-skip", "-budget", "60"}, &out, &errb)
+	if rc != 1 {
+		t.Fatalf("rc = %d, want 1; stderr: %s\nstdout: %s", rc, errb.String(), out.String())
+	}
+	for _, want := range []string{"DIVERGENCE", "shrunk to", "repro: go run ./cmd/mtexcsim -bench 'fuzz:", "replay: go run ./cmd/mtexc-fuzz -replay"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestReplay(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-replay", "v1.s2.p8.t3.f7.k1-17284-15991-10488"}, &out, &errb); rc != 0 {
+		t.Fatalf("replay of clean spec: rc = %d; stderr: %s", rc, errb.String())
+	}
+	if rc := run([]string{"-replay", "not-a-spec"}, &out, &errb); rc != 2 {
+		t.Errorf("replay of malformed spec: rc = %d, want 2", rc)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-definitely-not-a-flag"}, &out, &errb); rc != 2 {
+		t.Errorf("unknown flag: rc = %d, want 2", rc)
+	}
+	if rc := run([]string{"-inject", "quantum"}, &out, &errb); rc != 2 {
+		t.Errorf("unknown injection: rc = %d, want 2", rc)
+	}
+}

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,51 +23,63 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	run := flag.String("run", "", "comma-separated analyzer names to run (default all)")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mtexc-lint [-run names] [packages]\n\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mtexc-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	runNames := fs.String("run", "", "comma-separated analyzer names to run (default all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mtexc-lint [-run names] [packages]\n\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	analyzers := analysis.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name, strings.ReplaceAll(a.Doc, "\n", " "))
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, strings.ReplaceAll(a.Doc, "\n", " "))
 		}
-		return
+		return 0
 	}
-	if *run != "" {
+	if *runNames != "" {
 		byName := map[string]*analysis.Analyzer{}
 		for _, a := range analyzers {
 			byName[a.Name] = a
 		}
 		analyzers = analyzers[:0]
-		for _, name := range strings.Split(*run, ",") {
+		for _, name := range strings.Split(*runNames, ",") {
 			a, ok := byName[strings.TrimSpace(name)]
 			if !ok {
-				fatalf("unknown analyzer %q (use -list)", name)
+				fmt.Fprintf(stderr, "mtexc-lint: unknown analyzer %q (use -list)\n", name)
+				return 1
 			}
 			analyzers = append(analyzers, a)
 		}
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	cwd, err := os.Getwd()
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintln(stderr, "mtexc-lint:", err)
+		return 1
 	}
 	loader, err := analysis.NewLoader(cwd)
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintln(stderr, "mtexc-lint:", err)
+		return 1
 	}
 	pkgs, err := loader.Load(cwd, patterns...)
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintln(stderr, "mtexc-lint:", err)
+		return 1
 	}
 
 	findings := 0
@@ -74,7 +87,8 @@ func main() {
 		for _, a := range analyzers {
 			diags, err := analysis.Run(a, pkg)
 			if err != nil {
-				fatalf("%v", err)
+				fmt.Fprintln(stderr, "mtexc-lint:", err)
+				return 1
 			}
 			for _, d := range diags {
 				pos := pkg.Fset.Position(d.Pos)
@@ -82,18 +96,14 @@ func main() {
 				if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
 					name = rel
 				}
-				fmt.Printf("%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+				fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
 				findings++
 			}
 		}
 	}
 	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "mtexc-lint: %d finding(s) in %d package(s)\n", findings, len(pkgs))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "mtexc-lint: %d finding(s) in %d package(s)\n", findings, len(pkgs))
+		return 1
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "mtexc-lint: "+format+"\n", args...)
-	os.Exit(1)
+	return 0
 }

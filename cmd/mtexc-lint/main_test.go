@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-list"}, &out, &errb); rc != 0 {
+		t.Fatalf("-list: rc = %d; stderr: %s", rc, errb.String())
+	}
+	for _, want := range []string{"detlint", "fingerprintlint", "poollint", "statlint"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list missing analyzer %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-run", "imaginarylint"}, &out, &errb); rc != 1 {
+		t.Errorf("unknown analyzer: rc = %d, want 1", rc)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr missing diagnosis: %s", errb.String())
+	}
+	if rc := run([]string{"-no-such-flag"}, &out, &errb); rc != 2 {
+		t.Errorf("unknown flag: rc = %d, want 2", rc)
+	}
+}
+
+func TestCleanPackage(t *testing.T) {
+	// The linter's own package must lint clean; "." resolves relative
+	// to the test's working directory, cmd/mtexc-lint.
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-run", "detlint", "."}, &out, &errb); rc != 0 {
+		t.Fatalf("rc = %d; stdout: %s\nstderr: %s", rc, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected findings:\n%s", out.String())
+	}
+}

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -24,20 +25,28 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mtexc-report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		insts   = flag.Uint64("insts", 500_000, "application instructions per run")
-		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all 8)")
-		jsonIn  = flag.String("json", "", "render a snapshot file written by mtexcsim -json instead of running the evaluation")
-		verbose = flag.Bool("v", false, "log every simulation run to stderr")
+		insts   = fs.Uint64("insts", 500_000, "application instructions per run")
+		benches = fs.String("bench", "", "comma-separated benchmark subset (default: all 8)")
+		jsonIn  = fs.String("json", "", "render a snapshot file written by mtexcsim -json instead of running the evaluation")
+		verbose = fs.Bool("v", false, "log every simulation run to stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *jsonIn != "" {
-		if err := renderSnapshot(*jsonIn); err != nil {
-			fmt.Fprintln(os.Stderr, "mtexc-report:", err)
-			os.Exit(1)
+		if err := renderSnapshot(stdout, *jsonIn); err != nil {
+			fmt.Fprintln(stderr, "mtexc-report:", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	opt := harness.Options{Insts: *insts}
@@ -45,16 +54,17 @@ func main() {
 		opt.Benchmarks = strings.Split(*benches, ",")
 	}
 	if *verbose {
-		opt.Progress = os.Stderr
+		opt.Progress = stderr
 	}
-	if err := harness.Report(opt, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "mtexc-report:", err)
-		os.Exit(1)
+	if err := harness.Report(opt, stdout); err != nil {
+		fmt.Fprintln(stderr, "mtexc-report:", err)
+		return 1
 	}
+	return 0
 }
 
 // renderSnapshot prints a snapshot as markdown.
-func renderSnapshot(path string) error {
+func renderSnapshot(stdout io.Writer, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -66,22 +76,22 @@ func renderSnapshot(path string) error {
 	}
 
 	m := snap.Meta
-	fmt.Printf("# mtexc run snapshot (schema %d)\n\n", snap.Schema)
-	fmt.Printf("- benchmarks: %s\n", strings.Join(m.Benchmarks, ", "))
+	fmt.Fprintf(stdout, "# mtexc run snapshot (schema %d)\n\n", snap.Schema)
+	fmt.Fprintf(stdout, "- benchmarks: %s\n", strings.Join(m.Benchmarks, ", "))
 	mech := m.Mechanism
 	if m.QuickStart {
 		mech += " + quickstart"
 	}
-	fmt.Printf("- mechanism: %s\n", mech)
-	fmt.Printf("- machine: %d-wide, %d-entry window, %d contexts, %d-entry DTLB\n",
+	fmt.Fprintf(stdout, "- mechanism: %s\n", mech)
+	fmt.Fprintf(stdout, "- machine: %d-wide, %d-entry window, %d contexts, %d-entry DTLB\n",
 		m.Width, m.Window, m.Contexts, m.DTLBSize)
-	fmt.Printf("- cycles: %d, app instructions: %d, IPC: %.3f, DTLB fills: %d\n",
+	fmt.Fprintf(stdout, "- cycles: %d, app instructions: %d, IPC: %.3f, DTLB fills: %d\n",
 		m.Cycles, m.AppInsts, m.IPC, m.DTLBMisses)
 
 	if s := snap.Slots; s != nil {
-		fmt.Printf("\n## Issue-slot accounting (%d slots = %d cycles × %d wide, identity %v)\n\n",
+		fmt.Fprintf(stdout, "\n## Issue-slot accounting (%d slots = %d cycles × %d wide, identity %v)\n\n",
 			s.Width*s.Cycles, s.Cycles, s.Width, s.Identity)
-		fmt.Printf("| category | slots | share |\n|---|---:|---:|\n")
+		fmt.Fprintf(stdout, "| category | slots | share |\n|---|---:|---:|\n")
 		total := s.Width * s.Cycles
 		for _, k := range obs.SlotKinds() {
 			v := s.Categories[k.String()]
@@ -89,13 +99,13 @@ func renderSnapshot(path string) error {
 			if total > 0 {
 				share = float64(v) / float64(total) * 100
 			}
-			fmt.Printf("| %s | %d | %.1f%% |\n", k, v, share)
+			fmt.Fprintf(stdout, "| %s | %d | %.1f%% |\n", k, v, share)
 		}
 	}
 
 	if len(snap.Breakdown) > 0 {
-		fmt.Printf("\n## Per-miss latency breakdown (cycles)\n\n")
-		fmt.Printf("| phase | n | mean | p50 | p95 | p99 | max |\n|---|---:|---:|---:|---:|---:|---:|\n")
+		fmt.Fprintf(stdout, "\n## Per-miss latency breakdown (cycles)\n\n")
+		fmt.Fprintf(stdout, "| phase | n | mean | p50 | p95 | p99 | max |\n|---|---:|---:|---:|---:|---:|---:|\n")
 		names := make([]string, 0, len(snap.Breakdown))
 		for n := range snap.Breakdown {
 			names = append(names, n)
@@ -103,13 +113,13 @@ func renderSnapshot(path string) error {
 		sort.Strings(names)
 		for _, n := range names {
 			h := snap.Breakdown[n]
-			fmt.Printf("| %s | %d | %.1f | %d | %d | %d | %d |\n",
+			fmt.Fprintf(stdout, "| %s | %d | %.1f | %d | %d | %d | %d |\n",
 				strings.TrimPrefix(n, "span."), h.Count, h.Mean, h.P50, h.P95, h.P99, h.Max)
 		}
 	}
 
 	if len(snap.Series) > 0 {
-		fmt.Printf("\n## Sampled series\n\n")
+		fmt.Fprintf(stdout, "\n## Sampled series\n\n")
 		for _, s := range snap.Series {
 			if len(s.Values) == 0 {
 				continue
@@ -123,11 +133,11 @@ func renderSnapshot(path string) error {
 					hi = v
 				}
 			}
-			fmt.Printf("- %s: %d samples, min %.3f, max %.3f, last %.3f\n",
+			fmt.Fprintf(stdout, "- %s: %d samples, min %.3f, max %.3f, last %.3f\n",
 				s.Name, len(s.Values), lo, hi, s.Values[len(s.Values)-1])
 		}
 	}
-	fmt.Printf("\n%d retained miss spans, %d counters, %d histograms\n",
+	fmt.Fprintf(stdout, "\n%d retained miss spans, %d counters, %d histograms\n",
 		len(snap.Spans), len(snap.Counters), len(snap.Histograms))
 	return nil
 }

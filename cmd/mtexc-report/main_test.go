@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mtexc/internal/core"
+	"mtexc/internal/obs"
+	"mtexc/internal/workload"
+)
+
+func TestRenderSnapshot(t *testing.T) {
+	// Produce a real snapshot from a short run, then render it.
+	cfg := core.DefaultConfig()
+	cfg.Mech = core.MechMultithreaded
+	cfg.Contexts = 2
+	cfg.MaxInsts = 20_000
+	cfg.SampleInterval = 1_000
+	b, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(cfg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := core.Snapshot(cfg, []string{"compress"}, res)
+	path := filepath.Join(t.TempDir(), "snap.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteJSON(f, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-json", path}, &out, &errb); rc != 0 {
+		t.Fatalf("rc = %d; stderr: %s", rc, errb.String())
+	}
+	for _, want := range []string{"# mtexc run snapshot", "benchmarks: compress", "mechanism: multithreaded", "Issue-slot accounting"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-json", "/no/such/file.json"}, &out, &errb); rc != 1 {
+		t.Errorf("missing file: rc = %d, want 1", rc)
+	}
+	if rc := run([]string{"-not-a-flag"}, &out, &errb); rc != 2 {
+		t.Errorf("unknown flag: rc = %d, want 2", rc)
+	}
+}

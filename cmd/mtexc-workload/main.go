@@ -8,11 +8,13 @@
 //	mtexc-workload -list
 //	mtexc-workload -bench compress -disasm
 //	mtexc-workload -bench vortex -profile -insts 200000
+//	mtexc-workload -bench fuzz:v1.s2.p8.t3.f7.k1-17284-15991-10488 -disasm
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -25,45 +27,67 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mtexc-workload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list    = flag.Bool("list", false, "list the suite and exit")
-		bench   = flag.String("bench", "compress", "benchmark name or abbreviation")
-		disasm  = flag.Bool("disasm", false, "disassemble the generated program")
-		profile = flag.Bool("profile", false, "run it and print dynamic behaviour")
-		insts   = flag.Uint64("insts", 200_000, "instructions for -profile")
+		list    = fs.Bool("list", false, "list the suite and exit")
+		bench   = fs.String("bench", "compress", "benchmark name, abbreviation, or fuzz:<spec>")
+		disasm  = fs.Bool("disasm", false, "disassemble the generated program")
+		profile = fs.Bool("profile", false, "run it and print dynamic behaviour")
+		insts   = fs.Uint64("insts", 200_000, "instructions for -profile")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, b := range workload.All() {
-			fmt.Printf("%-12s (%s)  %s\n", b.Name(), b.Short(), b.Description())
+			fmt.Fprintf(stdout, "%-12s (%s)  %s\n", b.Name(), b.Short(), b.Description())
 		}
-		return
+		return 0
 	}
-	b, err := workload.ByName(*bench)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mtexc-workload:", err)
-		os.Exit(2)
+	var (
+		w    core.Workload
+		desc string
+	)
+	if strings.HasPrefix(*bench, workload.FuzzPrefix) {
+		f, err := workload.ParseFuzz(*bench)
+		if err != nil {
+			fmt.Fprintln(stderr, "mtexc-workload:", err)
+			return 2
+		}
+		w, desc = f, "generated differential-fuzzing program"
+	} else {
+		b, err := workload.ByName(*bench)
+		if err != nil {
+			fmt.Fprintln(stderr, "mtexc-workload:", err)
+			return 2
+		}
+		w, desc = b, b.Description()
 	}
 
 	phys := mem.NewPhysical()
-	img, err := b.Build(phys, 1)
+	img, err := w.Build(phys, 1)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mtexc-workload:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mtexc-workload:", err)
+		return 1
 	}
 
-	fmt.Printf("%s — %s\n", b.Name(), b.Description())
-	fmt.Printf("code       : %d instructions at %#x\n", len(img.Code), img.CodeVA)
+	fmt.Fprintf(stdout, "%s — %s\n", w.Name(), desc)
+	fmt.Fprintf(stdout, "code       : %d instructions at %#x\n", len(img.Code), img.CodeVA)
 	pagesMapped := 0
 	img.Space.ForEachMapped(func(uint64) { pagesMapped++ })
-	fmt.Printf("footprint  : %d pages (%d KB) mapped, page table at %#x (org %d)\n",
+	fmt.Fprintf(stdout, "footprint  : %d pages (%d KB) mapped, page table at %#x (org %d)\n",
 		pagesMapped, pagesMapped*int(vm.PageSize)/1024, img.Space.PTBase(), img.Space.Org())
-	fmt.Printf("init regs  : %d integer registers preloaded\n", len(img.InitInt))
+	fmt.Fprintf(stdout, "init regs  : %d integer registers preloaded\n", len(img.InitInt))
 
 	if *disasm {
-		fmt.Println("\ndisassembly:")
-		fmt.Print(asm.Disassemble(img.Code))
+		fmt.Fprintln(stdout, "\ndisassembly:")
+		fmt.Fprint(stdout, asm.Disassemble(img.Code))
 	}
 
 	if *profile {
@@ -71,23 +95,24 @@ func main() {
 		cfg.Mech = core.MechMultithreaded
 		cfg.Contexts = 2
 		cfg.MaxInsts = *insts
-		res, err := core.Run(cfg, b)
+		res, err := core.Run(cfg, w)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mtexc-workload:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "mtexc-workload:", err)
+			return 1
 		}
-		fmt.Printf("\ndynamic profile over %d instructions:\n", res.AppInsts)
-		fmt.Printf("  IPC          : %.2f\n", res.IPC)
-		fmt.Printf("  DTLB fills   : %d (%.0f per 100M)\n",
+		fmt.Fprintf(stdout, "\ndynamic profile over %d instructions:\n", res.AppInsts)
+		fmt.Fprintf(stdout, "  IPC          : %.2f\n", res.IPC)
+		fmt.Fprintf(stdout, "  DTLB fills   : %d (%.0f per 100M)\n",
 			res.DTLBMisses, float64(res.DTLBMisses)/float64(res.AppInsts)*1e8)
-		fmt.Printf("  mispredicts  : %d resolved\n", res.Stats.Get("bpred.resolved.mispredicts"))
-		fmt.Printf("  squashed     : %d instructions\n", res.Stats.Get("squash.insts"))
-		fmt.Println("  retirement mix:")
-		printClassMix(res)
+		fmt.Fprintf(stdout, "  mispredicts  : %d resolved\n", res.Stats.Get("bpred.resolved.mispredicts"))
+		fmt.Fprintf(stdout, "  squashed     : %d instructions\n", res.Stats.Get("squash.insts"))
+		fmt.Fprintln(stdout, "  retirement mix:")
+		printClassMix(stdout, res)
 	}
+	return 0
 }
 
-func printClassMix(res core.Result) {
+func printClassMix(stdout io.Writer, res core.Result) {
 	type entry struct {
 		name  string
 		count uint64
@@ -105,6 +130,6 @@ func printClassMix(res core.Result) {
 	sort.Slice(mix, func(i, j int) bool { return mix[i].count > mix[j].count })
 	for _, e := range mix {
 		bar := strings.Repeat("#", int(e.count*40/total))
-		fmt.Printf("    %-8s %6.1f%% %s\n", e.name, float64(e.count)/float64(total)*100, bar)
+		fmt.Fprintf(stdout, "    %-8s %6.1f%% %s\n", e.name, float64(e.count)/float64(total)*100, bar)
 	}
 }

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListAndDisasm(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-list"}, &out, &errb); rc != 0 {
+		t.Fatalf("-list: rc = %d; stderr: %s", rc, errb.String())
+	}
+	if !strings.Contains(out.String(), "compress") {
+		t.Errorf("-list missing compress:\n%s", out.String())
+	}
+
+	out.Reset()
+	if rc := run([]string{"-bench", "compress", "-disasm"}, &out, &errb); rc != 0 {
+		t.Fatalf("-disasm: rc = %d; stderr: %s", rc, errb.String())
+	}
+	for _, want := range []string{"disassembly:", "code       :", "footprint  :"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-disasm missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestFuzzSpecDisasm(t *testing.T) {
+	var out, errb bytes.Buffer
+	rc := run([]string{"-bench", "fuzz:v1.s2.p8.t3.f7.k1-17284-15991-10488", "-disasm"}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc = %d; stderr: %s", rc, errb.String())
+	}
+	if !strings.Contains(out.String(), "generated differential-fuzzing program") {
+		t.Errorf("missing fuzz description:\n%s", out.String())
+	}
+}
+
+func TestProfile(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-bench", "compress", "-profile", "-insts", "20000"}, &out, &errb); rc != 0 {
+		t.Fatalf("-profile: rc = %d; stderr: %s", rc, errb.String())
+	}
+	if !strings.Contains(out.String(), "retirement mix:") {
+		t.Errorf("-profile missing mix:\n%s", out.String())
+	}
+}
+
+func TestUnknownBench(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-bench", "no-such"}, &out, &errb); rc != 2 {
+		t.Errorf("unknown bench: rc = %d, want 2", rc)
+	}
+	if rc := run([]string{"-bogus-flag"}, &out, &errb); rc != 2 {
+		t.Errorf("unknown flag: rc = %d, want 2", rc)
+	}
+}

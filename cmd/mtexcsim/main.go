@@ -6,11 +6,16 @@
 //	mtexcsim -bench compress -mech multithreaded -idle 1 -insts 1e6
 //	mtexcsim -bench adm,gcc,vor -mech traditional
 //	mtexcsim -bench vor -mech multithreaded -quickstart -stats
+//
+// Benchmark names starting with "fuzz:" replay generated
+// differential-fuzzing programs (see cmd/mtexc-fuzz and
+// docs/fuzzing.md).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -18,6 +23,7 @@ import (
 	"mtexc/internal/obs"
 	"mtexc/internal/prof"
 	"mtexc/internal/trace"
+	"mtexc/internal/vm"
 	"mtexc/internal/workload"
 )
 
@@ -26,35 +32,46 @@ import (
 const defaultTraceCap = 512
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mtexcsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		benchList  = flag.String("bench", "compress", "comma-separated benchmark name(s); one hardware context each")
-		mechName   = flag.String("mech", "multithreaded", "exception architecture: perfect | traditional | multithreaded | hardware")
-		idle       = flag.Int("idle", 1, "idle hardware contexts for exception handlers")
-		insts      = flag.Uint64("insts", 1_000_000, "application instructions to retire")
-		quickstart = flag.Bool("quickstart", false, "pre-stage the handler in idle fetch buffers (Section 5.4)")
-		width      = flag.Int("width", 8, "machine width (fetch = decode = issue)")
-		window     = flag.Int("window", 128, "instruction window entries")
-		depth      = flag.Int("depth", 7, "fetch-to-execute pipeline stages")
-		dtlb       = flag.Int("dtlb", 64, "DTLB entries")
-		showStats  = flag.Bool("stats", false, "dump all machine statistics")
-		traceN     = flag.Int("trace", 0, "print a pipeline diagram of the last N instructions")
-		kanata     = flag.String("kanata", "", "write the trace in Kanata viewer format to this file (implies -trace 512)")
-		chromeOut  = flag.String("chrome", "", "write the trace as Chrome trace_event JSON to this file (implies -trace 512)")
-		jsonOut    = flag.String("json", "", "write the full run snapshot (stats, slot account, miss breakdown, series) as JSON to this file")
-		interval   = flag.Uint64("interval", 0, "sample interval in cycles for time series (0: 10000 when exporting, else off)")
-		seriesCSV  = flag.String("seriescsv", "", "write the sampled time series as CSV to this file")
-		list       = flag.Bool("list", false, "list available benchmarks and exit")
-		noprogress = flag.Uint64("noprogress", core.DefaultConfig().NoProgressLimit, "livelock watchdog: abort after this many cycles without a retirement (0 disables)")
-		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
-		memProf    = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
+		benchList  = fs.String("bench", "compress", "comma-separated benchmark name(s); one hardware context each")
+		mechName   = fs.String("mech", "multithreaded", "exception architecture: perfect | traditional | multithreaded | hardware")
+		idle       = fs.Int("idle", 1, "idle hardware contexts for exception handlers")
+		insts      = fs.Uint64("insts", 1_000_000, "application instructions to retire")
+		quickstart = fs.Bool("quickstart", false, "pre-stage the handler in idle fetch buffers (Section 5.4)")
+		width      = fs.Int("width", 8, "machine width (fetch = decode = issue)")
+		window     = fs.Int("window", 128, "instruction window entries")
+		depth      = fs.Int("depth", 7, "fetch-to-execute pipeline stages")
+		dtlb       = fs.Int("dtlb", 64, "DTLB entries")
+		ptName     = fs.String("pt", "linear", "page-table organization: linear | twolevel")
+		emuPopc    = fs.Bool("emupopc", false, "software-emulate POPC via the emulation trap (software mechanisms only)")
+		trapUnal   = fs.Bool("trapunaligned", false, "trap and emulate unaligned integer loads (software mechanisms only)")
+		showStats  = fs.Bool("stats", false, "dump all machine statistics")
+		traceN     = fs.Int("trace", 0, "print a pipeline diagram of the last N instructions")
+		kanata     = fs.String("kanata", "", "write the trace in Kanata viewer format to this file (implies -trace 512)")
+		chromeOut  = fs.String("chrome", "", "write the trace as Chrome trace_event JSON to this file (implies -trace 512)")
+		jsonOut    = fs.String("json", "", "write the full run snapshot (stats, slot account, miss breakdown, series) as JSON to this file")
+		interval   = fs.Uint64("interval", 0, "sample interval in cycles for time series (0: 10000 when exporting, else off)")
+		seriesCSV  = fs.String("seriescsv", "", "write the sampled time series as CSV to this file")
+		list       = fs.Bool("list", false, "list available benchmarks and exit")
+		noprogress = fs.Uint64("noprogress", core.DefaultConfig().NoProgressLimit, "livelock watchdog: abort after this many cycles without a retirement (0 disables)")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProf    = fs.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, b := range workload.All() {
-			fmt.Printf("%-12s (%s)  %s\n", b.Name(), b.Short(), b.Description())
+			fmt.Fprintf(stdout, "%-12s (%s)  %s\n", b.Name(), b.Short(), b.Description())
 		}
-		return
+		return 0
 	}
 
 	// The trace exporters need records to export: turn tracing on at a
@@ -70,6 +87,8 @@ func main() {
 	cfg.QuickStart = *quickstart
 	cfg.NoProgressLimit = *noprogress
 	cfg.SampleInterval = *interval
+	cfg.EmulatePopc = *emuPopc
+	cfg.TrapUnaligned = *trapUnal
 	if cfg.SampleInterval == 0 && (*jsonOut != "" || *seriesCSV != "") {
 		cfg.SampleInterval = 10_000
 	}
@@ -83,25 +102,34 @@ func main() {
 	case "hardware":
 		cfg.Mech = core.MechHardware
 	default:
-		fmt.Fprintf(os.Stderr, "mtexcsim: unknown mechanism %q\n", *mechName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "mtexcsim: unknown mechanism %q\n", *mechName)
+		return 2
+	}
+	switch *ptName {
+	case "linear":
+		cfg.PageTable = vm.PTLinear
+	case "twolevel":
+		cfg.PageTable = vm.PTTwoLevel
+	default:
+		fmt.Fprintf(stderr, "mtexcsim: unknown page-table organization %q\n", *ptName)
+		return 2
 	}
 
 	var loads []core.Workload
 	for _, n := range strings.Split(*benchList, ",") {
-		b, err := workload.ByName(strings.TrimSpace(n))
+		w, err := resolveBench(strings.TrimSpace(n), cfg.PageTable)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mtexcsim:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "mtexcsim:", err)
+			return 2
 		}
-		loads = append(loads, b)
+		loads = append(loads, w)
 	}
 	cfg.Contexts = len(loads) + *idle
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mtexcsim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mtexcsim:", err)
+		return 1
 	}
 
 	var collector *trace.Collector
@@ -112,12 +140,12 @@ func main() {
 		for i, w := range loads {
 			img, err := w.Build(m.Phys(), uint8(i+1))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "mtexcsim:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "mtexcsim:", err)
+				return 1
 			}
 			if _, err := m.AddProgram(img); err != nil {
-				fmt.Fprintln(os.Stderr, "mtexcsim:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "mtexcsim:", err)
+				return 1
 			}
 			m.WarmPageTable(img.Space)
 		}
@@ -126,8 +154,8 @@ func main() {
 		var err error
 		res, err = m.Run()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mtexcsim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "mtexcsim:", err)
+			return 1
 		}
 	} else {
 		var err error
@@ -135,66 +163,102 @@ func main() {
 		if err != nil {
 			// A LivelockError already carries the machine dump; print
 			// it whole so the wedge is diagnosable from stderr.
-			fmt.Fprintln(os.Stderr, "mtexcsim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "mtexcsim:", err)
+			return 1
 		}
 	}
 	// The profiles cover the simulation, not the reporting below.
 	if err := stopProf(); err != nil {
-		fmt.Fprintln(os.Stderr, "mtexcsim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mtexcsim:", err)
+		return 1
 	}
 
-	fmt.Printf("benchmarks : %s\n", *benchList)
-	fmt.Printf("mechanism  : %s", cfg.Mech)
+	fmt.Fprintf(stdout, "benchmarks : %s\n", *benchList)
+	fmt.Fprintf(stdout, "mechanism  : %s", cfg.Mech)
 	if cfg.QuickStart {
-		fmt.Print(" + quickstart")
+		fmt.Fprint(stdout, " + quickstart")
 	}
-	fmt.Println()
-	fmt.Printf("machine    : %d-wide, %d-entry window, %d-stage front end, %d-entry DTLB, %d contexts\n",
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "machine    : %d-wide, %d-entry window, %d-stage front end, %d-entry DTLB, %d contexts\n",
 		cfg.Width, cfg.WindowSize, cfg.PipeDepth(), cfg.DTLBEntries, cfg.Contexts)
-	fmt.Printf("cycles     : %d\n", res.Cycles)
-	fmt.Printf("app insts  : %d\n", res.AppInsts)
-	fmt.Printf("IPC        : %.3f\n", res.IPC)
-	fmt.Printf("DTLB fills : %d (%.0f per 100M instructions)\n",
+	fmt.Fprintf(stdout, "cycles     : %d\n", res.Cycles)
+	fmt.Fprintf(stdout, "app insts  : %d\n", res.AppInsts)
+	fmt.Fprintf(stdout, "IPC        : %.3f\n", res.IPC)
+	fmt.Fprintf(stdout, "DTLB fills : %d (%.0f per 100M instructions)\n",
 		res.DTLBMisses, float64(res.DTLBMisses)/float64(res.AppInsts)*1e8)
 	if o := res.Obs; o != nil && o.Slots != nil && o.Slots.Total() > 0 {
-		fmt.Printf("slot mix   :")
+		fmt.Fprintf(stdout, "slot mix   :")
 		for _, k := range obs.SlotKinds() {
-			fmt.Printf(" %s %.1f%%", k, o.Slots.Fraction(k)*100)
+			fmt.Fprintf(stdout, " %s %.1f%%", k, o.Slots.Fraction(k)*100)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if *showStats {
-		fmt.Println("\nstatistics:")
-		fmt.Print(res.Stats.String())
+		fmt.Fprintln(stdout, "\nstatistics:")
+		fmt.Fprint(stdout, res.Stats.String())
 	}
 	if collector != nil {
-		fmt.Println()
-		collector.Render(os.Stdout)
-		collector.Summary(os.Stdout)
+		fmt.Fprintln(stdout)
+		collector.Render(stdout)
+		collector.Summary(stdout)
 		if *kanata != "" {
-			writeFile(*kanata, "kanata trace", func(f *os.File) error {
+			if err := writeFile(stdout, *kanata, "kanata trace", func(f *os.File) error {
 				return trace.WriteKanata(f, collector.Records())
-			})
+			}); err != nil {
+				fmt.Fprintln(stderr, "mtexcsim:", err)
+				return 1
+			}
 		}
 		if *chromeOut != "" {
-			writeFile(*chromeOut, "chrome trace", func(f *os.File) error {
+			if err := writeFile(stdout, *chromeOut, "chrome trace", func(f *os.File) error {
 				return obs.WriteChromeTrace(f, collector.Records())
-			})
+			}); err != nil {
+				fmt.Fprintln(stderr, "mtexcsim:", err)
+				return 1
+			}
 		}
 	}
 	if *jsonOut != "" {
 		snap := core.Snapshot(cfg, benchNames(*benchList), res)
-		writeFile(*jsonOut, "snapshot", func(f *os.File) error {
+		if err := writeFile(stdout, *jsonOut, "snapshot", func(f *os.File) error {
 			return obs.WriteJSON(f, snap)
-		})
+		}); err != nil {
+			fmt.Fprintln(stderr, "mtexcsim:", err)
+			return 1
+		}
 	}
 	if *seriesCSV != "" {
-		writeFile(*seriesCSV, "series CSV", func(f *os.File) error {
+		if err := writeFile(stdout, *seriesCSV, "series CSV", func(f *os.File) error {
 			return obs.WriteSeriesCSV(f, res.Obs.Series())
-		})
+		}); err != nil {
+			fmt.Fprintln(stderr, "mtexcsim:", err)
+			return 1
+		}
 	}
+	return 0
+}
+
+// resolveBench maps one -bench name to a workload: a Table 2
+// benchmark, or a generated fuzz program ("fuzz:<spec>").
+func resolveBench(name string, org vm.PTOrg) (core.Workload, error) {
+	if strings.HasPrefix(name, workload.FuzzPrefix) {
+		f, err := workload.ParseFuzz(name)
+		if err != nil {
+			return nil, err
+		}
+		if org == vm.PTTwoLevel {
+			f = f.WithTwoLevelPT()
+		}
+		return f, nil
+	}
+	b, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if org == vm.PTTwoLevel {
+		b = b.WithTwoLevelPT()
+	}
+	return b, nil
 }
 
 func benchNames(list string) []string {
@@ -207,20 +271,18 @@ func benchNames(list string) []string {
 
 // writeFile creates path and runs the exporter, failing loudly: a
 // requested export that cannot be produced is an error, not a note.
-func writeFile(path, what string, write func(*os.File) error) {
+func writeFile(stdout io.Writer, path, what string, write func(*os.File) error) error {
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mtexcsim: writing %s: %v\n", what, err)
-		os.Exit(1)
+		return fmt.Errorf("writing %s: %v", what, err)
 	}
 	if err := write(f); err != nil {
 		f.Close()
-		fmt.Fprintf(os.Stderr, "mtexcsim: writing %s: %v\n", what, err)
-		os.Exit(1)
+		return fmt.Errorf("writing %s: %v", what, err)
 	}
 	if err := f.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "mtexcsim: writing %s: %v\n", what, err)
-		os.Exit(1)
+		return fmt.Errorf("writing %s: %v", what, err)
 	}
-	fmt.Printf("%s written to %s\n", what, path)
+	fmt.Fprintf(stdout, "%s written to %s\n", what, path)
+	return nil
 }

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSmokeRun(t *testing.T) {
+	var out, errb bytes.Buffer
+	rc := run([]string{"-bench", "compress", "-mech", "multithreaded", "-insts", "20000"}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc = %d, want 0; stderr: %s", rc, errb.String())
+	}
+	for _, want := range []string{"benchmarks : compress", "mechanism  : multithreaded", "IPC"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestFuzzBenchReplay(t *testing.T) {
+	var out, errb bytes.Buffer
+	rc := run([]string{
+		"-bench", "fuzz:v1.s2.p8.t3.f7.k1-17284-15991-10488",
+		"-mech", "traditional", "-idle", "0", "-emupopc",
+	}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc = %d, want 0; stderr: %s", rc, errb.String())
+	}
+	if !strings.Contains(out.String(), "IPC") {
+		t.Errorf("stdout missing run summary:\n%s", out.String())
+	}
+}
+
+func TestTwoLevelAndExports(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "snap.json")
+	var out, errb bytes.Buffer
+	rc := run([]string{
+		"-bench", "compress", "-mech", "hardware", "-pt", "twolevel",
+		"-insts", "20000", "-json", jsonPath,
+	}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc = %d, want 0; stderr: %s", rc, errb.String())
+	}
+	if !strings.Contains(out.String(), "snapshot written to") {
+		t.Errorf("stdout missing export note:\n%s", out.String())
+	}
+}
+
+func TestListAndUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-list"}, &out, &errb); rc != 0 {
+		t.Errorf("-list: rc = %d, want 0", rc)
+	}
+	if !strings.Contains(out.String(), "compress") {
+		t.Errorf("-list missing compress:\n%s", out.String())
+	}
+	if rc := run([]string{"-mech", "psychic"}, &out, &errb); rc != 2 {
+		t.Errorf("unknown mechanism: rc = %d, want 2", rc)
+	}
+	if rc := run([]string{"-pt", "inverted"}, &out, &errb); rc != 2 {
+		t.Errorf("unknown page table: rc = %d, want 2", rc)
+	}
+	if rc := run([]string{"-bench", "no-such-bench"}, &out, &errb); rc != 2 {
+		t.Errorf("unknown benchmark: rc = %d, want 2", rc)
+	}
+}

@@ -73,6 +73,12 @@ type Machine struct {
 	// event (traps, spawns, redirects, reversions) for debugging.
 	DebugHook func(cycle uint64, event string)
 
+	// InjectBug, when not BugNone, seeds a deliberate defect into the
+	// exception machinery (differential-fuzzing self-tests only). Set
+	// after New, before Run; kept off Config so journal fingerprints
+	// can never describe a deliberately broken machine.
+	InjectBug InjectedBug
+
 	// scratch reused each cycle
 	readyScratch []*uop
 	doneScratch  []*uop

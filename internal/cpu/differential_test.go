@@ -2,11 +2,10 @@ package cpu
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 
+	"mtexc/internal/diffsim/gen"
 	"mtexc/internal/isa"
-	"mtexc/internal/isa/asm"
 	"mtexc/internal/vm"
 )
 
@@ -14,95 +13,36 @@ import (
 // architecture must compute the same architectural result — the
 // mechanisms differ only in timing. Random programs with loops,
 // data-dependent branches, stores, loads across many pages, and
-// calls are generated and run under all four mechanisms (plus
-// quick-start); their final memory signatures must agree.
+// calls come from the shared generator (internal/diffsim/gen) and
+// run under all four mechanisms (plus quick-start); their final
+// register files, memory images and result words must agree.
+//
+// These tests compare mechanism against mechanism; the
+// reference-emulator oracle lives in internal/diffsim, which also
+// fuzzes the full configuration grid.
 
-// randProgram emits a random but terminating program: a fixed number
-// of outer iterations over a randomized body, accumulating into r3,
-// ending by storing r3 and halting.
-func randProgram(rng *rand.Rand, pages int) []isa.Instruction {
-	b := asm.NewBuilder()
-	const (
-		dataVA   = uint64(0x1000_0000)
-		resultVA = uint64(0x2000_0000)
-	)
-	b.LoadImm(10, dataVA)
-	b.LoadImm(11, uint64(pages))
-	b.I(isa.OpLdi, 12, 0, 1)
-	b.I(isa.OpSlli, 12, 12, int64(vm.PageShift))
-	b.LoadImm(1, uint64(60+rng.Intn(60))) // outer trip count
-
-	hasCall := rng.Intn(2) == 0
-	b.Label("outer")
-
-	// Random body: 4-10 fragments.
-	nFrag := 4 + rng.Intn(7)
-	for i := 0; i < nFrag; i++ {
-		switch rng.Intn(8) {
-		case 0: // arithmetic on accumulators
-			b.I(isa.OpAddi, uint8(4+rng.Intn(4)), uint8(4+rng.Intn(4)), int64(rng.Intn(100)))
-		case 1: // page-strided load (TLB pressure)
-			b.I(isa.OpLdq, 8, 10, 0)
-			b.R(isa.OpAdd, 3, 3, 8)
-			b.R(isa.OpAdd, 10, 10, 12)
-			// wrap pointer based on loop counter parity
-			lbl := fmt.Sprintf("wrap%d", i)
-			b.I(isa.OpAndi, 9, 1, 15)
-			b.Branch(isa.OpBne, 9, lbl)
-			b.LoadImm(10, dataVA)
-			b.Label(lbl)
-		case 2: // store then load back (forwarding)
-			b.I(isa.OpStq, 3, 10, 8)
-			b.I(isa.OpLdq, 7, 10, 8)
-			b.R(isa.OpXor, 3, 3, 7)
-		case 3: // data-dependent branch
-			lbl := fmt.Sprintf("dd%d", i)
-			b.I(isa.OpAndi, 9, 3, 1)
-			b.Branch(isa.OpBeq, 9, lbl)
-			b.I(isa.OpAddi, 3, 3, 13)
-			b.Label(lbl)
-		case 4: // multiply/divide
-			b.I(isa.OpAddi, 6, 3, 7)
-			b.R(isa.OpMul, 5, 5, 6)
-			b.R(isa.OpAdd, 3, 3, 5)
-		case 5: // FP round trip
-			b.R(isa.OpCvtif, 1, 3, 0)
-			b.R(isa.OpFadd, 1, 1, 1)
-			b.R(isa.OpCvtfi, 7, 1, 0)
-			b.R(isa.OpXor, 3, 3, 7)
-		case 6: // call a leaf
-			if hasCall {
-				b.Jump(isa.OpJal, "leaf")
-			} else {
-				b.I(isa.OpAddi, 3, 3, 1)
-			}
-		case 7: // population count (emulated under software mechanisms)
-			b.R(isa.OpPopc, 7, 3, 0)
-			b.R(isa.OpAdd, 3, 3, 7)
-		}
-	}
-	b.I(isa.OpAddi, 1, 1, -1)
-	b.Branch(isa.OpBne, 1, "outer")
-	b.LoadImm(13, resultVA)
-	b.I(isa.OpStq, 3, 13, 0)
-	b.I(isa.OpStq, 5, 13, 8)
-	b.I(isa.OpStq, 6, 13, 16)
-	b.Emit(isa.Instruction{Op: isa.OpHalt})
-	if hasCall {
-		b.Label("leaf")
-		b.I(isa.OpAddi, 3, 3, 3)
-		b.Emit(isa.Instruction{Op: isa.OpRet})
-	}
-	return b.MustFinish()
+// archSig is one run's complete architectural outcome: the three
+// result words the program stores, the final register file of the
+// application thread, and a hash of all mapped memory.
+type archSig struct {
+	words [3]uint64
+	regs  isa.RegFile
+	mem   uint64
 }
 
-// runSignature executes code under a mechanism and returns the final
-// result words.
-func runSignature(t *testing.T, code []isa.Instruction, pages int, mech Mechanism, contexts int, quick bool) [3]uint64 {
-	return runSignatureOrg(t, code, pages, mech, contexts, quick, vm.PTLinear)
+// perfectCompatible keeps generated programs on ground every
+// mechanism can share: no unmapped pages (a perfect TLB silently
+// drops accesses that software mechanisms page-fault and map) and no
+// unaligned accesses (their architecture depends on TrapUnaligned).
+var perfectCompatible = gen.Limits{MaxPages: 128, NoFault: true, NoUnaligned: true}
+
+// runSignature executes the program under a mechanism and returns its
+// architectural signature.
+func runSignature(t *testing.T, p *gen.Program, mech Mechanism, contexts int, quick bool) archSig {
+	return runSignatureOrg(t, p, mech, contexts, quick, vm.PTLinear)
 }
 
-func runSignatureOrg(t *testing.T, code []isa.Instruction, pages int, mech Mechanism, contexts int, quick bool, org vm.PTOrg) [3]uint64 {
+func runSignatureOrg(t *testing.T, p *gen.Program, mech Mechanism, contexts int, quick bool, org vm.PTOrg) archSig {
 	t.Helper()
 	cfg := DefaultConfig()
 	cfg.Mech = mech
@@ -116,61 +56,52 @@ func runSignatureOrg(t *testing.T, code []isa.Instruction, pages int, mech Mecha
 	cfg.MaxInsts = 5_000_000
 	cfg.MaxCycles = 20_000_000
 	m := New(cfg)
-	as := vm.NewAddressSpace(m.Phys(), 1, 1<<20)
-	if org == vm.PTTwoLevel {
-		as = vm.NewAddressSpaceTwoLevel(m.Phys(), 1, 1<<20)
-	}
-	img := &vm.Image{Name: "rand", Code: code, Space: as}
-	if err := img.Load(m.Phys()); err != nil {
+	img, err := p.BuildImage(m.Phys(), 1, org)
+	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < pages; i++ {
-		as.WriteU64(0x1000_0000+uint64(i)*vm.PageSize, uint64(i*37+11))
-	}
-	as.WriteU64(0x2000_0000, 0)
-	if _, err := m.AddProgram(img); err != nil {
+	tid, err := m.AddProgram(img)
+	if err != nil {
 		t.Fatal(err)
 	}
 	res := mustRun(t, m)
 	if res.Cycles >= cfg.MaxCycles {
 		t.Fatalf("mech %v: did not halt within %d cycles", mech, cfg.MaxCycles)
 	}
-	return [3]uint64{
-		as.ReadU64(0x2000_0000),
-		as.ReadU64(0x2000_0008),
-		as.ReadU64(0x2000_0010),
+	if !m.ThreadHalted(tid) {
+		t.Fatalf("mech %v: application thread not halted", mech)
+	}
+	return archSig{
+		words: [3]uint64{
+			img.Space.ReadU64(gen.ResultVA),
+			img.Space.ReadU64(gen.ResultVA + 8),
+			img.Space.ReadU64(gen.ResultVA + 16),
+		},
+		regs: m.ArchRegs(tid),
+		mem:  img.Space.ContentHash(),
 	}
 }
 
-// TestDifferentialTwoLevel: the equivalence holds over a two-level
-// page table as well.
-func TestDifferentialTwoLevel(t *testing.T) {
-	for trial := 0; trial < 4; trial++ {
-		rng := rand.New(rand.NewSource(int64(7000 + trial)))
-		pages := 96 + rng.Intn(128)
-		code := randProgram(rng, pages)
-		want := runSignatureOrg(t, code, pages, MechPerfect, 1, false, vm.PTTwoLevel)
-		for _, mech := range []Mechanism{MechTraditional, MechMultithreaded, MechHardware} {
-			contexts := 1
-			if mech == MechMultithreaded {
-				contexts = 2
-			}
-			got := runSignatureOrg(t, code, pages, mech, contexts, false, vm.PTTwoLevel)
-			if got != want {
-				t.Errorf("trial %d: %v over two-level PT: %#x != %#x", trial, mech, got, want)
-			}
-		}
+// checkSig compares complete architectural signatures, diagnosing
+// which layer disagreed.
+func checkSig(t *testing.T, label string, got, want archSig) {
+	t.Helper()
+	if got.words != want.words {
+		t.Errorf("%s: result words %#x != %#x", label, got.words, want.words)
+	}
+	if got.regs != want.regs {
+		t.Errorf("%s: architectural register files differ", label)
+	}
+	if got.mem != want.mem {
+		t.Errorf("%s: memory hash %#x != %#x", label, got.mem, want.mem)
 	}
 }
 
 func TestDifferentialMechanismEquivalence(t *testing.T) {
 	const trials = 12
 	for trial := 0; trial < trials; trial++ {
-		rng := rand.New(rand.NewSource(int64(1000 + trial)))
-		pages := 96 + rng.Intn(128)
-		code := randProgram(rng, pages)
-
-		want := runSignature(t, code, pages, MechPerfect, 1, false)
+		p := gen.Generate(int64(1000+trial), perfectCompatible)
+		want := runSignature(t, p, MechPerfect, 1, false)
 		configs := []struct {
 			name     string
 			mech     Mechanism
@@ -184,11 +115,25 @@ func TestDifferentialMechanismEquivalence(t *testing.T) {
 			{"hardware", MechHardware, 1, false},
 		}
 		for _, c := range configs {
-			got := runSignature(t, code, pages, c.mech, c.contexts, c.quick)
-			if got != want {
-				t.Errorf("trial %d: %s signature %#x != perfect %#x",
-					trial, c.name, got, want)
+			got := runSignature(t, p, c.mech, c.contexts, c.quick)
+			checkSig(t, c.name, got, want)
+		}
+	}
+}
+
+// TestDifferentialTwoLevel: the equivalence holds over a two-level
+// page table as well.
+func TestDifferentialTwoLevel(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		p := gen.Generate(int64(7000+trial), perfectCompatible)
+		want := runSignatureOrg(t, p, MechPerfect, 1, false, vm.PTTwoLevel)
+		for _, mech := range []Mechanism{MechTraditional, MechMultithreaded, MechHardware} {
+			contexts := 1
+			if mech == MechMultithreaded {
+				contexts = 2
 			}
+			got := runSignatureOrg(t, p, mech, contexts, false, vm.PTTwoLevel)
+			checkSig(t, mech.String()+"/twolevel", got, want)
 		}
 	}
 }
@@ -196,10 +141,8 @@ func TestDifferentialMechanismEquivalence(t *testing.T) {
 // TestDifferentialLimitStudies: the Table 3 limit studies change
 // timing only, never results.
 func TestDifferentialLimitStudies(t *testing.T) {
-	rng := rand.New(rand.NewSource(4242))
-	pages := 128
-	code := randProgram(rng, pages)
-	base := runSignature(t, code, pages, MechPerfect, 1, false)
+	p := gen.Generate(4242, perfectCompatible)
+	base := runSignature(t, p, MechPerfect, 1, false)
 	for _, limit := range []LimitStudy{LimitNoExecBW, LimitNoWindow, LimitNoFetchBW, LimitInstantFetch} {
 		cfg := DefaultConfig()
 		cfg.Mech = MechMultithreaded
@@ -209,26 +152,25 @@ func TestDifferentialLimitStudies(t *testing.T) {
 		cfg.MaxInsts = 5_000_000
 		cfg.MaxCycles = 20_000_000
 		m := New(cfg)
-		as := vm.NewAddressSpace(m.Phys(), 1, 1<<20)
-		img := &vm.Image{Name: "rand", Code: code, Space: as}
-		if err := img.Load(m.Phys()); err != nil {
+		img, err := p.BuildImage(m.Phys(), 1, vm.PTLinear)
+		if err != nil {
 			t.Fatal(err)
 		}
-		for i := 0; i < pages; i++ {
-			as.WriteU64(0x1000_0000+uint64(i)*vm.PageSize, uint64(i*37+11))
-		}
-		if _, err := m.AddProgram(img); err != nil {
+		tid, err := m.AddProgram(img)
+		if err != nil {
 			t.Fatal(err)
 		}
 		mustRun(t, m)
-		got := [3]uint64{
-			as.ReadU64(0x2000_0000),
-			as.ReadU64(0x2000_0008),
-			as.ReadU64(0x2000_0010),
+		got := archSig{
+			words: [3]uint64{
+				img.Space.ReadU64(gen.ResultVA),
+				img.Space.ReadU64(gen.ResultVA + 8),
+				img.Space.ReadU64(gen.ResultVA + 16),
+			},
+			regs: m.ArchRegs(tid),
+			mem:  img.Space.ContentHash(),
 		}
-		if got != base {
-			t.Errorf("limit %d: signature %#x != perfect %#x", limit, got, base)
-		}
+		checkSig(t, fmt.Sprintf("limit %d", limit), got, base)
 	}
 }
 
@@ -236,11 +178,8 @@ func TestDifferentialLimitStudies(t *testing.T) {
 // across machine widths and pipeline depths too — the paper's Figure
 // 2/3 sweeps must not change what programs compute.
 func TestDifferentialMachineShapes(t *testing.T) {
-	rng := rand.New(rand.NewSource(31337))
-	pages := 128
-	code := randProgram(rng, pages)
-
-	var want [3]uint64
+	p := gen.Generate(31337, perfectCompatible)
+	var want archSig
 	first := true
 	for _, shape := range []struct{ width, window, depth int }{
 		{8, 128, 7}, {2, 32, 7}, {4, 64, 7}, {8, 128, 3}, {8, 128, 11},
@@ -253,29 +192,28 @@ func TestDifferentialMachineShapes(t *testing.T) {
 		cfg.MaxInsts = 5_000_000
 		cfg.MaxCycles = 20_000_000
 		m := New(cfg)
-		as := vm.NewAddressSpace(m.Phys(), 1, 1<<20)
-		img := &vm.Image{Name: "rand", Code: code, Space: as}
-		if err := img.Load(m.Phys()); err != nil {
+		img, err := p.BuildImage(m.Phys(), 1, vm.PTLinear)
+		if err != nil {
 			t.Fatal(err)
 		}
-		for i := 0; i < pages; i++ {
-			as.WriteU64(0x1000_0000+uint64(i)*vm.PageSize, uint64(i*37+11))
-		}
-		if _, err := m.AddProgram(img); err != nil {
+		tid, err := m.AddProgram(img)
+		if err != nil {
 			t.Fatal(err)
 		}
 		mustRun(t, m)
-		got := [3]uint64{
-			as.ReadU64(0x2000_0000),
-			as.ReadU64(0x2000_0008),
-			as.ReadU64(0x2000_0010),
+		got := archSig{
+			words: [3]uint64{
+				img.Space.ReadU64(gen.ResultVA),
+				img.Space.ReadU64(gen.ResultVA + 8),
+				img.Space.ReadU64(gen.ResultVA + 16),
+			},
+			regs: m.ArchRegs(tid),
+			mem:  img.Space.ContentHash(),
 		}
 		if first {
 			want, first = got, false
 			continue
 		}
-		if got != want {
-			t.Errorf("shape %+v: signature %#x != %#x", shape, got, want)
-		}
+		checkSig(t, fmt.Sprintf("shape %+v", shape), got, want)
 	}
 }

@@ -1,0 +1,19 @@
+package cpu
+
+import "mtexc/internal/isa"
+
+// ArchRegs returns a copy of context tid's register file. After a
+// thread has halted this is its architectural register state: the
+// simulator executes functionally at fetch along the predicted path,
+// wrong-path writes are undone from the journal at squash, and
+// retirement is in-order — so once HALT retires, no speculative
+// writes remain. The differential-fuzzing oracle compares this
+// against the reference emulator's final registers.
+func (m *Machine) ArchRegs(tid int) isa.RegFile {
+	return m.threads[tid].rf
+}
+
+// ThreadHalted reports whether context tid has retired a HALT.
+func (m *Machine) ThreadHalted(tid int) bool {
+	return m.threads[tid].state == ctxHalted
+}

@@ -26,11 +26,12 @@ func (m *Machine) retire() {
 				break
 			}
 			u := t.inflight[0]
-			if ctx := u.handlerBy; ctx != nil && ctx.mech == MechMultithreaded && !ctx.dead && !ctx.rfeRetired {
+			if ctx := m.pendingSplice(u); ctx != nil {
 				m.drainHandler(ctx)
 				if !ctx.rfeRetired {
 					break // splice: wait for the handler to finish
 				}
+				continue // another handler may splice before u too
 			}
 			if u.stage != stageDone {
 				break
@@ -39,6 +40,27 @@ func (m *Machine) retire() {
 		}
 	}
 	m.compactWindow()
+}
+
+// pendingSplice returns the oldest live multithreaded handler that
+// must retire before u. Checking u.handlerBy alone is not enough: an
+// instruction that takes a second exception after its first handler
+// has filled (TLB miss then unaligned trap, or a re-miss after the
+// fill was evicted) gets relinked to the new handler, but the spent
+// first handler still owes its spliced retirement — otherwise it
+// never drains, its context is never freed, and the machine cannot
+// quiesce. The handler list is append-ordered, so the first match is
+// the oldest obligation.
+func (m *Machine) pendingSplice(u *uop) *handlerCtx {
+	for _, ctx := range m.handlers {
+		if ctx.mech != MechMultithreaded || ctx.dead || ctx.rfeRetired {
+			continue
+		}
+		if u.handlerBy == ctx || ctx.master.live() == u {
+			return ctx
+		}
+	}
+	return nil
 }
 
 // drainHandler retires as much of a handler thread as has completed,
@@ -213,6 +235,11 @@ func (m *Machine) osPageFaultService(t *thread, u *uop) {
 	m.ras[t.id].Restore(u.rasCp)
 	t.inPAL = false
 	t.pc = ctx.excPC
+	if m.InjectBug == BugResumeSkip {
+		// Seeded defect: resume past the faulting instruction instead
+		// of at it, so it never re-executes (see cpu.InjectedBug).
+		t.pc = ctx.excPC + 4
+	}
 	t.haltedFetch, t.fetchStalled = false, false
 	t.fetchBlockedUntil = m.now + m.cfg.OSFaultCycles
 }

@@ -1,0 +1,320 @@
+// Package diffsim is the differential-fuzzing cross-check runner: it
+// executes generated programs (internal/diffsim/gen) under the
+// reference emulator (internal/diffsim/refemu) and under a sampled
+// grid of cpu.Machine configurations — every exception mechanism,
+// context counts, quick-start, page-table organizations, machine
+// shapes — and reports any architectural divergence: final register
+// state, mapped-memory contents, or the committed-instruction stream.
+// A divergence is a bug by definition: the paper's mechanisms are
+// architecturally invisible and may differ only in timing.
+//
+// On a divergence, Shrink delta-debugs the failing program down to a
+// minimal reproducer and Divergence.Repro renders a ready-to-run
+// mtexcsim command line.
+package diffsim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mtexc/internal/cpu"
+	"mtexc/internal/diffsim/gen"
+	"mtexc/internal/diffsim/refemu"
+	"mtexc/internal/isa"
+	"mtexc/internal/mem"
+	"mtexc/internal/vm"
+)
+
+// Case is one machine configuration of the cross-check grid.
+type Case struct {
+	Name     string
+	Mech     cpu.Mechanism
+	Contexts int
+	Quick    bool
+	// Width/Window/Depth override the machine shape (0 = default).
+	Width, Window int
+	Depth         int
+	PT            vm.PTOrg
+	// TrapUnaligned and EmulatePopc must only be set on software
+	// mechanisms (the core panics otherwise); TrapUnaligned selects
+	// which reference-emulator architecture the case compares against.
+	TrapUnaligned bool
+	EmulatePopc   bool
+}
+
+// config renders the case as a core configuration, bounded by the
+// reference run's committed-instruction count so a diverging machine
+// cannot spin to the global cycle cap.
+func (c Case) config(refSteps uint64) cpu.Config {
+	cfg := cpu.DefaultConfig()
+	if c.Width != 0 {
+		cfg = cfg.WithWidth(c.Width, c.Window)
+	}
+	if c.Depth != 0 {
+		cfg = cfg.WithPipeDepth(c.Depth)
+	}
+	cfg.Mech = c.Mech
+	cfg.Contexts = c.Contexts
+	cfg.QuickStart = c.Quick
+	cfg.PageTable = c.PT
+	cfg.TrapUnaligned = c.TrapUnaligned
+	cfg.EmulatePopc = c.EmulatePopc
+	cfg.CheckInvariants = true
+	cfg.MaxInsts = refSteps + 10_000
+	cyc := 400*refSteps + 500_000
+	if cyc > 50_000_000 {
+		cyc = 50_000_000
+	}
+	cfg.MaxCycles = cyc
+	return cfg
+}
+
+// Grid builds the configuration grid for one program: the four
+// mechanisms at their canonical shapes, plus two seed-sampled extras
+// (more contexts, quick-start, two-level page tables, narrower
+// machines). MechPerfect is only comparable when the program touches
+// no unmapped pages — a perfect TLB silently drops accesses the
+// software mechanisms page-fault and map — so it joins the grid only
+// at FaultPct 0. The grid is deterministic in the program seed.
+func Grid(p *gen.Program) []Case {
+	unal := p.HasUnaligned()
+	cases := []Case{}
+	if p.Knobs.FaultPct == 0 {
+		cases = append(cases, Case{Name: "perfect", Mech: cpu.MechPerfect, Contexts: 1})
+	}
+	cases = append(cases,
+		Case{Name: "traditional", Mech: cpu.MechTraditional, Contexts: 1,
+			TrapUnaligned: unal, EmulatePopc: true},
+		Case{Name: "multithreaded", Mech: cpu.MechMultithreaded, Contexts: 2,
+			TrapUnaligned: unal, EmulatePopc: true},
+		Case{Name: "hardware", Mech: cpu.MechHardware, Contexts: 1},
+	)
+	extras := []Case{
+		{Name: "multithreaded-4ctx", Mech: cpu.MechMultithreaded, Contexts: 4,
+			TrapUnaligned: unal, EmulatePopc: true},
+		{Name: "quickstart", Mech: cpu.MechMultithreaded, Contexts: 2, Quick: true,
+			TrapUnaligned: unal, EmulatePopc: true},
+		{Name: "traditional-twolevel", Mech: cpu.MechTraditional, Contexts: 1,
+			PT: vm.PTTwoLevel, TrapUnaligned: unal, EmulatePopc: true},
+		{Name: "hardware-twolevel", Mech: cpu.MechHardware, Contexts: 1, PT: vm.PTTwoLevel},
+		{Name: "multithreaded-narrow", Mech: cpu.MechMultithreaded, Contexts: 2,
+			Width: 4, Window: 64, TrapUnaligned: unal, EmulatePopc: true},
+		{Name: "traditional-tiny", Mech: cpu.MechTraditional, Contexts: 1,
+			Width: 2, Window: 32, TrapUnaligned: unal, EmulatePopc: true},
+	}
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x6772_6964)) // "grid"
+	rng.Shuffle(len(extras), func(i, j int) { extras[i], extras[j] = extras[j], extras[i] })
+	return append(cases, extras[:2]...)
+}
+
+// Divergence describes one architectural disagreement between a
+// machine configuration and the reference emulator.
+type Divergence struct {
+	// Spec replays the program (gen.ParseSpec).
+	Spec string
+	Case Case
+	// Kind is one of: registers, memory, trace, nohalt, livelock,
+	// panic, error.
+	Kind   string
+	Detail string
+}
+
+func (d Divergence) String() string {
+	return fmt.Sprintf("%s under %s: %s (%s)", d.Kind, d.Case.Name, d.Detail, d.Spec)
+}
+
+// Repro renders a ready-to-run command line reproducing the failing
+// configuration under mtexcsim.
+func (d Divergence) Repro() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "go run ./cmd/mtexcsim -bench 'fuzz:%s' -mech %s -idle %d",
+		d.Spec, d.Case.Mech, d.Case.Contexts-1)
+	if d.Case.Quick {
+		sb.WriteString(" -quickstart")
+	}
+	if d.Case.PT == vm.PTTwoLevel {
+		sb.WriteString(" -pt twolevel")
+	}
+	if d.Case.EmulatePopc {
+		sb.WriteString(" -emupopc")
+	}
+	if d.Case.TrapUnaligned {
+		sb.WriteString(" -trapunaligned")
+	}
+	if d.Case.Width != 0 {
+		fmt.Fprintf(&sb, " -width %d -window %d", d.Case.Width, d.Case.Window)
+	}
+	if d.Case.Depth != 0 {
+		fmt.Fprintf(&sb, " -depth %d", d.Case.Depth)
+	}
+	return sb.String()
+}
+
+// Options parameterize CheckProgram.
+type Options struct {
+	// Mech restricts the grid to one mechanism name ("" = all).
+	Mech string
+	// Inject seeds a deliberate core defect (self-tests of the fuzzer
+	// itself; see cpu.InjectedBug).
+	Inject cpu.InjectedBug
+}
+
+// refRun caches one reference-emulator execution and the resulting
+// memory signature, per architecture variant (aligned/unaligned).
+type refRun struct {
+	res  *refemu.Result
+	hash uint64
+}
+
+func runRef(p *gen.Program, unaligned bool) (*refRun, error) {
+	img, err := p.BuildImage(mem.NewPhysical(), 1, vm.PTLinear)
+	if err != nil {
+		return nil, err
+	}
+	res, err := refemu.Run(img, refemu.Options{Unaligned: unaligned})
+	if err != nil {
+		return nil, err
+	}
+	return &refRun{res: res, hash: img.Space.ContentHash()}, nil
+}
+
+// CheckProgram runs the program under the full grid and collects
+// every divergence. A non-nil error means the program itself is
+// invalid (does not assemble or does not halt under the reference
+// emulator) — that is a generator problem, not a core bug.
+func CheckProgram(p *gen.Program, opt Options) ([]Divergence, error) {
+	refs := map[bool]*refRun{}
+	var divs []Divergence
+	for _, c := range Grid(p) {
+		if opt.Mech != "" && c.Mech.String() != opt.Mech {
+			continue
+		}
+		ref := refs[c.TrapUnaligned]
+		if ref == nil {
+			r, err := runRef(p, c.TrapUnaligned)
+			if err != nil {
+				return nil, fmt.Errorf("diffsim: reference run of %s: %w", p.Spec(), err)
+			}
+			refs[c.TrapUnaligned] = r
+			ref = r
+		}
+		if d := runCase(p, c, ref, opt.Inject); d != nil {
+			d.Spec = p.Spec()
+			divs = append(divs, *d)
+		}
+	}
+	return divs, nil
+}
+
+// skippable reports whether a reference-trace instruction is allowed
+// to be absent from the machine's committed stream: under software
+// mechanisms, emulated POPCs and trapped unaligned loads are squashed
+// and performed by the handler (which resumes at pc+4), so they never
+// retire as application instructions. Their architectural effect is
+// still checked — through the final register and memory signatures.
+func skippable(op isa.Op, cfg cpu.Config) bool {
+	if cfg.EmulatePopc && op == isa.OpPopc {
+		return true
+	}
+	if cfg.TrapUnaligned && (op == isa.OpLdq || op == isa.OpLdl) {
+		return true
+	}
+	return false
+}
+
+// runCase executes the program under one configuration and compares
+// the committed-instruction stream (streamed through RetireHook), the
+// final architectural registers and the mapped-memory signature
+// against the reference run. A panic inside the core (invariant
+// checker, splice machinery) is itself a divergence.
+func runCase(p *gen.Program, c Case, ref *refRun, inject cpu.InjectedBug) (div *Divergence) {
+	defer func() {
+		if r := recover(); r != nil {
+			div = &Divergence{Case: c, Kind: "panic", Detail: fmt.Sprint(r)}
+		}
+	}()
+
+	cfg := c.config(ref.res.Steps)
+	m := cpu.New(cfg)
+	m.InjectBug = inject
+	img, err := p.BuildImage(m.Phys(), 1, cfg.PageTable)
+	if err != nil {
+		return &Divergence{Case: c, Kind: "error", Detail: err.Error()}
+	}
+	tid, err := m.AddProgram(img)
+	if err != nil {
+		return &Divergence{Case: c, Kind: "error", Detail: err.Error()}
+	}
+
+	trace := ref.res.Trace
+	idx := 0
+	var mismatch string
+	m.RetireHook = func(ri cpu.RetiredInst) {
+		if ri.Tid != tid || ri.PAL || mismatch != "" {
+			return
+		}
+		for idx < len(trace) {
+			e := trace[idx]
+			if e.PC == ri.PC && e.Op == ri.Op {
+				idx++
+				return
+			}
+			if skippable(e.Op, cfg) {
+				idx++
+				continue
+			}
+			mismatch = fmt.Sprintf("committed inst %d: machine retired pc=%#x op=%v, reference expects pc=%#x op=%v",
+				idx, ri.PC, ri.Op, e.PC, e.Op)
+			return
+		}
+		mismatch = fmt.Sprintf("machine retired pc=%#x op=%v past the end of the %d-entry reference trace",
+			ri.PC, ri.Op, len(trace))
+	}
+
+	if _, err := m.Run(); err != nil {
+		kind := "error"
+		if _, ok := err.(*cpu.LivelockError); ok {
+			kind = "livelock"
+		}
+		return &Divergence{Case: c, Kind: kind, Detail: err.Error()}
+	}
+	if !m.ThreadHalted(tid) {
+		return &Divergence{Case: c, Kind: "nohalt",
+			Detail: fmt.Sprintf("application thread not halted after %d committed of %d reference instructions", idx, len(trace))}
+	}
+	if mismatch != "" {
+		return &Divergence{Case: c, Kind: "trace", Detail: mismatch}
+	}
+	for ; idx < len(trace); idx++ {
+		if !skippable(trace[idx].Op, cfg) {
+			return &Divergence{Case: c, Kind: "trace",
+				Detail: fmt.Sprintf("machine halted with reference inst %d (pc=%#x op=%v) never committed",
+					idx, trace[idx].PC, trace[idx].Op)}
+		}
+	}
+	if regs := m.ArchRegs(tid); regs != ref.res.Regs {
+		return &Divergence{Case: c, Kind: "registers", Detail: regsDiff(regs, ref.res.Regs)}
+	}
+	if h := img.Space.ContentHash(); h != ref.hash {
+		return &Divergence{Case: c, Kind: "memory",
+			Detail: fmt.Sprintf("mapped-memory hash %#x != reference %#x", h, ref.hash)}
+	}
+	return nil
+}
+
+// regsDiff names the first few differing registers.
+func regsDiff(got, want isa.RegFile) string {
+	var parts []string
+	for r := 0; r < len(got.Int) && len(parts) < 4; r++ {
+		if got.Int[r] != want.Int[r] {
+			parts = append(parts, fmt.Sprintf("r%d=%#x want %#x", r, got.Int[r], want.Int[r]))
+		}
+	}
+	for r := 0; r < len(got.FP) && len(parts) < 4; r++ {
+		if got.FP[r] != want.FP[r] {
+			parts = append(parts, fmt.Sprintf("f%d=%#x want %#x", r, got.FP[r], want.FP[r]))
+		}
+	}
+	return strings.Join(parts, ", ")
+}

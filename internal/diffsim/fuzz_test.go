@@ -1,0 +1,29 @@
+package diffsim
+
+import (
+	"testing"
+
+	"mtexc/internal/diffsim/gen"
+)
+
+// FuzzDifferential: for any generator seed, every machine
+// configuration in the grid must agree architecturally with the
+// reference emulator. The limits keep one execution to a few
+// milliseconds so the fuzzer gets through thousands of programs per
+// `make fuzz` burst.
+func FuzzDifferential(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	lim := gen.Limits{MaxPages: 32, MaxTrips: 24, MaxFrags: 8}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		p := gen.Generate(seed, lim)
+		divs, err := CheckProgram(p, Options{})
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, p.Spec(), err)
+		}
+		for _, d := range divs {
+			t.Errorf("seed %d: %s\n  repro: %s", seed, d, d.Repro())
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package gen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Spec renders the program as a compact, comma-free string:
+//
+//	v1.s42.p16.t9.f30.k1-3-0-12.k4-1-0-7
+//
+// (version, seed, pages, trips, fault percent, then one k field per
+// fragment). The charset is deliberately shell- and flag-safe: no
+// commas (mtexcsim splits -bench on them), no spaces, no quotes — a
+// spec embeds verbatim in `-bench fuzz:<spec>` and in mtexc-fuzz
+// -replay. ParseSpec inverts it exactly.
+func (p *Program) Spec() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "v1.s%d.p%d.t%d.f%d",
+		p.Seed, p.Knobs.Pages, p.Knobs.Trips, p.Knobs.FaultPct)
+	for _, f := range p.Frags {
+		fmt.Fprintf(&sb, ".k%d-%d-%d-%d", f.Kind, f.A, f.B, f.C)
+	}
+	return sb.String()
+}
+
+// ParseSpec parses a Spec string back into a Program.
+func ParseSpec(spec string) (*Program, error) {
+	fields := strings.Split(spec, ".")
+	if len(fields) < 5 || fields[0] != "v1" {
+		return nil, fmt.Errorf("gen: malformed spec %q: want v1.s<seed>.p<pages>.t<trips>.f<pct>[.k...]", spec)
+	}
+	p := &Program{}
+	var err error
+	if p.Seed, err = specInt(fields[1], "s"); err != nil {
+		return nil, err
+	}
+	pages, err := specInt(fields[2], "p")
+	if err != nil {
+		return nil, err
+	}
+	trips, err := specInt(fields[3], "t")
+	if err != nil {
+		return nil, err
+	}
+	fault, err := specInt(fields[4], "f")
+	if err != nil {
+		return nil, err
+	}
+	p.Knobs = Knobs{Pages: int(pages), Trips: int(trips), FaultPct: int(fault)}
+	for _, f := range fields[5:] {
+		if !strings.HasPrefix(f, "k") {
+			return nil, fmt.Errorf("gen: malformed spec fragment %q", f)
+		}
+		parts := strings.Split(f[1:], "-")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("gen: malformed spec fragment %q", f)
+		}
+		var vals [4]int
+		for i, s := range parts {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("gen: malformed spec fragment %q", f)
+			}
+			vals[i] = v
+		}
+		if vals[0] >= int(numFragKinds) {
+			return nil, fmt.Errorf("gen: spec fragment %q: unknown kind %d", f, vals[0])
+		}
+		p.Frags = append(p.Frags, Fragment{
+			Kind: FragKind(vals[0]), A: vals[1], B: vals[2], C: vals[3],
+		})
+	}
+	if _, err := p.Build(); err != nil {
+		return nil, fmt.Errorf("gen: spec %q does not assemble: %w", spec, err)
+	}
+	return p, nil
+}
+
+func specInt(field, prefix string) (int64, error) {
+	v, ok := strings.CutPrefix(field, prefix)
+	if !ok {
+		return 0, fmt.Errorf("gen: spec field %q: want prefix %q", field, prefix)
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("gen: spec field %q: %v", field, err)
+	}
+	return n, nil
+}

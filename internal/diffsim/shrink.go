@@ -1,0 +1,100 @@
+package diffsim
+
+import "mtexc/internal/diffsim/gen"
+
+// ShrinkResult is a minimized failing program.
+type ShrinkResult struct {
+	// Program still diverges under the grid; Div is its first
+	// divergence as of the final reduction step.
+	Program *gen.Program
+	Div     Divergence
+	// Tried counts candidate programs executed (budget consumption).
+	Tried int
+}
+
+// Shrink delta-debugs a diverging program to a minimal reproducer:
+// first fragments are removed chunk-wise (halving chunk sizes down to
+// single fragments), then the trip count, fault percentage and page
+// count are halved while the divergence persists. Every candidate is
+// re-checked under the full grid, so the reduced program may fail
+// under a different configuration than the original — any divergence
+// is a bug, and the smallest program exhibiting one is the most
+// debuggable. budget caps candidate executions (<=0 means 200).
+// Returns nil if the input program does not diverge.
+func Shrink(p *gen.Program, opt Options, budget int) *ShrinkResult {
+	if budget <= 0 {
+		budget = 200
+	}
+	res := &ShrinkResult{}
+	fails := func(cand *gen.Program) *Divergence {
+		if res.Tried >= budget {
+			return nil
+		}
+		res.Tried++
+		divs, err := CheckProgram(cand, opt)
+		if err != nil || len(divs) == 0 {
+			return nil
+		}
+		return &divs[0]
+	}
+
+	cur := clone(p)
+	d := fails(cur)
+	if d == nil {
+		return nil
+	}
+	res.Div = *d
+
+	accept := func(cand *gen.Program) bool {
+		if d := fails(cand); d != nil {
+			cur = cand
+			res.Div = *d
+			return true
+		}
+		return false
+	}
+
+	// Fragment reduction: try dropping chunks, largest first.
+	for chunk := len(cur.Frags) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(cur.Frags) && len(cur.Frags) > chunk; {
+			cand := clone(cur)
+			cand.Frags = append(cand.Frags[:start], cand.Frags[start+chunk:]...)
+			if !accept(cand) {
+				start += chunk
+			}
+		}
+	}
+
+	// Scalar knob reduction: halve while the failure persists.
+	for cur.Knobs.Trips > 1 {
+		cand := clone(cur)
+		cand.Knobs.Trips /= 2
+		if !accept(cand) {
+			break
+		}
+	}
+	for cur.Knobs.FaultPct > 0 {
+		cand := clone(cur)
+		cand.Knobs.FaultPct /= 2
+		if !accept(cand) {
+			break
+		}
+	}
+	for cur.Knobs.Pages > 1 {
+		cand := clone(cur)
+		cand.Knobs.Pages /= 2
+		if !accept(cand) {
+			break
+		}
+	}
+
+	res.Program = cur
+	res.Div.Spec = cur.Spec()
+	return res
+}
+
+func clone(p *gen.Program) *gen.Program {
+	q := *p
+	q.Frags = append([]gen.Fragment(nil), p.Frags...)
+	return &q
+}

@@ -1,0 +1,23 @@
+package diffsim
+
+import (
+	"testing"
+
+	"mtexc/internal/diffsim/gen"
+)
+
+// TestNoDivergenceOnHead: the head-of-tree core must agree with the
+// reference emulator across the sampled grid for a spread of seeds
+// covering faulting, unaligned and fault-free programs.
+func TestNoDivergenceOnHead(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := gen.Generate(seed, gen.Limits{})
+		divs, err := CheckProgram(p, Options{})
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, p.Spec(), err)
+		}
+		for _, d := range divs {
+			t.Errorf("seed %d: %s\n  repro: %s", seed, d, d.Repro())
+		}
+	}
+}

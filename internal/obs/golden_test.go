@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mtexc/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// checkGolden compares got byte-for-byte against testdata/<name>;
+// `go test -run Golden -update` regenerates the files after an
+// intentional format change.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file (run `go test -update` if intentional)\ngot:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+// The exporters' byte layout is consumed by external tooling (Chrome
+// about:tracing, CSV pipelines): any change is a compatibility break
+// and must be deliberate, hence byte-exact golden files.
+
+func TestGoldenChromeTrace(t *testing.T) {
+	recs := []trace.Record{
+		{Seq: 1, Tid: 0, PC: 0x1_0000, Op: "ldq", FetchAt: 5, AvailAt: 8,
+			WindowAt: 9, IssueAt: 12, DoneAt: 15, EndAt: 16},
+		{Seq: 2, Tid: 0, PC: 0x1_0004, Op: "add", FetchAt: 6, AvailAt: 9,
+			WindowAt: 10, IssueAt: 16, DoneAt: 17, EndAt: 18},
+		{Seq: 3, Tid: 1, PC: 0x2_0000, Op: "stq", Squashed: true,
+			FetchAt: 7, EndAt: 12},
+		{Seq: 4, Tid: 1, PC: 0x2_0004, Op: "beq", PAL: true, FetchAt: 8,
+			AvailAt: 11, WindowAt: 12, IssueAt: 13, DoneAt: 14, EndAt: 15},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome_trace.json", buf.Bytes())
+}
+
+func TestGoldenSeriesCSV(t *testing.T) {
+	series := []Series{
+		{Name: "ipc", Cycles: []uint64{1000, 2000, 3000}, Values: []float64{2.125, 3, 0.5}},
+		{Name: "missrate", Cycles: []uint64{1000, 2000}, Values: []float64{0.0625, 0}},
+		{Name: "empty"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "series.csv", buf.Bytes())
+}

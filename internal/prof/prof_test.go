@@ -1,0 +1,78 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNoOp(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBothProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpuPath := filepath.Join(dir, "cpu.prof")
+	memPath := filepath.Join(dir, "mem.prof")
+	stop, err := Start(cpuPath, memPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpuPath, memPath} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+
+	// The CPU profile must have been released: a second profiling
+	// session can start (StartCPUProfile fails while one is active).
+	stop2, err := Start(filepath.Join(dir, "cpu2.prof"), "")
+	if err != nil {
+		t.Fatalf("second Start after stop: %v", err)
+	}
+	if err := stop2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadPaths(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Start(filepath.Join(dir, "no/such/dir/cpu.prof"), ""); err == nil {
+		t.Error("Start with unwritable CPU path: want error")
+	}
+	// An unwritable heap path fails at stop time, after the measured
+	// work — and must not leave the CPU profiler running.
+	stop, err := Start(filepath.Join(dir, "cpu.prof"), filepath.Join(dir, "no/such/dir/mem.prof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Error("stop with unwritable heap path: want error")
+	}
+	stop2, err := Start(filepath.Join(dir, "cpu3.prof"), "")
+	if err != nil {
+		t.Fatalf("CPU profiler left running after failed stop: %v", err)
+	}
+	if err := stop2(); err != nil {
+		t.Fatal(err)
+	}
+}

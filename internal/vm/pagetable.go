@@ -235,6 +235,43 @@ func (as *AddressSpace) ForEachMapped(visit func(vpn uint64)) {
 	}
 }
 
+// Phys exposes the backing physical memory, for tools that combine
+// oracle translation with byte-granular physical access (the
+// differential-fuzzing reference emulator mirrors the core's
+// unaligned-span reads this way).
+func (as *AddressSpace) Phys() *mem.Physical { return as.phys }
+
+// ContentHash returns an FNV-1a hash over the mapped portion of the
+// address space: every resident VPN followed by its page contents, in
+// ascending VPN order. Two spaces hash equal exactly when they map
+// the same virtual pages with the same bytes — the memory half of the
+// differential-fuzzing final-state signature. Physical frame numbers
+// do not enter the hash, so spaces built over different physical
+// allocators compare equal.
+func (as *AddressSpace) ContentHash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	as.ForEachMapped(func(vpn uint64) {
+		mix(vpn)
+		base := vpn << PageShift
+		pa, _ := as.Translate(base)
+		for off := uint64(0); off < PageSize; off += 8 {
+			mix(as.phys.ReadU64(pa + off))
+		}
+	})
+	return h
+}
+
 // ReadU64 reads through the oracle translation; for loaders and
 // functional execution. Unmapped reads return zero (the simulator
 // only issues them on mis-speculated paths).

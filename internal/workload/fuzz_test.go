@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"mtexc/internal/mem"
+)
+
+func TestParseFuzz(t *testing.T) {
+	const spec = "v1.s2.p8.t3.f7.k1-17284-15991-10488"
+	f, err := ParseFuzz(FuzzPrefix + spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != FuzzPrefix+spec {
+		t.Errorf("Name = %q, want %q", f.Name(), FuzzPrefix+spec)
+	}
+	if !strings.HasSuffix(f.Key(), "/pt0") {
+		t.Errorf("Key = %q, want /pt0 suffix", f.Key())
+	}
+	if !strings.HasSuffix(f.WithTwoLevelPT().Key(), "/pt1") {
+		t.Errorf("two-level Key = %q, want /pt1 suffix", f.Key())
+	}
+	img, err := f.Build(mem.NewPhysical(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Code) == 0 {
+		t.Error("built image has no code")
+	}
+
+	if _, err := ParseFuzz("compress"); err == nil {
+		t.Error("ParseFuzz accepted a non-fuzz name")
+	}
+	if _, err := ParseFuzz(FuzzPrefix + "v2.bogus"); err == nil {
+		t.Error("ParseFuzz accepted a malformed spec")
+	}
+}
