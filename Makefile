@@ -71,19 +71,25 @@ report:
 
 # Short burst of every fuzz target (corrupt snapshots, hostile
 # instruction words, assembler input, mechanism-vs-reference
-# differential checks); see docs/robustness.md and docs/fuzzing.md.
+# differential checks), then a short differential sweep that leaves a
+# structured event log (out/fuzz-events.ndjson: per-program fuzz.check
+# entries, fuzz.divergence with the shrunk repro) behind for failure
+# forensics; see docs/robustness.md, docs/fuzzing.md, docs/telemetry.md.
 fuzz:
+	mkdir -p out
 	$(GO) test ./internal/isa -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/isa/asm -run '^$$' -fuzz FuzzAssemble -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/obs -run '^$$' -fuzz FuzzReadSnapshot -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/diffsim -run '^$$' -fuzz FuzzDifferential -fuzztime $(FUZZTIME)
+	$(GO) run ./cmd/mtexc-fuzz -seed 1 -n 25 -events out/fuzz-events.ndjson
 
 # Longer differential soak: a five-minute FuzzDifferential run plus a
 # deterministic 200-seed sweep through the full configuration grid.
 # Not part of the PR gate.
 fuzz-long:
+	mkdir -p out
 	$(GO) test ./internal/diffsim -run '^$$' -fuzz FuzzDifferential -fuzztime 5m
-	$(GO) run ./cmd/mtexc-fuzz -seed 1 -n 200 -v
+	$(GO) run ./cmd/mtexc-fuzz -seed 1 -n 200 -v -events out/fuzz-events.ndjson
 
 # Crash-safe resume: run Figure 5 with a journal, throw most of the
 # journal away (simulating a kill), resume, and demand byte-identical

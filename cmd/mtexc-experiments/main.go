@@ -20,12 +20,15 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"mtexc/internal/harness"
 	"mtexc/internal/prof"
+	"mtexc/internal/telemetry"
 )
 
 func main() {
@@ -63,6 +66,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		journalP = fs.String("journal", "out/journal.ndjson", "NDJSON journal of completed simulations (empty disables journaling)")
 		resume   = fs.Bool("resume", false, "reuse results journaled by a previous (possibly killed) invocation instead of re-simulating them")
 		cellTime = fs.Duration("cell-timeout", 0, "wall-clock deadline per simulation (0 = none); an overrunning cell reports FAIL")
+		telAddr  = fs.String("telemetry", "", "serve the live telemetry plane on this address (/metrics, /debug/cells, /debug/pprof); empty disables")
+		eventsP  = fs.String("events", "", "write a structured NDJSON event log to this file (empty disables)")
+		evLevel  = fs.String("events-level", "info", "minimum severity kept in the -events log (debug|info|warn|error)")
+		traceP   = fs.String("runtrace", "", "write a Chrome trace of the whole run (one lane per worker) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -101,6 +108,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "resuming: %d journaled simulation(s) in %s\n", journal.Len(), *journalP)
 		}
 	}
+
+	// The telemetry plane is assembled from whichever surfaces were
+	// requested; everything stays nil (and free) when none were.
+	runStart := time.Now()
+	var plane *telemetry.Plane
+	var telSrv *telemetry.Server
+	if *telAddr != "" || *eventsP != "" || *traceP != "" {
+		plane = telemetry.NewPlane()
+		if *eventsP != "" {
+			events, err := telemetry.OpenLog(*eventsP, telemetry.Level(*evLevel))
+			if err != nil {
+				fmt.Fprintln(stderr, "mtexc-experiments:", err)
+				return 1
+			}
+			defer events.Close()
+			plane.Events = events
+		}
+		if *traceP != "" {
+			plane.Trace = telemetry.NewRunTrace()
+		}
+		if *telAddr != "" {
+			var err error
+			telSrv, err = plane.Serve(*telAddr)
+			if err != nil {
+				fmt.Fprintln(stderr, "mtexc-experiments:", err)
+				return 1
+			}
+			defer telSrv.Close()
+			fmt.Fprintf(stderr, "telemetry: serving http://%s/metrics\n", telSrv.Addr())
+		}
+		opt.Telemetry = plane
+		plane.RunStarted(strings.Join(args, " "))
+	}
+	opt.Meter = telemetry.NewMeter()
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -228,7 +269,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	fmt.Fprintln(stderr, opt.Meter.Summary())
+	if plane != nil {
+		status := "ok"
+		if exitCode != 0 {
+			status = "fail"
+		}
+		plane.RunFinished(status, time.Since(runStart).Seconds()*1e3)
+		if plane.Trace != nil {
+			if err := writeRunTrace(*traceP, plane.Trace); err != nil {
+				fmt.Fprintln(stderr, "mtexc-experiments:", err)
+				exitCode = 1
+			} else if *verbose {
+				fmt.Fprintf(stderr, "runtrace: %d span(s) -> %s\n", plane.Trace.Len(), *traceP)
+			}
+		}
+	}
 	return exitCode
+}
+
+// writeRunTrace renders the collected run trace as a Chrome trace
+// file, creating parent directories as needed.
+func writeRunTrace(path string, tr *telemetry.RunTrace) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func plural(n int64, one, many string) string {

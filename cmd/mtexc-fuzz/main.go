@@ -22,6 +22,7 @@ import (
 	"mtexc/internal/cpu"
 	"mtexc/internal/diffsim"
 	"mtexc/internal/diffsim/gen"
+	"mtexc/internal/telemetry"
 )
 
 func main() {
@@ -40,6 +41,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		replay  = fs.String("replay", "", "re-run one program spec instead of generating (v1.s...)")
 		inject  = fs.String("inject", "", "seed a deliberate core defect (self-test): none | resume-skip")
 		verbose = fs.Bool("v", false, "log every program spec as it is checked")
+		telAddr = fs.String("telemetry", "", "serve the live telemetry plane on this address (/metrics, /debug/pprof); empty disables")
+		eventsP = fs.String("events", "", "write a structured NDJSON event log to this file (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -52,13 +55,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	opt := diffsim.Options{Mech: *mech, Inject: bug}
 
+	tel, err := newFuzzTelemetry(*telAddr, *eventsP, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "mtexc-fuzz:", err)
+		return 1
+	}
+	defer tel.close()
+
 	if *replay != "" {
 		p, err := gen.ParseSpec(*replay)
 		if err != nil {
 			fmt.Fprintln(stderr, "mtexc-fuzz:", err)
 			return 2
 		}
-		return checkOne(p, opt, *shrink, *budget, stdout, stderr)
+		return checkOne(p, opt, tel, *shrink, *budget, stdout, stderr)
 	}
 
 	worst := 0
@@ -67,7 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *verbose {
 			fmt.Fprintf(stdout, "check %s\n", p.Spec())
 		}
-		if rc := checkOne(p, opt, *shrink, *budget, stdout, stderr); rc > worst {
+		if rc := checkOne(p, opt, tel, *shrink, *budget, stdout, stderr); rc > worst {
 			worst = rc
 		}
 	}
@@ -77,10 +87,84 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return worst
 }
 
+// fuzzTelemetry is the fuzzing driver's slice of the telemetry plane:
+// program/divergence counters on /metrics and fuzz.check /
+// fuzz.divergence events in the NDJSON log. The zero value (no plane)
+// is fully disabled.
+type fuzzTelemetry struct {
+	plane       *telemetry.Plane
+	srv         *telemetry.Server
+	programs    *telemetry.Counter
+	divergences *telemetry.Counter
+}
+
+// newFuzzTelemetry assembles the requested telemetry surfaces; both
+// empty means a disabled (nil-plane) instance.
+func newFuzzTelemetry(addr, eventsPath string, stderr io.Writer) (*fuzzTelemetry, error) {
+	t := &fuzzTelemetry{}
+	if addr == "" && eventsPath == "" {
+		return t, nil
+	}
+	t.plane = telemetry.NewPlane()
+	t.programs = t.plane.Reg.Counter("mtexc_fuzz_programs_total",
+		"Fuzz programs cross-checked.")
+	t.divergences = t.plane.Reg.Counter("mtexc_fuzz_divergences_total",
+		"Fuzz programs that diverged from the reference emulator.")
+	if eventsPath != "" {
+		// Per-program check events are debug-grained; the fuzz log keeps
+		// them all so a failing run's artifact shows the full sweep.
+		events, err := telemetry.OpenLog(eventsPath, telemetry.LevelDebug)
+		if err != nil {
+			return nil, err
+		}
+		t.plane.Events = events
+	}
+	if addr != "" {
+		srv, err := t.plane.Serve(addr)
+		if err != nil {
+			t.plane.Events.Close()
+			return nil, err
+		}
+		t.srv = srv
+		fmt.Fprintf(stderr, "telemetry: serving http://%s/metrics\n", srv.Addr())
+	}
+	return t, nil
+}
+
+// checked records one cross-checked program.
+func (t *fuzzTelemetry) checked(spec string) {
+	if t.plane == nil {
+		return
+	}
+	t.programs.Inc()
+	t.plane.Events.Emit(telemetry.Event{Type: "fuzz.check", Level: telemetry.LevelDebug,
+		Detail: spec})
+}
+
+// diverged records one divergence with its repro line.
+func (t *fuzzTelemetry) diverged(spec, repro string) {
+	if t.plane == nil {
+		return
+	}
+	t.divergences.Inc()
+	t.plane.Events.Emit(telemetry.Event{Type: "fuzz.divergence", Level: telemetry.LevelError,
+		Fingerprint: spec, Detail: repro})
+}
+
+// close flushes and releases the telemetry surfaces.
+func (t *fuzzTelemetry) close() {
+	if t.plane == nil {
+		return
+	}
+	t.srv.Close()
+	t.plane.Events.Close()
+}
+
 // checkOne cross-checks a single program, shrinking and reporting any
 // divergence. Returns 0 (clean), 1 (divergence) or 2 (invalid
 // program — a generator bug, not a core bug).
-func checkOne(p *gen.Program, opt diffsim.Options, shrink bool, budget int, stdout, stderr io.Writer) int {
+func checkOne(p *gen.Program, opt diffsim.Options, tel *fuzzTelemetry, shrink bool, budget int, stdout, stderr io.Writer) int {
+	tel.checked(p.Spec())
 	divs, err := diffsim.CheckProgram(p, opt)
 	if err != nil {
 		fmt.Fprintln(stderr, "mtexc-fuzz:", err)
@@ -99,6 +183,7 @@ func checkOne(p *gen.Program, opt diffsim.Options, shrink bool, budget int, stdo
 				len(code), res.Tried, d)
 		}
 	}
+	tel.diverged(d.Spec, d.Repro())
 	fmt.Fprintf(stdout, "repro: %s\n", d.Repro())
 	fmt.Fprintf(stdout, "replay: go run ./cmd/mtexc-fuzz -replay %s\n", d.Spec)
 	return 1

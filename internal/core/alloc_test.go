@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -52,5 +53,52 @@ func TestHotPathAllocationsBounded(t *testing.T) {
 	// well above the former and far below the latter.
 	if marginal > 0.5 {
 		t.Errorf("marginal allocation cost %.4f allocs/inst exceeds 0.5 — a hot-path allocation crept in", marginal)
+	}
+}
+
+// TestTelemetryProbeAllocationFree extends the hot-path guard to the
+// live-telemetry plumbing: a run with telemetry disabled (nil probe)
+// and a run with a probe attached must both stay within the same
+// marginal-allocation bound as the uninstrumented simulator — the
+// probe publishes through preallocated atomics, so observation adds
+// zero allocations per instruction either way.
+func TestTelemetryProbeAllocationFree(t *testing.T) {
+	b, err := workload.ByName("cmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(insts uint64, withProbe bool) uint64 {
+		cfg := DefaultConfig()
+		cfg.Mech = MechMultithreaded
+		cfg.Contexts = 2
+		cfg.MaxInsts = insts
+		cfg.MaxCycles = 400 * insts
+		var probe *Probe
+		if withProbe {
+			probe = &Probe{}
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		if _, err := RunObserved(context.Background(), cfg, probe, b); err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs
+	}
+
+	for _, withProbe := range []bool{false, true} {
+		small := measure(50_000, withProbe)
+		large := measure(250_000, withProbe)
+		if large < small {
+			continue
+		}
+		marginal := float64(large-small) / 200_000
+		t.Logf("probe=%v: allocs 50k-run %d, 250k-run %d, marginal %.4f allocs/inst",
+			withProbe, small, large, marginal)
+		if marginal > 0.5 {
+			t.Errorf("probe=%v: marginal allocation cost %.4f allocs/inst exceeds 0.5 — telemetry leaked into the hot path",
+				withProbe, marginal)
+		}
 	}
 }

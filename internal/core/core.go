@@ -29,6 +29,9 @@ type (
 	LimitStudy = cpu.LimitStudy
 	// Machine is the simulated CPU (exposed for advanced use).
 	Machine = cpu.Machine
+	// Probe publishes a running simulation's coarse progress for
+	// concurrent readers (live telemetry). See cpu.Probe.
+	Probe = cpu.Probe
 )
 
 // Exception architectures (Section 5.1).
@@ -79,10 +82,22 @@ func Run(cfg Config, workloads ...Workload) (Result, error) {
 // timed-out run. The watchdog's *cpu.LivelockError passes through
 // unchanged.
 func RunCtx(ctx context.Context, cfg Config, workloads ...Workload) (Result, error) {
+	return RunObserved(ctx, cfg, nil, workloads...)
+}
+
+// RunObserved is RunCtx with a live progress probe: when probe is
+// non-nil the machine publishes cycle/retirement progress into it
+// periodically, so a telemetry plane can watch the simulation from
+// another goroutine. The probe is an observer only — attaching one
+// changes no result, statistic or fingerprint.
+func RunObserved(ctx context.Context, cfg Config, probe *Probe, workloads ...Workload) (Result, error) {
 	if len(workloads) == 0 {
 		return Result{}, fmt.Errorf("core: no workloads given")
 	}
 	m := cpu.New(cfg)
+	if probe != nil {
+		m.SetProbe(probe)
+	}
 	for i, w := range workloads {
 		img, err := w.Build(m.Phys(), uint8(i+1))
 		if err != nil {

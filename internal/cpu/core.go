@@ -53,6 +53,12 @@ type Machine struct {
 	// closed the run aborts with a CancelledError (SetCancel).
 	cancel <-chan struct{}
 
+	// probe, when non-nil, receives periodic progress snapshots for
+	// concurrent readers (SetProbe). Published on the cancel-poll
+	// cadence, so an attached probe costs three atomic stores per
+	// ~1k cycles and a detached one costs a nil check.
+	probe *Probe
+
 	Stats *stats.Set
 
 	// Observ collects the run's observability data: the issue-slot
@@ -373,11 +379,16 @@ func (m *Machine) Run() (Result, error) {
 				Dump:         m.DumpState(),
 			}
 		}
-		if m.cancel != nil && m.now&cancelPollMask == 0 {
-			select {
-			case <-m.cancel:
-				return m.finish(), &CancelledError{Cycle: m.now}
-			default:
+		if m.now&cancelPollMask == 0 {
+			if m.probe != nil {
+				m.probe.publish(m.now, m.appRetired, m.lastProgress)
+			}
+			if m.cancel != nil {
+				select {
+				case <-m.cancel:
+					return m.finish(), &CancelledError{Cycle: m.now}
+				default:
+				}
 			}
 		}
 	}
@@ -390,6 +401,10 @@ func (m *Machine) finish() Result {
 	m.Stats.Counter("cycles").Add(m.now - m.Stats.Get("cycles"))
 	if sp := m.Observ.Sampler; sp != nil {
 		sp.Flush(m.now)
+	}
+	if m.probe != nil {
+		m.probe.publish(m.now, m.appRetired, m.lastProgress)
+		m.probe.Done.Store(true)
 	}
 	res := Result{
 		Cycles:     m.now,

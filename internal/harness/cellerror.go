@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"mtexc/internal/core"
+	"mtexc/internal/telemetry"
 	"mtexc/internal/workload"
 )
 
@@ -20,11 +21,22 @@ import (
 type cell struct {
 	index int
 	exp   string
+	tel   *telemetry.Cell // live-telemetry handle; nil when disabled
 
 	mu    sync.Mutex
 	cfg   *core.Config
 	loads []string // workload names as mtexcsim -bench accepts them
 	key   string   // journal fingerprint of the subject simulation
+}
+
+// telemetry returns the cell's plane handle; nil cells (and cells of
+// an uninstrumented run) report nil, which every handle method
+// accepts.
+func (c *cell) telemetry() *telemetry.Cell {
+	if c == nil {
+		return nil
+	}
+	return c.tel
 }
 
 // describe records the cell's subject simulation. Only the first call
@@ -34,14 +46,17 @@ func (c *cell) describe(cfg core.Config, loads []core.Workload, key string) {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.cfg != nil {
+		c.mu.Unlock()
 		return
 	}
 	cc := cfg
 	c.cfg = &cc
 	c.loads = loadNames(loads)
 	c.key = key
+	names := c.loads
+	c.mu.Unlock()
+	c.tel.Described(names, key)
 }
 
 // snapshot returns the described state under the lock.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mtexc/internal/core"
+	"mtexc/internal/telemetry"
 	"mtexc/internal/workload"
 )
 
@@ -49,6 +50,15 @@ type Options struct {
 	// Context, when non-nil, cancels all in-flight simulations when it
 	// is done (e.g. on SIGINT). Defaults to context.Background().
 	Context context.Context
+	// Telemetry, when non-nil, streams live run state into the process
+	// telemetry plane: cell lifecycle metrics and events, in-flight
+	// progress probes, and run-trace spans. The plane observes only —
+	// tables, fingerprints and journal bytes are identical with it on
+	// or off.
+	Telemetry *telemetry.Plane
+	// Meter, when non-nil, accumulates completion progress for
+	// throughput/ETA progress lines and the final run summary.
+	Meter *telemetry.Meter
 }
 
 func (o Options) insts() uint64 {
@@ -109,6 +119,7 @@ func (r *runner) run(c *cell, cfg core.Config, loads ...core.Workload) (core.Res
 	}
 	if r.journal != nil {
 		if res, ok := r.journal.lookup(key); ok {
+			r.noteJournalHit(c, key)
 			return res, nil
 		}
 	}
@@ -121,16 +132,51 @@ func (r *runner) run(c *cell, cfg core.Config, loads ...core.Workload) (core.Res
 		ctx, cancel = context.WithTimeout(ctx, r.opt.CellTimeout)
 		defer cancel()
 	}
-	res, err := core.RunCtx(ctx, cfg, loads...)
+	probe := c.telemetry().SimStarted(r.simPhase(c, key))
+	res, err := core.RunObserved(ctx, cfg, probe, loads...)
+	c.telemetry().SimFinished(res.AppInsts, res.Cycles, res.Stats, err != nil)
+	r.opt.Meter.AddSimInsts(res.AppInsts)
 	if err != nil {
 		return res, err
 	}
 	if r.journal != nil {
-		if jerr := r.journal.record(r.exp, key, cfg, loadNames(loads), res); jerr != nil {
+		appendDone := c.telemetry().JournalAppendBegin()
+		jerr := r.journal.record(r.exp, key, cfg, loadNames(loads), res)
+		appendDone()
+		if jerr != nil {
 			return res, jerr
 		}
 	}
 	return res, nil
+}
+
+// simPhase labels what a launching simulation is for the live cell
+// view: the run matching the cell's subject fingerprint is the
+// subject, anything else the cell executes is a baseline.
+func (r *runner) simPhase(c *cell, key string) string {
+	if c == nil {
+		return "sim"
+	}
+	if _, _, ck := c.snapshot(); ck != key {
+		return "baseline"
+	}
+	return "sim"
+}
+
+// noteJournalHit classifies a journal answer for telemetry: a hit on
+// the cell's own subject fingerprint is a resume (the cell's
+// simulation survives from a previous run or experiment), anything
+// else is baseline dedupe.
+func (r *runner) noteJournalHit(c *cell, key string) {
+	if c == nil {
+		return
+	}
+	if _, _, ck := c.snapshot(); ck == key {
+		c.tel.ResumeHit(key)
+		r.opt.Meter.CellResumed()
+	} else {
+		c.tel.JournalHit()
+	}
 }
 
 // progressMu serializes Progress writers across all runners: the
@@ -182,16 +228,27 @@ func (r *runner) compare(c *cell, cfg core.Config, benches ...*workload.Bench) (
 	if err != nil {
 		return core.Comparison{}, err
 	}
-	r.log("  %-14s %-13s %9d cycles  %6d fills  IPC %.2f",
-		mixKey(benches), label(cfg), subj.Cycles, subj.DTLBMisses, subj.IPC)
+	r.log("  %-14s %-13s %9d cycles  %6d fills  IPC %.2f%s",
+		mixKey(benches), label(cfg), subj.Cycles, subj.DTLBMisses, subj.IPC,
+		r.opt.Meter.Suffix())
 
+	// Winners of the baseline singleflight run the simulation
+	// themselves; only the cells that actually blocked on another
+	// worker's run charge the wait.
+	ranBaseline := false
+	endWait := c.telemetry().BaselineWaitBegin()
 	perf, err := r.base.get(shapeKey(cfg, benches), func() (core.Result, error) {
+		ranBaseline = true
+		c.telemetry().BaselineRan()
 		pcfg := cfg
 		pcfg.Mech = core.MechPerfect
 		pcfg.QuickStart = false
 		pcfg.Limit = core.LimitNone
 		return r.run(c, pcfg, asWorkloads(benches)...)
 	})
+	if !ranBaseline {
+		endWait()
+	}
 	if err != nil {
 		return core.Comparison{}, err
 	}

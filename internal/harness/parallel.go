@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"runtime/debug"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"mtexc/internal/core"
+	"mtexc/internal/cpu"
 )
 
 // BaselineCache is a concurrency-safe store of perfect-TLB baseline
@@ -87,8 +89,10 @@ func (r *runner) workers() int {
 // order, byte-identical to the pre-parallel harness.
 func (r *runner) forEach(n int, body func(c *cell) error) error {
 	fails := make([]*CellError, n)
-	runCell := func(i int) {
+	r.opt.Meter.AddCells(n)
+	runCell := func(worker, i int) {
 		c := &cell{index: i, exp: r.exp}
+		c.tel = r.opt.Telemetry.CellStarted(r.exp, i, worker)
 		err := func() (err error) {
 			defer func() {
 				if v := recover(); v != nil {
@@ -100,6 +104,8 @@ func (r *runner) forEach(n int, body func(c *cell) error) error {
 		if err != nil {
 			fails[i] = r.cellError(c, err)
 		}
+		c.tel.CellFinished(cellStatus(err), errText(err))
+		r.opt.Meter.CellDone(err == nil)
 	}
 
 	workers := r.workers()
@@ -108,19 +114,19 @@ func (r *runner) forEach(n int, body func(c *cell) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			runCell(i)
+			runCell(0, i)
 		}
 	} else {
 		var wg sync.WaitGroup
 		idx := make(chan int)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(worker int) {
 				defer wg.Done()
 				for i := range idx {
-					runCell(i)
+					runCell(worker, i)
 				}
-			}()
+			}(w)
 		}
 		for i := 0; i < n; i++ {
 			idx <- i
@@ -139,6 +145,32 @@ func (r *runner) forEach(n int, body func(c *cell) error) error {
 		return nil
 	}
 	return &ExperimentError{Experiment: r.exp, Cells: cells}
+}
+
+// cellStatus classifies a cell outcome for telemetry: ok, panic,
+// livelock (watchdog abort), timeout (per-cell deadline), or fail.
+func cellStatus(err error) string {
+	var pe *panicError
+	var ll *cpu.LivelockError
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.As(err, &pe):
+		return "panic"
+	case errors.As(err, &ll):
+		return "livelock"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	}
+	return "fail"
+}
+
+// errText renders an error for the event log, "" for success.
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // cellError wraps a cell failure with the context the cell recorded

@@ -3,6 +3,9 @@ package harness
 import (
 	"fmt"
 	"io"
+
+	"mtexc/internal/core"
+	"mtexc/internal/stats"
 )
 
 // Claim is one checkable statement from the paper, with the measured
@@ -143,6 +146,11 @@ func Report(opt Options, w io.Writer) error {
 		uMulti < uTrad,
 		fmt.Sprintf("unaligned penalty %.1f multithreaded vs %.1f traditional", uMulti, uTrad))
 
+	// Where the miss cycles go under each mechanism.
+	if err := writeMissLatency(opt, w); err != nil {
+		return err
+	}
+
 	// Verdict table.
 	fmt.Fprintf(w, "## Claims\n\n")
 	fmt.Fprintf(w, "| claim | verdict | evidence |\n|---|---|---|\n")
@@ -159,5 +167,94 @@ func Report(opt Options, w io.Writer) error {
 	if failed > 0 {
 		return fmt.Errorf("harness: %d claims failed reproduction", failed)
 	}
+	return nil
+}
+
+// spanPhases are the per-miss latency breakdown histograms recorded by
+// obs.MissRecorder, in pipeline order (stats names are "span."+phase).
+var spanPhases = []string{"detect2fill", "fill2done", "detect2done", "done2retire", "detect2retire"}
+
+// writeMissLatency runs one simulation per mechanism × benchmark and
+// renders the per-mechanism miss-latency percentile table: each
+// mechanism's span.* histograms merged exactly across the suite
+// (bucket-by-bucket, not averaged averages), reported as p50/p95/p99
+// cycles per handler phase.
+func writeMissLatency(opt Options, w io.Writer) error {
+	r := newRunner(opt, "MissLatency")
+	benches, err := opt.suite()
+	if err != nil {
+		return err
+	}
+	quick := r.baseConfig(core.MechMultithreaded, 1, 1)
+	quick.QuickStart = true
+	mechs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"traditional", r.baseConfig(core.MechTraditional, 1, 0)},
+		{"multi(1)", r.baseConfig(core.MechMultithreaded, 1, 1)},
+		{"quickstart(1)", quick},
+		{"hardware", r.baseConfig(core.MechHardware, 1, 0)},
+	}
+	sets := make([]*stats.Set, len(mechs)*len(benches))
+	err = r.forEach(len(sets), func(c *cell) error {
+		mi, bi := c.index/len(benches), c.index%len(benches)
+		res, err := r.run(c, mechs[mi].cfg, benches[bi])
+		if err != nil {
+			return err
+		}
+		sets[c.index] = res.Stats
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Miss-latency percentiles by mechanism (p50/p95/p99 cycles)\n\n")
+	fmt.Fprintf(w, "| mechanism | misses |")
+	for _, ph := range spanPhases {
+		fmt.Fprintf(w, " %s |", ph)
+	}
+	fmt.Fprintf(w, "\n|---|---:|")
+	for range spanPhases {
+		fmt.Fprintf(w, "---:|")
+	}
+	fmt.Fprintln(w)
+	for mi := range mechs {
+		merged := make(map[string]*stats.Histogram, len(spanPhases))
+		for bi := range benches {
+			set := sets[mi*len(benches)+bi]
+			if set == nil {
+				continue
+			}
+			for _, ph := range spanPhases {
+				if h, ok := set.Hist("span." + ph); ok {
+					m := merged[ph]
+					if m == nil {
+						m = stats.NewHistogram(ph)
+						merged[ph] = m
+					}
+					m.Merge(h)
+				}
+			}
+		}
+		// Traditional traps record no linked retirement, so the miss
+		// count is the best-populated phase, not a fixed one.
+		var n uint64
+		for _, ph := range spanPhases {
+			if h := merged[ph]; h != nil && h.Count() > n {
+				n = h.Count()
+			}
+		}
+		fmt.Fprintf(w, "| %s | %d |", mechs[mi].name, n)
+		for _, ph := range spanPhases {
+			if h := merged[ph]; h != nil && h.Count() > 0 {
+				fmt.Fprintf(w, " %d/%d/%d |", h.Percentile(50), h.Percentile(95), h.Percentile(99))
+			} else {
+				fmt.Fprintf(w, " - |")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 // as cycle numbers.
 type chromeEvent struct {
 	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
 	Phase string         `json:"ph"`
 	TS    uint64         `json:"ts"`
 	Dur   uint64         `json:"dur,omitempty"`

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"encoding/json"
+)
+
+// ChromeSpan is one named duration on a named lane — the generic
+// wall-clock counterpart of the per-instruction pipeline events
+// WriteChromeTrace renders. The telemetry plane uses it to merge
+// per-cell harness spans (worker lanes, baseline singleflight waits,
+// journal I/O) into one trace of the whole parallel run.
+type ChromeSpan struct {
+	// Lane names the row the span renders on (a chrome "thread"),
+	// e.g. "worker 3". Lanes appear in first-use order.
+	Lane string
+	// Name labels the span; Cat is its trace_event category.
+	Name string
+	Cat  string
+	// StartUS/DurUS position the span in microseconds on the trace
+	// clock (whatever epoch the producer chose).
+	StartUS uint64
+	DurUS   uint64
+	// Args carries optional per-span metadata.
+	Args map[string]any
+}
+
+// WriteChromeSpans renders lane-addressed spans as Chrome trace_event
+// JSON: one process named title, one thread per lane, one duration
+// event per span. Spans are emitted sorted by (StartUS, Lane, Name)
+// so equal inputs produce equal bytes regardless of producer
+// interleaving. Open the output in chrome://tracing or Perfetto.
+func WriteChromeSpans(w io.Writer, title string, spans []ChromeSpan) error {
+	if len(spans) == 0 {
+		return fmt.Errorf("obs: no spans to export")
+	}
+	sorted := make([]ChromeSpan, len(spans))
+	copy(sorted, spans)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.StartUS != b.StartUS {
+			return a.StartUS < b.StartUS
+		}
+		if a.Lane != b.Lane {
+			return a.Lane < b.Lane
+		}
+		return a.Name < b.Name
+	})
+
+	events := []chromeEvent{{
+		Name:  "process_name",
+		Phase: "M",
+		PID:   0,
+		Args:  map[string]any{"name": title},
+	}}
+	laneID := make(map[string]uint64)
+	for _, s := range sorted {
+		id, ok := laneID[s.Lane]
+		if !ok {
+			id = uint64(len(laneID))
+			laneID[s.Lane] = id
+			events = append(events, chromeEvent{
+				Name:  "thread_name",
+				Phase: "M",
+				PID:   0,
+				TID:   id,
+				Args:  map[string]any{"name": s.Lane},
+			})
+		}
+		ev := chromeEvent{
+			Name:  s.Name,
+			Phase: "X",
+			TS:    s.StartUS,
+			Dur:   s.DurUS,
+			PID:   0,
+			TID:   id,
+			Args:  s.Args,
+		}
+		if s.Cat != "" {
+			ev.Cat = s.Cat
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,12 +1,28 @@
 // Package prof wires runtime/pprof to the -cpuprofile/-memprofile
-// flags shared by the mtexc commands.
+// flags shared by the mtexc commands, and net/http/pprof to the live
+// telemetry plane's /debug/pprof endpoints.
 package prof
 
 import (
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
 )
+
+// AttachPprof mounts the net/http/pprof handlers under /debug/pprof/
+// on an explicit mux. Importing net/http/pprof registers only on
+// http.DefaultServeMux; the telemetry plane serves a private mux, so
+// the wiring is explicit here instead of relying on the blank-import
+// side effect.
+func AttachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+}
 
 // Start enables the requested profiles: CPU profiling begins
 // immediately when cpuPath is non-empty. The returned stop function

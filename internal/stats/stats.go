@@ -65,6 +65,34 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[v]++
 }
 
+// Merge folds every sample of other into h, bucket by bucket, so an
+// aggregator (e.g. the live-telemetry plane folding per-cell
+// miss-latency histograms into one fleet histogram) preserves exact
+// percentiles instead of averaging averages. A nil or empty other is
+// a no-op; other is not modified.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	h.count += other.count
+	h.sum += other.sum
+	h.sumSq += other.sumSq
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	// Each key is touched once; insertion order cannot affect the
+	// resulting bucket contents.
+	for k, n := range other.buckets {
+		if _, seen := h.buckets[k]; !seen {
+			h.sorted = nil
+		}
+		h.buckets[k] += n
+	}
+}
+
 // Count reports the number of samples observed.
 func (h *Histogram) Count() uint64 { return h.count }
 
@@ -231,6 +259,14 @@ func (ch *CachedHistogram) Observe(v int64) {
 		ch.h = ch.set.Histogram(ch.name)
 	}
 	ch.h.Observe(v)
+}
+
+// Hist returns the named histogram without creating it, so observers
+// (telemetry aggregation, exporters) can peek at a finished run's set
+// without perturbing its registration order.
+func (s *Set) Hist(name string) (*Histogram, bool) {
+	h, ok := s.hists[name]
+	return h, ok
 }
 
 // Get reports the value of a counter, or zero if it was never touched.

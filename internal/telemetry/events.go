@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Level grades an event's severity.
+type Level string
+
+// Event levels, least to most severe. Debug events are simulation-
+// grained (one per run launched); Info covers the cell lifecycle;
+// Warn marks recoverable oddities (timeouts); Error marks failures.
+const (
+	LevelDebug Level = "debug"
+	LevelInfo  Level = "info"
+	LevelWarn  Level = "warn"
+	LevelError Level = "error"
+)
+
+// rank orders levels for the log's minimum-level filter.
+func (l Level) rank() int {
+	switch l {
+	case LevelDebug:
+		return 0
+	case LevelWarn:
+		return 2
+	case LevelError:
+		return 3
+	default: // info and anything unknown
+		return 1
+	}
+}
+
+// Event is one structured entry of the run's event log. Cell-scoped
+// events carry the experiment/cell coordinates and, once the cell has
+// described itself, the workloads and journal fingerprint of its
+// subject simulation — enough to join the timeline against journal
+// entries and FAIL reports without parsing progress text.
+type Event struct {
+	// T is the wall-clock timestamp, RFC3339 with nanoseconds.
+	T string `json:"t"`
+	// Level grades the event (debug|info|warn|error).
+	Level Level `json:"level"`
+	// Type names the event: run.start, run.finish, cell.start,
+	// cell.finish, cell.panic, cell.timeout, cell.resume, sim.start,
+	// sim.finish, fuzz.check, fuzz.divergence, ...
+	Type string `json:"type"`
+
+	Experiment  string   `json:"exp,omitempty"`
+	Cell        int      `json:"cell,omitempty"`
+	Worker      int      `json:"worker,omitempty"`
+	Phase       string   `json:"phase,omitempty"`
+	Workloads   []string `json:"workloads,omitempty"`
+	Fingerprint string   `json:"fingerprint,omitempty"`
+	Status      string   `json:"status,omitempty"`
+	// DurMS is the wall-clock duration the event closes, when any.
+	DurMS float64 `json:"dur_ms,omitempty"`
+	// Insts/Cycles summarize the simulation an event closes.
+	Insts  uint64 `json:"insts,omitempty"`
+	Cycles uint64 `json:"cycles,omitempty"`
+	Err    string `json:"err,omitempty"`
+	// Detail carries free-form context (fuzz program specs, repro
+	// lines, shrink results).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Log is a leveled, concurrency-safe NDJSON event log. Each event is
+// appended as one Write of one full line — the same crash-safety
+// contract as the resume journal — so a kill at any instant tears at
+// most the line in flight, and ReadEvents skips the remnant.
+type Log struct {
+	mu  sync.Mutex
+	f   *os.File
+	min int
+	n   int64
+}
+
+// OpenLog creates (truncating) the NDJSON event log at path, keeping
+// events at or above min severity. An empty min keeps info and up.
+func OpenLog(path string, min Level) (*Log, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("telemetry: creating event log directory: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: opening event log: %w", err)
+	}
+	if min == "" {
+		min = LevelInfo
+	}
+	return &Log{f: f, min: min.rank()}, nil
+}
+
+// Emit appends one event, stamping its timestamp. Events below the
+// log's minimum level are dropped. Emit on a nil log is a no-op, so
+// callers never guard. Write errors are reported (once per call) but
+// must not abort the run the log is observing.
+func (l *Log) Emit(e Event) error {
+	if l == nil {
+		return nil
+	}
+	if e.Level == "" {
+		e.Level = LevelInfo
+	}
+	if e.Level.rank() < l.min {
+		return nil
+	}
+	e.T = time.Now().UTC().Format(time.RFC3339Nano)
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("telemetry: encoding event: %w", err)
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(line); err != nil {
+		return fmt.Errorf("telemetry: appending event: %w", err)
+	}
+	l.n++
+	return nil
+}
+
+// Len reports how many events were written.
+func (l *Log) Len() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Close releases the log file. Safe on nil.
+func (l *Log) Close() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	return l.f.Close()
+}
+
+// eventScanCap bounds one event line; events are well under 1KB, so
+// 1MB is generous.
+const eventScanCap = 1 << 20
+
+// ReadEvents loads an event log, skipping lines that fail to decode —
+// the torn final line of a killed run, foreign junk — exactly as the
+// resume journal tolerates its own torn tail.
+func ReadEvents(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: opening event log: %w", err)
+	}
+	defer f.Close()
+	var events []Event
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), eventScanCap)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			continue // torn or foreign line
+		}
+		if e.Type == "" {
+			continue
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading event log: %w", err)
+	}
+	return events, nil
+}

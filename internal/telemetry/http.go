@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"mtexc/internal/prof"
+)
+
+// Server is the live telemetry HTTP plane. Endpoints:
+//
+//	/            endpoint index (text)
+//	/metrics     Prometheus text exposition of the registry
+//	/debug/cells JSON view of every in-flight cell
+//	/debug/pprof net/http/pprof profiles (via internal/prof)
+type Server struct {
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+}
+
+// Serve starts the plane's HTTP server on addr (e.g. ":9464" or
+// "127.0.0.1:0"; a :0 port is resolved — read it back with Addr).
+// The server runs until Close.
+func (p *Plane) Serve(addr string) (*Server, error) {
+	if p == nil {
+		return nil, fmt.Errorf("telemetry: no plane to serve")
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "mtexc telemetry\n\n/metrics\n/debug/cells\n/debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		p.Reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/cells", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		cells := p.Cells.Cells()
+		if cells == nil {
+			cells = []CellView{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Now      string     `json:"now"`
+			Inflight int        `json:"inflight"`
+			Cells    []CellView `json:"cells"`
+		}{time.Now().UTC().Format(time.RFC3339Nano), len(cells), cells})
+	})
+	prof.AttachPprof(mux)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listening on %s: %w", addr, err)
+	}
+	s := &Server{
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down, waiting briefly for in-flight scrapes.
+// Safe on nil.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Meter tracks harness-wide completion progress for human progress
+// lines: cells/s over a sliding window of recent completions, an ETA
+// against the registered cell total, and the final one-line run
+// summary. It is always cheap enough to leave on (a mutex per cell
+// completion, nothing per simulated instruction) and, like the rest
+// of the plane, observes only — progress text goes to stderr, never
+// into tables. All methods are safe on a nil *Meter.
+type Meter struct {
+	mu       sync.Mutex
+	start    time.Time
+	total    int
+	done     int
+	failed   int
+	resumed  int
+	simInsts uint64
+	recent   []time.Time // completion times, newest last, bounded ring
+}
+
+// meterWindow bounds the sliding completion window.
+const meterWindow = 32
+
+// NewMeter starts a meter; the wall clock for the run summary starts
+// now.
+func NewMeter() *Meter {
+	return &Meter{start: time.Now()}
+}
+
+// AddCells registers n more expected cells (one call per forEach).
+func (m *Meter) AddCells(n int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.total += n
+	m.mu.Unlock()
+}
+
+// CellDone records one completed cell.
+func (m *Meter) CellDone(ok bool) {
+	if m == nil {
+		return
+	}
+	now := time.Now()
+	m.mu.Lock()
+	m.done++
+	if !ok {
+		m.failed++
+	}
+	m.recent = append(m.recent, now)
+	if len(m.recent) > meterWindow {
+		m.recent = m.recent[len(m.recent)-meterWindow:]
+	}
+	m.mu.Unlock()
+}
+
+// CellResumed records a cell whose subject simulation was answered
+// from the resume journal.
+func (m *Meter) CellResumed() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.resumed++
+	m.mu.Unlock()
+}
+
+// AddSimInsts accumulates retired application instructions toward the
+// aggregate sim-insts/s of the run summary.
+func (m *Meter) AddSimInsts(n uint64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.simInsts += n
+	m.mu.Unlock()
+}
+
+// rate reports cells/s over the sliding window (0 when under two
+// completions).
+func (m *Meter) rateLocked(now time.Time) float64 {
+	if len(m.recent) < 2 {
+		return 0
+	}
+	span := now.Sub(m.recent[0]).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	// The window's oldest entry anchors the span; completions since
+	// then (including any in the same instant) define the rate.
+	return float64(len(m.recent)-1) / span
+}
+
+// Suffix renders the live throughput/ETA tail for a progress line,
+// e.g. " | 1.9 cells/s, ETA 41s", or "" before the rate is known.
+func (m *Meter) Suffix() string {
+	if m == nil {
+		return ""
+	}
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rate := m.rateLocked(now)
+	if rate <= 0 {
+		return ""
+	}
+	s := fmt.Sprintf(" | %.1f cells/s", rate)
+	if remaining := m.total - m.done; remaining > 0 {
+		eta := time.Duration(float64(remaining) / rate * float64(time.Second)).Round(time.Second)
+		s += fmt.Sprintf(", ETA %s", eta)
+	}
+	return s
+}
+
+// Summary renders the final one-line run summary: cell outcomes,
+// wall-clock, and aggregate simulation throughput.
+func (m *Meter) Summary() string {
+	if m == nil {
+		return ""
+	}
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wall := now.Sub(m.start)
+	ok := m.done - m.failed
+	s := fmt.Sprintf("run summary: %d cell(s): %d ok, %d FAIL, %d resumed | %s wall",
+		m.done, ok, m.failed, m.resumed, wall.Round(10*time.Millisecond))
+	if secs := wall.Seconds(); secs > 0 && m.simInsts > 0 {
+		s += fmt.Sprintf(" | %s sim-insts/s aggregate", humanRate(float64(m.simInsts)/secs))
+	}
+	return s
+}
+
+// humanRate renders an instructions-per-second rate with k/M/G units.
+func humanRate(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	}
+	return fmt.Sprintf("%.0f", v)
+}

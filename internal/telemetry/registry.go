@@ -1,0 +1,321 @@
+// Package telemetry is the harness's live observability plane: a
+// process-wide concurrency-safe metrics registry with a Prometheus
+// text-format exporter, a leveled structured NDJSON event log, a live
+// cell tracker backing the /debug/cells view, a wall-clock run-trace
+// aggregator, and the HTTP server that exposes all of it while a run
+// is in flight.
+//
+// Everything here is off by default and observes only: attaching the
+// plane changes no simulation result, statistic, table byte or
+// fingerprint, and a detached plane costs the hot paths nothing (the
+// harness hooks are nil-receiver no-ops; the simulator publishes
+// progress through cpu.Probe atomics only when one is attached).
+// Unlike internal/stats — the single-goroutine, post-hoc statistics
+// sink inside one simulation — this registry is built to be read
+// (scraped) while many simulations mutate it concurrently; its
+// histograms wrap stats.Histogram rather than re-implementing it.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"mtexc/internal/stats"
+)
+
+// Counter is a monotonically increasing metric, safe for concurrent
+// use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reports the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down, safe for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a concurrency-safe summary metric: a mutex-guarded
+// stats.Histogram, exported as a Prometheus summary with
+// p50/p95/p99 quantiles plus _sum and _count. The Scale divisor maps
+// the integer samples onto the exported unit (e.g. samples in
+// milliseconds, Scale 1000, exported in seconds).
+type Histogram struct {
+	mu    sync.Mutex
+	h     *stats.Histogram
+	scale float64
+}
+
+// Observe records one sample in the histogram's native integer unit.
+func (h *Histogram) Observe(v int64) {
+	h.mu.Lock()
+	h.h.Observe(v)
+	h.mu.Unlock()
+}
+
+// Merge folds a finished run's histogram into this one (exact bucket
+// merge — see stats.Histogram.Merge). The source must no longer be
+// mutated concurrently, which holds for a completed simulation's
+// stats.
+func (h *Histogram) Merge(src *stats.Histogram) {
+	h.mu.Lock()
+	h.h.Merge(src)
+	h.mu.Unlock()
+}
+
+// summary snapshots the quantiles under the lock.
+func (h *Histogram) summary() (count uint64, sum float64, q50, q95, q99 float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.scale
+	return h.h.Count(), h.h.Sum() / s,
+		float64(h.h.Percentile(50)) / s,
+		float64(h.h.Percentile(95)) / s,
+		float64(h.h.Percentile(99)) / s
+}
+
+// metricKind is the Prometheus exposition type of a family.
+type metricKind string
+
+const (
+	kindCounter metricKind = "counter"
+	kindGauge   metricKind = "gauge"
+	kindSummary metricKind = "summary"
+)
+
+// series is one labeled time series inside a family.
+type series struct {
+	labels  string // rendered {k="v",...} clause, "" for unlabeled
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64 // evaluated at scrape (CounterFunc/GaugeFunc)
+	hist    *Histogram
+}
+
+// family is one named metric with its help text and series.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+}
+
+// Registry is a process-wide, concurrency-safe metrics registry.
+// Registration is idempotent on (name, labels): asking again returns
+// the same instrument, so independent subsystems can share series
+// without coordination.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+	bySeries map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		families: make(map[string]*family),
+		bySeries: make(map[string]*series),
+	}
+}
+
+// Label is one metric label pair.
+type Label struct{ Key, Value string }
+
+// renderLabels builds the canonical {k="v"} clause, keys sorted.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// get returns the series for (name, labels), creating family and
+// series as needed. Panics on a kind mismatch — that is a programming
+// error, not a runtime condition.
+func (r *Registry) get(name, help string, kind metricKind, labels []Label) *series {
+	lv := renderLabels(labels)
+	key := name + lv
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.bySeries[key]; ok {
+		if r.families[name].kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %s re-registered as %s (was %s)", name, kind, r.families[name].kind))
+		}
+		return s
+	}
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %s re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	s := &series{labels: lv}
+	f.series = append(f.series, s)
+	r.bySeries[key] = s
+	return s
+}
+
+// Counter returns (registering on first use) the named counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.get(name, help, kindCounter, labels)
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.get(name, help, kindGauge, labels)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// CounterFunc registers a counter whose value is computed at scrape
+// time. The function must be safe for concurrent calls and should be
+// monotonically non-decreasing over the process lifetime (e.g. work
+// completed so far plus live in-flight progress).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.get(name, help, kindCounter, labels).fn = fn
+}
+
+// GaugeFunc registers a gauge computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.get(name, help, kindGauge, labels).fn = fn
+}
+
+// Histogram returns (registering on first use) the named summary.
+// scale divides the integer samples on export (0 means 1).
+func (r *Registry) Histogram(name, help string, scale float64, labels ...Label) *Histogram {
+	s := r.get(name, help, kindSummary, labels)
+	if s.hist == nil {
+		if scale == 0 {
+			scale = 1
+		}
+		s.hist = &Histogram{h: stats.NewHistogram(name), scale: scale}
+	}
+	return s.hist
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE header per family,
+// series sorted by label clause, families in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		// Shallow-copy the series list so scrape-time evaluation runs
+		// outside the registry lock (fn callbacks may take other locks).
+		ff := &family{name: f.name, help: f.help, kind: f.kind}
+		ff.series = append(ff.series, f.series...)
+		fams = append(fams, ff)
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch {
+	case s.hist != nil:
+		count, sum, q50, q95, q99 := s.hist.summary()
+		for _, q := range []struct {
+			q string
+			v float64
+		}{{"0.5", q50}, {"0.95", q95}, {"0.99", q99}} {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				f.name, quantileLabels(s.labels, q.q), formatValue(q.v)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, formatValue(sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, count)
+		return err
+	case s.fn != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(s.fn()))
+		return err
+	case s.counter != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.counter.Value())
+		return err
+	case s.gauge != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(s.gauge.Value()))
+		return err
+	}
+	return nil
+}
+
+// quantileLabels merges a series' label clause with a quantile label.
+func quantileLabels(labels, q string) string {
+	if q == "" {
+		return labels
+	}
+	ql := fmt.Sprintf("quantile=%q", q)
+	if labels == "" {
+		return "{" + ql + "}"
+	}
+	return labels[:len(labels)-1] + "," + ql + "}"
+}
+
+// formatValue renders a float the way Prometheus clients expect.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"mtexc/internal/obs"
+)
+
+// RunTrace aggregates wall-clock spans from every worker of a
+// parallel harness run into one Chrome trace: one lane per worker
+// showing the cells it executed (simulation, baseline singleflight
+// wait, journal I/O), so the whole fleet's schedule — who ran what,
+// who waited on whom — reads off a single timeline in Perfetto.
+type RunTrace struct {
+	t0    time.Time
+	mu    sync.Mutex
+	spans []obs.ChromeSpan
+}
+
+// NewRunTrace returns a collector whose trace clock starts now.
+func NewRunTrace() *RunTrace {
+	return &RunTrace{t0: time.Now()}
+}
+
+// add records one finished span. Safe for concurrent use; a nil
+// collector drops the span.
+func (t *RunTrace) add(lane, name, cat string, start, end time.Time, args map[string]any) {
+	if t == nil {
+		return
+	}
+	if end.Before(start) {
+		end = start
+	}
+	s := obs.ChromeSpan{
+		Lane:    lane,
+		Name:    name,
+		Cat:     cat,
+		StartUS: uint64(start.Sub(t.t0).Microseconds()),
+		DurUS:   uint64(end.Sub(start).Microseconds()),
+		Args:    args,
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Len reports how many spans were collected.
+func (t *RunTrace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// WriteChrome renders the collected spans as Chrome trace_event JSON
+// (chrome://tracing / Perfetto).
+func (t *RunTrace) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("telemetry: no run trace collected")
+	}
+	t.mu.Lock()
+	spans := append([]obs.ChromeSpan(nil), t.spans...)
+	t.mu.Unlock()
+	return obs.WriteChromeSpans(w, "mtexc harness run", spans)
+}
+
+// laneName renders a worker's trace lane.
+func laneName(worker int) string { return fmt.Sprintf("worker %02d", worker) }

@@ -1,0 +1,387 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mtexc/internal/stats"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_events_total", "Events seen.", Label{"kind", "b"}).Add(3)
+	r.Counter("t_events_total", "Events seen.", Label{"kind", "a"}).Inc()
+	r.Gauge("t_depth", "Current depth.").Set(2.5)
+	r.GaugeFunc("t_live", "Live value.", func() float64 { return 7 })
+	h := r.Histogram("t_wait_seconds", "Wait time.", 1e3)
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v) // milliseconds, scale 1e3 → seconds
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP t_events_total Events seen.",
+		"# TYPE t_events_total counter",
+		"t_events_total{kind=\"a\"} 1",
+		"t_events_total{kind=\"b\"} 3",
+		"# TYPE t_depth gauge",
+		"t_depth 2.5",
+		"t_live 7",
+		"# TYPE t_wait_seconds summary",
+		"t_wait_seconds{quantile=\"0.5\"} 0.05",
+		"t_wait_seconds{quantile=\"0.99\"} 0.099",
+		"t_wait_seconds_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Series within a family must be sorted by label clause.
+	if strings.Index(out, `kind="a"`) > strings.Index(out, `kind="b"`) {
+		t.Errorf("series not sorted by labels:\n%s", out)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("t_total", "")
+	b := r.Counter("t_total", "")
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("t_total", "")
+}
+
+func TestMonotonicClamp(t *testing.T) {
+	vals := []float64{5, 3, 8, 2}
+	i := 0
+	fn := monotonic(func() float64 { v := vals[i]; i++; return v })
+	want := []float64{5, 5, 8, 8}
+	for j := range vals {
+		if got := fn(); got != want[j] {
+			t.Errorf("scrape %d = %v, want %v", j, got, want[j])
+		}
+	}
+}
+
+func TestEventLogLevelsAndRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.ndjson")
+	log, err := OpenLog(path, LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Emit(Event{Type: "sim.start", Level: LevelDebug}) // below min: dropped
+	log.Emit(Event{Type: "cell.start", Experiment: "Figure5", Cell: 3})
+	log.Emit(Event{Type: "cell.panic", Level: LevelError, Err: "boom"})
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEvents(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2 (debug filtered): %+v", len(events), events)
+	}
+	if events[0].Type != "cell.start" || events[0].Experiment != "Figure5" || events[0].Cell != 3 {
+		t.Errorf("first event corrupted: %+v", events[0])
+	}
+	if events[0].T == "" || events[0].Level != LevelInfo {
+		t.Errorf("missing stamp or default level: %+v", events[0])
+	}
+	if events[1].Type != "cell.panic" || events[1].Err != "boom" {
+		t.Errorf("second event corrupted: %+v", events[1])
+	}
+}
+
+// TestEventLogTornTail mirrors the resume journal's torn-line test:
+// a crash mid-append leaves a partial final line, which the reader
+// must skip without losing the complete events before it.
+func TestEventLogTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.ndjson")
+	log, err := OpenLog(path, LevelDebug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		log.Emit(Event{Type: "cell.finish", Cell: i})
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the kill: truncate the last line mid-JSON.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	kept := append([]byte(nil), lines[0]...)
+	kept = append(kept, lines[1]...)
+	kept = append(kept, lines[2][:len(lines[2])/2]...) // torn, no newline
+	if err := os.WriteFile(path, kept, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEvents(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events after torn tail, want 2", len(events))
+	}
+	for i, e := range events {
+		if e.Cell != i {
+			t.Errorf("event %d has cell %d", i, e.Cell)
+		}
+	}
+}
+
+func TestPlaneNilSafety(t *testing.T) {
+	var p *Plane
+	p.RunStarted("x")
+	p.RunFinished("ok", 1)
+	c := p.CellStarted("Figure5", 0, 0)
+	if c != nil {
+		t.Fatal("nil plane returned a non-nil cell")
+	}
+	c.Described([]string{"cmp"}, "abcd")
+	c.Phase("sim")
+	c.ResumeHit("abcd")
+	c.JournalHit()
+	if probe := c.SimStarted("sim"); probe != nil {
+		t.Error("nil cell returned a probe")
+	}
+	c.SimFinished(1, 2, nil, false)
+	c.BaselineWaitBegin()()
+	c.BaselineRan()
+	c.JournalAppendBegin()()
+	c.CellFinished("ok", "")
+	var tr *RunTrace
+	tr.add("w", "n", "c", time.Time{}, time.Time{}, nil)
+	if tr.Len() != 0 {
+		t.Error("nil trace recorded a span")
+	}
+	var m *Meter
+	m.AddCells(1)
+	m.CellDone(true)
+	m.CellResumed()
+	m.AddSimInsts(5)
+	if m.Suffix() != "" || m.Summary() != "" {
+		t.Error("nil meter rendered text")
+	}
+}
+
+func TestPlaneCellLifecycle(t *testing.T) {
+	p := NewPlane()
+	p.Trace = NewRunTrace()
+	cell := p.CellStarted("Figure5", 2, 1)
+	cell.Described([]string{"cmp"}, "deadbeef")
+	cell.Described([]string{"vor"}, "ffff") // second call must not stick
+	probe := cell.SimStarted("sim")
+	if probe == nil {
+		t.Fatal("no probe for live cell")
+	}
+	probe.MaxInsts.Store(1000)
+	probe.Cycles.Store(400)
+	probe.Retired.Store(250)
+
+	views := p.Cells.Cells()
+	if len(views) != 1 {
+		t.Fatalf("got %d live cells, want 1", len(views))
+	}
+	v := views[0]
+	if v.Exp != "Figure5" || v.Cell != 2 || v.Worker != 1 || v.Phase != "sim" {
+		t.Errorf("cell view coordinates wrong: %+v", v)
+	}
+	if v.Fingerprint != "deadbeef" || len(v.Workloads) != 1 || v.Workloads[0] != "cmp" {
+		t.Errorf("first-describe-wins violated: %+v", v)
+	}
+	if v.RetirePct != 25 {
+		t.Errorf("retire_pct = %v, want 25", v.RetirePct)
+	}
+	cycles, insts := p.Cells.LiveProgress()
+	if cycles != 400 || insts != 250 {
+		t.Errorf("live progress = %d cycles / %d insts, want 400/250", cycles, insts)
+	}
+
+	set := stats.NewSet()
+	set.Histogram("span.detect2retire").Observe(120)
+	cell.SimFinished(250, 400, set, false)
+	cell.CellFinished("ok", "")
+	if p.Cells.Len() != 0 {
+		t.Error("cell still tracked after finish")
+	}
+	if p.m.missLatency.h.Count() != 1 {
+		t.Error("span.detect2retire not merged into the fleet histogram")
+	}
+	if p.Trace.Len() != 1 {
+		t.Errorf("run trace has %d spans, want 1", p.Trace.Len())
+	}
+
+	var b strings.Builder
+	if err := p.Reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"mtexc_cells_started_total 1",
+		`mtexc_cells_finished_total{status="ok"} 1`,
+		"mtexc_sims_total 1",
+		"mtexc_sim_insts_finished_total 250",
+		"mtexc_sim_insts_total 250",
+		"mtexc_cells_inflight 0",
+		"mtexc_miss_latency_cycles_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+func TestCellStatusCounters(t *testing.T) {
+	p := NewPlane()
+	for _, status := range []string{"ok", "timeout", "livelock", "garbage"} {
+		c := p.CellStarted("X", 0, 0)
+		c.CellFinished(status, "")
+	}
+	if got := p.m.cellsByEnd["fail"].Value(); got != 1 {
+		t.Errorf("unknown status folded into fail = %d, want 1", got)
+	}
+	if got := p.m.cellsByEnd["timeout"].Value(); got != 1 {
+		t.Errorf("timeout count = %d, want 1", got)
+	}
+	if got := p.m.livelocks.Value(); got != 1 {
+		t.Errorf("livelock watchdog count = %d, want 1", got)
+	}
+}
+
+func TestHTTPPlane(t *testing.T) {
+	p := NewPlane()
+	srv, err := p.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+	}
+
+	code, ctype, body := get("/metrics")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics: code %d, content-type %q", code, ctype)
+	}
+	if !strings.Contains(body, "# TYPE mtexc_cells_started_total counter") {
+		t.Errorf("/metrics body lacks exposition headers:\n%s", body)
+	}
+
+	cell := p.CellStarted("Figure5", 1, 0)
+	code, ctype, body = get("/debug/cells")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/debug/cells: code %d, content-type %q", code, ctype)
+	}
+	var view struct {
+		Inflight int        `json:"inflight"`
+		Cells    []CellView `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(body), &view); err != nil {
+		t.Fatalf("/debug/cells not JSON: %v\n%s", err, body)
+	}
+	if view.Inflight != 1 || len(view.Cells) != 1 || view.Cells[0].Exp != "Figure5" {
+		t.Errorf("/debug/cells view wrong: %+v", view)
+	}
+	cell.CellFinished("ok", "")
+
+	if code, _, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: code %d", code)
+	}
+	if code, _, _ := get("/nonexistent"); code != http.StatusNotFound {
+		t.Errorf("unknown path: code %d, want 404", code)
+	}
+}
+
+func TestRunTraceChrome(t *testing.T) {
+	p := NewPlane()
+	p.Trace = NewRunTrace()
+	for w := 0; w < 2; w++ {
+		c := p.CellStarted("Figure5", w, w)
+		c.Described([]string{"cmp"}, fmt.Sprintf("fp%d", w))
+		c.SimStarted("sim")
+		c.SimFinished(100, 200, nil, false)
+		c.CellFinished("ok", "")
+	}
+	var b bytes.Buffer
+	if err := p.Trace.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	var lanes, spans int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "M":
+			if e["name"] == "thread_name" {
+				lanes++
+			}
+		case "X":
+			spans++
+		}
+	}
+	if spans != 2 || lanes != 2 {
+		t.Errorf("trace has %d spans on %d lanes, want 2 on 2", spans, lanes)
+	}
+}
+
+func TestMeterSummary(t *testing.T) {
+	m := NewMeter()
+	m.AddCells(4)
+	m.CellDone(true)
+	m.CellDone(true)
+	m.CellDone(false)
+	m.CellResumed()
+	m.AddSimInsts(1_000_000)
+	s := m.Summary()
+	if !strings.Contains(s, "3 cell(s): 2 ok, 1 FAIL, 1 resumed") {
+		t.Errorf("summary = %q", s)
+	}
+	if !strings.Contains(s, "sim-insts/s aggregate") {
+		t.Errorf("summary lacks throughput: %q", s)
+	}
+}
+
+func TestHumanRate(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{{500, "500"}, {1500, "1.5k"}, {2_500_000, "2.5M"}, {3_000_000_000, "3.0G"}} {
+		if got := humanRate(tc.v); got != tc.want {
+			t.Errorf("humanRate(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}

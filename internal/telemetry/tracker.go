@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"mtexc/internal/cpu"
+)
+
+// CellState is the live telemetry record of one in-flight experiment
+// cell: its coordinates, what it is doing right now, and a handle on
+// the running simulation's progress probe.
+type CellState struct {
+	Exp    string
+	Index  int
+	Worker int
+
+	mu          sync.Mutex
+	phase       string // queued | sim | baseline | baseline-wait | journal
+	workloads   []string
+	fingerprint string
+	startedAt   time.Time
+	simStart    time.Time
+	sims        int
+	probe       *cpu.Probe
+}
+
+// Tracker holds the set of in-flight cells for the /debug/cells view.
+// Cells register at start and deregister at finish; everything in
+// between is a mutex-guarded update, cheap at cell granularity.
+type Tracker struct {
+	mu    sync.Mutex
+	cells map[*CellState]struct{}
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{cells: make(map[*CellState]struct{})}
+}
+
+// add registers a newly started cell.
+func (t *Tracker) add(c *CellState) {
+	t.mu.Lock()
+	t.cells[c] = struct{}{}
+	t.mu.Unlock()
+}
+
+// remove deregisters a finished cell.
+func (t *Tracker) remove(c *CellState) {
+	t.mu.Lock()
+	delete(t.cells, c)
+	t.mu.Unlock()
+}
+
+// Len reports how many cells are in flight.
+func (t *Tracker) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.cells)
+}
+
+// LiveProgress sums cycles and retired instructions over the probes
+// of every in-flight simulation — the live contribution to the
+// monotonic sim-throughput counters.
+func (t *Tracker) LiveProgress() (cycles, insts uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for c := range t.cells {
+		c.mu.Lock()
+		if p := c.probe; p != nil {
+			cycles += p.Cycles.Load()
+			insts += p.Retired.Load()
+		}
+		c.mu.Unlock()
+	}
+	return cycles, insts
+}
+
+// CellView is the JSON shape of one in-flight cell in /debug/cells.
+type CellView struct {
+	Exp         string   `json:"exp"`
+	Cell        int      `json:"cell"`
+	Worker      int      `json:"worker"`
+	Phase       string   `json:"phase"`
+	Workloads   []string `json:"workloads,omitempty"`
+	Fingerprint string   `json:"fingerprint,omitempty"`
+	// ElapsedMS is wall-clock time since the cell started.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Sims counts simulations the cell has launched (subject,
+	// baseline, journal-answered).
+	Sims int `json:"sims"`
+
+	// Live simulation progress, absent until the first probe publish.
+	Cycles uint64 `json:"cycles,omitempty"`
+	Insts  uint64 `json:"insts,omitempty"`
+	// RetirePct is retirement progress toward the run's MaxInsts
+	// budget, 0-100.
+	RetirePct float64 `json:"retire_pct,omitempty"`
+	// InstsPerSec is the running simulation's sim-insts/s over its
+	// lifetime so far.
+	InstsPerSec float64 `json:"insts_per_sec,omitempty"`
+	// WatchdogSlack is how many further no-progress cycles the
+	// livelock watchdog would tolerate; -1 when no watchdog is armed.
+	WatchdogSlack int64 `json:"watchdog_slack"`
+}
+
+// Cells renders every in-flight cell, sorted by (experiment, index),
+// with live retirement progress read from the simulation probes.
+func (t *Tracker) Cells() []CellView {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	list := make([]*CellState, 0, len(t.cells))
+	for c := range t.cells {
+		list = append(list, c)
+	}
+	t.mu.Unlock()
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].Exp != list[j].Exp {
+			return list[i].Exp < list[j].Exp
+		}
+		return list[i].Index < list[j].Index
+	})
+
+	now := time.Now()
+	views := make([]CellView, 0, len(list))
+	for _, c := range list {
+		c.mu.Lock()
+		v := CellView{
+			Exp:           c.Exp,
+			Cell:          c.Index,
+			Worker:        c.Worker,
+			Phase:         c.phase,
+			Workloads:     append([]string(nil), c.workloads...),
+			Fingerprint:   c.fingerprint,
+			ElapsedMS:     now.Sub(c.startedAt).Seconds() * 1e3,
+			Sims:          c.sims,
+			WatchdogSlack: -1,
+		}
+		if p := c.probe; p != nil {
+			v.Cycles = p.Cycles.Load()
+			v.Insts = p.Retired.Load()
+			if max := p.MaxInsts.Load(); max > 0 {
+				v.RetirePct = float64(v.Insts) / float64(max) * 100
+			}
+			if el := now.Sub(c.simStart).Seconds(); el > 0 {
+				v.InstsPerSec = float64(v.Insts) / el
+			}
+			if slack, armed := p.WatchdogSlack(); armed {
+				v.WatchdogSlack = int64(slack)
+			}
+		}
+		c.mu.Unlock()
+		views = append(views, v)
+	}
+	return views
+}
+
+// MinWatchdogSlackRatio reports the tightest live watchdog margin as
+// a 0-1 fraction of its limit (1 when no armed watchdog is live) —
+// a fleet-level early warning that some cell is approaching a
+// livelock abort.
+func (t *Tracker) MinWatchdogSlackRatio() float64 {
+	if t == nil {
+		return 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	min := 1.0
+	for c := range t.cells {
+		c.mu.Lock()
+		if p := c.probe; p != nil {
+			if limit := p.NoProgressLimit.Load(); limit > 0 {
+				if slack, armed := p.WatchdogSlack(); armed {
+					if r := float64(slack) / float64(limit); r < min {
+						min = r
+					}
+				}
+			}
+		}
+		c.mu.Unlock()
+	}
+	return min
+}
