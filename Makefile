@@ -48,7 +48,7 @@ bench:
 # docs/performance.md.
 bench-compare:
 	mkdir -p out
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFigure5Mechanisms' \
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFunctionalThroughput|BenchmarkFigure5Mechanisms' \
 		-benchmem -benchtime=1x . | $(GO) run ./cmd/mtexc-benchsnap
 
 # One JSON snapshot per exception architecture on the compress

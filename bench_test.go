@@ -12,8 +12,10 @@ import (
 	"testing"
 
 	"mtexc/internal/core"
+	"mtexc/internal/fastpath"
 	"mtexc/internal/harness"
 	"mtexc/internal/isa/asm"
+	"mtexc/internal/mem"
 	"mtexc/internal/workload"
 )
 
@@ -172,6 +174,34 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(benchInsts*uint64(b.N))/b.Elapsed().Seconds(), "sim-insts/s")
+}
+
+// BenchmarkFunctionalThroughput measures the threaded-code functional
+// tier (internal/fastpath) on the same workload — the fast-forward
+// speed floor between sampled cycle-accurate windows. The budget is
+// larger than benchInsts so one iteration outruns timer granularity;
+// a fresh image and engine per iteration keeps decode cost honest.
+func BenchmarkFunctionalThroughput(b *testing.B) {
+	w, err := workload.ByName("mph")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const ffInsts = 2_000_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img, err := w.Build(mem.NewPhysical(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := fastpath.New(img, fastpath.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.FastForward(ffInsts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(uint64(ffInsts)*uint64(b.N))/b.Elapsed().Seconds(), "sim-insts/s")
 }
 
 // BenchmarkAssembler measures assembly throughput on a representative

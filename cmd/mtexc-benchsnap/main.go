@@ -3,6 +3,7 @@
 // archived and diffed across commits:
 //
 //	go test -run '^$' -bench . -benchmem . | mtexc-benchsnap -out out/BENCH_dev.json
+//	go test -run '^$' -bench . . | mtexc-benchsnap -compare BENCH_base.json
 //
 // Each benchmark line becomes one record keyed by benchmark name,
 // with every reported metric (ns/op, B/op, allocs/op and custom
@@ -10,15 +11,24 @@
 // snapshot carries the obs schema version so downstream tooling can
 // reject layouts newer than it understands, exactly as obs.ReadJSON
 // does for simulation snapshots.
+//
+// With -compare, the fresh run is diffed against a prior snapshot,
+// metric by metric. A missing prior is not an error: the first run
+// writes the baseline and exits 0, so a new checkout (or a repo whose
+// bench trajectory is empty) can adopt the pipe without a manual
+// seeding step.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -41,41 +51,118 @@ type snapshot struct {
 }
 
 func main() {
-	out := flag.String("out", "", "output path (default out/BENCH_<timestamp>.json)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mtexc-benchsnap", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "", "output path (default out/BENCH_<timestamp>.json)")
+	compare := fs.String("compare", "", "prior snapshot to diff the fresh run against; a missing prior is written as the baseline (first run, exit 0)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	// Raw output passes through so the snapshot pipe stays observable
 	// in CI logs.
-	snap, err := parseSnapshot(os.Stdin, os.Stdout)
+	snap, err := parseSnapshot(stdin, stdout)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mtexc-benchsnap:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mtexc-benchsnap:", err)
+		return 1
 	}
 	snap.Taken = time.Now().UTC().Format(time.RFC3339)
 
 	path := *out
 	if path == "" {
 		if err := os.MkdirAll("out", 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "mtexc-benchsnap:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "mtexc-benchsnap:", err)
+			return 1
 		}
 		path = fmt.Sprintf("out/BENCH_%s.json", time.Now().UTC().Format("20060102-150405"))
 	}
-	f, err := os.Create(path)
+	if err := writeSnapshotFile(path, snap); err != nil {
+		fmt.Fprintln(stderr, "mtexc-benchsnap:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "benchmark snapshot written to %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+
+	if *compare != "" {
+		return compareAgainst(*compare, snap, stdout, stderr)
+	}
+	return 0
+}
+
+// compareAgainst diffs the fresh snapshot against the prior one at
+// basePath. A missing prior degrades gracefully: the fresh snapshot
+// becomes the baseline and the run succeeds — there is nothing to
+// compare on a first run, and failing would block every new checkout.
+func compareAgainst(basePath string, snap snapshot, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(basePath)
+	if errors.Is(err, os.ErrNotExist) {
+		if err := writeSnapshotFile(basePath, snap); err != nil {
+			fmt.Fprintln(stderr, "mtexc-benchsnap:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "no prior snapshot at %s: wrote this run as the baseline; nothing to compare on a first run\n", basePath)
+		return 0
+	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mtexc-benchsnap:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mtexc-benchsnap:", err)
+		return 1
 	}
-	if err := writeSnapshot(f, snap); err != nil {
-		f.Close()
-		fmt.Fprintln(os.Stderr, "mtexc-benchsnap:", err)
-		os.Exit(1)
+	var base snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(stderr, "mtexc-benchsnap: prior snapshot %s: %v\n", basePath, err)
+		return 1
 	}
-	if err := f.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "mtexc-benchsnap:", err)
-		os.Exit(1)
+	if base.Schema > obs.SchemaVersion {
+		fmt.Fprintf(stderr, "mtexc-benchsnap: prior snapshot %s has schema %d, newer than this reader (%d)\n",
+			basePath, base.Schema, obs.SchemaVersion)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "benchmark snapshot written to %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+	fmt.Fprintf(stdout, "comparing against %s (taken %s)\n", basePath, base.Taken)
+	prior := make(map[string]record, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		prior[r.Name] = r
+	}
+	seen := make(map[string]bool, len(snap.Benchmarks))
+	for _, r := range snap.Benchmarks {
+		seen[r.Name] = true
+		old, ok := prior[r.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "  %s: new benchmark (no prior)\n", r.Name)
+			continue
+		}
+		units := make([]string, 0, len(r.Metrics))
+		for u := range r.Metrics {
+			if _, ok := old.Metrics[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			was, now := old.Metrics[u], r.Metrics[u]
+			fmt.Fprintf(stdout, "  %s %s: %g -> %g (%+.1f%%)\n", r.Name, u, was, now, pctChange(was, now))
+		}
+	}
+	for _, r := range base.Benchmarks {
+		if !seen[r.Name] {
+			fmt.Fprintf(stdout, "  %s: dropped (present in prior only)\n", r.Name)
+		}
+	}
+	return 0
+}
+
+// pctChange is the relative change in percent, defined as 0 for an
+// unchanged zero baseline and +Inf for growth from zero.
+func pctChange(was, now float64) float64 {
+	if was == 0 {
+		if now == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return 100 * (now - was) / was
 }
 
 // parseSnapshot scans `go test -bench` output from r, echoing every
@@ -112,6 +199,19 @@ func parseSnapshot(r io.Reader, echo io.Writer) (snapshot, error) {
 		return snapshot{}, fmt.Errorf("no benchmark lines on stdin")
 	}
 	return snap, nil
+}
+
+// writeSnapshotFile renders the snapshot as indented JSON at path.
+func writeSnapshotFile(path string, snap snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := writeSnapshot(f, snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeSnapshot renders the snapshot as indented JSON.

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -76,5 +78,53 @@ func TestSnapshotRoundTrip(t *testing.T) {
 func TestEmptyInputFails(t *testing.T) {
 	if _, err := parseSnapshot(strings.NewReader("PASS\nok\n"), io.Discard); err == nil {
 		t.Fatal("expected an error for input without benchmark lines")
+	}
+}
+
+// TestCompareFirstRunWritesBaseline: a missing prior snapshot is not
+// an error — the first run seeds the baseline and exits 0.
+func TestCompareFirstRunWritesBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "BENCH_base.json")
+	out := filepath.Join(dir, "BENCH_new.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-out", out, "-compare", base},
+		strings.NewReader(sampleBenchOutput), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("first run exited %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "wrote this run as the baseline") {
+		t.Errorf("first-run message missing; stdout:\n%s", stdout.String())
+	}
+	if _, err := os.Stat(base); err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+
+	// Second run against the freshly-seeded baseline prints deltas.
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-out", out, "-compare", base},
+		strings.NewReader(sampleBenchOutput), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("second run exited %d; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "BenchmarkFigure5Cell/cmp ns/op: 4.669618e+07 -> 4.669618e+07 (+0.0%)") {
+		t.Errorf("per-metric delta missing; stdout:\n%s", stdout.String())
+	}
+}
+
+// TestCompareCorruptPriorFails: an unreadable prior is a hard error,
+// not a silent re-baseline.
+func TestCompareCorruptPriorFails(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "BENCH_base.json")
+	if err := os.WriteFile(base, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-out", filepath.Join(dir, "o.json"), "-compare", base},
+		strings.NewReader(sampleBenchOutput), &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("corrupt prior snapshot accepted")
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -26,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"mtexc/internal/core"
 	"mtexc/internal/harness"
 	"mtexc/internal/prof"
 	"mtexc/internal/telemetry"
@@ -55,6 +57,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faults   = fs.Bool("faults", false, "page-fault injection / hard-exception study")
 		ptorg    = fs.Bool("ptorg", false, "page-table organization study (linear vs two-level)")
 		unalign  = fs.Bool("unaligned", false, "generalized mechanism: unaligned loads (Section 6)")
+		fig5samp = fs.Bool("fig5sampled", false, "mechanism comparison in sampled mode (functional fast-forward + periodic cycle-accurate windows)")
+		sampleF  = fs.String("sample", "100000:10000:10000", "sampling spec for -fig5sampled/-sample-check: period:warmup:window instruction counts")
+		sampChk  = fs.Bool("sample-check", false, "run Figure 5 both exact and sampled, verify every cell agrees within its confidence interval (plus edge allowance), and report the wall-clock speedup")
 		insts    = fs.Uint64("insts", 1_000_000, "application instructions per run")
 		benches  = fs.String("bench", "", "comma-separated benchmark subset (default: all 8)")
 		verbose  = fs.Bool("v", false, "log every simulation run")
@@ -206,6 +211,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}(i, e.name, e.run)
 	}
 	wg.Wait()
+	// The sampled-mode runs are not part of the Table-returning
+	// experiment set; they run here so the profiles still cover them.
+	sampledExit := 0
+	if *fig5samp || *sampChk {
+		ran = true
+		spec, err := core.ParseSampleSpec(*sampleF)
+		if err != nil {
+			fmt.Fprintln(stderr, "mtexc-experiments:", err)
+			return 2
+		}
+		sampledExit = runSampledFigure5(opt, spec, *sampChk, stdout, stderr)
+	}
 	// The profiles cover the simulations, not the table printing.
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(stderr, "mtexc-experiments:", err)
@@ -215,6 +232,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// then digest the failures, so one dead cell never hides the rest
 	// of the suite's results.
 	exitCode := 0
+	if sampledExit != 0 {
+		exitCode = sampledExit
+	}
 	var failures []*harness.CellError
 	for _, r := range results {
 		if r == nil {
@@ -286,6 +306,67 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return exitCode
+}
+
+// runSampledFigure5 regenerates Figure 5 in sampled mode and prints
+// the estimate and confidence tables. With check set it also runs the
+// exact experiment and verifies each cell agrees within its
+// confidence interval plus a small edge allowance (for the exact
+// run's cold-start ramp and window-boundary stall spill — see
+// docs/performance.md), reporting the wall-clock speedup.
+func runSampledFigure5(opt harness.Options, spec core.SampleSpec, check bool, stdout, stderr io.Writer) int {
+	t0 := time.Now()
+	samp, err := harness.Figure5Sampled(opt, spec)
+	sampElapsed := time.Since(t0)
+	if err != nil {
+		fmt.Fprintln(stderr, "mtexc-experiments:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, samp.Est)
+	fmt.Fprintln(stdout, samp.CI)
+	fmt.Fprintf(stdout, "sampled detail: %d of %d insts cycle-accurate (%.1f%% of the exact-comparison work), %s wall clock\n\n",
+		samp.DetailedInsts, 2*samp.TotalInsts,
+		100*float64(samp.DetailedInsts)/float64(2*samp.TotalInsts), sampElapsed.Round(time.Millisecond))
+	if !check {
+		return 0
+	}
+	t1 := time.Now()
+	exact, err := harness.Figure5(opt)
+	exactElapsed := time.Since(t1)
+	if err != nil {
+		fmt.Fprintln(stderr, "mtexc-experiments:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, exact)
+	bad := 0
+	for r, row := range exact.Rows {
+		if row == "average" {
+			continue
+		}
+		for c, col := range exact.Cols {
+			if exact.FailedAt(r, c) || samp.Est.FailedAt(r, c) {
+				fmt.Fprintf(stderr, "mtexc-experiments: sample-check %s/%s: cell FAILED\n", row, col)
+				bad++
+				continue
+			}
+			want, got, ci := exact.Get(r, c), samp.Est.Get(r, c), samp.CI.Get(r, c)
+			tol := ci + 0.05*math.Abs(want) + 0.75
+			if diff := math.Abs(got - want); diff > tol {
+				fmt.Fprintf(stderr, "mtexc-experiments: sample-check %s/%s: sampled %.2f±%.2f vs exact %.2f: |Δ|=%.2f exceeds tolerance %.2f\n",
+					row, col, got, ci, want, diff, tol)
+				bad++
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "sample-check: exact %s, sampled %s (%.1fx wall clock)\n",
+		exactElapsed.Round(time.Millisecond), sampElapsed.Round(time.Millisecond),
+		exactElapsed.Seconds()/sampElapsed.Seconds())
+	if bad > 0 {
+		fmt.Fprintf(stderr, "mtexc-experiments: sample-check: %d cell(s) outside tolerance\n", bad)
+		return 1
+	}
+	fmt.Fprintln(stdout, "sample-check: all cells within tolerance")
+	return 0
 }
 
 // writeRunTrace renders the collected run trace as a Chrome trace

@@ -39,3 +39,32 @@ func TestUsage(t *testing.T) {
 		t.Errorf("unknown flag: rc = %d, want 2", rc)
 	}
 }
+
+// TestSampleCheckSmoke is the short end-to-end form of the CI
+// sampling-smoke job: exact vs sampled Figure 5 on one benchmark must
+// agree within the reported confidence intervals.
+func TestSampleCheckSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs Figure 5 twice")
+	}
+	var out, errb bytes.Buffer
+	rc := run([]string{
+		"-sample-check", "-bench", "mph", "-insts", "400000",
+		"-sample", "50000:10000:10000", "-journal", "",
+	}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc = %d, want 0; stderr: %s", rc, errb.String())
+	}
+	for _, want := range []string{"Figure 5 (sampled", "confidence half-width", "sample-check: all cells within tolerance"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBadSampleSpec(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-fig5sampled", "-sample", "bogus", "-journal", ""}, &out, &errb); rc != 2 {
+		t.Errorf("bad -sample spec: rc = %d, want 2", rc)
+	}
+}

@@ -19,7 +19,11 @@ import (
 	"os"
 	"strings"
 
+	"time"
+
 	"mtexc/internal/core"
+	"mtexc/internal/fastpath"
+	"mtexc/internal/mem"
 	"mtexc/internal/obs"
 	"mtexc/internal/prof"
 	"mtexc/internal/trace"
@@ -58,6 +62,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut    = fs.String("json", "", "write the full run snapshot (stats, slot account, miss breakdown, series) as JSON to this file")
 		interval   = fs.Uint64("interval", 0, "sample interval in cycles for time series (0: 10000 when exporting, else off)")
 		seriesCSV  = fs.String("seriescsv", "", "write the sampled time series as CSV to this file")
+		sampleSpec = fs.String("sample", "", "sampled mode: period:warmup:window instruction counts (e.g. 100000:10000:10000); estimates the penalty per TLB miss from periodic cycle-accurate windows over a functional fast-forward run")
+		functional = fs.Bool("functional", false, "run purely on the threaded-code functional tier (no cycle accounting); reports throughput")
 		list       = fs.Bool("list", false, "list available benchmarks and exit")
 		noprogress = fs.Uint64("noprogress", core.DefaultConfig().NoProgressLimit, "livelock watchdog: abort after this many cycles without a retirement (0 disables)")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
@@ -130,6 +136,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "mtexcsim:", err)
 		return 1
+	}
+
+	// The two-tier paths: pure functional execution and sampled
+	// cycle-accurate windows. Both drive a single workload.
+	if *functional && *sampleSpec != "" {
+		fmt.Fprintln(stderr, "mtexcsim: -functional and -sample are mutually exclusive")
+		return 2
+	}
+	if *functional || *sampleSpec != "" {
+		if len(loads) != 1 {
+			fmt.Fprintln(stderr, "mtexcsim: -functional/-sample take exactly one benchmark")
+			return 2
+		}
+		if *functional {
+			return runFunctional(loads[0], cfg, stopProf, stdout, stderr)
+		}
+		spec, err := core.ParseSampleSpec(*sampleSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "mtexcsim:", err)
+			return 2
+		}
+		return runSampled(loads[0], cfg, spec, stopProf, stdout, stderr)
 	}
 
 	var collector *trace.Collector
@@ -235,6 +263,71 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	return 0
+}
+
+// runFunctional executes the benchmark purely on the threaded-code
+// functional tier — no cycle accounting — and reports throughput.
+func runFunctional(w core.Workload, cfg core.Config, stopProf func() error, stdout, stderr io.Writer) int {
+	img, err := w.Build(mem.NewPhysical(), 1)
+	if err != nil {
+		fmt.Fprintln(stderr, "mtexcsim:", err)
+		return 1
+	}
+	eng, err := fastpath.New(img, fastpath.Options{Unaligned: cfg.TrapUnaligned})
+	if err != nil {
+		fmt.Fprintln(stderr, "mtexcsim:", err)
+		return 1
+	}
+	start := time.Now()
+	ran, ffErr := eng.FastForward(cfg.MaxInsts)
+	elapsed := time.Since(start)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(stderr, "mtexcsim:", err)
+		return 1
+	}
+	if ffErr != nil {
+		fmt.Fprintln(stderr, "mtexcsim:", ffErr)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchmark  : %s\n", w.Name())
+	fmt.Fprintf(stdout, "tier       : functional (threaded-code dispatch)\n")
+	fmt.Fprintf(stdout, "insts      : %d\n", ran)
+	fmt.Fprintf(stdout, "halted     : %v\n", eng.Halted())
+	fmt.Fprintf(stdout, "elapsed    : %s\n", elapsed)
+	if s := elapsed.Seconds(); s > 0 {
+		fmt.Fprintf(stdout, "throughput : %.1fM insts/s\n", float64(ran)/s/1e6)
+	}
+	return 0
+}
+
+// runSampled estimates the penalty per TLB miss from periodic
+// cycle-accurate windows over a functional fast-forward of the run
+// (core.SampleCompare), and reports the estimate with its confidence
+// interval and the detail fraction behind the speedup.
+func runSampled(w core.Workload, cfg core.Config, spec core.SampleSpec, stopProf func() error, stdout, stderr io.Writer) int {
+	start := time.Now()
+	s, err := core.SampleCompare(cfg, spec, w)
+	elapsed := time.Since(start)
+	if perr := stopProf(); perr != nil {
+		fmt.Fprintln(stderr, "mtexcsim:", perr)
+		return 1
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "mtexcsim:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchmark  : %s\n", w.Name())
+	fmt.Fprintf(stdout, "mechanism  : %s\n", cfg.Mech)
+	fmt.Fprintf(stdout, "sampling   : %s (period:warmup:window)\n", s.Spec)
+	fmt.Fprintf(stdout, "windows    : %d\n", s.Windows)
+	fmt.Fprintf(stdout, "penalty    : %.2f ± %.2f cycles/miss (95%% CI)\n", s.PenaltyPerMiss, s.CI95)
+	fmt.Fprintf(stdout, "miss rate  : %.2f per 1000 insts (measured windows)\n", s.MissesPerKInst)
+	// An exact comparison simulates every instruction twice (subject
+	// and perfect baseline), so the detail fraction is over 2×total.
+	fmt.Fprintf(stdout, "detail     : %d of %d insts cycle-accurate (%.1f%% of the exact-comparison work)\n",
+		s.DetailedInsts, 2*s.TotalInsts, 100*float64(s.DetailedInsts)/float64(2*s.TotalInsts))
+	fmt.Fprintf(stdout, "elapsed    : %s\n", elapsed)
 	return 0
 }
 

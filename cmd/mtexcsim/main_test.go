@@ -68,3 +68,48 @@ func TestListAndUsageErrors(t *testing.T) {
 		t.Errorf("unknown benchmark: rc = %d, want 2", rc)
 	}
 }
+
+func TestFunctionalTier(t *testing.T) {
+	var out, errb bytes.Buffer
+	rc := run([]string{"-bench", "mph", "-functional", "-insts", "100000"}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc = %d, want 0; stderr: %s", rc, errb.String())
+	}
+	for _, want := range []string{"tier       : functional", "insts      : 100000", "throughput"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSampledMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	rc := run([]string{
+		"-bench", "mph", "-mech", "traditional",
+		"-sample", "40000:5000:5000", "-insts", "200000",
+	}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc = %d, want 0; stderr: %s", rc, errb.String())
+	}
+	for _, want := range []string{"sampling   : 40000:5000:5000", "windows    : 5", "cycles/miss (95% CI)", "detail"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSampledModeFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-bench", "mph", "-functional", "-sample", "1000:0:100"}, &out, &errb); rc != 2 {
+		t.Errorf("-functional with -sample: rc = %d, want 2", rc)
+	}
+	if rc := run([]string{"-bench", "mph,cmp", "-functional"}, &out, &errb); rc != 2 {
+		t.Errorf("-functional with two benches: rc = %d, want 2", rc)
+	}
+	if rc := run([]string{"-bench", "mph", "-sample", "nonsense"}, &out, &errb); rc != 2 {
+		t.Errorf("bad -sample spec: rc = %d, want 2", rc)
+	}
+	if rc := run([]string{"-bench", "mph", "-mech", "perfect", "-sample", "40000:5000:5000"}, &out, &errb); rc != 1 {
+		t.Errorf("-sample with perfect subject: rc = %d, want 1", rc)
+	}
+}

@@ -17,8 +17,9 @@ var Detlint = &Analyzer{
 	Name: "detlint",
 	Doc: `reject wall-clock reads, unseeded randomness and order-dependent
 map iteration in deterministic packages (internal/cpu, internal/core,
-internal/harness, internal/bpred, internal/cache, internal/vm, and any
-package carrying a //mtexc:deterministic comment)`,
+internal/harness, internal/bpred, internal/cache, internal/vm,
+internal/fastpath, and any package carrying a //mtexc:deterministic
+comment)`,
 	Run: runDetlint,
 }
 
@@ -31,6 +32,10 @@ var deterministicPaths = []string{
 	"internal/bpred",
 	"internal/cache",
 	"internal/vm",
+	// The functional tier feeds the sampled estimates; it is held to
+	// the same purity contract (it also carries the magic comment, so
+	// either gate alone would cover it).
+	"internal/fastpath",
 }
 
 // wallClockFuncs are the time-package functions whose results vary

@@ -312,6 +312,28 @@ func (m *Machine) AddProgram(img *vm.Image) (int, error) {
 	return 0, fmt.Errorf("cpu: no idle context for program %q", img.Name)
 }
 
+// AddProgramAt binds an image like AddProgram but starts the thread
+// at an explicit PC with a complete architectural register file,
+// replacing the image's entry point and sparse init values. This is
+// the state-transfer half of two-tier sampled simulation: the
+// functional tier fast-forwards, copies its mapped pages into this
+// machine's physical memory, and hands the registers and resume PC
+// here so a detailed window measures mid-execution state.
+func (m *Machine) AddProgramAt(img *vm.Image, pc uint64, rf isa.RegFile) (int, error) {
+	if pc < img.CodeVA || (pc-img.CodeVA)%4 != 0 || (pc-img.CodeVA)/4 >= uint64(len(img.Code)) {
+		return 0, fmt.Errorf("cpu: resume pc %#x outside image %q code segment", pc, img.Name)
+	}
+	id, err := m.AddProgram(img)
+	if err != nil {
+		return 0, err
+	}
+	t := m.threads[id]
+	t.pc = pc
+	t.rf = rf
+	t.rf.Int[isa.RegZero] = 0
+	return id, nil
+}
+
 // WarmPageTable touches every page-table-entry line of an address
 // space into the cache hierarchy. The paper's simulations start from
 // checkpoints partway into execution, where the operating system has
@@ -363,9 +385,25 @@ const cancelPollMask = 0x3FF
 // *LivelockError with a machine dump when no instruction retires for
 // the configured span, and a closed cancel channel (SetCancel)
 // returns a *CancelledError.
-func (m *Machine) Run() (Result, error) {
+func (m *Machine) Run() (Result, error) { return m.runTo(m.cfg.MaxInsts) }
+
+// RunUntil continues the simulation until the cumulative application
+// retirement count reaches target (clamped to MaxInsts), MaxCycles
+// elapses, or every context halts, and returns the summary so far.
+// Unlike Run it is meant to be called repeatedly on one machine:
+// sampled simulation runs a warm-up prefix, snapshots the counters,
+// then continues through the measured window and differences the two
+// Results. Counters are cumulative across calls.
+func (m *Machine) RunUntil(target uint64) (Result, error) {
+	if target > m.cfg.MaxInsts {
+		target = m.cfg.MaxInsts
+	}
+	return m.runTo(target)
+}
+
+func (m *Machine) runTo(target uint64) (Result, error) {
 	limit := m.cfg.NoProgressLimit
-	for m.appRetired < m.cfg.MaxInsts && m.now < m.cfg.MaxCycles {
+	for m.appRetired < target && m.now < m.cfg.MaxCycles {
 		m.step()
 		if m.allHalted() {
 			break

@@ -3,8 +3,10 @@
 // reference emulator (internal/diffsim/refemu) and under a sampled
 // grid of cpu.Machine configurations — every exception mechanism,
 // context counts, quick-start, page-table organizations, machine
-// shapes — and reports any architectural divergence: final register
-// state, mapped-memory contents, or the committed-instruction stream.
+// shapes — plus the threaded-code functional tier
+// (internal/fastpath), and reports any architectural divergence:
+// final register state, mapped-memory contents, or the
+// committed-instruction stream.
 // A divergence is a bug by definition: the paper's mechanisms are
 // architecturally invisible and may differ only in timing.
 //
@@ -21,6 +23,7 @@ import (
 	"mtexc/internal/cpu"
 	"mtexc/internal/diffsim/gen"
 	"mtexc/internal/diffsim/refemu"
+	"mtexc/internal/fastpath"
 	"mtexc/internal/isa"
 	"mtexc/internal/mem"
 	"mtexc/internal/vm"
@@ -127,6 +130,13 @@ func (d Divergence) String() string {
 // Repro renders a ready-to-run command line reproducing the failing
 // configuration under mtexcsim.
 func (d Divergence) Repro() string {
+	if d.Case.Name == "fastpath" {
+		s := fmt.Sprintf("go run ./cmd/mtexcsim -bench 'fuzz:%s' -functional", d.Spec)
+		if d.Case.TrapUnaligned {
+			s += " -trapunaligned"
+		}
+		return s
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "go run ./cmd/mtexcsim -bench 'fuzz:%s' -mech %s -idle %d",
 		d.Spec, d.Case.Mech, d.Case.Contexts-1)
@@ -198,6 +208,13 @@ func CheckProgram(p *gen.Program, opt Options) ([]Divergence, error) {
 			}
 			refs[c.TrapUnaligned] = r
 			ref = r
+			// First use of this architecture variant: cross-check the
+			// functional fast-forward tier against the fresh reference
+			// run before any cycle-accurate case depends on it.
+			if d := runFastpath(p, c.TrapUnaligned, r); d != nil {
+				d.Spec = p.Spec()
+				divs = append(divs, *d)
+			}
 		}
 		if d := runCase(p, c, ref, opt.Inject); d != nil {
 			d.Spec = p.Spec()
@@ -205,6 +222,63 @@ func CheckProgram(p *gen.Program, opt Options) ([]Divergence, error) {
 		}
 	}
 	return divs, nil
+}
+
+// runFastpath cross-checks the threaded-code functional tier
+// (internal/fastpath) against the cached reference run: identical
+// committed-instruction stream, step count, final registers and
+// mapped-memory signature. The functional tier is the architectural
+// state source for sampled simulation (core.SampleCompare), so a
+// divergence here would silently corrupt every sampled estimate —
+// it is held to the same oracle as the cycle-accurate machines.
+func runFastpath(p *gen.Program, unaligned bool, ref *refRun) (div *Divergence) {
+	c := Case{Name: "fastpath", TrapUnaligned: unaligned}
+	defer func() {
+		if r := recover(); r != nil {
+			div = &Divergence{Case: c, Kind: "panic", Detail: fmt.Sprint(r)}
+		}
+	}()
+	img, err := p.BuildImage(mem.NewPhysical(), 1, vm.PTLinear)
+	if err != nil {
+		return &Divergence{Case: c, Kind: "error", Detail: err.Error()}
+	}
+	eng, err := fastpath.New(img, fastpath.Options{Unaligned: unaligned, RecordTrace: true})
+	if err != nil {
+		return &Divergence{Case: c, Kind: "error", Detail: err.Error()}
+	}
+	if _, err := eng.FastForward(ref.res.Steps + 10_000); err != nil {
+		return &Divergence{Case: c, Kind: "error", Detail: err.Error()}
+	}
+	if !eng.Halted() {
+		return &Divergence{Case: c, Kind: "nohalt",
+			Detail: fmt.Sprintf("functional tier not halted after %d steps (reference took %d)",
+				eng.Steps(), ref.res.Steps)}
+	}
+	tr, want := eng.Trace(), ref.res.Trace
+	n := len(tr)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if tr[i].PC != want[i].PC || tr[i].Op != want[i].Op {
+			return &Divergence{Case: c, Kind: "trace",
+				Detail: fmt.Sprintf("committed inst %d: functional tier pc=%#x op=%v, reference expects pc=%#x op=%v",
+					i, tr[i].PC, tr[i].Op, want[i].PC, want[i].Op)}
+		}
+	}
+	if eng.Steps() != ref.res.Steps {
+		return &Divergence{Case: c, Kind: "trace",
+			Detail: fmt.Sprintf("functional tier committed %d instructions, reference %d",
+				eng.Steps(), ref.res.Steps)}
+	}
+	if regs := eng.Regs(); regs != ref.res.Regs {
+		return &Divergence{Case: c, Kind: "registers", Detail: regsDiff(regs, ref.res.Regs)}
+	}
+	if h := img.Space.ContentHash(); h != ref.hash {
+		return &Divergence{Case: c, Kind: "memory",
+			Detail: fmt.Sprintf("mapped-memory hash %#x != reference %#x", h, ref.hash)}
+	}
+	return nil
 }
 
 // skippable reports whether a reference-trace instruction is allowed

@@ -21,3 +21,17 @@ func TestNoDivergenceOnHead(t *testing.T) {
 		}
 	}
 }
+
+// TestFastpathRepro: a functional-tier divergence renders a
+// ready-to-run mtexcsim -functional command line.
+func TestFastpathRepro(t *testing.T) {
+	d := Divergence{
+		Spec: "s1:k0",
+		Case: Case{Name: "fastpath", TrapUnaligned: true},
+		Kind: "registers", Detail: "r1=0x1 want 0x2",
+	}
+	want := "go run ./cmd/mtexcsim -bench 'fuzz:s1:k0' -functional -trapunaligned"
+	if got := d.Repro(); got != want {
+		t.Fatalf("Repro() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"testing"
+
+	"mtexc/internal/core"
+)
+
+// TestFigure5SampledDeterministic: sampled tables are byte-identical
+// at any parallelism, like every other experiment.
+func TestFigure5SampledDeterministic(t *testing.T) {
+	spec := core.SampleSpec{Period: 40_000, Warmup: 4_000, Window: 4_000}
+	opt := Options{Insts: 120_000, Benchmarks: []string{"mph"}}
+
+	opt.Parallelism = 1
+	serial, err := Figure5Sampled(opt, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Parallelism = 4
+	parallel, err := Figure5Sampled(opt, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Est.String() != parallel.Est.String() {
+		t.Fatalf("estimate tables differ across parallelism:\n%s\nvs\n%s",
+			serial.Est.String(), parallel.Est.String())
+	}
+	if serial.CI.String() != parallel.CI.String() {
+		t.Fatalf("CI tables differ across parallelism")
+	}
+	if serial.TotalInsts != parallel.TotalInsts || serial.DetailedInsts != parallel.DetailedInsts {
+		t.Fatalf("cost accounting differs across parallelism")
+	}
+	// Four cells, 120k functional insts each.
+	if want := uint64(4 * 120_000); serial.TotalInsts != want {
+		t.Fatalf("TotalInsts = %d, want %d", serial.TotalInsts, want)
+	}
+	if serial.DetailedInsts == 0 || serial.DetailedInsts >= 2*serial.TotalInsts {
+		t.Fatalf("DetailedInsts = %d out of range (total %d)", serial.DetailedInsts, serial.TotalInsts)
+	}
+	// The mechanism ordering the paper reports must survive sampling.
+	tr := serial.Est.Cell("murphi", "traditional")
+	hw := serial.Est.Cell("murphi", "hardware")
+	if !(tr > hw) {
+		t.Errorf("sampled estimates lost the traditional > hardware ordering: trad=%.2f hw=%.2f", tr, hw)
+	}
+}

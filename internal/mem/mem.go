@@ -53,6 +53,13 @@ func (p *Physical) AllocFrames(n uint64) uint64 {
 // FramesAllocated reports how many frames have been reserved.
 func (p *Physical) FramesAllocated() uint64 { return p.nextFree - 1 }
 
+// Frame exposes the backing array of the frame containing pa,
+// allocating the backing store on first touch. The functional
+// execution tier caches these pointers so its hot loop can read and
+// write page bytes without a map lookup per access; whole-page copies
+// (checkpointing, architectural state transfer) use it too.
+func (p *Physical) Frame(pa uint64) *[FrameSize]byte { return p.frame(pa) }
+
 func (p *Physical) frame(pa uint64) *[FrameSize]byte {
 	fn := pa >> FrameShift
 	f, ok := p.frames[fn]
