@@ -13,11 +13,12 @@
 #   make fuzz         short burst of every fuzz target
 #   make fuzz-long    longer differential-fuzzing soak (not a PR gate)
 #   make resume-check kill-and-resume determinism of the journal
+#   make faultinject-smoke  transient-fault campaign + replay determinism
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test test-short bench bench-compare bench-json experiments report vet lint fmt clean fuzz fuzz-long resume-check
+.PHONY: build test test-short bench bench-compare bench-json experiments report vet lint fmt clean fuzz fuzz-long resume-check faultinject-smoke
 
 build:
 	$(GO) build ./...
@@ -105,6 +106,25 @@ resume-check:
 	cmp out/resume-full.txt out/resume-again.txt
 	grep -q "0 new entries" out/resume-again.err
 	@echo "resume-check: byte-identical"
+
+# Transient-fault injection smoke: the default campaign grid
+# (4 state classes x 4 mechanisms x 3 workloads, 5 trials/cell = 240
+# flips) must produce both masked and detected outcomes, and a
+# recorded SDC trial must replay bit-for-bit (two replays compare
+# equal and verify the recorded outcome class). See the fault-
+# injection section of docs/robustness.md.
+faultinject-smoke:
+	mkdir -p out
+	$(GO) build -o out/mtexc-faultinject ./cmd/mtexc-faultinject
+	out/mtexc-faultinject -trials 5 > out/faultinject.txt
+	awk '$$3 ~ /^[0-9]+$$/ { m += $$4; d += $$5 } END { exit !(m > 0 && d > 0) }' out/faultinject.txt
+	sed -n "s/.*-replay '\(.*\)'.*/\1/p" out/faultinject.txt | head -1 > out/faultinject-token.txt
+	test -s out/faultinject-token.txt
+	out/mtexc-faultinject -replay "$$(cat out/faultinject-token.txt)" > out/faultinject-replay1.txt
+	out/mtexc-faultinject -replay "$$(cat out/faultinject-token.txt)" > out/faultinject-replay2.txt
+	cmp out/faultinject-replay1.txt out/faultinject-replay2.txt
+	grep -q "reproduced recorded outcome sdc" out/faultinject-replay1.txt
+	@echo "faultinject-smoke: masked+detected present, SDC replay byte-identical"
 
 clean:
 	$(GO) clean ./...

@@ -129,6 +129,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			defer events.Close()
 			plane.Events = events
+			plane.Reg.CounterFunc("mtexc_event_write_retries_total",
+				"Transient event-log append Write errors recovered by the bounded retry.",
+				func() float64 { return float64(events.WriteRetries()) })
+		}
+		if journal != nil {
+			plane.Reg.CounterFunc("mtexc_journal_write_retries_total",
+				"Transient journal append Write errors recovered by the bounded retry.",
+				func() float64 { return float64(journal.WriteRetries()) })
 		}
 		if *traceP != "" {
 			plane.Trace = telemetry.NewRunTrace()

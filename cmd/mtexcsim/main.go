@@ -13,12 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
-
 	"time"
 
 	"mtexc/internal/core"
@@ -66,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		functional = fs.Bool("functional", false, "run purely on the threaded-code functional tier (no cycle accounting); reports throughput")
 		list       = fs.Bool("list", false, "list available benchmarks and exit")
 		noprogress = fs.Uint64("noprogress", core.DefaultConfig().NoProgressLimit, "livelock watchdog: abort after this many cycles without a retirement (0 disables)")
+		cellTime   = fs.Duration("cell-timeout", 0, "wall-clock deadline for the simulation (0 = none); mirrors the harness per-cell deadline so timeout-classified cells reproduce")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memProf    = fs.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
@@ -160,6 +161,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runSampled(loads[0], cfg, spec, stopProf, stdout, stderr)
 	}
 
+	// The per-run deadline mirrors harness.Options.CellTimeout: an
+	// overrunning simulation aborts with a *cpu.CancelledError wrapping
+	// context.DeadlineExceeded, exactly as a harness cell reports it.
+	ctx := context.Background()
+	if *cellTime > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *cellTime)
+		defer cancel()
+	}
+
 	var collector *trace.Collector
 	var res core.Result
 	if *traceN > 0 {
@@ -179,6 +190,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		collector = trace.NewCollector(*traceN)
 		m.TraceHook = collector.Add
+		if ctx.Done() != nil {
+			m.SetCancel(ctx.Done())
+		}
 		var err error
 		res, err = m.Run()
 		if err != nil {
@@ -187,7 +201,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	} else {
 		var err error
-		res, err = core.Run(cfg, loads...)
+		res, err = core.RunCtx(ctx, cfg, loads...)
 		if err != nil {
 			// A LivelockError already carries the machine dump; print
 			// it whole so the wedge is diagnosable from stderr.

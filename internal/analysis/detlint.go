@@ -18,8 +18,8 @@ var Detlint = &Analyzer{
 	Doc: `reject wall-clock reads, unseeded randomness and order-dependent
 map iteration in deterministic packages (internal/cpu, internal/core,
 internal/harness, internal/bpred, internal/cache, internal/vm,
-internal/fastpath, and any package carrying a //mtexc:deterministic
-comment)`,
+internal/fastpath, internal/faultinject, and any package carrying a
+//mtexc:deterministic comment)`,
 	Run: runDetlint,
 }
 
@@ -36,6 +36,9 @@ var deterministicPaths = []string{
 	// the same purity contract (it also carries the magic comment, so
 	// either gate alone would cover it).
 	"internal/fastpath",
+	// Trial outcomes must be a pure function of (program, mechanism,
+	// plan) — replay tokens and the campaign journal depend on it.
+	"internal/faultinject",
 }
 
 // wallClockFuncs are the time-package functions whose results vary

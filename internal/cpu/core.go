@@ -85,6 +85,14 @@ type Machine struct {
 	// can never describe a deliberately broken machine.
 	InjectBug InjectedBug
 
+	// fault is the armed transient-fault plan (SetFaultPlan); like
+	// InjectBug it lives off Config so uninjected fingerprints are
+	// untouched. faultArmed gates the cycle-loop hook at one branch
+	// per cycle; faultRec reports what fired (FaultRecord).
+	fault      FaultPlan
+	faultArmed bool
+	faultRec   FaultRecord
+
 	// scratch reused each cycle
 	readyScratch []*uop
 	doneScratch  []*uop
@@ -404,6 +412,9 @@ func (m *Machine) RunUntil(target uint64) (Result, error) {
 func (m *Machine) runTo(target uint64) (Result, error) {
 	limit := m.cfg.NoProgressLimit
 	for m.appRetired < target && m.now < m.cfg.MaxCycles {
+		if m.faultArmed && m.now >= m.fault.At {
+			m.tryInjectFault()
+		}
 		m.step()
 		if m.allHalted() {
 			break

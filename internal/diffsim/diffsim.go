@@ -46,10 +46,12 @@ type Case struct {
 	EmulatePopc   bool
 }
 
-// config renders the case as a core configuration, bounded by the
+// Config renders the case as a core configuration, bounded by the
 // reference run's committed-instruction count so a diverging machine
-// cannot spin to the global cycle cap.
-func (c Case) config(refSteps uint64) cpu.Config {
+// cannot spin to the global cycle cap. Exported so the fault injector
+// (internal/faultinject) can derive its trial configurations from the
+// same grid vocabulary.
+func (c Case) Config(refSteps uint64) cpu.Config {
 	cfg := cpu.DefaultConfig()
 	if c.Width != 0 {
 		cfg = cfg.WithWidth(c.Width, c.Window)
@@ -170,14 +172,19 @@ type Options struct {
 	Inject cpu.InjectedBug
 }
 
-// refRun caches one reference-emulator execution and the resulting
-// memory signature, per architecture variant (aligned/unaligned).
-type refRun struct {
-	res  *refemu.Result
-	hash uint64
+// RefRun caches one reference-emulator execution and the resulting
+// memory signature, per architecture variant (aligned/unaligned). It
+// is the oracle every machine execution — and every fault-injection
+// trial — is compared against.
+type RefRun struct {
+	Res  *refemu.Result
+	Hash uint64
 }
 
-func runRef(p *gen.Program, unaligned bool) (*refRun, error) {
+// NewRefRun executes the program once under the reference emulator.
+// A non-nil error means the program itself is invalid (does not
+// assemble or does not halt) — a generator problem, not a core bug.
+func NewRefRun(p *gen.Program, unaligned bool) (*RefRun, error) {
 	img, err := p.BuildImage(mem.NewPhysical(), 1, vm.PTLinear)
 	if err != nil {
 		return nil, err
@@ -186,7 +193,7 @@ func runRef(p *gen.Program, unaligned bool) (*refRun, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &refRun{res: res, hash: img.Space.ContentHash()}, nil
+	return &RefRun{Res: res, Hash: img.Space.ContentHash()}, nil
 }
 
 // CheckProgram runs the program under the full grid and collects
@@ -194,7 +201,7 @@ func runRef(p *gen.Program, unaligned bool) (*refRun, error) {
 // invalid (does not assemble or does not halt under the reference
 // emulator) — that is a generator problem, not a core bug.
 func CheckProgram(p *gen.Program, opt Options) ([]Divergence, error) {
-	refs := map[bool]*refRun{}
+	refs := map[bool]*RefRun{}
 	var divs []Divergence
 	for _, c := range Grid(p) {
 		if opt.Mech != "" && c.Mech.String() != opt.Mech {
@@ -202,7 +209,7 @@ func CheckProgram(p *gen.Program, opt Options) ([]Divergence, error) {
 		}
 		ref := refs[c.TrapUnaligned]
 		if ref == nil {
-			r, err := runRef(p, c.TrapUnaligned)
+			r, err := NewRefRun(p, c.TrapUnaligned)
 			if err != nil {
 				return nil, fmt.Errorf("diffsim: reference run of %s: %w", p.Spec(), err)
 			}
@@ -231,7 +238,7 @@ func CheckProgram(p *gen.Program, opt Options) ([]Divergence, error) {
 // state source for sampled simulation (core.SampleCompare), so a
 // divergence here would silently corrupt every sampled estimate —
 // it is held to the same oracle as the cycle-accurate machines.
-func runFastpath(p *gen.Program, unaligned bool, ref *refRun) (div *Divergence) {
+func runFastpath(p *gen.Program, unaligned bool, ref *RefRun) (div *Divergence) {
 	c := Case{Name: "fastpath", TrapUnaligned: unaligned}
 	defer func() {
 		if r := recover(); r != nil {
@@ -246,15 +253,15 @@ func runFastpath(p *gen.Program, unaligned bool, ref *refRun) (div *Divergence) 
 	if err != nil {
 		return &Divergence{Case: c, Kind: "error", Detail: err.Error()}
 	}
-	if _, err := eng.FastForward(ref.res.Steps + 10_000); err != nil {
+	if _, err := eng.FastForward(ref.Res.Steps + 10_000); err != nil {
 		return &Divergence{Case: c, Kind: "error", Detail: err.Error()}
 	}
 	if !eng.Halted() {
 		return &Divergence{Case: c, Kind: "nohalt",
 			Detail: fmt.Sprintf("functional tier not halted after %d steps (reference took %d)",
-				eng.Steps(), ref.res.Steps)}
+				eng.Steps(), ref.Res.Steps)}
 	}
-	tr, want := eng.Trace(), ref.res.Trace
+	tr, want := eng.Trace(), ref.Res.Trace
 	n := len(tr)
 	if len(want) < n {
 		n = len(want)
@@ -266,17 +273,17 @@ func runFastpath(p *gen.Program, unaligned bool, ref *refRun) (div *Divergence) 
 					i, tr[i].PC, tr[i].Op, want[i].PC, want[i].Op)}
 		}
 	}
-	if eng.Steps() != ref.res.Steps {
+	if eng.Steps() != ref.Res.Steps {
 		return &Divergence{Case: c, Kind: "trace",
 			Detail: fmt.Sprintf("functional tier committed %d instructions, reference %d",
-				eng.Steps(), ref.res.Steps)}
+				eng.Steps(), ref.Res.Steps)}
 	}
-	if regs := eng.Regs(); regs != ref.res.Regs {
-		return &Divergence{Case: c, Kind: "registers", Detail: regsDiff(regs, ref.res.Regs)}
+	if regs := eng.Regs(); regs != ref.Res.Regs {
+		return &Divergence{Case: c, Kind: "registers", Detail: regsDiff(regs, ref.Res.Regs)}
 	}
-	if h := img.Space.ContentHash(); h != ref.hash {
+	if h := img.Space.ContentHash(); h != ref.Hash {
 		return &Divergence{Case: c, Kind: "memory",
-			Detail: fmt.Sprintf("mapped-memory hash %#x != reference %#x", h, ref.hash)}
+			Detail: fmt.Sprintf("mapped-memory hash %#x != reference %#x", h, ref.Hash)}
 	}
 	return nil
 }
@@ -297,31 +304,46 @@ func skippable(op isa.Op, cfg cpu.Config) bool {
 	return false
 }
 
-// runCase executes the program under one configuration and compares
-// the committed-instruction stream (streamed through RetireHook), the
-// final architectural registers and the mapped-memory signature
-// against the reference run. A panic inside the core (invariant
-// checker, splice machinery) is itself a divergence.
-func runCase(p *gen.Program, c Case, ref *refRun, inject cpu.InjectedBug) (div *Divergence) {
+// RunResult is the outcome of one oracle-checked machine execution:
+// the divergence (nil if the run matched the reference) and the
+// core's partial result, which fault-injection trials read for cycle
+// counts and exception-activity counters even when the run diverged.
+type RunResult struct {
+	Div *Divergence
+	Res cpu.Result
+}
+
+// RunCaseConfigured executes the program under one configuration and
+// compares the committed-instruction stream (streamed through
+// RetireHook), the final architectural registers and the
+// mapped-memory signature against the reference run. A panic inside
+// the core (invariant checker, splice machinery) is itself a
+// divergence. pre, if non-nil, runs after the program is loaded and
+// before the machine starts — the seam where the fuzzer arms
+// InjectBug and the fault injector arms its FaultPlan.
+func RunCaseConfigured(p *gen.Program, c Case, cfg cpu.Config, ref *RefRun, pre func(*cpu.Machine)) (out RunResult) {
 	defer func() {
 		if r := recover(); r != nil {
-			div = &Divergence{Case: c, Kind: "panic", Detail: fmt.Sprint(r)}
+			out.Div = &Divergence{Case: c, Kind: "panic", Detail: fmt.Sprint(r)}
 		}
 	}()
 
-	cfg := c.config(ref.res.Steps)
 	m := cpu.New(cfg)
-	m.InjectBug = inject
 	img, err := p.BuildImage(m.Phys(), 1, cfg.PageTable)
 	if err != nil {
-		return &Divergence{Case: c, Kind: "error", Detail: err.Error()}
+		out.Div = &Divergence{Case: c, Kind: "error", Detail: err.Error()}
+		return out
 	}
 	tid, err := m.AddProgram(img)
 	if err != nil {
-		return &Divergence{Case: c, Kind: "error", Detail: err.Error()}
+		out.Div = &Divergence{Case: c, Kind: "error", Detail: err.Error()}
+		return out
+	}
+	if pre != nil {
+		pre(m)
 	}
 
-	trace := ref.res.Trace
+	trace := ref.Res.Trace
 	idx := 0
 	var mismatch string
 	m.RetireHook = func(ri cpu.RetiredInst) {
@@ -346,35 +368,52 @@ func runCase(p *gen.Program, c Case, ref *refRun, inject cpu.InjectedBug) (div *
 			ri.PC, ri.Op, len(trace))
 	}
 
-	if _, err := m.Run(); err != nil {
+	res, err := m.Run()
+	out.Res = res
+	if err != nil {
 		kind := "error"
 		if _, ok := err.(*cpu.LivelockError); ok {
 			kind = "livelock"
 		}
-		return &Divergence{Case: c, Kind: kind, Detail: err.Error()}
+		out.Div = &Divergence{Case: c, Kind: kind, Detail: err.Error()}
+		return out
 	}
 	if !m.ThreadHalted(tid) {
-		return &Divergence{Case: c, Kind: "nohalt",
+		out.Div = &Divergence{Case: c, Kind: "nohalt",
 			Detail: fmt.Sprintf("application thread not halted after %d committed of %d reference instructions", idx, len(trace))}
+		return out
 	}
 	if mismatch != "" {
-		return &Divergence{Case: c, Kind: "trace", Detail: mismatch}
+		out.Div = &Divergence{Case: c, Kind: "trace", Detail: mismatch}
+		return out
 	}
 	for ; idx < len(trace); idx++ {
 		if !skippable(trace[idx].Op, cfg) {
-			return &Divergence{Case: c, Kind: "trace",
+			out.Div = &Divergence{Case: c, Kind: "trace",
 				Detail: fmt.Sprintf("machine halted with reference inst %d (pc=%#x op=%v) never committed",
 					idx, trace[idx].PC, trace[idx].Op)}
+			return out
 		}
 	}
-	if regs := m.ArchRegs(tid); regs != ref.res.Regs {
-		return &Divergence{Case: c, Kind: "registers", Detail: regsDiff(regs, ref.res.Regs)}
+	if regs := m.ArchRegs(tid); regs != ref.Res.Regs {
+		out.Div = &Divergence{Case: c, Kind: "registers", Detail: regsDiff(regs, ref.Res.Regs)}
+		return out
 	}
-	if h := img.Space.ContentHash(); h != ref.hash {
-		return &Divergence{Case: c, Kind: "memory",
-			Detail: fmt.Sprintf("mapped-memory hash %#x != reference %#x", h, ref.hash)}
+	if h := img.Space.ContentHash(); h != ref.Hash {
+		out.Div = &Divergence{Case: c, Kind: "memory",
+			Detail: fmt.Sprintf("mapped-memory hash %#x != reference %#x", h, ref.Hash)}
+		return out
 	}
-	return nil
+	return out
+}
+
+// runCase is the fuzzer's view of RunCaseConfigured: canonical case
+// configuration, optional injected bug, divergence-only result.
+func runCase(p *gen.Program, c Case, ref *RefRun, inject cpu.InjectedBug) *Divergence {
+	rr := RunCaseConfigured(p, c, c.Config(ref.Res.Steps), ref, func(m *cpu.Machine) {
+		m.InjectBug = inject
+	})
+	return rr.Div
 }
 
 // regsDiff names the first few differing registers.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -8,8 +9,10 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"mtexc/internal/core"
+	"mtexc/internal/cpu"
 	"mtexc/internal/telemetry"
 	"mtexc/internal/workload"
 )
@@ -137,6 +140,11 @@ type CellError struct {
 	// Stack is the panic stack, nil when the failure was an ordinary
 	// error.
 	Stack []byte
+	// Timeout is the per-cell deadline in effect when the cell failed
+	// (Options.CellTimeout), zero when none was set. Repro includes it
+	// when the cell died of it, so the command reproduces the timeout
+	// classification, not just the simulation.
+	Timeout time.Duration
 	// Cause is the underlying failure.
 	Cause error
 }
@@ -172,6 +180,17 @@ func (e *CellError) Repro() string {
 		cfg.Width, cfg.WindowSize, cfg.PipeDepth(), cfg.DTLBEntries)
 	if cfg.QuickStart {
 		sb.WriteString(" -quickstart")
+	}
+	// A cell that died by watchdog or deadline only reproduces under
+	// the limits that killed it: carry the effective no-progress limit
+	// whenever it differs from the default (or the watchdog actually
+	// fired), and the wall-clock deadline when the cell timed out.
+	var ll *cpu.LivelockError
+	if cfg.NoProgressLimit != core.DefaultConfig().NoProgressLimit || errors.As(e.Cause, &ll) {
+		fmt.Fprintf(&sb, " -noprogress %d", cfg.NoProgressLimit)
+	}
+	if e.Timeout > 0 && errors.Is(e.Cause, context.DeadlineExceeded) {
+		fmt.Fprintf(&sb, " -cell-timeout %s", e.Timeout)
 	}
 	var extras []string
 	if cfg.Limit != core.LimitNone {

@@ -4,12 +4,14 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mtexc/internal/core"
 	"mtexc/internal/obs"
@@ -38,11 +40,14 @@ type JournalEntry struct {
 // as a cross-experiment result cache: two experiments needing the
 // same simulation run it once.
 type Journal struct {
-	mu      sync.Mutex
-	f       *os.File
+	mu sync.Mutex
+	f  *os.File
+	// w is the append target (f, except under write-failure tests).
+	w       io.Writer
 	entries map[string]*JournalEntry
 	hits    atomic.Int64
 	appends atomic.Int64
+	retries atomic.Uint64
 }
 
 // journalScanCap bounds one journal line; entries are a few KB of
@@ -68,7 +73,7 @@ func OpenJournal(path string, resume bool) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: opening journal: %w", err)
 	}
-	j := &Journal{f: f, entries: make(map[string]*JournalEntry)}
+	j := &Journal{f: f, w: f, entries: make(map[string]*JournalEntry)}
 	if resume {
 		sc := bufio.NewScanner(f)
 		sc.Buffer(make([]byte, 64*1024), journalScanCap)
@@ -128,6 +133,11 @@ func (j *Journal) Hits() int64 { return j.hits.Load() }
 // Appends reports how many completed simulations this process
 // recorded — zero on a resume of an already-complete suite.
 func (j *Journal) Appends() int64 { return j.appends.Load() }
+
+// WriteRetries reports how many transient append Write errors the
+// bounded retry recovered (telemetry exposes this as
+// mtexc_journal_write_retries_total).
+func (j *Journal) WriteRetries() uint64 { return j.retries.Load() }
 
 // lookup reconstructs the journaled Result for key, if present. The
 // Result carries everything experiments consume: the Meta scalars and
@@ -190,12 +200,33 @@ func (j *Journal) record(exp, key string, cfg core.Config, benches []string, res
 	if _, dup := j.entries[key]; dup {
 		return nil
 	}
-	if _, err := j.f.Write(line); err != nil {
-		return fmt.Errorf("harness: appending journal entry: %w", err)
+	if _, err := j.w.Write(line); err != nil {
+		// One bounded retry after a jittered backoff: transient
+		// filesystem hiccups (NFS, overlay commits) recover, anything
+		// persistent still fails loudly. The retry leads with a
+		// newline so a torn partial first attempt is isolated as a
+		// garbage line future loads skip — the same torn-line contract
+		// as a kill mid-Write.
+		j.retries.Add(1)
+		retryBackoff(key)
+		if _, err2 := j.w.Write(append([]byte{'\n'}, line...)); err2 != nil {
+			return fmt.Errorf("harness: appending journal entry (retried once): %w", err2)
+		}
 	}
 	j.entries[key] = e
 	j.appends.Add(1)
 	return nil
+}
+
+// retryBackoff sleeps 1ms plus a deterministic key-derived jitter (up
+// to ~1ms more) before a write retry, so concurrent cells hitting the
+// same transient failure do not retry in lockstep. FNV of the key
+// replaces unseeded randomness: the harness is a deterministic
+// package, and the delay affects only wall-clock, never results.
+func retryBackoff(key string) {
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	time.Sleep(time.Millisecond + time.Duration(h.Sum64()%1024)*time.Microsecond)
 }
 
 // sortedCounterNames returns a counter map's names in sorted order,

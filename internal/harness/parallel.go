@@ -184,6 +184,7 @@ func (r *runner) cellError(c *cell, err error) *CellError {
 		Config:      cfg,
 		Workloads:   loads,
 		Fingerprint: key,
+		Timeout:     r.opt.CellTimeout,
 		Cause:       err,
 	}
 	var pe *panicError

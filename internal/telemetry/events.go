@@ -4,9 +4,12 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -75,10 +78,13 @@ type Event struct {
 // contract as the resume journal — so a kill at any instant tears at
 // most the line in flight, and ReadEvents skips the remnant.
 type Log struct {
-	mu  sync.Mutex
-	f   *os.File
-	min int
-	n   int64
+	mu sync.Mutex
+	f  *os.File
+	// w is the append target (f, except under write-failure tests).
+	w       io.Writer
+	min     int
+	n       int64
+	retries atomic.Uint64
 }
 
 // OpenLog creates (truncating) the NDJSON event log at path, keeping
@@ -96,7 +102,7 @@ func OpenLog(path string, min Level) (*Log, error) {
 	if min == "" {
 		min = LevelInfo
 	}
-	return &Log{f: f, min: min.rank()}, nil
+	return &Log{f: f, w: f, min: min.rank()}, nil
 }
 
 // Emit appends one event, stamping its timestamp. Events below the
@@ -121,11 +127,30 @@ func (l *Log) Emit(e Event) error {
 	line = append(line, '\n')
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if _, err := l.f.Write(line); err != nil {
-		return fmt.Errorf("telemetry: appending event: %w", err)
+	if _, err := l.w.Write(line); err != nil {
+		// One bounded retry after a jittered backoff, mirroring the
+		// resume journal: the leading newline isolates any torn
+		// partial first attempt as a garbage line ReadEvents skips.
+		l.retries.Add(1)
+		h := fnv.New64a()
+		io.WriteString(h, e.Type)
+		time.Sleep(time.Millisecond + time.Duration(h.Sum64()%1024)*time.Microsecond)
+		if _, err2 := l.w.Write(append([]byte{'\n'}, line...)); err2 != nil {
+			return fmt.Errorf("telemetry: appending event (retried once): %w", err2)
+		}
 	}
 	l.n++
 	return nil
+}
+
+// WriteRetries reports how many transient append Write errors the
+// bounded retry recovered (exposed as
+// mtexc_event_write_retries_total).
+func (l *Log) WriteRetries() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.retries.Load()
 }
 
 // Len reports how many events were written.

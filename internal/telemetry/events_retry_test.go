@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// flakyWriter fails its first n writes, then delegates.
+type flakyWriter struct {
+	fails int
+	buf   bytes.Buffer
+}
+
+func (w *flakyWriter) Write(p []byte) (int, error) {
+	if w.fails > 0 {
+		w.fails--
+		return 0, errors.New("transient write failure")
+	}
+	return w.buf.Write(p)
+}
+
+// TestEmitRetryRecovers: one transient append failure is retried,
+// counted, and the event still lands behind the isolating newline.
+func TestEmitRetryRecovers(t *testing.T) {
+	l, err := OpenLog(filepath.Join(t.TempDir(), "events.ndjson"), LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	fw := &flakyWriter{fails: 1}
+	l.w = fw
+
+	if err := l.Emit(Event{Type: "test.retry"}); err != nil {
+		t.Fatalf("Emit after one transient failure: %v", err)
+	}
+	if n := l.WriteRetries(); n != 1 {
+		t.Errorf("WriteRetries = %d, want 1", n)
+	}
+	if !bytes.HasPrefix(fw.buf.Bytes(), []byte("\n")) {
+		t.Error("retried write does not lead with the isolating newline")
+	}
+	if !strings.Contains(fw.buf.String(), `"test.retry"`) {
+		t.Errorf("event line missing after retry: %q", fw.buf.String())
+	}
+	if l.Len() != 1 {
+		t.Errorf("Len = %d, want 1", l.Len())
+	}
+}
+
+// TestEmitRetryFailsLoudly: a second consecutive failure is reported,
+// not absorbed.
+func TestEmitRetryFailsLoudly(t *testing.T) {
+	l, err := OpenLog(filepath.Join(t.TempDir(), "events.ndjson"), LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.w = &flakyWriter{fails: 2}
+
+	err = l.Emit(Event{Type: "test.retry"})
+	if err == nil || !strings.Contains(err.Error(), "retried once") {
+		t.Errorf("persistent failure returned %v, want loud retried-once error", err)
+	}
+	if n := l.WriteRetries(); n != 1 {
+		t.Errorf("WriteRetries = %d, want 1", n)
+	}
+}
+
+// TestWriteRetriesNilSafe mirrors the rest of the nil-tolerant API.
+func TestWriteRetriesNilSafe(t *testing.T) {
+	var l *Log
+	if l.WriteRetries() != 0 {
+		t.Error("nil log reports nonzero retries")
+	}
+}

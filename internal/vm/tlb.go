@@ -1,5 +1,7 @@
 package vm
 
+import "fmt"
+
 // TLB is the shared data TLB, tagged by address-space number so
 // multiple application threads can share it. The default organization
 // is fully associative with true-LRU replacement (the Alpha 21164
@@ -157,6 +159,57 @@ func (t *TLB) InvalidateASN(asn uint8) {
 func (t *TLB) Flush() {
 	for i := range t.entries {
 		t.entries[i].valid = false
+	}
+}
+
+// CorruptEntry flips one bit of a currently valid entry, modelling a
+// transient fault in the TLB array. pick selects among the valid
+// entries in index order, field selects what to corrupt (valid bit,
+// VPN tag, PFN, ASN), bit selects the bit within the field. Tag and
+// frame flips are confined to the low 20 bits — the width the
+// simulated address space exercises — so a flipped entry can alias a
+// real translation instead of always decaying into a guaranteed
+// miss. Returns a description of the flip and whether a valid entry
+// existed to corrupt.
+func (t *TLB) CorruptEntry(pick, field, bit uint64) (string, bool) {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	if n == 0 {
+		return "", false
+	}
+	want := int(pick % uint64(n))
+	idx := -1
+	for i := range t.entries {
+		if !t.entries[i].valid {
+			continue
+		}
+		if want == 0 {
+			idx = i
+			break
+		}
+		want--
+	}
+	e := &t.entries[idx]
+	switch field % 4 {
+	case 0:
+		e.valid = false
+		return fmt.Sprintf("tlb[%d].valid", idx), true
+	case 1:
+		b := bit % 20
+		e.vpn ^= 1 << b
+		return fmt.Sprintf("tlb[%d].vpn bit%d", idx, b), true
+	case 2:
+		b := bit % 20
+		e.pfn ^= 1 << b
+		return fmt.Sprintf("tlb[%d].pfn bit%d", idx, b), true
+	default:
+		b := bit % 8
+		e.asn ^= 1 << b
+		return fmt.Sprintf("tlb[%d].asn bit%d", idx, b), true
 	}
 }
 

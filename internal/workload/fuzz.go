@@ -54,3 +54,21 @@ func (f *FuzzProg) Key() string { return fmt.Sprintf("%s/pt%d", f.Name(), f.ptOr
 func (f *FuzzProg) Build(phys *mem.Physical, asn uint8) (*vm.Image, error) {
 	return f.prog.BuildImage(phys, asn, f.ptOrg)
 }
+
+// Prog exposes the generated program (the fault-injection campaign
+// derives oracle runs and trial configurations from it).
+func (f *FuzzProg) Prog() *gen.Program { return f.prog }
+
+// FaultInjectionSuite is the default workload axis of the
+// transient-fault campaign: three fixed-seed generated programs,
+// fault-free so every TLB miss is a normal handled miss (the campaign
+// corrupts state; the programs themselves must be clean), exercising
+// different page counts and fragment mixes. Specs, not Programs, so
+// they embed verbatim in replay tokens and journal keys.
+func FaultInjectionSuite() []string {
+	specs := make([]string, 0, 3)
+	for _, seed := range []int64{101, 202, 303} {
+		specs = append(specs, gen.Generate(seed, gen.Limits{NoFault: true}).Spec())
+	}
+	return specs
+}
