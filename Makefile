@@ -18,7 +18,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test test-short bench bench-compare bench-json experiments report vet lint fmt clean fuzz fuzz-long resume-check faultinject-smoke
+.PHONY: build test test-short bench bench-compare bench-json experiments report vet lint lint-sarif fmt clean fuzz fuzz-long resume-check faultinject-smoke
 
 build:
 	$(GO) build ./...
@@ -28,9 +28,19 @@ vet:
 
 # Static invariant checks: go vet plus the repo's own analyzer suite
 # (determinism, fingerprint purity, uop-pool lifetimes, hot-path stat
-# discipline). See docs/analysis.md.
+# discipline, plus the interprocedural dettaint/atomiclint/hotpathlint
+# passes). See docs/analysis.md.
 lint: vet
 	$(GO) run ./cmd/mtexc-lint ./...
+
+# SARIF export + baseline gate: writes the full (pre-baseline) finding
+# set to out/lint.sarif and exits nonzero only on findings not covered
+# by the committed lint.baseline.json. CI uploads the SARIF file as an
+# artifact; regenerate the baseline with
+#   $(GO) run ./cmd/mtexc-lint -write-baseline lint.baseline.json ./...
+lint-sarif:
+	mkdir -p out
+	$(GO) run ./cmd/mtexc-lint -sarif out/lint.sarif -baseline lint.baseline.json ./...
 
 fmt:
 	gofmt -l -w .

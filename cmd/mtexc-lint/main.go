@@ -3,12 +3,26 @@
 //
 //	mtexc-lint ./...
 //	mtexc-lint -list
-//	mtexc-lint -run detlint,poollint ./internal/cpu
+//	mtexc-lint -run dettaint,atomiclint,hotpathlint ./...
+//	mtexc-lint -sarif out/lint.sarif -baseline lint.baseline.json ./...
+//	mtexc-lint -prune-suppressions ./...
 //
-// It prints one finding per line as file:line:col: analyzer: message
-// and exits 1 if anything fired. Findings are suppressed site by site
-// with `//lint:allow <analyzer> <reason>` comments. `make lint` runs
-// this after `go vet`; see docs/analysis.md for the catalogue.
+// By default it prints one finding per line as
+// file:line:col: analyzer: message and exits 1 if anything fired.
+// Findings are suppressed site by site with
+// `//lint:allow <analyzer> <reason>` comments; suppressions that no
+// longer cover anything are themselves findings. Modes:
+//
+//	-json                emit the findings as a JSON array instead of text
+//	-sarif FILE          also write a SARIF 2.1.0 log to FILE
+//	-baseline FILE       exit 1 only on findings not in the committed
+//	                     baseline; matched legacy findings are counted
+//	-write-baseline FILE snapshot the current findings as the baseline
+//	-prune-suppressions  list only the removable //lint:allow comments
+//	                     (always runs the full suite over the whole module)
+//
+// `make lint` runs this after `go vet`; see docs/analysis.md for the
+// catalogue and the baseline workflow.
 package main
 
 import (
@@ -31,8 +45,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	runNames := fs.String("run", "", "comma-separated analyzer names to run (default all)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	sarifPath := fs.String("sarif", "", "write a SARIF 2.1.0 log to this file")
+	baselinePath := fs.String("baseline", "", "fail only on findings absent from this baseline file")
+	writeBaseline := fs.String("write-baseline", "", "write the current findings to this baseline file and exit 0")
+	prune := fs.Bool("prune-suppressions", false, "list only stale/unknown //lint:allow comments")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: mtexc-lint [-run names] [packages]\n\n")
+		fmt.Fprintf(stderr, "usage: mtexc-lint [flags] [packages]\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -44,6 +63,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, a := range analyzers {
 			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, strings.ReplaceAll(a.Doc, "\n", " "))
 		}
+		fmt.Fprintf(stdout, "%-16s %s\n", analysis.SuppressAnalyzer,
+			"(pseudo) stale or unknown-analyzer //lint:allow comments")
 		return 0
 	}
 	if *runNames != "" {
@@ -61,7 +82,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 			analyzers = append(analyzers, a)
 		}
 	}
-
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -76,34 +96,158 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mtexc-lint:", err)
 		return 1
 	}
-	pkgs, err := loader.Load(cwd, patterns...)
+	loadCwd := cwd
+	if *prune {
+		// Pruning needs the complete picture: force the full suite over
+		// the whole module regardless of the requested patterns.
+		analyzers = analysis.All()
+		patterns = []string{"./..."}
+		loadCwd = loader.ModuleRoot
+	}
+	// The stale-suppression sweep is only sound when every analyzer a
+	// comment could refer to ran over the whole module: a hotpathlint
+	// waiver in a leaf package looks stale when the //mtexc:hotpath
+	// roots in another package were never loaded. Restrict it to
+	// full-suite, module-wide invocations.
+	moduleWide := *prune
+	for _, pat := range patterns {
+		base := loadCwd
+		if pat != "./..." {
+			if !strings.HasPrefix(pat, "./") || !strings.HasSuffix(pat, "/...") {
+				continue
+			}
+			base = filepath.Join(loadCwd, filepath.FromSlash(strings.TrimSuffix(pat, "/...")))
+		}
+		if base == loader.ModuleRoot {
+			moduleWide = true
+		}
+	}
+	checkStale := *runNames == "" && moduleWide
+	pkgs, err := loader.Load(loadCwd, patterns...)
 	if err != nil {
 		fmt.Fprintln(stderr, "mtexc-lint:", err)
 		return 1
 	}
 
-	findings := 0
+	// One module view across all loaded packages (including transitive
+	// imports of the named ones) so the interprocedural analyzers see
+	// every call edge regardless of which patterns were requested.
+	mod := analysis.NewModule(loader.Loaded())
+	var findings []analysis.Finding
 	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			diags, err := analysis.Run(a, pkg)
-			if err != nil {
-				fmt.Fprintln(stderr, "mtexc-lint:", err)
-				return 1
-			}
-			for _, d := range diags {
-				pos := pkg.Fset.Position(d.Pos)
-				name := pos.Filename
-				if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-					name = rel
-				}
-				fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
-				findings++
-			}
+		diags, err := analysis.RunSuite(analyzers, mod, pkg, checkStale)
+		if err != nil {
+			fmt.Fprintln(stderr, "mtexc-lint:", err)
+			return 1
+		}
+		for _, d := range diags {
+			findings = append(findings, analysis.NewFinding(pkg.Fset, loader.ModuleRoot, d))
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(stderr, "mtexc-lint: %d finding(s) in %d package(s)\n", findings, len(pkgs))
+
+	if *prune {
+		// Listing mode: only the suppression pseudo-findings, always
+		// exit 0 — it answers "what can I delete?", it is not a gate.
+		for _, f := range findings {
+			if f.Analyzer == analysis.SuppressAnalyzer {
+				fmt.Fprintf(stdout, "%s:%d:%d: %s\n", f.File, f.Line, f.Col, f.Message)
+			}
+		}
+		return 0
+	}
+
+	if *writeBaseline != "" {
+		if err := writeBaselineFile(*writeBaseline, findings); err != nil {
+			fmt.Fprintln(stderr, "mtexc-lint:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "mtexc-lint: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return 0
+	}
+
+	gating := findings
+	matchedCount := 0
+	if *baselinePath != "" {
+		bf, err := os.Open(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "mtexc-lint:", err)
+			return 1
+		}
+		bl, err := analysis.ReadBaseline(bf)
+		bf.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "mtexc-lint:", err)
+			return 1
+		}
+		var matched []analysis.Finding
+		gating, matched = bl.Apply(findings)
+		matchedCount = len(matched)
+	}
+
+	if *sarifPath != "" {
+		if err := writeSARIFFile(*sarifPath, analyzers, findings); err != nil {
+			fmt.Fprintln(stderr, "mtexc-lint:", err)
+			return 1
+		}
+	}
+	if *jsonOut {
+		if err := analysis.WriteJSON(stdout, gating); err != nil {
+			fmt.Fprintln(stderr, "mtexc-lint:", err)
+			return 1
+		}
+	} else {
+		for _, f := range gating {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(gating) > 0 {
+		fmt.Fprintf(stderr, "mtexc-lint: %d new finding(s) in %d package(s)", len(gating), len(pkgs))
+		if matchedCount > 0 {
+			fmt.Fprintf(stderr, " (%d baselined finding(s) tolerated)", matchedCount)
+		}
+		fmt.Fprintln(stderr)
 		return 1
 	}
+	if matchedCount > 0 {
+		fmt.Fprintf(stderr, "mtexc-lint: clean apart from %d baselined finding(s)\n", matchedCount)
+	}
 	return 0
+}
+
+// writeBaselineFile snapshots findings as a committed baseline.
+func writeBaselineFile(path string, findings []analysis.Finding) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := analysis.NewBaseline(findings).WriteBaseline(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeSARIFFile writes the full (pre-baseline) findings as SARIF: the
+// log documents the repository state; the baseline only shapes the
+// exit code.
+func writeSARIFFile(path string, analyzers []*analysis.Analyzer, findings []analysis.Finding) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := analysis.WriteSARIF(f, analyzers, findings); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -46,6 +46,13 @@ type Pass struct {
 	Types *types.Package
 	Info  *types.Info
 
+	// Pkg is the package under analysis and Module the whole-module
+	// view (call graph + shared fact caches) the interprocedural
+	// analyzers consult. Module is never nil: per-package runs get a
+	// single-package module.
+	Pkg    *Package
+	Module *Module
+
 	diags *[]Diagnostic
 }
 
@@ -65,15 +72,38 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the full analyzer suite in reporting order.
+// All returns the full analyzer suite in reporting order. The first
+// four are the intra-procedural checks from the original suite; the
+// last three are interprocedural, built on the module call graph.
 func All() []*Analyzer {
-	return []*Analyzer{Detlint, Fingerprintlint, Poollint, Statlint}
+	return []*Analyzer{
+		Detlint, Fingerprintlint, Poollint, Statlint,
+		Dettaint, Atomiclint, Hotpathlint,
+	}
 }
 
-// Run applies one analyzer to one loaded package and returns its
-// findings with `//lint:allow` suppressions already filtered out and
-// the remainder sorted by position.
+// SuppressAnalyzer names the pseudo-analyzer under which stale or
+// malformed `//lint:allow` comments are reported. Its findings cannot
+// themselves be suppressed — the fix is deleting the comment.
+const SuppressAnalyzer = "suppress"
+
+// Run applies one analyzer to one loaded package in isolation (a
+// single-package module) and returns its findings with `//lint:allow`
+// suppressions already filtered out and the remainder sorted by
+// position. Interprocedural analyzers see only pkg this way; use
+// RunModule with a full module for cross-package facts.
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	return RunModule(a, NewModule([]*Package{pkg}), pkg)
+}
+
+// RunModule applies one analyzer to pkg with mod as the whole-module
+// view.
+func RunModule(a *Analyzer, mod *Module, pkg *Package) ([]Diagnostic, error) {
+	diags, _, err := runOne(a, mod, pkg)
+	return diags, err
+}
+
+func runOne(a *Analyzer, mod *Module, pkg *Package) ([]Diagnostic, map[allowKey]bool, error) {
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer: a,
@@ -82,41 +112,70 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		Files:    pkg.Files,
 		Types:    pkg.Types,
 		Info:     pkg.Info,
+		Pkg:      pkg,
+		Module:   mod,
 		diags:    &diags,
 	}
 	if err := a.Run(pass); err != nil {
-		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 	}
-	diags = filterSuppressed(pkg, diags)
+	diags, used := filterSuppressed(pkg, diags)
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	return diags, nil
+	return diags, used, nil
 }
 
-// RunAll applies the whole suite to a package.
-func RunAll(pkg *Package) ([]Diagnostic, error) {
+// RunSuite applies analyzers to pkg under mod and, when checkStale is
+// set, appends SuppressAnalyzer findings for every `//lint:allow`
+// comment in pkg that names one of the analyzers that just ran yet
+// suppressed nothing — so fixed code sheds its waivers — or that
+// names an analyzer that does not exist.
+func RunSuite(analyzers []*Analyzer, mod *Module, pkg *Package, checkStale bool) ([]Diagnostic, error) {
 	var out []Diagnostic
-	for _, a := range All() {
-		d, err := Run(a, pkg)
+	used := map[allowKey]bool{}
+	for _, a := range analyzers {
+		d, u, err := runOne(a, mod, pkg)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, d...)
+		for k := range u {
+			used[k] = true
+		}
 	}
+	if checkStale {
+		out = append(out, StaleSuppressions(pkg, analyzers, used)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
 	return out, nil
 }
 
-// allowKey identifies one suppressed (file, line, analyzer) site.
+// RunAll applies the whole suite to a package under mod, including
+// the stale-suppression check.
+func RunAll(mod *Module, pkg *Package) ([]Diagnostic, error) {
+	return RunSuite(All(), mod, pkg, true)
+}
+
+// allowKey identifies one suppression comment site by its own
+// position and the analyzer it names.
 type allowKey struct {
 	file     string
 	line     int
 	analyzer string
 }
 
-// suppressions parses every `//lint:allow <analyzer> <reason>` comment
-// of the package. A suppression covers findings on its own line and on
-// the line directly below it (the comment-above-the-statement form).
-func suppressions(pkg *Package) map[allowKey]bool {
-	out := map[allowKey]bool{}
+// Suppression is one parsed `//lint:allow <analyzer> <reason>`
+// comment.
+type Suppression struct {
+	Pos      token.Pos
+	Analyzer string
+	Reason   string
+}
+
+// Suppressions returns every well-formed allow comment of pkg in
+// source order — the `-prune-suppressions` listing and the stale
+// check both build on it.
+func Suppressions(pkg *Package) []Suppression {
+	var out []Suppression
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -128,37 +187,93 @@ func suppressions(pkg *Package) map[allowKey]bool {
 				}
 				fields := strings.Fields(rest)
 				if len(fields) < 2 {
-					// A suppression without a reason is itself a
-					// finding: the reason is the point.
+					// A suppression without a reason is ignored: the
+					// reason is the point.
 					continue
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					out[allowKey{pos.Filename, line, fields[0]}] = true
-				}
+				out = append(out, Suppression{
+					Pos:      c.Pos(),
+					Analyzer: fields[0],
+					Reason:   strings.Join(fields[1:], " "),
+				})
 			}
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
 	return out
 }
 
-// filterSuppressed drops findings covered by an allow comment.
-func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+func (s Suppression) key(fset *token.FileSet) allowKey {
+	pos := fset.Position(s.Pos)
+	return allowKey{pos.Filename, pos.Line, s.Analyzer}
+}
+
+// filterSuppressed drops findings covered by an allow comment — one
+// on the finding's line or the line directly above it — and reports
+// which suppression sites actually fired, keyed by the comment's own
+// (file, line, analyzer).
+func filterSuppressed(pkg *Package, diags []Diagnostic) ([]Diagnostic, map[allowKey]bool) {
+	used := map[allowKey]bool{}
 	if len(diags) == 0 {
-		return diags
+		return diags, used
 	}
-	allowed := suppressions(pkg)
-	if len(allowed) == 0 {
-		return diags
+	// A suppression covers findings on its own line and on the line
+	// directly below it (the comment-above-the-statement form).
+	covering := map[allowKey]allowKey{}
+	for _, s := range Suppressions(pkg) {
+		key := s.key(pkg.Fset)
+		for _, line := range []int{key.line, key.line + 1} {
+			covering[allowKey{key.file, line, s.Analyzer}] = key
+		}
+	}
+	if len(covering) == 0 {
+		return diags, used
 	}
 	kept := diags[:0]
 	for _, d := range diags {
 		pos := pkg.Fset.Position(d.Pos)
-		if !allowed[allowKey{pos.Filename, pos.Line, d.Analyzer}] {
-			kept = append(kept, d)
+		if site, ok := covering[allowKey{pos.Filename, pos.Line, d.Analyzer}]; ok {
+			used[site] = true
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, used
+}
+
+// StaleSuppressions reports allow comments in pkg that can be pruned:
+// those naming an analyzer that ran and suppressed nothing (the
+// violation they waived has been fixed), and those naming an analyzer
+// that does not exist at all (typos never suppress anything).
+func StaleSuppressions(pkg *Package, ran []*Analyzer, used map[allowKey]bool) []Diagnostic {
+	ranNames := map[string]bool{}
+	for _, a := range ran {
+		ranNames[a.Name] = true
+	}
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, s := range Suppressions(pkg) {
+		switch {
+		case !known[s.Analyzer]:
+			out = append(out, Diagnostic{
+				Pos:      s.Pos,
+				Analyzer: SuppressAnalyzer,
+				Message: fmt.Sprintf("//lint:allow names unknown analyzer %q (known: see mtexc-lint -list)",
+					s.Analyzer),
+			})
+		case ranNames[s.Analyzer] && !used[s.key(pkg.Fset)]:
+			out = append(out, Diagnostic{
+				Pos:      s.Pos,
+				Analyzer: SuppressAnalyzer,
+				Message: fmt.Sprintf("stale //lint:allow %s suppresses no finding — the violation it waived is gone; delete the comment",
+					s.Analyzer),
+			})
 		}
 	}
-	return kept
+	return out
 }
 
 // hasMagicComment reports whether any file of the pass carries the

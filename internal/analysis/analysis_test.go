@@ -23,6 +23,18 @@ func TestStatlint(t *testing.T) {
 	analysistest.Run(t, analysis.Statlint, "statlint/a")
 }
 
+func TestDettaint(t *testing.T) {
+	analysistest.Run(t, analysis.Dettaint, "dettaint/a")
+}
+
+func TestAtomiclint(t *testing.T) {
+	analysistest.Run(t, analysis.Atomiclint, "atomiclint/a")
+}
+
+func TestHotpathlint(t *testing.T) {
+	analysistest.Run(t, analysis.Hotpathlint, "hotpathlint/a")
+}
+
 // TestRepoIsClean runs the full suite over the whole module, so the
 // acceptance bar — mtexc-lint exits 0 on the tree — is enforced by
 // plain `go test ./...`, not only by the lint CI job.
@@ -41,8 +53,9 @@ func TestRepoIsClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("loaded zero packages")
 	}
+	mod := analysis.NewModule(loader.Loaded())
 	for _, pkg := range pkgs {
-		diags, err := analysis.RunAll(pkg)
+		diags, err := analysis.RunAll(mod, pkg)
 		if err != nil {
 			t.Fatalf("%s: %v", pkg.Path, err)
 		}

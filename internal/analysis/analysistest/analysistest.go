@@ -45,7 +45,11 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgRel string) {
 	if err != nil {
 		t.Fatalf("loading %s: %v", dir, err)
 	}
-	diags, err := analysis.Run(a, pkg)
+	// The module view covers the golden package plus everything it
+	// (transitively) imported from the real module, so interprocedural
+	// analyzers see cross-package call edges in golden tests too.
+	mod := analysis.NewModule(loader.Loaded())
+	diags, err := analysis.RunModule(a, mod, pkg)
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}

@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Atomiclint enforces all-or-nothing atomicity on struct fields: a
+// field that is accessed through sync/atomic free functions anywhere
+// in the module must be accessed that way everywhere. A single plain
+// load racing one atomic store is still a data race — exactly the
+// SetProbe-vs-scrape class the telemetry plane fixed by hand — and
+// the compiler accepts it silently. The check is module-wide: the
+// atomic access and the plain access are usually in different
+// packages (the hot loop publishes, the scraper reads).
+//
+// Fields declared with the sync/atomic value types (atomic.Uint64,
+// atomic.Bool, ...) are immune by construction and outside this
+// check; prefer them for new code. `go vet -copylocks` covers copying
+// those.
+var Atomiclint = &Analyzer{
+	Name: "atomiclint",
+	Doc: `fields accessed via sync/atomic functions anywhere must be accessed
+atomically everywhere in the module; taking the address of such a
+field for anything but a sync/atomic call is flagged too (the escape
+can alias the field into unsynchronized code)`,
+	Run: runAtomiclint,
+}
+
+// atomicSite is one access to a field.
+type atomicSite struct {
+	pos token.Pos
+	// via names the sync/atomic function for atomic sites ("write"
+	// context detail for plain sites).
+	via string
+}
+
+// atomicFacts is the module-wide access census.
+type atomicFacts struct {
+	atomic  map[*types.Var][]atomicSite // &x.f passed to a sync/atomic func
+	plain   map[*types.Var][]atomicSite // any direct read or write of f
+	escapes map[*types.Var][]atomicSite // &x.f escaping to non-atomic context
+}
+
+func runAtomiclint(pass *Pass) error {
+	facts := pass.Module.atomicCensus()
+	// Deterministic field order for reporting.
+	fields := make([]*types.Var, 0, len(facts.atomic))
+	for f := range facts.atomic {
+		fields = append(fields, f)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+
+	inPass := pass.Module.fileSetOf(pass.Pkg)
+	for _, f := range fields {
+		atomicSites := facts.atomic[f]
+		example := pass.Fset.Position(atomicSites[0].pos)
+		for _, site := range facts.plain[f] {
+			if !inPass[pass.Fset.Position(site.pos).Filename] {
+				continue
+			}
+			pass.Reportf(site.pos,
+				"field %s is accessed atomically elsewhere (%s at %s:%d) but accessed directly here: mixed atomic/plain access is a data race — use sync/atomic for every access, or an atomic.%s-style typed field",
+				fieldDisplay(f), atomicSites[0].via, relBase(example.Filename), example.Line,
+				typedAtomicSuggestion(f.Type()))
+		}
+		for _, site := range facts.escapes[f] {
+			if !inPass[pass.Fset.Position(site.pos).Filename] {
+				continue
+			}
+			pass.Reportf(site.pos,
+				"address of atomically-accessed field %s escapes to a non-atomic context: the alias can be read or written without synchronization (atomic access: %s at %s:%d)",
+				fieldDisplay(f), atomicSites[0].via, relBase(example.Filename), example.Line)
+		}
+	}
+	return nil
+}
+
+// atomicCensus walks every loaded package once and classifies every
+// access to every struct field as atomic, plain, or escaping-address.
+func (m *Module) atomicCensus() *atomicFacts {
+	if m.atomicFacts != nil {
+		return m.atomicFacts
+	}
+	facts := &atomicFacts{
+		atomic:  map[*types.Var][]atomicSite{},
+		plain:   map[*types.Var][]atomicSite{},
+		escapes: map[*types.Var][]atomicSite{},
+	}
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			censusFile(pkg, file, facts)
+		}
+	}
+	m.atomicFacts = facts
+	return facts
+}
+
+func censusFile(pkg *Package, file *ast.File, facts *atomicFacts) {
+	// First pass: find &x.f arguments consumed by sync/atomic calls,
+	// so the second pass can tell an atomic access from an escaping
+	// address and a plain use.
+	consumedAddr := map[*ast.UnaryExpr]string{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := syncAtomicFunc(pkg, call)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+				consumedAddr[u] = name
+			}
+		}
+		return true
+	})
+
+	// Second pass: classify.
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				return true
+			}
+			f := fieldOf(pkg, n.X)
+			if f == nil {
+				return true
+			}
+			if via, ok := consumedAddr[n]; ok {
+				facts.atomic[f] = append(facts.atomic[f], atomicSite{n.Pos(), "atomic." + via})
+			} else {
+				facts.escapes[f] = append(facts.escapes[f], atomicSite{n.Pos(), "&"})
+			}
+			// The inner selector was classified with the address
+			// operation; don't also record it as a plain use. Still
+			// descend into its operand (x in &x.f may itself be a
+			// field chain worth classifying).
+			if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+				ast.Inspect(sel.X, func(inner ast.Node) bool {
+					classifySel(pkg, inner, facts)
+					return true
+				})
+				return false
+			}
+			return true
+		default:
+			classifySel(pkg, n, facts)
+			return true
+		}
+	})
+}
+
+func classifySel(pkg *Package, n ast.Node, facts *atomicFacts) {
+	sel, ok := n.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if f := fieldOfSel(pkg, sel); f != nil {
+		facts.plain[f] = append(facts.plain[f], atomicSite{sel.Sel.Pos(), "direct"})
+	}
+}
+
+// fieldOf resolves expr to a struct field selection, or nil.
+func fieldOf(pkg *Package, expr ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return fieldOfSel(pkg, sel)
+}
+
+func fieldOfSel(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// syncAtomicFunc reports whether call is a sync/atomic free function
+// taking pointers (Add*, Load*, Store*, Swap*, CompareAndSwap*).
+func syncAtomicFunc(pkg *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", false // methods on typed atomics are always safe
+	}
+	for _, prefix := range []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// fieldDisplay renders a field for diagnostics as Struct.Field.
+func fieldDisplay(f *types.Var) string {
+	return f.Name() + " (struct field, declared at package " + pkgShort(f) + ")"
+}
+
+func pkgShort(f *types.Var) string {
+	if f.Pkg() == nil {
+		return "?"
+	}
+	p := f.Pkg().Path()
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		p = p[i+1:]
+	}
+	return p
+}
+
+// typedAtomicSuggestion names the sync/atomic value type matching the
+// field's underlying type, for the fix-it hint.
+func typedAtomicSuggestion(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64, types.Int:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64, types.Uint, types.Uintptr:
+		return "Uint64"
+	case types.Bool:
+		return "Bool"
+	default:
+		return "Value"
+	}
+}
+
+// relBase trims a path for message brevity: the last two segments.
+func relBase(path string) string {
+	parts := strings.Split(path, "/")
+	if len(parts) <= 2 {
+		return path
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}
+
+// fileSetOf returns the set of file names belonging to pkg, the
+// attribution filter for module-wide analyzers.
+func (m *Module) fileSetOf(pkg *Package) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range pkg.Files {
+		out[m.Fset.Position(f.Pos()).Filename] = true
+	}
+	return out
+}

@@ -1,0 +1,578 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Dettaint tracks nondeterminism as a taint across function
+// boundaries: wall-clock reads, global math/rand draws and
+// map-iteration-order-dependent values are sources; the simulation
+// fingerprint (harness.runKey), the resume journal append
+// ((*Journal).record) and result table cells ((*Table).Set) — plus
+// any //mtexc:dettaint-sink function — are sinks. A tainted value
+// reaching a sink argument is reported with the full source→sink
+// call chains, replacing detlint's file-local "no sources in
+// deterministic packages" heuristic with real interprocedural paths:
+// dettaint runs over the whole module, so a cmd/ or telemetry-side
+// helper that stamps a value with time.Now and hands it to a table
+// is caught even though neither package is in detlint's scope.
+//
+// The engine is a lightweight per-function summary store over the
+// module call graph, iterated to a fixpoint:
+//
+//   - returns-taint: a source value flows (through flow-insensitive
+//     local assignment chains) to the function's return values;
+//   - param-to-sink: a parameter flows into a sink call's argument,
+//     directly or through a callee's own param-to-sink summary.
+//
+// Sorting cleanses map-order taint (sort.X / slices.X on the
+// collected slice), so the collect-keys-then-sort idiom needs no
+// suppression. Taint through struct fields and across goroutines is
+// out of scope (the race/atomic checks own the latter).
+var Dettaint = &Analyzer{
+	Name: "dettaint",
+	Doc: `nondeterministic values (wall clock, global rand, map iteration
+order) must not flow — across function boundaries — into simulation
+fingerprints, resume-journal writes or result table cells`,
+	Run: runDettaint,
+}
+
+func runDettaint(pass *Pass) error {
+	facts := pass.Module.taintAnalysis()
+	inPass := pass.Module.fileSetOf(pass.Pkg)
+	for _, d := range facts.diags {
+		if inPass[pass.Fset.Position(d.Pos).Filename] {
+			pass.Reportf(d.Pos, "%s", d.Message)
+		}
+	}
+	return nil
+}
+
+type taintKind int
+
+const (
+	taintClock taintKind = iota
+	taintRand
+	taintMapOrder
+	numTaintKinds
+)
+
+func (k taintKind) String() string {
+	switch k {
+	case taintClock:
+		return "wall-clock read"
+	case taintRand:
+		return "global math/rand draw"
+	case taintMapOrder:
+		return "map-iteration-order-dependent value"
+	}
+	return "nondeterministic value"
+}
+
+// sourceWitness records where a taint came from: the original source
+// site and the call chain (callee-first) that carried it here.
+type sourceWitness struct {
+	kind  taintKind
+	pos   token.Pos
+	desc  string
+	chain []*types.Func
+}
+
+// sinkWitness records where a value is headed: the sink description
+// and the call chain that delivers it.
+type sinkWitness struct {
+	desc  string
+	chain []*types.Func
+}
+
+// funcTaint is one function's summary. Entries are set once and never
+// retracted, which makes the fixpoint monotone.
+type funcTaint struct {
+	returns   [numTaintKinds]*sourceWitness
+	paramSink map[int]*sinkWitness
+}
+
+type taintFacts struct {
+	summary map[*types.Func]*funcTaint
+	diags   []Diagnostic
+}
+
+// taintAnalysis computes the module-wide summaries to fixpoint and
+// then collects violations, caching the result.
+func (m *Module) taintAnalysis() *taintFacts {
+	if m.taintFacts != nil {
+		return m.taintFacts
+	}
+	facts := &taintFacts{summary: map[*types.Func]*funcTaint{}}
+
+	// Deterministic function order: iteration order of the fixpoint
+	// must not depend on map order, or witness chains could differ
+	// run to run.
+	infos := make([]*FuncInfo, 0, len(m.Funcs))
+	for _, info := range m.Funcs {
+		infos = append(infos, info)
+		facts.summary[info.Fn] = &funcTaint{paramSink: map[int]*sinkWitness{}}
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Decl.Pos() < infos[j].Decl.Pos() })
+
+	for changed := true; changed; {
+		changed = false
+		for _, info := range infos {
+			if updateTaintSummary(m, info, facts) {
+				changed = true
+			}
+		}
+	}
+	for _, info := range infos {
+		collectTaintViolations(m, info, facts)
+	}
+	m.taintFacts = facts
+	return facts
+}
+
+// funcScan is the intra-procedural state for one function under the
+// current summaries.
+type funcScan struct {
+	m       *Module
+	info    *FuncInfo
+	facts   *taintFacts
+	tainted map[types.Object]*sourceWitness
+	// sinkward holds objects that flow (forward in the code, found by
+	// backward propagation over assignments) into a sink argument.
+	sinkward map[types.Object]*sinkWitness
+}
+
+func scanFunc(m *Module, info *FuncInfo, facts *taintFacts) *funcScan {
+	s := &funcScan{
+		m:        m,
+		info:     info,
+		facts:    facts,
+		tainted:  map[types.Object]*sourceWitness{},
+		sinkward: map[types.Object]*sinkWitness{},
+	}
+	if info.Decl.Body == nil {
+		return s
+	}
+	s.seedMapOrder()
+	s.propagateForward()
+	s.propagateBackward()
+	return s
+}
+
+// updateTaintSummary recomputes one function's summary entries and
+// reports whether anything new was learned.
+func updateTaintSummary(m *Module, info *FuncInfo, facts *taintFacts) bool {
+	if info.Decl.Body == nil {
+		return false
+	}
+	s := scanFunc(m, info, facts)
+	sum := facts.summary[info.Fn]
+	changed := false
+
+	// Returns-taint: explicit return expressions plus named results.
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, e := range ret.Results {
+			if w := s.exprTaint(e); w != nil && sum.returns[w.kind] == nil {
+				sum.returns[w.kind] = w
+				changed = true
+			}
+		}
+		return true
+	})
+	if res := info.Decl.Type.Results; res != nil {
+		for _, field := range res.List {
+			for _, name := range field.Names {
+				obj := info.Pkg.Info.Defs[name]
+				if w := s.tainted[obj]; obj != nil && w != nil && sum.returns[w.kind] == nil {
+					sum.returns[w.kind] = w
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Param-to-sink: parameters that reach a sink argument.
+	sig := info.Fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if w := s.sinkward[p]; w != nil && sum.paramSink[i] == nil {
+			sum.paramSink[i] = w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// collectTaintViolations reports every sink argument whose expression
+// carries taint, after summaries have stabilized.
+func collectTaintViolations(m *Module, info *FuncInfo, facts *taintFacts) {
+	if info.Decl.Body == nil {
+		return
+	}
+	s := scanFunc(m, info, facts)
+	seen := map[token.Pos]bool{}
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for i, sw := range s.sinkArgs(call) {
+			if sw == nil || i >= len(call.Args) {
+				continue
+			}
+			arg := call.Args[i]
+			if w := s.exprTaint(arg); w != nil && !seen[arg.Pos()] {
+				seen[arg.Pos()] = true
+				facts.diags = append(facts.diags, Diagnostic{
+					Pos:      arg.Pos(),
+					Analyzer: "dettaint",
+					Message:  taintMessage(m, w, sw),
+				})
+			}
+		}
+		return true
+	})
+}
+
+func taintMessage(m *Module, w *sourceWitness, sw *sinkWitness) string {
+	src := fmt.Sprintf("%s (%s at %s)", w.kind, w.desc, shortPos(m.Fset, w.pos))
+	if len(w.chain) > 0 {
+		src += " via " + chainString(w.chain)
+	}
+	sink := sw.desc
+	if len(sw.chain) > 1 {
+		sink += " via " + chainString(sw.chain)
+	}
+	return fmt.Sprintf("%s flows into %s: simulation outputs must be a pure function of the configuration", src, sink)
+}
+
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", relBase(p.Filename), p.Line)
+}
+
+// sinkArgs returns, per argument index of call, the sink witness that
+// argument flows into (nil if none): every argument of a designated
+// sink function, plus the specific parameters a callee's summary says
+// it forwards to a sink.
+func (s *funcScan) sinkArgs(call *ast.CallExpr) []*sinkWitness {
+	callee, _, ok := resolveCallee(s.info.Pkg, call)
+	if !ok || callee == nil {
+		return nil
+	}
+	out := make([]*sinkWitness, len(call.Args))
+	if info := s.m.Funcs[callee]; info != nil && info.TaintSink {
+		w := &sinkWitness{desc: sinkDesc(info), chain: []*types.Func{callee}}
+		for i := range out {
+			out[i] = w
+		}
+		return out
+	}
+	if sum := s.facts.summary[callee]; sum != nil && len(sum.paramSink) > 0 {
+		sig := callee.Type().(*types.Signature)
+		for i := range call.Args {
+			pi := i
+			if sig.Variadic() && pi >= sig.Params().Len() {
+				pi = sig.Params().Len() - 1
+			}
+			if w := sum.paramSink[pi]; w != nil {
+				out[i] = &sinkWitness{desc: w.desc, chain: append([]*types.Func{callee}, w.chain...)}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+func sinkDesc(info *FuncInfo) string {
+	switch info.Fn.FullName() {
+	case "mtexc/internal/harness.runKey":
+		return "the simulation fingerprint (harness.runKey)"
+	case "(*mtexc/internal/harness.Journal).record":
+		return "the resume journal ((*Journal).record)"
+	case "(*mtexc/internal/harness.Table).Set":
+		return "a result table cell ((*Table).Set)"
+	}
+	return "//mtexc:dettaint-sink function " + FuncDisplayName(info.Fn)
+}
+
+// seedMapOrder taints slices grown by append inside a range over a
+// map: their element order is the map's random iteration order.
+// Slices later passed to sort.X / slices.X are cleansed.
+func (s *funcScan) seedMapOrder() {
+	sorted := map[types.Object]bool{}
+	ast.Inspect(s.info.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := s.info.Pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p == "sort" || p == "slices" {
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(a ast.Node) bool {
+					if id, ok := a.(*ast.Ident); ok {
+						if obj := s.info.Pkg.Info.Uses[id]; obj != nil {
+							sorted[obj] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	ast.Inspect(s.info.Decl.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := s.info.Pkg.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(b ast.Node) bool {
+			asg, ok := b.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for ri, rhs := range asg.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if name, ok := builtinNameInfo(s.info.Pkg.Info, call); !ok || name != "append" {
+					continue
+				}
+				if ri >= len(asg.Lhs) {
+					continue
+				}
+				id, ok := ast.Unparen(asg.Lhs[ri]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := objOf(s.info.Pkg.Info, id)
+				if obj == nil || sorted[obj] || s.tainted[obj] != nil {
+					continue
+				}
+				s.tainted[obj] = &sourceWitness{
+					kind: taintMapOrder,
+					pos:  rng.Pos(),
+					desc: fmt.Sprintf("append inside range over map %s", exprString(rng.X)),
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// propagateForward spreads taint through local assignment chains to a
+// fixpoint: any left-hand side assigned from a tainted expression
+// becomes tainted.
+func (s *funcScan) propagateForward() {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(s.info.Decl.Body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			var w *sourceWitness
+			for _, rhs := range asg.Rhs {
+				if w = s.exprTaint(rhs); w != nil {
+					break
+				}
+			}
+			if w == nil {
+				return true
+			}
+			for _, lhs := range asg.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := objOf(s.info.Pkg.Info, id)
+				if obj != nil && s.tainted[obj] == nil {
+					s.tainted[obj] = w
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// propagateBackward finds objects that flow into sink arguments: seed
+// with the idents inside sink-call arguments, then walk assignments
+// so `x := p; sink(x)` marks p as sink-reaching.
+func (s *funcScan) propagateBackward() {
+	ast.Inspect(s.info.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for i, sw := range s.sinkArgs(call) {
+			if sw == nil || i >= len(call.Args) {
+				continue
+			}
+			s.markSinkward(call.Args[i], sw)
+		}
+		return true
+	})
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(s.info.Decl.Body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range asg.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := objOf(s.info.Pkg.Info, id)
+				w := s.sinkward[obj]
+				if obj == nil || w == nil {
+					continue
+				}
+				for _, rhs := range asg.Rhs {
+					before := len(s.sinkward)
+					s.markSinkward(rhs, w)
+					if len(s.sinkward) != before {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (s *funcScan) markSinkward(e ast.Expr, w *sinkWitness) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := objOf(s.info.Pkg.Info, id); obj != nil {
+			if _, isVar := obj.(*types.Var); isVar && s.sinkward[obj] == nil {
+				s.sinkward[obj] = w
+			}
+		}
+		return true
+	})
+}
+
+// exprTaint returns a witness if e contains a taint source: a direct
+// nondeterministic call, a call to a function whose summary says it
+// returns taint, or a tainted local variable.
+func (s *funcScan) exprTaint(e ast.Expr) *sourceWitness {
+	if e == nil {
+		return nil
+	}
+	var found *sourceWitness
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if w := s.callTaint(n); w != nil {
+				found = w
+				return false
+			}
+		case *ast.Ident:
+			if obj := objOf(s.info.Pkg.Info, n); obj != nil {
+				if w := s.tainted[obj]; w != nil {
+					found = w
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// callTaint classifies one call as a taint source: a direct
+// wall-clock/global-rand call, or a callee summarized as returning
+// taint.
+func (s *funcScan) callTaint(call *ast.CallExpr) *sourceWitness {
+	if desc, kind, ok := nondetSourceCall(s.info.Pkg.Info, call); ok {
+		return &sourceWitness{kind: kind, pos: call.Pos(), desc: desc}
+	}
+	callee, _, ok := resolveCallee(s.info.Pkg, call)
+	if !ok || callee == nil {
+		return nil
+	}
+	sum := s.facts.summary[callee]
+	if sum == nil {
+		return nil
+	}
+	for k := taintKind(0); k < numTaintKinds; k++ {
+		if w := sum.returns[k]; w != nil {
+			return &sourceWitness{
+				kind:  w.kind,
+				pos:   w.pos,
+				desc:  w.desc,
+				chain: append([]*types.Func{callee}, w.chain...),
+			}
+		}
+	}
+	return nil
+}
+
+// nondetSourceCall recognizes the direct nondeterminism sources,
+// sharing detlint's function tables: package-level wall-clock reads
+// and global math/rand draws.
+func nondetSourceCall(info *types.Info, call *ast.CallExpr) (desc string, kind taintKind, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil {
+		return "", 0, false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", 0, false // methods on seeded rand.Rand etc. are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			return "time." + fn.Name(), taintClock, true
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededConstructors[fn.Name()] {
+			return fn.Pkg().Path() + "." + fn.Name(), taintRand, true
+		}
+	}
+	return "", 0, false
+}
+
+// objOf resolves an identifier to its object (use or definition).
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

@@ -1,0 +1,305 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mtexc/internal/analysis"
+)
+
+// loadGolden loads one testdata package plus its transitive module
+// imports and returns the package and its module view.
+func loadGolden(t *testing.T, pkgRel string) (*analysis.Package, *analysis.Module) {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(pkgRel))
+	pkg, err := loader.LoadDirAs(pkgRel, dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	return pkg, analysis.NewModule(loader.Loaded())
+}
+
+// TestCallGraph checks the interprocedural substrate directly: static
+// call edges, annotation markers and dynamic-call records on the
+// hotpathlint golden package.
+func TestCallGraph(t *testing.T) {
+	pkg, mod := loadGolden(t, "hotpathlint/a")
+
+	infos := map[string]*analysis.FuncInfo{}
+	for _, info := range mod.FuncsOf(pkg) {
+		infos[info.Fn.Name()] = info
+	}
+	for _, name := range []string{"hot", "double", "grow", "guard", "dump", "dispatch", "chanops"} {
+		if infos[name] == nil {
+			t.Fatalf("function %s missing from module view", name)
+		}
+	}
+
+	if !infos["hot"].Hotpath || infos["hot"].Coldpath {
+		t.Errorf("hot: markers = (hot=%v, cold=%v), want (true, false)",
+			infos["hot"].Hotpath, infos["hot"].Coldpath)
+	}
+	if !infos["dump"].Coldpath {
+		t.Error("dump: //mtexc:coldpath marker not picked up")
+	}
+
+	callees := map[string]bool{}
+	for _, c := range infos["hot"].Calls {
+		callees[c.Callee.Name()] = true
+	}
+	for _, want := range []string{"double", "grow", "guard", "dump"} {
+		if !callees[want] {
+			t.Errorf("call graph: hot → %s edge missing (have %v)", want, callees)
+		}
+	}
+
+	if len(infos["dispatch"].Dynamic) == 0 {
+		t.Error("dispatch: function-value call not recorded as dynamic")
+	}
+	if len(infos["double"].Calls) != 0 || len(infos["double"].Dynamic) != 0 {
+		t.Errorf("double: expected leaf, has calls %v dynamic %v",
+			infos["double"].Calls, infos["double"].Dynamic)
+	}
+}
+
+// TestStaleSuppressions runs the full suite with stale checking over a
+// package holding one live, one stale and one unknown-analyzer allow.
+func TestStaleSuppressions(t *testing.T) {
+	pkg, mod := loadGolden(t, "suppress/a")
+	diags, err := analysis.RunAll(mod, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stale, unknown, other []string
+	for _, d := range diags {
+		switch {
+		case d.Analyzer != analysis.SuppressAnalyzer:
+			other = append(other, d.Message)
+		case strings.Contains(d.Message, "unknown analyzer"):
+			unknown = append(unknown, d.Message)
+		default:
+			stale = append(stale, d.Message)
+		}
+	}
+	if len(other) != 0 {
+		t.Errorf("live //lint:allow failed to suppress: %v", other)
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0], "stale //lint:allow dettaint") {
+		t.Errorf("stale findings = %v, want exactly one naming dettaint", stale)
+	}
+	if len(unknown) != 1 || !strings.Contains(unknown[0], `"nosuchcheck"`) {
+		t.Errorf("unknown-analyzer findings = %v, want exactly one naming nosuchcheck", unknown)
+	}
+
+	if sups := analysis.Suppressions(pkg); len(sups) != 3 {
+		t.Errorf("Suppressions: got %d sites, want 3", len(sups))
+	}
+}
+
+// TestLoaderSkipsBrokenFiles checks the importer hardening: an
+// unparseable file is recorded in Skipped without failing the package,
+// and build-tag-excluded and _test.go files never load.
+func TestLoaderSkipsBrokenFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module skiptest\n\ngo 1.22\n")
+	write("good.go", "package skiptest\n\nfunc Good() int { return 1 }\n")
+	write("broken.go", "package skiptest\n\nfunc Broken( {\n")
+	write("excluded.go", "//go:build neverever\n\npackage otherpkg\n\nfunc Excluded() {}\n")
+	write("good_test.go", "package skiptest\n\nimport \"testing\"\n\nfunc TestGood(t *testing.T) {}\n")
+
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDirAs("skiptest", dir)
+	if err != nil {
+		t.Fatalf("package with one broken file should still load: %v", err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Errorf("loaded %d files, want 1 (good.go only)", len(pkg.Files))
+	}
+	if len(pkg.Skipped) != 1 || !strings.Contains(pkg.Skipped[0], "broken.go") {
+		t.Errorf("Skipped = %v, want exactly broken.go with its parse error", pkg.Skipped)
+	}
+
+	// A directory holding only test files is skipped by a pattern walk
+	// but still errors when named explicitly.
+	sub := filepath.Join(dir, "testonly")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write("testonly/only_test.go", "package testonly\n")
+	pkgs, err := loader.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("walk over test-only subdir: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "skiptest" {
+		t.Errorf("walk loaded %v, want just skiptest", pkgs)
+	}
+	if _, err := loader.Load(dir, "./testonly"); err == nil {
+		t.Error("explicitly named test-only directory should error")
+	}
+}
+
+// TestSARIFStructure validates the exporter output against the SARIF
+// 2.1.0 structural requirements CI depends on: schema URI, version,
+// rule table indexed consistently with results, physical locations.
+func TestSARIFStructure(t *testing.T) {
+	findings := []analysis.Finding{
+		{File: "internal/cpu/core.go", Line: 10, Col: 2, Analyzer: "hotpathlint", Message: "allocation (make) on hot path"},
+		{File: "internal/harness/run.go", Line: 5, Col: 1, Analyzer: "dettaint", Message: "wall-clock read flows into sink"},
+	}
+	var buf bytes.Buffer
+	if err := analysis.WriteSARIF(&buf, analysis.All(), findings); err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("$schema = %q, want the 2.1.0 schema URI", log.Schema)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "mtexc-lint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]int{}
+	for i, r := range run.Tool.Driver.Rules {
+		if r.ID == "" || r.ShortDescription.Text == "" {
+			t.Errorf("rule %d incomplete: %+v", i, r)
+		}
+		ruleIDs[r.ID] = i
+	}
+	for _, a := range analysis.All() {
+		if _, ok := ruleIDs[a.Name]; !ok {
+			t.Errorf("rule table missing analyzer %s", a.Name)
+		}
+	}
+	if len(run.Results) != len(findings) {
+		t.Fatalf("results = %d, want %d", len(run.Results), len(findings))
+	}
+	for i, r := range run.Results {
+		if idx, ok := ruleIDs[r.RuleID]; !ok || idx != r.RuleIndex {
+			t.Errorf("result %d: ruleId %q / ruleIndex %d inconsistent with rule table", i, r.RuleID, r.RuleIndex)
+		}
+		if r.Level != "error" || r.Message.Text == "" {
+			t.Errorf("result %d: level %q message %q", i, r.Level, r.Message.Text)
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI != findings[i].File || loc.Region.StartLine != findings[i].Line {
+			t.Errorf("result %d location = %+v, want %s:%d", i, loc, findings[i].File, findings[i].Line)
+		}
+	}
+}
+
+// TestBaselineRoundTrip checks write/read/apply of the committed
+// baseline: accepted findings pass, new ones stay fresh, and matching
+// ignores line numbers so shifted code does not resurrect findings.
+func TestBaselineRoundTrip(t *testing.T) {
+	accepted := []analysis.Finding{
+		{File: "a.go", Line: 3, Analyzer: "dettaint", Message: "m1"},
+		{File: "a.go", Line: 9, Analyzer: "dettaint", Message: "m1"}, // same key twice
+		{File: "b.go", Line: 7, Analyzer: "atomiclint", Message: "m2"},
+	}
+	var buf bytes.Buffer
+	if err := analysis.NewBaseline(accepted).WriteBaseline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bl, err := analysis.ReadBaseline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	now := []analysis.Finding{
+		{File: "a.go", Line: 30, Analyzer: "dettaint", Message: "m1"}, // moved: still matched
+		{File: "a.go", Line: 31, Analyzer: "dettaint", Message: "m1"},
+		{File: "a.go", Line: 32, Analyzer: "dettaint", Message: "m1"},  // third copy: over budget
+		{File: "b.go", Line: 7, Analyzer: "atomiclint", Message: "m3"}, // new message
+	}
+	fresh, matched := bl.Apply(now)
+	if len(matched) != 2 {
+		t.Errorf("matched = %d findings, want 2", len(matched))
+	}
+	if len(fresh) != 2 {
+		t.Fatalf("fresh = %v, want 2 findings", fresh)
+	}
+	if fresh[0].Line != 32 || fresh[1].Message != "m3" {
+		t.Errorf("fresh = %v, want the third m1 copy and the m3 finding", fresh)
+	}
+
+	if _, err := analysis.ReadBaseline(strings.NewReader(`{"schema":99,"findings":{}}`)); err == nil {
+		t.Error("future baseline schema should be rejected, not silently misread")
+	}
+}
+
+// TestFindingRendering checks module-relative path rendering.
+func TestFindingRendering(t *testing.T) {
+	fset := token.NewFileSet()
+	f := fset.AddFile("/mod/internal/cpu/core.go", -1, 100)
+	d := analysis.Diagnostic{Pos: f.Pos(10), Analyzer: "x", Message: "m"}
+	got := analysis.NewFinding(fset, "/mod", d)
+	if got.File != "internal/cpu/core.go" || got.Line != 1 {
+		t.Errorf("NewFinding = %+v", got)
+	}
+	outside := analysis.NewFinding(fset, "/elsewhere", d)
+	if outside.File != "/mod/internal/cpu/core.go" {
+		t.Errorf("outside-root finding = %+v, want absolute path kept", outside)
+	}
+}

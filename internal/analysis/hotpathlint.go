@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Hotpathlint is the static twin of the runtime ≤0.5 allocs/inst
+// guard: a function annotated //mtexc:hotpath (the cycle loop, the
+// fastpath dispatch, the probe publish) must not reach — transitively,
+// through the module call graph — an allocating, locking or
+// I/O-performing operation. The runtime guard catches a regression
+// after it lands and only on the benchmarked configurations;
+// this check catches it at lint time on every path.
+//
+// Two annotations shape the traversal:
+//
+//	//mtexc:hotpath   on a function: a root; its whole static call
+//	                  tree is checked.
+//	//mtexc:coldpath  on a function: an abort/error/debug-only path
+//	                  (invariant panics, machine dumps, watchdog
+//	                  reports); hot code may call it, traversal stops.
+//
+// Calls that cannot be resolved statically (function values,
+// interface methods) are reported as unverifiable; suppress them
+// with a reason when the dynamic targets are themselves checked (the
+// fastpath exec-func table) or provably cold (a nil-guarded debug
+// hook).
+var Hotpathlint = &Analyzer{
+	Name: "hotpathlint",
+	Doc: `//mtexc:hotpath functions must not transitively call allocating,
+locking or I/O-doing code; //mtexc:coldpath marks abort/debug-only
+callees as exempt and stops traversal`,
+	Run: runHotpathlint,
+}
+
+func runHotpathlint(pass *Pass) error {
+	diags := pass.Module.hotpathDiagnostics()
+	inPass := pass.Module.fileSetOf(pass.Pkg)
+	for _, d := range diags {
+		if inPass[pass.Fset.Position(d.Pos).Filename] {
+			pass.Reportf(d.Pos, "%s", d.Message)
+		}
+	}
+	// Annotation sanity, package-local: both markers on one function
+	// is a contradiction.
+	for _, info := range pass.Module.FuncsOf(pass.Pkg) {
+		if info.Hotpath && info.Coldpath {
+			pass.Reportf(info.Decl.Pos(),
+				"%s is marked both //mtexc:hotpath and //mtexc:coldpath; pick one",
+				FuncDisplayName(info.Fn))
+		}
+	}
+	return nil
+}
+
+// hotOp is one forbidden operation found inside a function body.
+type hotOp struct {
+	pos  token.Pos
+	what string
+}
+
+// purePkgs are the non-module packages hot code may call freely: no
+// allocation, no locking, no blocking, no I/O.
+var purePkgs = map[string]bool{
+	"encoding/binary": true, // byte-order get/put on caller buffers
+	"math":            true,
+	"math/bits":       true,
+	"sync/atomic":     true,
+	"unsafe":          true,
+}
+
+// hotpathDiagnostics computes the module-wide hot-path findings once:
+// a breadth-first walk of the static call graph from every
+// //mtexc:hotpath root, reporting each offending operation at its own
+// source position with the call chain that reaches it.
+func (m *Module) hotpathDiagnostics() []Diagnostic {
+	if m.hotBuilt {
+		return m.hotDiags
+	}
+	m.hotBuilt = true
+
+	var roots []*FuncInfo
+	for _, info := range m.Funcs {
+		if info.Hotpath && !info.Coldpath {
+			roots = append(roots, info)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Decl.Pos() < roots[j].Decl.Pos() })
+
+	intraCache := map[*types.Func][]hotOp{}
+	reported := map[token.Pos]bool{}
+	for _, root := range roots {
+		type item struct {
+			info  *FuncInfo
+			chain []*types.Func
+		}
+		visited := map[*types.Func]bool{root.Fn: true}
+		queue := []item{{root, []*types.Func{root.Fn}}}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+
+			ops, ok := intraCache[cur.info.Fn]
+			if !ok {
+				ops = intraOps(cur.info)
+				intraCache[cur.info.Fn] = ops
+			}
+			for _, op := range ops {
+				if reported[op.pos] {
+					continue
+				}
+				reported[op.pos] = true
+				m.hotDiags = append(m.hotDiags, Diagnostic{
+					Pos:      op.pos,
+					Analyzer: "hotpathlint",
+					Message: fmt.Sprintf("%s on hot path %s (//mtexc:hotpath root %s): hot code must stay alloc-, lock- and I/O-free; fix it, mark the callee //mtexc:coldpath if it only runs on abort, or suppress with a reason",
+						op.what, chainString(cur.chain), FuncDisplayName(root.Fn)),
+				})
+			}
+			for _, call := range cur.info.Calls {
+				callee := call.Callee
+				if info := m.Funcs[callee]; info != nil {
+					if info.Coldpath || visited[callee] {
+						continue
+					}
+					visited[callee] = true
+					queue = append(queue, item{info, append(append([]*types.Func{}, cur.chain...), callee)})
+					continue
+				}
+				// Callee outside the analyzed module: classify by
+				// package.
+				if op, bad := classifyExternalCall(callee, call.Pos); bad && !reported[op.pos] {
+					reported[op.pos] = true
+					m.hotDiags = append(m.hotDiags, Diagnostic{
+						Pos:      op.pos,
+						Analyzer: "hotpathlint",
+						Message: fmt.Sprintf("%s on hot path %s (//mtexc:hotpath root %s)",
+							op.what, chainString(cur.chain), FuncDisplayName(root.Fn)),
+					})
+				}
+			}
+			for _, dyn := range cur.info.Dynamic {
+				if reported[dyn.Pos] {
+					continue
+				}
+				reported[dyn.Pos] = true
+				m.hotDiags = append(m.hotDiags, Diagnostic{
+					Pos:      dyn.Pos,
+					Analyzer: "hotpathlint",
+					Message: fmt.Sprintf("dynamic call (%s) on hot path %s (//mtexc:hotpath root %s): callee not statically verifiable — suppress with a reason if every target is checked or cold",
+						dyn.Desc, chainString(cur.chain), FuncDisplayName(root.Fn)),
+				})
+			}
+		}
+	}
+	sort.Slice(m.hotDiags, func(i, j int) bool { return m.hotDiags[i].Pos < m.hotDiags[j].Pos })
+	return m.hotDiags
+}
+
+// classifyExternalCall decides whether a call into a non-module
+// function is allowed on a hot path.
+func classifyExternalCall(fn *types.Func, pos token.Pos) (hotOp, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return hotOp{}, false // universe scope (error.Error etc. arrive as dynamic)
+	}
+	path := pkg.Path()
+	if purePkgs[path] {
+		return hotOp{}, false
+	}
+	if path == "sync" {
+		return hotOp{pos, fmt.Sprintf("lock operation sync.%s", fn.Name())}, true
+	}
+	return hotOp{pos, fmt.Sprintf("call into %s.%s (outside the module: may allocate, lock or do I/O)", path, fn.Name())}, true
+}
+
+// intraOps collects the forbidden operations written directly in a
+// function body (calls are handled by the graph walk): allocations
+// (make/new/append, slice/map/pointer composite literals, string
+// concatenation and conversions, map writes), goroutine launches and
+// channel operations.
+func intraOps(info *FuncInfo) []hotOp {
+	var ops []hotOp
+	pkg := info.Pkg
+	if info.Decl.Body == nil {
+		return nil
+	}
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := builtinNameInfo(pkg.Info, n); ok {
+				switch name {
+				case "make", "new":
+					ops = append(ops, hotOp{n.Pos(), "allocation (" + name + ")"})
+				case "append":
+					ops = append(ops, hotOp{n.Pos(), "allocation (append may grow)"})
+				case "print", "println":
+					ops = append(ops, hotOp{n.Pos(), "I/O (builtin " + name + ")"})
+				}
+				return true
+			}
+			if tv, ok := pkg.Info.Types[n.Fun]; ok && tv.IsType() && len(n.Args) == 1 {
+				if op, bad := allocConversion(pkg, tv.Type, n); bad {
+					ops = append(ops, op)
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pkg.Info.Types[ast.Expr(n)]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					ops = append(ops, hotOp{n.Pos(), "allocation (slice literal)"})
+				case *types.Map:
+					ops = append(ops, hotOp{n.Pos(), "allocation (map literal)"})
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					ops = append(ops, hotOp{n.Pos(), "allocation (&composite literal)"})
+				}
+			} else if n.Op == token.ARROW {
+				ops = append(ops, hotOp{n.Pos(), "channel receive"})
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := pkg.Info.Types[ast.Expr(n)]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						ops = append(ops, hotOp{n.Pos(), "allocation (string concatenation)"})
+					}
+				}
+			}
+		case *ast.GoStmt:
+			ops = append(ops, hotOp{n.Pos(), "goroutine launch"})
+		case *ast.SendStmt:
+			ops = append(ops, hotOp{n.Pos(), "channel send"})
+		case *ast.SelectStmt:
+			ops = append(ops, hotOp{n.Pos(), "select"})
+			return false // the channel ops inside are implied
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if tv, ok := pkg.Info.Types[idx.X]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							ops = append(ops, hotOp{idx.Pos(), "map write (insert may allocate)"})
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	sort.Slice(ops, func(i, j int) bool { return ops[i].pos < ops[j].pos })
+	return ops
+}
+
+// allocConversion flags string<->byte/rune-slice conversions, which
+// copy their operand.
+func allocConversion(pkg *Package, to types.Type, call *ast.CallExpr) (hotOp, bool) {
+	from, ok := pkg.Info.Types[call.Args[0]]
+	if !ok {
+		return hotOp{}, false
+	}
+	toStr := isString(to)
+	fromStr := isString(from.Type)
+	_, toSlice := to.Underlying().(*types.Slice)
+	_, fromSlice := from.Type.Underlying().(*types.Slice)
+	if (toStr && fromSlice) || (toSlice && fromStr) {
+		return hotOp{call.Pos(), "allocation (string/slice conversion copies)"}, true
+	}
+	return hotOp{}, false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// builtinNameInfo resolves call's callee to a builtin name using the
+// given type info (the Module variant of builtinName, which needs a
+// Pass).
+func builtinNameInfo(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return "", false
+	}
+	return id.Name, true
+}

@@ -1,8 +1,10 @@
 package analysis
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -21,6 +23,10 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Skipped lists files of the package directory that were excluded
+	// because they failed to parse ("name: error"); build-tag-excluded
+	// and _test.go files are filtered silently.
+	Skipped []string
 }
 
 // Loader parses and type-checks packages of the enclosing module.
@@ -109,12 +115,12 @@ func (l *Loader) LoadDirAs(importPath, dir string) (*Package, error) {
 	l.loading[importPath] = true
 	defer delete(l.loading, importPath)
 
-	files, err := l.parseDir(dir)
+	files, skipped, err := l.parseDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+		return nil, fmt.Errorf("%w in %s (skipped: %s)", errNoFiles, dir, strings.Join(skipped, "; "))
 	}
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
@@ -130,44 +136,71 @@ func (l *Loader) LoadDirAs(importPath, dir string) (*Package, error) {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
 	}
 	pkg := &Package{
-		Path:  importPath,
-		Dir:   dir,
-		Fset:  l.Fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:    importPath,
+		Dir:     dir,
+		Fset:    l.Fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		Skipped: skipped,
 	}
 	l.pkgs[importPath] = pkg
 	return pkg, nil
 }
 
-func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+// errNoFiles distinguishes "directory holds no analyzable Go files"
+// (test-only, build-tag-excluded, or unparseable) from real failures,
+// so pattern walks can skip such directories instead of aborting.
+var errNoFiles = errors.New("analysis: no analyzable Go files")
+
+// includeFile reports whether one file belongs to the analyzed
+// package: non-test, non-hidden, and — via go/build's MatchFile —
+// satisfying its //go:build constraints and GOOS/GOARCH filename
+// suffixes under the default build context.
+func includeFile(dir, name string) bool {
+	if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+		return false
+	}
+	match, err := build.Default.MatchFile(dir, name)
+	return err == nil && match
+}
+
+// parseDir parses the analyzable files of dir. A file that fails to
+// parse is skipped (reported in skipped), not fatal: one broken or
+// generated-for-another-toolchain file must not take out analysis of
+// the rest of the package.
+func (l *Loader) parseDir(dir string) (files []*ast.File, skipped []string, err error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var files []*ast.File
 	for _, e := range ents {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
-			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+		if e.IsDir() || !includeFile(dir, name) {
 			continue
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
 			parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, err
+			skipped = append(skipped, fmt.Sprintf("%s: %v", name, err))
+			continue
 		}
 		files = append(files, f)
 	}
-	return files, nil
+	return files, skipped, nil
 }
 
 // Load resolves patterns — "./...", "./dir/...", "./dir", or plain
 // import paths — into loaded packages, sorted by import path. Test
 // files are not analyzed: the determinism invariants govern what the
 // shipped simulator computes, and tests seed their own randomness.
+// Directories discovered by a `...` walk that turn out to hold no
+// analyzable files (test-only packages, everything excluded by build
+// tags) are skipped; a directory named explicitly still errors.
 func (l *Loader) Load(cwd string, patterns ...string) ([]*Package, error) {
+	// dirs maps each candidate directory to whether it was named
+	// explicitly (true) or discovered by a pattern walk (false).
 	dirs := map[string]bool{}
 	for _, pat := range patterns {
 		switch {
@@ -191,12 +224,15 @@ func (l *Loader) Load(cwd string, patterns ...string) ([]*Package, error) {
 		}
 	}
 	var pkgs []*Package
-	for dir := range dirs {
+	for dir, explicit := range dirs {
 		path, err := l.importPathFor(dir)
 		if err != nil {
 			return nil, err
 		}
 		pkg, err := l.LoadDirAs(path, dir)
+		if errors.Is(err, errNoFiles) && !explicit {
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -204,6 +240,21 @@ func (l *Loader) Load(cwd string, patterns ...string) ([]*Package, error) {
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
+}
+
+// Loaded returns every package this loader has parsed and checked so
+// far — the Load patterns plus their transitive module-local imports
+// — sorted by import path. Interprocedural analyzers build their
+// module view from this set so call edges into dependency packages
+// resolve even when only part of the tree was named on the command
+// line.
+func (l *Loader) Loaded() []*Package {
+	pkgs := make([]*Package, 0, len(l.pkgs))
+	for _, pkg := range l.pkgs {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs
 }
 
 func (l *Loader) importPathFor(dir string) (string, error) {
@@ -240,7 +291,12 @@ func walkPackageDirs(base string, dirs map[string]bool) error {
 		name := d.Name()
 		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
 			!strings.HasPrefix(name, ".") {
-			dirs[filepath.Dir(path)] = true
+			dir := filepath.Dir(path)
+			// Walk-discovered: record as non-explicit, but never
+			// downgrade a directory the user also named directly.
+			if !dirs[dir] {
+				dirs[dir] = false
+			}
 		}
 		return nil
 	})

@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file renders findings for machines: a SARIF 2.1.0 log (the
+// interchange format CI systems and editors ingest), a plain JSON
+// array, and a committed-baseline workflow so the lint gate fails
+// only on *new* findings while a legacy violation is being burned
+// down.
+
+// Finding is one diagnostic in reporting form: module-relative
+// slash-separated path plus 1-based line/column.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// NewFinding renders one diagnostic relative to root (typically the
+// module root), falling back to the absolute path outside it.
+func NewFinding(fset *token.FileSet, root string, d Diagnostic) Finding {
+	pos := fset.Position(d.Pos)
+	name := pos.Filename
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = filepath.ToSlash(rel)
+	}
+	return Finding{
+		File:     name,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+	}
+}
+
+// sarifSchemaURI and sarifVersion pin the exported format; the
+// structural test and CI validate against them.
+const (
+	sarifSchemaURI = "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json"
+	sarifVersion   = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits a SARIF 2.1.0 log of the findings. The rule table
+// carries every analyzer that ran — including clean ones, so a log
+// with zero results still records what was checked — plus the
+// suppression pseudo-rule.
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, findings []Finding) error {
+	var rules []sarifRule
+	ruleIndex := map[string]int{}
+	addRule := func(id, doc string) {
+		if _, ok := ruleIndex[id]; ok {
+			return
+		}
+		ruleIndex[id] = len(rules)
+		rules = append(rules, sarifRule{
+			ID:               id,
+			ShortDescription: sarifMessage{Text: firstLine(doc)},
+		})
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	addRule(SuppressAnalyzer, "stale or malformed //lint:allow suppression comments")
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		if _, ok := ruleIndex[f.Analyzer]; !ok {
+			addRule(f.Analyzer, f.Analyzer)
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: ruleIndex[f.Analyzer],
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "mtexc-lint",
+				InformationURI: "docs/analysis.md",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	})
+}
+
+// WriteJSON emits the findings as one JSON array (mtexc-lint -json).
+func WriteJSON(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+// Baseline is a committed snapshot of accepted findings: the lint
+// gate fails only on findings not in it. Keys deliberately omit line
+// and column, so unrelated edits shifting a file do not resurrect a
+// baselined finding; a count per key tolerates several identical
+// findings (the same message can legitimately occur more than once
+// per file only with distinct messages, which taint chains make
+// near-certain).
+type Baseline struct {
+	Schema   int            `json:"schema"`
+	Findings map[string]int `json:"findings"`
+}
+
+// BaselineSchema versions the baseline file format.
+const BaselineSchema = 1
+
+// baselineKey identifies a finding for baseline matching.
+func baselineKey(f Finding) string {
+	return f.File + "\x00" + f.Analyzer + "\x00" + f.Message
+}
+
+// NewBaseline builds a baseline accepting exactly the given findings.
+func NewBaseline(findings []Finding) *Baseline {
+	b := &Baseline{Schema: BaselineSchema, Findings: map[string]int{}}
+	for _, f := range findings {
+		b.Findings[baselineKey(f)]++
+	}
+	return b
+}
+
+// WriteBaseline writes b as stable, sorted, indented JSON so the
+// committed file diffs cleanly.
+func (b *Baseline) WriteBaseline(w io.Writer) error {
+	keys := make([]string, 0, len(b.Findings))
+	for k := range b.Findings {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("{\n  \"schema\": %d,\n  \"findings\": {", b.Schema))
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return err
+		}
+		sb.WriteString("\n    " + string(kb) + ": " + fmt.Sprint(b.Findings[k]))
+	}
+	if len(keys) > 0 {
+		sb.WriteString("\n  ")
+	}
+	sb.WriteString("}\n}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// ReadBaseline parses a baseline file.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("analysis: reading baseline: %w", err)
+	}
+	if b.Schema != BaselineSchema {
+		return nil, fmt.Errorf("analysis: baseline schema %d, want %d", b.Schema, BaselineSchema)
+	}
+	if b.Findings == nil {
+		b.Findings = map[string]int{}
+	}
+	return &b, nil
+}
+
+// Apply splits findings into fresh (not covered by the baseline —
+// these fail the gate) and matched (covered). It does not mutate b.
+func (b *Baseline) Apply(findings []Finding) (fresh, matched []Finding) {
+	budget := make(map[string]int, len(b.Findings))
+	for k, v := range b.Findings {
+		budget[k] = v
+	}
+	for _, f := range findings {
+		k := baselineKey(f)
+		if budget[k] > 0 {
+			budget[k]--
+			matched = append(matched, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	return fresh, matched
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		// The analyzer docs wrap mid-sentence; join the wrapped lines
+		// into the one-line rule description.
+		return strings.Join(strings.Fields(s), " ")
+	}
+	return s
+}

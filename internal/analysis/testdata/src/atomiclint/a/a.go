@@ -1,0 +1,42 @@
+// Package a seeds atomiclint violations: fields accessed with
+// sync/atomic in one function and with plain loads/stores — or whose
+// address escapes — in another.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	retired uint64
+	cycles  uint64
+	done    uint32
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.retired, 1)
+	c.cycles++ // never accessed atomically anywhere: fine
+}
+
+func (c *counters) read() uint64 {
+	return c.retired // want `mixed atomic/plain access`
+}
+
+func (c *counters) escape() *uint64 {
+	return &c.retired // want `escapes`
+}
+
+func (c *counters) flag() {
+	atomic.StoreUint32(&c.done, 1)
+}
+
+func (c *counters) poll() bool {
+	return c.done == 1 // want `mixed atomic/plain access`
+}
+
+// typed is the recommended shape: atomic.Uint64 cannot be accessed
+// non-atomically, so nothing here can fire.
+type typed struct {
+	retired atomic.Uint64
+}
+
+func (t *typed) bump()        { t.retired.Add(1) }
+func (t *typed) read() uint64 { return t.retired.Load() }

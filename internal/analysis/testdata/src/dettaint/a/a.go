@@ -1,0 +1,68 @@
+// Package a seeds dettaint violations: wall-clock, unseeded-rand and
+// map-iteration-order taint flowing — directly and through helper
+// functions — into a marked sink.
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// record is the result sink: everything written here must be a pure
+// function of the configuration.
+//
+//mtexc:dettaint-sink
+func record(vs ...any) {}
+
+// stamp launders a wall-clock read through a return value.
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// emit forwards its parameter to the sink, so taint at any call site
+// of emit is a violation attributed to that call site.
+func emit(v int64) {
+	record(v)
+}
+
+func direct() {
+	record(stamp()) // want `wall-clock read`
+}
+
+func throughVarAndHelper() {
+	v := stamp()
+	emit(v) // want `wall-clock read`
+}
+
+func randomDraw() {
+	record(int64(rand.Intn(10))) // want `global math/rand draw`
+}
+
+func keysUnsorted(m map[string]int) {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	record(ks) // want `map-iteration-order`
+}
+
+// keysSorted is the sanctioned collect-then-sort idiom: sorting
+// cleanses map-order taint, so no finding.
+func keysSorted(m map[string]int) {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	record(ks)
+}
+
+// meterOnly reads the clock for progress metering but never lets the
+// value reach a sink: dynamic-extent overlap alone is not a finding.
+func meterOnly(work func()) time.Duration {
+	start := time.Now()
+	work()
+	record("done")
+	return time.Since(start)
+}

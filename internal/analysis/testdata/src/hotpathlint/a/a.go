@@ -1,0 +1,58 @@
+// Package a seeds hotpathlint violations: a //mtexc:hotpath root
+// whose static call tree reaches allocations, locks, channel
+// operations and dynamic calls.
+package a
+
+import "sync"
+
+var mu sync.Mutex
+
+// hot is the checked root; the violations live in its callees.
+//
+//mtexc:hotpath
+func hot(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += double(x)
+	}
+	s += grow(s)
+	guard()
+	dump(s)
+	return s
+}
+
+func double(x int) int { return x * 2 }
+
+func grow(n int) int {
+	buf := make([]int, n) // want `allocation \(make\)`
+	return len(buf)
+}
+
+func guard() {
+	mu.Lock()         // want `lock operation sync\.Lock`
+	defer mu.Unlock() // want `lock operation sync\.Unlock`
+}
+
+// dump only runs on abort paths, so hot code may call it and its body
+// is exempt from traversal.
+//
+//mtexc:coldpath
+func dump(s int) {
+	println("state:", s)
+}
+
+//mtexc:hotpath
+func dispatch(fns []func() int) int {
+	total := 0
+	for _, f := range fns {
+		total += f() // want `dynamic call`
+	}
+	return total
+}
+
+//mtexc:hotpath
+func chanops(ch chan int) []int {
+	ch <- 1            // want `channel send`
+	go double(1)       // want `goroutine launch`
+	return []int{<-ch} // want `allocation \(slice literal\)` `channel receive`
+}

@@ -1,0 +1,21 @@
+// Package a exercises suppression tracking: one allow that fires, one
+// stale allow covering nothing, and one naming an unknown analyzer.
+package a
+
+import "time"
+
+//mtexc:dettaint-sink
+func record(vs ...any) {}
+
+func waived() {
+	//lint:allow dettaint deliberately waived flow for the suppression test
+	record(time.Now().UnixNano())
+}
+
+func clean() {
+	//lint:allow dettaint nothing here actually violates dettaint
+	record(42)
+}
+
+//lint:allow nosuchcheck typoed analyzer name
+func alsoClean() {}

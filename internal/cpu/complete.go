@@ -13,6 +13,7 @@ func (m *Machine) complete() {
 	done := m.doneScratch[:0]
 	for _, u := range m.window {
 		if u.stage == stageIssued && u.doneAt <= m.now {
+			//lint:allow hotpathlint append into capacity-retained scratch; grows only until the window's high-water mark
 			done = append(done, u)
 		}
 	}
@@ -42,6 +43,7 @@ func (m *Machine) completeSideEffects(u *uop) {
 	t := m.threads[u.tid]
 	switch {
 	case u.isBranch():
+		//lint:allow hotpathlint DirPredictor implementations are module-local table updates; none allocate
 		m.dir.Update(u.pc, u.histBefore, u.taken)
 		if u.mispred {
 			m.resolveMispredict(u)

@@ -170,6 +170,7 @@ func (m *Machine) newUop() *uop {
 		*u = uop{gen: u.gen}
 		return u
 	}
+	//lint:allow hotpathlint amortized pool refill: a fresh uop is allocated only while the free list is still growing to steady state
 	return &uop{}
 }
 
@@ -190,6 +191,7 @@ func (m *Machine) releaseUop(u *uop) {
 	}
 	u.pooled = true
 	u.gen++
+	//lint:allow hotpathlint free-list append into capacity retained across cycles; amortized zero alloc
 	m.uopFree = append(m.uopFree, u)
 }
 
@@ -473,6 +475,11 @@ func (m *Machine) finish() Result {
 // and fetch — so results produced in cycle N are visible to younger
 // stages in cycle N, while newly fetched work cannot issue before
 // traversing the pipes.
+//
+// step is the simulator's hot path (the ≤0.5 allocs/inst benchmark
+// guard measures it); hotpathlint checks its whole static call tree.
+//
+//mtexc:hotpath
 func (m *Machine) step() {
 	m.complete()
 	m.retire()
@@ -508,7 +515,10 @@ func (m *Machine) allHalted() bool {
 	return true
 }
 
-// debugf reports an exception-engine event to the DebugHook.
+// debugf reports an exception-engine event to the DebugHook. It is
+// nil-guarded debug instrumentation, never attached in measured runs.
+//
+//mtexc:coldpath
 func (m *Machine) debugf(format string, args ...any) {
 	if m.DebugHook != nil {
 		m.DebugHook(m.now, fmt.Sprintf(format, args...))
@@ -516,7 +526,10 @@ func (m *Machine) debugf(format string, args ...any) {
 }
 
 // emitTrace reports a finished (retired or squashed) instruction's
-// lifecycle to the TraceHook.
+// lifecycle to the TraceHook. Tracing is opt-in observability, off on
+// measured configurations.
+//
+//mtexc:coldpath
 func (m *Machine) emitTrace(u *uop, squashed bool) {
 	m.TraceHook(trace.Record{
 		Seq:      u.seq,
@@ -558,6 +571,7 @@ func (m *Machine) windowFreeFor(t *thread) bool {
 func (m *Machine) addToWindow(u *uop, when uint64) {
 	u.stage = stageWindow
 	u.windowAt = when
+	//lint:allow hotpathlint window slice reuses capacity bounded by WindowSize; grows only at warm-up
 	m.window = append(m.window, u)
 	if !(u.excFetch && m.cfg.Limit == LimitNoWindow) {
 		m.windowCount++
@@ -578,6 +592,7 @@ func (m *Machine) compactWindow() {
 	w := m.window[:0]
 	for _, u := range m.window {
 		if u.stage != stageRetired && u.stage != stageSquashed {
+			//lint:allow hotpathlint in-place compaction into the window's own backing array; never grows
 			w = append(w, u)
 		} else {
 			m.releaseUop(u)
@@ -604,6 +619,7 @@ func (m *Machine) collectReady() []*uop {
 			continue
 		}
 		if u.ready(m.now, regRead) {
+			//lint:allow hotpathlint append into capacity-retained scratch (readyScratch); amortized zero alloc
 			ready = append(ready, u)
 		}
 	}

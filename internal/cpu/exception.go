@@ -35,6 +35,7 @@ func (m *Machine) onDTLBMiss(u *uop) {
 			if ctx.mech == MechMultithreaded && !m.cfg.NoRelink {
 				m.hot.relinks.Inc()
 				if old := ctx.master.live(); old != nil {
+					//lint:allow hotpathlint per-miss waiter bookkeeping; runs once per relink event, not per instruction
 					ctx.waiters = append(ctx.waiters, old)
 					// The latency span follows the master link: the
 					// older instruction is now the splice point.
@@ -54,6 +55,7 @@ func (m *Machine) onDTLBMiss(u *uop) {
 			break
 		}
 		m.hot.secondaryMisses.Inc()
+		//lint:allow hotpathlint per-secondary-miss waiter bookkeeping; amortized over the miss rate
 		ctx.waiters = append(ctx.waiters, u)
 		u.handlerBy = ctx
 		return
@@ -159,6 +161,7 @@ func (m *Machine) idleContext(kind excKind) *thread {
 func (m *Machine) spawnHandler(h *thread, u *uop, kind excKind) {
 	mt := m.threads[u.tid]
 	hand := m.handlerFor(kind)
+	//lint:allow hotpathlint handler context allocated once per exception event, not per instruction
 	ctx := &handlerCtx{
 		mech:      MechMultithreaded,
 		kind:      kind,
@@ -180,6 +183,7 @@ func (m *Machine) spawnHandler(h *thread, u *uop, kind excKind) {
 	u.span = ctx.span
 	u.handlerBy = ctx
 	u.missMain = true
+	//lint:allow hotpathlint live-handler list append, once per exception event
 	m.handlers = append(m.handlers, ctx)
 
 	h.state = ctxException
@@ -239,10 +243,12 @@ func (m *Machine) materializeHandler(h *thread, ctx *handlerCtx, instant bool) {
 		u.availAt = m.now + 1
 		u.instant = instant
 		m.execFunctional(h, u)
+		//lint:allow hotpathlint handler-thread queue appends into capacity retained across exceptions
 		h.inflight = append(h.inflight, u)
 		h.icount++
 		ctx.fetchBudget--
 		h.pc = u.predPC
+		//lint:allow hotpathlint same: fetch-buffer capacity is retained across exceptions
 		h.fetchBuf = append(h.fetchBuf, u)
 		m.postFetchControl(h, u)
 		if u.inst.Op == isa.OpRfe {
@@ -274,6 +280,7 @@ func (m *Machine) trapTraditional(u *uop, kind excKind) {
 	if kind == kindEmu || kind == kindUnaligned {
 		resume = u.pc + 4
 	}
+	//lint:allow hotpathlint handler context allocated once per trap event, not per instruction
 	ctx := &handlerCtx{
 		mech:      MechTraditional,
 		kind:      kind,
@@ -289,6 +296,7 @@ func (m *Machine) trapTraditional(u *uop, kind excKind) {
 	// here on only the setMaster snapshots are read.
 	ctx.setMaster(u)
 	ctx.span = m.Observ.Misses.Begin(u.seq, u.faultVPN, kind.spanName(), "traditional", m.now)
+	//lint:allow hotpathlint live-handler list append, once per trap event
 	m.handlers = append(m.handlers, ctx)
 	t.trapCtx = ctx
 
@@ -321,6 +329,7 @@ func (m *Machine) startHardwareWalk(u *uop) {
 		m.trapTraditional(u, kindTLB)
 		return
 	}
+	//lint:allow hotpathlint walk context allocated once per hardware-walk event, not per instruction
 	ctx := &handlerCtx{
 		mech:      MechHardware,
 		tid:       u.tid,
@@ -335,6 +344,7 @@ func (m *Machine) startHardwareWalk(u *uop) {
 	u.span = ctx.span
 	u.handlerBy = ctx
 	u.missMain = true
+	//lint:allow hotpathlint live-handler list append, once per walk event
 	m.handlers = append(m.handlers, ctx)
 }
 
@@ -495,6 +505,7 @@ func (m *Machine) reapHandlers() {
 		if ctx.dead || ctx.rfeRetired || (ctx.mech == MechHardware && ctx.filled) {
 			continue
 		}
+		//lint:allow hotpathlint in-place compaction into the handler list's own backing array; never grows
 		live = append(live, ctx)
 	}
 	m.handlers = live

@@ -120,7 +120,9 @@ func (m *Machine) fetchThread(t *thread) {
 		u.fetchAt = m.now
 		u.availAt = blockReady + uint64(m.cfg.FetchStages)
 		m.execFunctional(t, u)
+		//lint:allow hotpathlint per-thread queue appends into capacity retained across cycles; amortized zero alloc
 		t.fetchBuf = append(t.fetchBuf, u)
+		//lint:allow hotpathlint same: in-flight list capacity is retained across cycles
 		t.inflight = append(t.inflight, u)
 		t.icount++
 		if t.state == ctxException {
@@ -328,6 +330,7 @@ func (m *Machine) execFunctional(t *thread, u *uop) {
 		if in.Op == isa.OpStl {
 			u.storeVal &= 0xffffffff
 		}
+		//lint:allow hotpathlint speculative-store-buffer append into capacity retained across cycles
 		t.ssb = append(t.ssb, specStore{u: u, addr: u.ea &^ (u.memBytes - 1), size: u.memBytes, value: u.storeVal})
 
 	case isa.ClassBranch:
@@ -336,6 +339,7 @@ func (m *Machine) execFunctional(t *thread, u *uop) {
 		if u.taken {
 			nextPC = target
 		}
+		//lint:allow hotpathlint DirPredictor implementations are module-local table lookups; none allocate
 		predTaken := m.dir.Predict(u.pc, t.ghr)
 		if predTaken {
 			u.predPC = target // branch target prediction is perfect
@@ -494,6 +498,7 @@ func (m *Machine) addMemDep(t *thread, u *uop, addSrc func(depRef)) {
 		return // handler loads read only the page table
 	}
 	if e, ok := t.lookupSSB(u.seq, u.ea&^(u.memBytes-1), u.memBytes); ok {
+		//lint:allow hotpathlint addSrc is the caller's local closure, already scanned inline in execFunctional
 		addSrc(ref(e.u))
 		u.fwdStore = ref(e.u)
 	}

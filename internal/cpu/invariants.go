@@ -14,6 +14,8 @@ import (
 // exact window accounting (including reservations), per-thread fetch
 // order in every queue, speculative-store-buffer/retirement sync, and
 // handler-context consistency.
+//
+//mtexc:coldpath
 func (m *Machine) checkInvariants() {
 	// Window occupancy accounting matches the window contents.
 	count := 0
@@ -144,6 +146,9 @@ func (m *Machine) checkThreadInvariants(t *thread) {
 	}
 }
 
+// invariantPanic aborts the run with a state dump; it never returns.
+//
+//mtexc:coldpath
 func (m *Machine) invariantPanic(format string, args ...any) {
 	var seqs []uint64
 	for _, u := range m.window {

@@ -51,6 +51,7 @@ func (m *Machine) dispatchOrder() []*thread {
 	order := m.orderScratch[:0]
 	for _, t := range m.threads {
 		if t.state == ctxException {
+			//lint:allow hotpathlint append into capacity-retained scratch bounded by the context count
 			order = append(order, t)
 		}
 	}
@@ -58,6 +59,7 @@ func (m *Machine) dispatchOrder() []*thread {
 	start := len(order)
 	for _, t := range m.threads {
 		if t.state == ctxRunning {
+			//lint:allow hotpathlint same scratch; bounded by the context count
 			order = append(order, t)
 		}
 	}
@@ -102,6 +104,7 @@ func (m *Machine) deadlockAvoidSquash(ctx *handlerCtx) {
 			// the refetched tail would run under a stale context.
 			continue
 		}
+		//lint:allow hotpathlint deadlock-avoidance squash is a rare recovery event, not per-instruction work
 		victims = append(victims, u)
 	}
 	if len(victims) == 0 {
@@ -129,6 +132,7 @@ func (m *Machine) deadlockAvoidSquash(ctx *handlerCtx) {
 		m.Stats.Counter("window.deadlock.stalls").Inc()
 		return
 	}
+	//lint:allow hotpathlint sort runs only on the rare deadlock-recovery event
 	sort.Slice(victims, func(i, j int) bool { return victims[i].seq > victims[j].seq })
 	if need > len(victims) {
 		need = len(victims)

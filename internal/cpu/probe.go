@@ -36,7 +36,10 @@ type Probe struct {
 	NoProgressLimit atomic.Uint64
 }
 
-// publish stores the current progress triple.
+// publish stores the current progress triple. It runs inside the
+// cycle loop's polling window, so it must stay alloc- and lock-free.
+//
+//mtexc:hotpath
 func (p *Probe) publish(cycles, retired, lastProgress uint64) {
 	p.Cycles.Store(cycles)
 	p.Retired.Store(retired)

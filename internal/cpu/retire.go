@@ -94,6 +94,7 @@ func (m *Machine) retireUop(t *thread, u *uop) {
 	m.hot.retireInsts.Inc()
 	m.hot.retireClass[isa.ClassOf(u.inst.Op)].Inc()
 	if m.RetireHook != nil {
+		//lint:allow hotpathlint nil-guarded observability hook; attached only by tests and the fault-injection oracle
 		m.RetireHook(RetiredInst{
 			Tid: u.tid, Seq: u.seq, PC: u.pc, Op: u.inst.Op,
 			PAL: u.pal, HadMiss: u.hadMiss, Cycle: m.now,
@@ -276,6 +277,7 @@ func (m *Machine) finishSquash(t *thread, from uint64) {
 	fb := t.fetchBuf[:0]
 	for _, u := range t.fetchBuf {
 		if u.stage != stageSquashed {
+			//lint:allow hotpathlint in-place compaction into the fetch buffer's own backing array; never grows
 			fb = append(fb, u)
 		} else {
 			m.releaseUop(u)
@@ -376,6 +378,7 @@ func (m *Machine) unlinkSquashedMiss(u *uop) {
 	}
 	for i, w := range ctx.waiters {
 		if w == u {
+			//lint:allow hotpathlint in-place element removal; reuses the waiter slice's backing array
 			ctx.waiters = append(ctx.waiters[:i], ctx.waiters[i+1:]...)
 			break
 		}

@@ -237,6 +237,12 @@ func (e *Engine) pcOf(idx int32) uint64 {
 // FastForward executes up to n instructions and reports how many
 // actually committed. It stops early on HALT or on an execution
 // error; both are sticky, and a halted engine returns (0, nil).
+//
+// This loop is the functional interpreter's hot path (tens of
+// millions of instructions per fast-forward segment); hotpathlint
+// checks its static call tree.
+//
+//mtexc:hotpath
 func (e *Engine) FastForward(n uint64) (uint64, error) {
 	if e.halted || e.err != nil {
 		return 0, e.err
@@ -247,15 +253,18 @@ func (e *Engine) FastForward(n uint64) (uint64, error) {
 	rec := e.opt.RecordTrace
 	for n > 0 {
 		if uint32(idx) >= uint32(len(prog)) {
+			//lint:allow hotpathlint abort path: a wild PC terminates the run with a sticky error
 			e.err = fmt.Errorf("fastpath: pc %#x outside the code segment after %d steps", e.pcOf(idx), e.steps)
 			break
 		}
 		d := &prog[idx]
 		if rec && (e.opt.TraceCap <= 0 || len(e.trace) < e.opt.TraceCap) {
+			//lint:allow hotpathlint opt-in trace recording (Options.RecordTrace), off on measured runs
 			e.trace = append(e.trace, Entry{PC: e.pcOf(idx), Op: d.op})
 		}
 		e.steps++
 		n--
+		//lint:allow hotpathlint decoded-instruction dispatch: every d.fn target is an exec* function in this file, all straight-line on predecoded state
 		idx = d.fn(e, d, idx)
 		if e.halted || e.err != nil {
 			break

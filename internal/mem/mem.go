@@ -64,7 +64,9 @@ func (p *Physical) frame(pa uint64) *[FrameSize]byte {
 	fn := pa >> FrameShift
 	f, ok := p.frames[fn]
 	if !ok {
+		//lint:allow hotpathlint frame materialized once per physical page on first touch, then reused
 		f = new([FrameSize]byte)
+		//lint:allow hotpathlint same: one frame-table insert per page lifetime
 		p.frames[fn] = f
 	}
 	return f
@@ -86,6 +88,7 @@ func (p *Physical) WriteU8(pa uint64, v uint8) {
 func (p *Physical) ReadU32(pa uint64) uint32 {
 	off := pa & frameMask
 	if off+4 > FrameSize {
+		//lint:allow hotpathlint abort path: panics on an access the simulator never issues
 		panic(fmt.Sprintf("mem: unaligned frame-crossing 32-bit read at %#x", pa))
 	}
 	return binary.LittleEndian.Uint32(p.frame(pa)[off : off+4])
@@ -95,6 +98,7 @@ func (p *Physical) ReadU32(pa uint64) uint32 {
 func (p *Physical) WriteU32(pa uint64, v uint32) {
 	off := pa & frameMask
 	if off+4 > FrameSize {
+		//lint:allow hotpathlint abort path: panics on an access the simulator never issues
 		panic(fmt.Sprintf("mem: unaligned frame-crossing 32-bit write at %#x", pa))
 	}
 	binary.LittleEndian.PutUint32(p.frame(pa)[off:off+4], v)
@@ -104,6 +108,7 @@ func (p *Physical) WriteU32(pa uint64, v uint32) {
 func (p *Physical) ReadU64(pa uint64) uint64 {
 	off := pa & frameMask
 	if off+8 > FrameSize {
+		//lint:allow hotpathlint abort path: panics on an access the simulator never issues
 		panic(fmt.Sprintf("mem: unaligned frame-crossing 64-bit read at %#x", pa))
 	}
 	return binary.LittleEndian.Uint64(p.frame(pa)[off : off+8])
@@ -113,6 +118,7 @@ func (p *Physical) ReadU64(pa uint64) uint64 {
 func (p *Physical) WriteU64(pa uint64, v uint64) {
 	off := pa & frameMask
 	if off+8 > FrameSize {
+		//lint:allow hotpathlint abort path: panics on an access the simulator never issues
 		panic(fmt.Sprintf("mem: unaligned frame-crossing 64-bit write at %#x", pa))
 	}
 	binary.LittleEndian.PutUint64(p.frame(pa)[off:off+8], v)

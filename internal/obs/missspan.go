@@ -59,6 +59,7 @@ func NewMissRecorder(set *stats.Set, keep int) *MissRecorder {
 
 // Begin opens a span for an exception detected at cycle detect.
 func (r *MissRecorder) Begin(seq, vpn uint64, kind, mech string, detect uint64) *MissSpan {
+	//lint:allow hotpathlint span allocated once per exception event, not per instruction
 	return &MissSpan{Seq: seq, VPN: vpn, Kind: kind, Mech: mech, DetectAt: detect}
 }
 
@@ -106,6 +107,7 @@ func (r *MissRecorder) Abort(s *MissSpan) {
 
 func (r *MissRecorder) retain(s MissSpan) {
 	if len(r.ring) < r.keep {
+		//lint:allow hotpathlint ring grows once to its preallocated keep capacity, then overwrites in place
 		r.ring = append(r.ring, s)
 		return
 	}

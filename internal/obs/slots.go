@@ -145,6 +145,9 @@ func (a *SlotAccount) Map() map[string]uint64 {
 
 // CheckIdentity verifies the slot-accounting identity at a cycle
 // boundary: every category summed must equal cycles × width exactly.
+// It runs only under CheckInvariants (debug) configurations.
+//
+//mtexc:coldpath
 func (a *SlotAccount) CheckIdentity() error {
 	want := a.cycles * a.width
 	if got := a.Total(); got != want {

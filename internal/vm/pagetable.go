@@ -145,6 +145,7 @@ func (as *AddressSpace) leafFor(vpn uint64) uint64 {
 	}
 	frame := as.phys.AllocFrame()
 	base := frame << mem.FrameShift
+	//lint:allow hotpathlint leaf table materialized once per page-table node, then hit in the map
 	as.leaves[ri] = base
 	as.phys.WriteU64(as.RootEntryAddr(vpn), MakePTE(frame, true))
 	return base
@@ -172,6 +173,7 @@ func (as *AddressSpace) PTEAddr(vpn uint64) uint64 {
 // existing PFN.
 func (as *AddressSpace) MapPage(vpn uint64) (uint64, error) {
 	if vpn >= as.maxVPN {
+		//lint:allow hotpathlint abort path: address-space exhaustion terminates the run
 		return 0, fmt.Errorf("vm: vpn %#x beyond address-space bound %#x", vpn, as.maxVPN)
 	}
 	if pfn, ok := as.mirror[vpn]; ok {
@@ -179,6 +181,7 @@ func (as *AddressSpace) MapPage(vpn uint64) (uint64, error) {
 	}
 	pfn := as.phys.AllocFrame()
 	as.phys.WriteU64(as.PTEAddr(vpn), MakePTE(pfn, true))
+	//lint:allow hotpathlint mirror insert happens once per page mapping (OS fault service), not per access
 	as.mirror[vpn] = pfn
 	as.PagesMapped++
 	return pfn, nil
