@@ -18,7 +18,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test test-short bench bench-compare bench-json experiments report vet lint lint-sarif fmt clean fuzz fuzz-long resume-check faultinject-smoke
+.PHONY: build test test-short bench bench-compare bench-json experiments report vet lint lint-sarif fmt clean cover fuzz fuzz-long resume-check faultinject-smoke
 
 build:
 	$(GO) build ./...
@@ -59,7 +59,7 @@ bench:
 # docs/performance.md.
 bench-compare:
 	mkdir -p out
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFunctionalThroughput|BenchmarkFigure5Mechanisms' \
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFunctionalThroughput|BenchmarkFigure5Mechanisms|BenchmarkMachineClone|BenchmarkMachineConstruction' \
 		-benchmem -benchtime=1x . | $(GO) run ./cmd/mtexc-benchsnap
 
 # One JSON snapshot per exception architecture on the compress
@@ -91,7 +91,9 @@ fuzz:
 	$(GO) test ./internal/isa -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/isa/asm -run '^$$' -fuzz FuzzAssemble -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/obs -run '^$$' -fuzz FuzzReadSnapshot -fuzztime $(FUZZTIME)
-	$(GO) test ./internal/diffsim -run '^$$' -fuzz FuzzDifferential -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/diffsim -run '^$$' -fuzz FuzzDifferential$$ -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/diffsim -run '^$$' -fuzz FuzzClusterDifferential -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cpu -run '^$$' -fuzz FuzzCloneEquivalence -fuzztime $(FUZZTIME)
 	$(GO) run ./cmd/mtexc-fuzz -seed 1 -n 25 -events out/fuzz-events.ndjson
 
 # Longer differential soak: a five-minute FuzzDifferential run plus a
@@ -99,7 +101,8 @@ fuzz:
 # Not part of the PR gate.
 fuzz-long:
 	mkdir -p out
-	$(GO) test ./internal/diffsim -run '^$$' -fuzz FuzzDifferential -fuzztime 5m
+	$(GO) test ./internal/diffsim -run '^$$' -fuzz FuzzDifferential$$ -fuzztime 5m
+	$(GO) test ./internal/diffsim -run '^$$' -fuzz FuzzClusterDifferential -fuzztime 2m
 	$(GO) run ./cmd/mtexc-fuzz -seed 1 -n 200 -v -events out/fuzz-events.ndjson
 
 # Crash-safe resume: run Figure 5 with a journal, throw most of the
@@ -135,6 +138,20 @@ faultinject-smoke:
 	cmp out/faultinject-replay1.txt out/faultinject-replay2.txt
 	grep -q "reproduced recorded outcome sdc" out/faultinject-replay1.txt
 	@echo "faultinject-smoke: masked+detected present, SDC replay byte-identical"
+
+# Statement-coverage gate: the -short suite over ./internal/... must
+# not fall below the floor committed in cover.baseline.txt. The
+# profile lands in out/cover.out (CI uploads it as an artifact);
+# raise the floor deliberately when coverage grows, never lower it to
+# make a PR pass.
+cover:
+	mkdir -p out
+	$(GO) test ./internal/... -count=1 -short -timeout 900s -coverprofile=out/cover.out > /dev/null
+	@total=$$($(GO) tool cover -func=out/cover.out | awk '/^total:/ { gsub(/%/,"",$$NF); print $$NF }'); \
+	floor=$$(cat cover.baseline.txt); \
+	echo "coverage: $$total% of statements (committed floor $$floor%)"; \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit !(t+0 >= f+0) }' || \
+		{ echo "coverage $$total% fell below the committed floor $$floor%"; exit 1; }
 
 clean:
 	$(GO) clean ./...

@@ -57,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faults   = fs.Bool("faults", false, "page-fault injection / hard-exception study")
 		ptorg    = fs.Bool("ptorg", false, "page-table organization study (linear vs two-level)")
 		unalign  = fs.Bool("unaligned", false, "generalized mechanism: unaligned loads (Section 6)")
+		sharedl2 = fs.Bool("sharedl2", false, "shared-L2 topology study: penalty/miss vs core count and co-runner (not part of -all: cluster cells multiply the instruction budget by the core count)")
 		fig5samp = fs.Bool("fig5sampled", false, "mechanism comparison in sampled mode (functional fast-forward + periodic cycle-accurate windows)")
 		sampleF  = fs.String("sample", "100000:10000:10000", "sampling spec for -fig5sampled/-sample-check: period:warmup:window instruction counts")
 		sampChk  = fs.Bool("sample-check", false, "run Figure 5 both exact and sampled, verify every cell agrees within its confidence interval (plus edge allowance), and report the wall-clock speedup")
@@ -166,22 +167,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		enabled *bool
 		name    string
 		run     func(harness.Options) (*harness.Table, error)
+		// noAll keeps an experiment out of -all (it must be asked for
+		// by its own flag), so adding one never changes -all's output
+		// or wall clock.
+		noAll bool
 	}
 	experiments := []experiment{
-		{table2, "Table2", harness.Table2},
-		{fig2, "Figure2", harness.Figure2},
-		{fig3, "Figure3", harness.Figure3},
-		{fig5, "Figure5", harness.Figure5},
-		{table3, "Table3", harness.Table3},
-		{fig6, "Figure6", harness.Figure6},
-		{fig7, "Figure7", harness.Figure7},
-		{table4, "Table4", harness.Table4},
-		{ablate, "Ablations", harness.Ablations},
-		{general, "Generalized", harness.Generalized},
-		{tlbsw, "TLBSweep", harness.TLBSweep},
-		{faults, "FaultInjection", harness.FaultInjection},
-		{ptorg, "PTOrganization", harness.PTOrganization},
-		{unalign, "Unaligned", harness.Unaligned},
+		{table2, "Table2", harness.Table2, false},
+		{fig2, "Figure2", harness.Figure2, false},
+		{fig3, "Figure3", harness.Figure3, false},
+		{fig5, "Figure5", harness.Figure5, false},
+		{table3, "Table3", harness.Table3, false},
+		{fig6, "Figure6", harness.Figure6, false},
+		{fig7, "Figure7", harness.Figure7, false},
+		{table4, "Table4", harness.Table4, false},
+		{ablate, "Ablations", harness.Ablations, false},
+		{general, "Generalized", harness.Generalized, false},
+		{tlbsw, "TLBSweep", harness.TLBSweep, false},
+		{faults, "FaultInjection", harness.FaultInjection, false},
+		{ptorg, "PTOrganization", harness.PTOrganization, false},
+		{unalign, "Unaligned", harness.Unaligned, false},
+		{sharedl2, "SharedL2", harness.SharedL2, true},
 	}
 
 	ran := false
@@ -198,7 +204,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	results := make([]*outcome, len(experiments))
 	var wg sync.WaitGroup
 	for i, e := range experiments {
-		if !*e.enabled && !*all {
+		if !*e.enabled && !(*all && !e.noAll) {
 			continue
 		}
 		ran = true

@@ -46,6 +46,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		benchList  = fs.String("bench", "compress", "comma-separated benchmark name(s); one hardware context each")
 		mechName   = fs.String("mech", "multithreaded", "exception architecture: perfect | traditional | multithreaded | hardware")
 		idle       = fs.Int("idle", 1, "idle hardware contexts for exception handlers")
+		cores      = fs.Int("cores", 1, "shared-L2 cluster width: -bench runs on core 0, -corunner on every other core (private L1s/TLBs, one shared L2)")
+		corunner   = fs.String("corunner", "", "benchmark for cores 1..N-1 of a -cores cluster (default: same as -bench)")
 		insts      = fs.Uint64("insts", 1_000_000, "application instructions to retire")
 		quickstart = fs.Bool("quickstart", false, "pre-stage the handler in idle fetch buffers (Section 5.4)")
 		width      = fs.Int("width", 8, "machine width (fetch = decode = issue)")
@@ -137,6 +139,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "mtexcsim:", err)
 		return 1
+	}
+
+	// The shared-L2 cluster path: N cores with private L1s and TLBs
+	// over one shared L2 domain, driven by the deterministic
+	// round-robin driver. Reproduces harness SharedL2 cells.
+	if *cores > 1 {
+		if len(loads) != 1 {
+			fmt.Fprintln(stderr, "mtexcsim: -cores takes exactly one -bench benchmark (core 0); use -corunner for the others")
+			return 2
+		}
+		if *functional || *sampleSpec != "" || *traceN > 0 || *kanata != "" || *chromeOut != "" || *jsonOut != "" || *seriesCSV != "" {
+			fmt.Fprintln(stderr, "mtexcsim: -cores is incompatible with -functional, -sample, -trace, -kanata, -chrome, -json and -seriescsv")
+			return 2
+		}
+		cfg.Contexts = 1 + *idle
+		crName := *corunner
+		if crName == "" {
+			crName = *benchList
+		}
+		for i := 1; i < *cores; i++ {
+			w, err := resolveBench(strings.TrimSpace(crName), cfg.PageTable)
+			if err != nil {
+				fmt.Fprintln(stderr, "mtexcsim:", err)
+				return 2
+			}
+			loads = append(loads, w)
+		}
+		return runCluster(cfg, loads, *showStats, stopProf, stdout, stderr)
 	}
 
 	// The two-tier paths: pure functional execution and sampled

@@ -1,0 +1,116 @@
+package cache
+
+// Clone forks the cache copy-on-write: tags, LRU stamps, dirty bits
+// and statistics all carry over, but the line arrays stay shared
+// until either side's first mutating access privatizes its copy
+// (privatize). Fork cost is therefore O(1) in the cache size.
+func (c *Cache) Clone() *Cache {
+	n := *c
+	c.cowShared = true
+	n.cowShared = true
+	return &n
+}
+
+// privatize rebuilds the set slices over a fresh backing array,
+// unsharing the line storage from any clone. Called by every mutating
+// path before it touches a line.
+//
+//mtexc:coldpath
+func (c *Cache) privatize() {
+	assoc := uint64(c.cfg.Assoc)
+	backing := make([]line, uint64(len(c.sets))*assoc)
+	sets := make([][]line, len(c.sets))
+	for i := range c.sets {
+		sets[i] = backing[uint64(i)*assoc : (uint64(i)+1)*assoc]
+		copy(sets[i], c.sets[i])
+	}
+	c.sets = sets
+	c.cowShared = false
+}
+
+// Reset invalidates every line and zeroes the LRU clock and
+// statistics, returning the cache to the as-constructed state while
+// keeping its storage (line arrays still shared with a clone are
+// abandoned to it rather than zeroed).
+func (c *Cache) Reset() {
+	if c.cowShared {
+		c.privatize()
+	}
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			c.sets[si][wi] = line{}
+		}
+	}
+	c.stamp = 0
+	c.Hits, c.Misses, c.Evicts, c.Writebks = 0, 0, 0, 0
+}
+
+// Clone returns a deep copy of the L2 domain: the L2 cache (forked
+// copy-on-write), the memory-bus reservation and the MSHRs.
+func (d *L2Domain) Clone() *L2Domain {
+	n := *d
+	n.L2 = d.L2.Clone()
+	n.mshr2 = cloneMSHR(d.mshr2)
+	return &n
+}
+
+// Reset empties the domain in place.
+func (d *L2Domain) Reset() {
+	d.L2.Reset()
+	d.l2mem = bus{}
+	clear(d.mshr2)
+}
+
+// Clone returns a deep copy of the hierarchy: all three cache levels,
+// the bus reservations, the outstanding-miss registers and the
+// statistics. The clone always gets a PRIVATE L2 domain, even when
+// the original shared one — cloning a whole topology must clone its
+// shared domain once and rebind each hierarchy instead.
+func (h *Hierarchy) Clone() *Hierarchy {
+	n := *h
+	n.L1I = h.L1I.Clone()
+	n.L1D = h.L1D.Clone()
+	n.dom = h.dom.Clone()
+	n.L2 = n.dom.L2
+	n.mshrD = cloneMSHR(h.mshrD)
+	n.mshrI = cloneMSHR(h.mshrI)
+	return &n
+}
+
+// CloneWithL2 is Clone for hierarchies in a shared-L2 topology: the
+// private levels are deep-copied and the hierarchy is rebound to dom,
+// an already-cloned domain.
+func (h *Hierarchy) CloneWithL2(dom *L2Domain) *Hierarchy {
+	n := *h
+	n.L1I = h.L1I.Clone()
+	n.L1D = h.L1D.Clone()
+	n.dom = dom
+	n.L2 = dom.L2
+	n.mshrD = cloneMSHR(h.mshrD)
+	n.mshrI = cloneMSHR(h.mshrI)
+	return &n
+}
+
+func cloneMSHR(m map[uint64]uint64) map[uint64]uint64 {
+	c := make(map[uint64]uint64, len(m))
+	// Each key is copied once; map visit order cannot affect the
+	// resulting register file.
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// Reset empties every level, the buses and the outstanding-miss
+// registers, returning the hierarchy to the as-constructed state
+// while keeping its storage. The L2 domain is reset too — in a
+// shared-L2 topology, reset the cluster as a whole, not one core.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.dom.Reset()
+	h.l1l2 = bus{}
+	clear(h.mshrD)
+	clear(h.mshrI)
+	h.DataAccesses, h.InstAccesses, h.MSHRMerges, h.MSHRStalls = 0, 0, 0, 0
+}

@@ -52,19 +52,42 @@ func (b *bus) reserve(t, occ uint64) uint64 {
 	return b.freeAt
 }
 
-// Hierarchy is the shared (all-threads) memory system.
+// L2Domain is the sharing point of the memory system: one L2 cache,
+// the memory-side bus behind it, and the L2 MSHRs. A private
+// hierarchy owns its domain; an N-core shared-L2 topology passes one
+// domain to NewHierarchyWithL2 for every core, so the cores contend
+// for L2 capacity and memory bandwidth while keeping private L1s.
+type L2Domain struct {
+	L2    *Cache
+	l2mem bus
+	mshr2 map[uint64]uint64 // outstanding L2-line misses -> L2 fill time
+}
+
+// NewL2Domain builds an empty L2 sharing domain.
+func NewL2Domain(cfg Config) *L2Domain {
+	return &L2Domain{
+		L2:    New(cfg),
+		mshr2: make(map[uint64]uint64),
+	}
+}
+
+// MemTransfers reports the number of transfers on the L2/memory bus.
+func (d *L2Domain) MemTransfers() uint64 { return d.l2mem.Transfers }
+
+// Hierarchy is the memory system seen by one core: private L1s and
+// L1/L2 bus in front of an L2 domain (private by default, shareable
+// across cores).
 type Hierarchy struct {
 	cfg HierConfig
 	L1I *Cache
 	L1D *Cache
-	L2  *Cache
+	L2  *Cache // == dom.L2; kept as a field for counter access
+	dom *L2Domain
 
-	l1l2  bus
-	l2mem bus
+	l1l2 bus
 
 	mshrD map[uint64]uint64 // outstanding L1D-line misses -> completion
 	mshrI map[uint64]uint64 // outstanding L1I-line misses -> completion
-	mshr2 map[uint64]uint64 // outstanding L2-line misses -> L2 fill time
 
 	// Statistics.
 	DataAccesses uint64
@@ -73,18 +96,30 @@ type Hierarchy struct {
 	MSHRStalls   uint64
 }
 
-// NewHierarchy builds an empty hierarchy.
+// NewHierarchy builds an empty hierarchy with a private L2 domain.
 func NewHierarchy(cfg HierConfig) *Hierarchy {
+	return NewHierarchyWithL2(cfg, NewL2Domain(cfg.L2))
+}
+
+// NewHierarchyWithL2 builds an empty hierarchy in front of the given
+// L2 domain. Passing the same domain to several hierarchies shares
+// the L2 array, its MSHRs and the memory bus between them; timing
+// stays deterministic as long as the cores are stepped in a fixed
+// order.
+func NewHierarchyWithL2(cfg HierConfig, dom *L2Domain) *Hierarchy {
 	return &Hierarchy{
 		cfg:   cfg,
 		L1I:   New(cfg.L1I),
 		L1D:   New(cfg.L1D),
-		L2:    New(cfg.L2),
+		L2:    dom.L2,
+		dom:   dom,
 		mshrD: make(map[uint64]uint64),
 		mshrI: make(map[uint64]uint64),
-		mshr2: make(map[uint64]uint64),
 	}
 }
+
+// Domain returns the hierarchy's L2 sharing domain.
+func (h *Hierarchy) Domain() *L2Domain { return h.dom }
 
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() HierConfig { return h.cfg }
@@ -127,12 +162,13 @@ func (h *Hierarchy) admit(t uint64) uint64 {
 // containing pa, returning when the data is available at the L1/L2
 // boundary on the L2 side.
 func (h *Hierarchy) l2Fill(t, pa uint64, write bool) uint64 {
-	l2line := h.L2.LineAddr(pa)
-	if done, busy := h.mshr2[l2line]; busy && done > t {
+	d := h.dom
+	l2line := d.L2.LineAddr(pa)
+	if done, busy := d.mshr2[l2line]; busy && done > t {
 		h.MSHRMerges++
 		return done
 	}
-	hit, victim := h.L2.Access(pa, write)
+	hit, victim := d.L2.Access(pa, write)
 	if hit {
 		return t + h.cfg.L2.Latency
 	}
@@ -140,14 +176,14 @@ func (h *Hierarchy) l2Fill(t, pa uint64, write bool) uint64 {
 	// transfer over the L2/memory bus.
 	req := t + h.cfg.L2.Latency + h.cfg.MissDetect
 	data := req + h.cfg.MemLat
-	fill := h.l2mem.reserve(data, h.cfg.L2MemBus)
+	fill := d.l2mem.reserve(data, h.cfg.L2MemBus)
 	if victim.Valid && victim.Dirty {
-		h.l2mem.reserve(fill, h.cfg.L2MemBus)
+		d.l2mem.reserve(fill, h.cfg.L2MemBus)
 	}
 	//lint:allow hotpathlint MSHR insert happens once per L2 miss and the map is size-swept; amortized, covered by the allocs/inst guard
-	h.mshr2[l2line] = fill
-	if len(h.mshr2) > 4*h.cfg.MSHRs {
-		sweep(h.mshr2, t)
+	d.mshr2[l2line] = fill
+	if len(d.mshr2) > 4*h.cfg.MSHRs {
+		sweep(d.mshr2, t)
 	}
 	return fill
 }

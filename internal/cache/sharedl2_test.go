@@ -1,0 +1,167 @@
+package cache
+
+import "testing"
+
+// smallHierCfg shrinks the hierarchy so a test working set can cover
+// and thrash the L2: 2 KB L1s over an 8 KB 2-way L2.
+func smallHierCfg() HierConfig {
+	cfg := DefaultHierConfig()
+	cfg.L1I = Config{Size: 2 << 10, LineSize: 32, Assoc: 2, Latency: 1}
+	cfg.L1D = Config{Size: 2 << 10, LineSize: 32, Assoc: 2, Latency: 3}
+	cfg.L2 = Config{Size: 8 << 10, LineSize: 64, Assoc: 2, Latency: 6}
+	return cfg
+}
+
+// touch streams n line-strided references from base through h,
+// advancing a private clock, and returns the final clock.
+func touch(h *Hierarchy, now, base, n, stride uint64, write bool) uint64 {
+	for i := uint64(0); i < n; i++ {
+		now = h.AccessData(now, base+i*stride, write)
+	}
+	return now
+}
+
+// TestSharedL2TwoWriters drives two hierarchies over one L2 domain
+// with working sets that either fall into disjoint L2 sets or collide
+// in the same sets, and checks the sharing contract on the counters:
+// disjoint writers keep their L2 lines (no cross-evictions); set
+// overlap beyond the associativity evicts the neighbour's lines.
+func TestSharedL2TwoWriters(t *testing.T) {
+	cfg := smallHierCfg()
+	lines := cfg.L2.Size / cfg.L2.LineSize // 128 lines, 64 sets at 2-way
+
+	cases := []struct {
+		name  string
+		baseA uint64
+		baseB uint64
+		n     uint64 // lines touched per writer, twice each
+		// expectations after A and B each touch their set twice
+		wantCrossEvict bool
+	}{
+		{
+			// A uses the low half of the sets, B the high half: each
+			// writer's lines survive the other's traffic.
+			name:           "disjoint-sets",
+			baseA:          0,
+			baseB:          (lines / 2) * 64, // second half of the index space
+			n:              lines / 4,        // half of each half: fits in 2 ways
+			wantCrossEvict: false,
+		},
+		{
+			// A and B map to the SAME sets (baseB aliases baseA modulo
+			// the index range) and together need 4 ways of a 2-way L2:
+			// every set overflows and the writers evict each other.
+			name:           "overlapping-sets",
+			baseA:          0,
+			baseB:          lines * 64, // same index bits, different tags
+			n:              lines,      // both ways of every set, per writer
+			wantCrossEvict: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dom := NewL2Domain(cfg.L2)
+			ha := NewHierarchyWithL2(cfg, dom)
+			hb := NewHierarchyWithL2(cfg, dom)
+			if ha.L2 != hb.L2 || ha.Domain() != dom {
+				t.Fatal("hierarchies do not share the domain")
+			}
+
+			// Round 1: both writers install their working sets.
+			touch(ha, 0, tc.baseA, tc.n, 64, true)
+			touch(hb, 0, tc.baseB, tc.n, 64, true)
+			l2MissesAfterInstall := dom.L2.Misses
+
+			// Round 2: both writers re-touch the same lines.
+			touch(ha, 100_000, tc.baseA, tc.n, 64, true)
+			touch(hb, 100_000, tc.baseB, tc.n, 64, true)
+			// The second round replays the L1-sized suffix from L1D;
+			// references past L1 capacity reach the L2 again.
+			reMisses := dom.L2.Misses - l2MissesAfterInstall
+
+			if l2MissesAfterInstall != 2*tc.n {
+				t.Errorf("install round: L2 misses = %d, want %d (every first touch misses)",
+					l2MissesAfterInstall, 2*tc.n)
+			}
+			if tc.wantCrossEvict {
+				if dom.L2.Evicts == 0 {
+					t.Error("overlapping sets never evicted")
+				}
+				if reMisses == 0 {
+					t.Error("overlapping sets: re-touch round hit everywhere — no interference modeled")
+				}
+			} else {
+				if dom.L2.Evicts != 0 {
+					t.Errorf("disjoint sets evicted %d lines", dom.L2.Evicts)
+				}
+				if reMisses != 0 {
+					t.Errorf("disjoint sets: re-touch round missed %d times in L2", reMisses)
+				}
+			}
+			// Per-core L1 statistics stay private even though the L2 is
+			// shared.
+			if ha.DataAccesses != 2*tc.n || hb.DataAccesses != 2*tc.n {
+				t.Errorf("per-core access counters polluted: A=%d B=%d, want %d",
+					ha.DataAccesses, hb.DataAccesses, 2*tc.n)
+			}
+		})
+	}
+}
+
+// TestSharedL2Inclusion checks the inclusion-style invariant the
+// timing model maintains: any line resident in a core's L1D was
+// brought in through the shared L2, so immediately after a miss-free
+// re-touch it is also L2-resident (the L2 is large enough here that
+// no eviction intervenes).
+func TestSharedL2Inclusion(t *testing.T) {
+	cfg := smallHierCfg()
+	dom := NewL2Domain(cfg.L2)
+	ha := NewHierarchyWithL2(cfg, dom)
+	hb := NewHierarchyWithL2(cfg, dom)
+
+	// Each core touches 32 lines; 64 lines total fit the 128-line L2.
+	touch(ha, 0, 0, 32, 64, false)
+	touch(hb, 0, 32*64, 32, 64, false)
+
+	for _, h := range []*Hierarchy{ha, hb} {
+		probed := 0
+		for pa := uint64(0); pa < 64*64; pa += 64 {
+			if h.ProbeData(pa) {
+				probed++
+				if !dom.L2.Probe(pa) {
+					t.Errorf("line %#x in an L1D but not in the shared L2", pa)
+				}
+			}
+		}
+		if probed == 0 {
+			t.Fatal("probe found no resident lines; test is vacuous")
+		}
+	}
+}
+
+// TestSharedL2MemoryBusContention: two cores missing the L2
+// back-to-back serialize on the shared memory bus, so the second
+// core's fill completes later than it would alone.
+func TestSharedL2MemoryBusContention(t *testing.T) {
+	cfg := smallHierCfg()
+
+	solo := NewHierarchyWithL2(cfg, NewL2Domain(cfg.L2))
+	soloDone := solo.AccessData(0, 0, false)
+
+	dom := NewL2Domain(cfg.L2)
+	ha := NewHierarchyWithL2(cfg, dom)
+	hb := NewHierarchyWithL2(cfg, dom)
+	aDone := ha.AccessData(0, 0, false)
+	bDone := hb.AccessData(0, 1<<16, false) // different line, same cycle
+
+	if aDone != soloDone {
+		t.Errorf("first requester slowed down: %d != solo %d", aDone, soloDone)
+	}
+	if bDone <= soloDone {
+		t.Errorf("second requester did not queue behind the shared memory bus: %d <= %d", bDone, soloDone)
+	}
+	if dom.MemTransfers() != 2 {
+		t.Errorf("memory bus transfers = %d, want 2", dom.MemTransfers())
+	}
+}

@@ -11,22 +11,24 @@ import (
 // walk completions.
 func (m *Machine) complete() {
 	done := m.doneScratch[:0]
-	for _, u := range m.window {
+	for _, i := range m.window {
+		u := m.at(i)
 		if u.stage == stageIssued && u.doneAt <= m.now {
 			//lint:allow hotpathlint append into capacity-retained scratch; grows only until the window's high-water mark
-			done = append(done, u)
+			done = append(done, i)
 		}
 	}
 	// Oldest first: an older mispredict squashes younger completions
 	// before their (wrong-path) side effects apply. The window is
 	// nearly fetch-ordered, so insertion sort runs in linear time.
 	for i := 1; i < len(done); i++ {
-		for j := i; j > 0 && done[j].seq < done[j-1].seq; j-- {
+		for j := i; j > 0 && m.at(done[j]).seq < m.at(done[j-1]).seq; j-- {
 			done[j], done[j-1] = done[j-1], done[j]
 		}
 	}
 	m.doneScratch = done
-	for _, u := range done {
+	for _, di := range done {
+		u := m.at(di)
 		if u.stage != stageIssued {
 			continue // squashed by an older completion this cycle
 		}
@@ -40,7 +42,7 @@ func (m *Machine) complete() {
 }
 
 func (m *Machine) completeSideEffects(u *uop) {
-	t := m.threads[u.tid]
+	t := &m.threads[u.tid]
 	switch {
 	case u.isBranch():
 		//lint:allow hotpathlint DirPredictor implementations are module-local table updates; none allocate
@@ -63,11 +65,11 @@ func (m *Machine) completeSideEffects(u *uop) {
 		// The handler wrote the excepting instruction's destination:
 		// convert it to a nop — it completes now without executing —
 		// and its consumers wake through the normal dataflow.
-		ctx := u.palCtx
+		ctx := m.hctx(u.palCtx)
 		if ctx == nil || ctx.dead {
 			break
 		}
-		if mu := ctx.master.live(); mu != nil && mu.stage == stageWindow {
+		if mu := m.uopAt(ctx.master); mu != nil && mu.stage == stageWindow {
 			mu.dtlbWait = false
 			mu.stage = stageIssued
 			mu.doneAt = m.now + 1
@@ -95,8 +97,8 @@ func (m *Machine) completeSideEffects(u *uop) {
 		// The handler thread discovered it cannot service this
 		// exception (page fault): revert to the traditional
 		// mechanism (Section 4.3).
-		if t.exc != nil {
-			m.revertToTraditional(t.exc)
+		if exc := m.hctx(t.exc); exc != nil {
+			m.revertToTraditional(exc)
 		}
 	}
 }
@@ -106,11 +108,11 @@ func (m *Machine) completeSideEffects(u *uop) {
 // handler retires (Section 5.1) — and wakes the instructions parked
 // on the fill.
 func (m *Machine) completeTLBWrite(u *uop) {
-	ctx := u.palCtx
+	ctx := m.hctx(u.palCtx)
 	if ctx == nil || ctx.dead {
 		return
 	}
-	mt := m.threads[ctx.masterTid]
+	mt := &m.threads[ctx.masterTid]
 	vpn := u.ea >> vm.PageShift
 	pte := u.storeVal
 	if !vm.PTEIsValid(pte) {
@@ -133,7 +135,7 @@ func (m *Machine) completeTLBWrite(u *uop) {
 // paths the "correct" target is itself garbage; the older mispredict
 // that created that path repairs everything when it resolves.
 func (m *Machine) resolveMispredict(u *uop) {
-	t := m.threads[u.tid]
+	t := &m.threads[u.tid]
 	m.hot.resolvedMispred.Inc()
 	m.squashFrom(t, u.seq+1)
 

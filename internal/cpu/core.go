@@ -23,20 +23,50 @@ type Machine struct {
 	hand *vm.Handler
 	pal  *vm.PALImage
 
+	// physMark is the physical-memory allocation frontier right after
+	// construction (PAL image and handler code loaded, no programs);
+	// Reset rewinds the allocator to it.
+	physMark uint64
+
 	dir bpred.DirPredictor
 	ind *bpred.Indirect
 
 	emuHand   *vm.Handler
 	unalpHand *vm.Handler
 
-	threads []*thread
+	// Machine state is struct-of-arrays: every dynamic instruction
+	// lives in the uops arena, every in-flight exception in the
+	// hArena, every hardware context in the threads slice, and all
+	// cross-references between them are index handles (uopIdx/hIdx,
+	// generation-checked as depRef/hRef). No pipeline structure holds
+	// a pointer into another structure, which is what makes a machine
+	// deep-copyable by Clone: copying the slices copies the state, and
+	// the handles stay valid against the copied arenas.
+	//
+	// Arena growth contract: the uops and hArena slices grow only
+	// inside newUop/newHandlerCtx, and no *uop or *handlerCtx local
+	// obtained before such a call is used after it — every allocation
+	// site re-derives pointers from handles. Slot 0 of each arena is a
+	// reserved sentinel (generation 1, never allocated) so zero-valued
+	// handles resolve to nil.
+	uops    []uop
+	uopFree []uopIdx // free slots in the uops arena (recycling pool)
+	hArena  []handlerCtx
+	hFree   []hIdx
+
+	threads []thread
 	ras     []*bpred.RAS // per-context return address stacks
 
-	window      []*uop // dispatched, unretired instructions (unsorted)
-	windowCount int    // occupancy charged against WindowSize
-	reserved    int    // slots reserved for in-flight handlers
+	window      []uopIdx // dispatched, unretired instructions (unsorted)
+	windowCount int      // occupancy charged against WindowSize
+	reserved    int      // slots reserved for in-flight handlers
 
-	handlers []*handlerCtx // live exception handlers / walks
+	handlers []hIdx // live exception handlers / walks, spawn order
+	// hZombies holds reaped-but-unrecycled handler contexts: a spent
+	// context must stay resolvable until its master reference can no
+	// longer fire (a squashed master of an already-spent handler still
+	// triggers reclamation accounting — see unlinkSquashedMiss).
+	hZombies []hIdx
 
 	rrCursor     int // round-robin fetch cursor (FetchRoundRobin)
 	retireBudget int // per-cycle retirement slots remaining
@@ -93,15 +123,14 @@ type Machine struct {
 	faultArmed bool
 	faultRec   FaultRecord
 
-	// scratch reused each cycle
-	readyScratch []*uop
-	doneScratch  []*uop
-	orderScratch []*thread
-
-	// uopFree recycles uop storage: one allocation per *live* window
-	// entry instead of one per fetched instruction. Released at
-	// retire/squash compaction (see releaseUop for the invariants).
-	uopFree []*uop
+	// scratch reused each cycle; contents are dead between uses, only
+	// the capacity is retained (Clone resets them to empty). These
+	// hold indices, not pointers: the issue and complete loops that
+	// consume them can allocate uops (handler spawns, traps) and grow
+	// the arena mid-iteration, which would invalidate *uop entries.
+	readyScratch []uopIdx
+	doneScratch  []uopIdx
+	orderScratch []int // thread ids, ICOUNT dispatch order
 
 	// hot caches lazily bound handles on the per-cycle statistics so
 	// the cycle loop skips the registry's map lookups.
@@ -161,17 +190,23 @@ func (m *Machine) bindHotStats() {
 	}
 }
 
-// newUop takes a uop from the free list (or allocates one), reset to
-// the zero state with its recycling generation preserved.
+// newUop takes a uop slot from the free list (or carves a new one off
+// the arena), reset to the zero state with its handle and recycling
+// generation preserved. Growing the arena may move its backing array,
+// which is safe only because no caller holds a *uop across a newUop
+// call (the arena growth contract on Machine).
 func (m *Machine) newUop() *uop {
 	if n := len(m.uopFree); n > 0 {
-		u := m.uopFree[n-1]
+		i := m.uopFree[n-1]
 		m.uopFree = m.uopFree[:n-1]
-		*u = uop{gen: u.gen}
+		u := &m.uops[i]
+		*u = uop{idx: i, gen: u.gen}
 		return u
 	}
-	//lint:allow hotpathlint amortized pool refill: a fresh uop is allocated only while the free list is still growing to steady state
-	return &uop{}
+	i := uopIdx(len(m.uops))
+	//lint:allow hotpathlint amortized arena growth: a fresh slot is carved only while the arena is still growing to steady state
+	m.uops = append(m.uops, uop{idx: i})
+	return &m.uops[i]
 }
 
 // releaseUop returns a retired or squashed uop to the free list and
@@ -192,7 +227,7 @@ func (m *Machine) releaseUop(u *uop) {
 	u.pooled = true
 	u.gen++
 	//lint:allow hotpathlint free-list append into capacity retained across cycles; amortized zero alloc
-	m.uopFree = append(m.uopFree, u)
+	m.uopFree = append(m.uopFree, u.idx)
 }
 
 // RetiredInst describes one retirement event for RetireHook.
@@ -208,7 +243,17 @@ type RetiredInst struct {
 
 // New builds a machine. Programs must be attached before Run.
 func New(cfg Config) *Machine {
-	phys := mem.NewPhysical()
+	return NewOnSubstrate(cfg, mem.NewPhysical(), cache.NewHierarchy(cfg.Hier))
+}
+
+// NewOnSubstrate builds a machine over caller-provided physical
+// memory and cache hierarchy. This is the multi-core entry point: an
+// N-core topology allocates one Physical and N hierarchies in front
+// of a shared L2 domain, then builds each core here. The machine
+// loads its own PAL image and handler code into phys (each core gets
+// private copies at distinct frames) and otherwise behaves exactly
+// like one built with New.
+func NewOnSubstrate(cfg Config, phys *mem.Physical, hier *cache.Hierarchy) *Machine {
 	hand := vm.GenerateDTBMissHandlerFor(cfg.PageTable, cfg.Handler)
 	emu := vm.GenerateEmulationHandler()
 	unalp := vm.GenerateUnalignedHandler()
@@ -225,7 +270,7 @@ func New(cfg Config) *Machine {
 	m := &Machine{
 		cfg:       cfg,
 		phys:      phys,
-		hier:      cache.NewHierarchy(cfg.Hier),
+		hier:      hier,
 		dtlb:      dtlb,
 		hand:      hand,
 		emuHand:   emu,
@@ -235,8 +280,15 @@ func New(cfg Config) *Machine {
 		ind:       bpred.NewIndirect(bpred.DefaultIndirectConfig()),
 		Stats:     stats.NewSet(),
 	}
+	// Arena sentinels: slot 0 of each arena carries generation 1 and is
+	// never allocated, so the zero-valued handle types resolve to nil.
+	m.uops = make([]uop, 1, 1+cfg.WindowSize+cfg.Contexts*16)
+	m.uops[0].gen = 1
+	m.hArena = make([]handlerCtx, 1, 1+cfg.Contexts+2)
+	m.hArena[0].gen = 1
+	m.threads = make([]thread, cfg.Contexts)
 	for i := 0; i < cfg.Contexts; i++ {
-		m.threads = append(m.threads, &thread{id: i, state: ctxIdle})
+		m.threads[i] = thread{id: i, state: ctxIdle}
 		m.ras = append(m.ras, bpred.NewRAS(64))
 	}
 	m.Observ = &obs.Observations{
@@ -246,35 +298,66 @@ func New(cfg Config) *Machine {
 	if cfg.SampleInterval > 0 {
 		m.attachSampler(cfg.SampleInterval)
 	}
+	m.physMark = phys.Mark()
 	m.bindHotStats()
 	return m
 }
 
-// attachSampler wires the default interval time series: IPC, detected
-// miss rate, window occupancy, handler-context activity, squash rate
-// and per-thread in-flight occupancy.
+// samplerSpec names one default interval time series and how it is
+// sampled. The spec list (samplerSpecs) and the per-name reader
+// (samplerSource) are split so Clone can rebind a copied sampler's
+// closures onto the clone by name.
+type samplerSpec struct {
+	name string
+	mode obs.SampleMode
+}
+
+// samplerSpecs lists the default series in registration order: IPC,
+// detected miss rate, window occupancy, handler-context activity,
+// squash rate and per-thread in-flight occupancy.
+func (m *Machine) samplerSpecs() []samplerSpec {
+	specs := []samplerSpec{
+		{"ipc", obs.SampleRate},
+		{"dtlb.missrate", obs.SampleRate},
+		{"window.occupancy", obs.SampleLevel},
+		{"handler.active", obs.SampleRate},
+		{"squash.rate", obs.SampleRate},
+	}
+	for i := range m.threads {
+		specs = append(specs, samplerSpec{fmt.Sprintf("thread%d.inflight", i), obs.SampleLevel})
+	}
+	return specs
+}
+
+// samplerSource returns the reader closure for a named series. Each
+// closure captures the machine (plus an index for per-thread series,
+// not a *thread: threads are value-slice elements), so the series
+// keeps reading the machine that owns the sampler.
+func (m *Machine) samplerSource(name string) func() float64 {
+	switch name {
+	case "ipc":
+		return func() float64 { return float64(m.appRetired) }
+	case "dtlb.missrate":
+		return func() float64 { return float64(m.Stats.Get("dtlb.misses.detected")) }
+	case "window.occupancy":
+		return func() float64 { return float64(m.windowCount) }
+	case "handler.active":
+		return func() float64 { return float64(m.Stats.Get("handler.activecycles")) }
+	case "squash.rate":
+		return func() float64 { return float64(m.Stats.Get("squash.insts")) }
+	}
+	var ti int
+	if n, _ := fmt.Sscanf(name, "thread%d.inflight", &ti); n == 1 {
+		return func() float64 { return float64(m.threads[ti].icount) }
+	}
+	panic(fmt.Sprintf("cpu: unknown sampler series %q", name))
+}
+
+// attachSampler wires the default interval time series.
 func (m *Machine) attachSampler(every uint64) {
 	sp := obs.NewSampler(every)
-	sp.Register("ipc", obs.SampleRate, func() float64 {
-		return float64(m.appRetired)
-	})
-	sp.Register("dtlb.missrate", obs.SampleRate, func() float64 {
-		return float64(m.Stats.Get("dtlb.misses.detected"))
-	})
-	sp.Register("window.occupancy", obs.SampleLevel, func() float64 {
-		return float64(m.windowCount)
-	})
-	sp.Register("handler.active", obs.SampleRate, func() float64 {
-		return float64(m.Stats.Get("handler.activecycles"))
-	})
-	sp.Register("squash.rate", obs.SampleRate, func() float64 {
-		return float64(m.Stats.Get("squash.insts"))
-	})
-	for _, t := range m.threads {
-		t := t
-		sp.Register(fmt.Sprintf("thread%d.inflight", t.id), obs.SampleLevel, func() float64 {
-			return float64(t.icount)
-		})
+	for _, spec := range m.samplerSpecs() {
+		sp.Register(spec.name, spec.mode, m.samplerSource(spec.name))
 	}
 	m.Observ.Sampler = sp
 }
@@ -297,7 +380,8 @@ func (m *Machine) AddProgram(img *vm.Image) (int, error) {
 		return 0, fmt.Errorf("cpu: image %q page-table organization %d does not match the machine's %d",
 			img.Name, img.Space.Org(), m.cfg.PageTable)
 	}
-	for _, t := range m.threads {
+	for i := range m.threads {
+		t := &m.threads[i]
 		if t.state != ctxIdle {
 			continue
 		}
@@ -307,19 +391,31 @@ func (m *Machine) AddProgram(img *vm.Image) (int, error) {
 		t.pc = img.EntryVA
 		t.priv[isa.PrPTBase] = img.Space.PTBase()
 		t.priv[isa.PrPageSize] = vm.PageSize
-		// Each map key names a distinct register, so visit order
-		// cannot change the resulting register file.
-		//lint:allow detlint one write per distinct register; order-independent
-		for r, v := range img.InitInt {
-			t.rf.WriteInt(r, v)
+		for _, r := range sortedRegKeys(img.InitInt) {
+			t.rf.WriteInt(r, img.InitInt[r])
 		}
-		//lint:allow detlint one write per distinct register; order-independent
-		for r, v := range img.InitFP {
-			t.rf.WriteFP(r, v)
+		for _, r := range sortedRegKeys(img.InitFP) {
+			t.rf.WriteFP(r, img.InitFP[r])
 		}
 		return t.id, nil
 	}
 	return 0, fmt.Errorf("cpu: no idle context for program %q", img.Name)
+}
+
+// sortedRegKeys returns an init-register map's keys in ascending
+// register order by probing the dense uint8 index space — no map
+// range at all, so the load path is deterministic by construction
+// (and detlint-clean) rather than by the argument that per-register
+// writes commute. Any future side effect in the register write path
+// (probes, dirty tracking) inherits a stable seeding order for free.
+func sortedRegKeys(m map[uint8]uint64) []uint8 {
+	keys := make([]uint8, 0, len(m))
+	for r := 0; r < 256 && len(keys) < len(m); r++ {
+		if _, ok := m[uint8(r)]; ok {
+			keys = append(keys, uint8(r))
+		}
+	}
+	return keys
 }
 
 // AddProgramAt binds an image like AddProgram but starts the thread
@@ -337,7 +433,7 @@ func (m *Machine) AddProgramAt(img *vm.Image, pc uint64, rf isa.RegFile) (int, e
 	if err != nil {
 		return 0, err
 	}
-	t := m.threads[id]
+	t := &m.threads[id]
 	t.pc = pc
 	t.rf = rf
 	t.rf.Int[isa.RegZero] = 0
@@ -487,8 +583,8 @@ func (m *Machine) step() {
 	m.dispatch()
 	m.fetch()
 	m.hot.windowOcc.Observe(int64(m.windowCount))
-	for _, t := range m.threads {
-		if t.state == ctxException {
+	for i := range m.threads {
+		if m.threads[i].state == ctxException {
 			m.hot.handlerActive.Inc()
 			break
 		}
@@ -505,10 +601,37 @@ func (m *Machine) step() {
 	}
 }
 
+// StepCycle advances the machine exactly one cycle — fault injection
+// included — and reports whether any context can still make progress.
+// It is the building block external cycle drivers (N-core topologies)
+// use in place of Run: interleave StepCycle across machines in a
+// fixed order, then call Finish on each once stepping is done.
+func (m *Machine) StepCycle() bool {
+	if m.faultArmed && m.now >= m.fault.At {
+		m.tryInjectFault()
+	}
+	m.step()
+	return !m.allHalted()
+}
+
+// Halted reports whether every context has halted.
+func (m *Machine) Halted() bool { return m.allHalted() }
+
+// Now reports the current cycle.
+func (m *Machine) Now() uint64 { return m.now }
+
+// AppRetired reports how many application instructions have retired
+// so far.
+func (m *Machine) AppRetired() uint64 { return m.appRetired }
+
+// Finish closes out the statistics and assembles the run summary for
+// a machine driven by StepCycle rather than Run.
+func (m *Machine) Finish() Result { return m.finish() }
+
 // allHalted reports whether no context can make further progress.
 func (m *Machine) allHalted() bool {
-	for _, t := range m.threads {
-		if t.state == ctxRunning || t.state == ctxException {
+	for i := range m.threads {
+		if s := m.threads[i].state; s == ctxRunning || s == ctxException {
 			return false
 		}
 	}
@@ -572,28 +695,31 @@ func (m *Machine) addToWindow(u *uop, when uint64) {
 	u.stage = stageWindow
 	u.windowAt = when
 	//lint:allow hotpathlint window slice reuses capacity bounded by WindowSize; grows only at warm-up
-	m.window = append(m.window, u)
+	m.window = append(m.window, u.idx)
 	if !(u.excFetch && m.cfg.Limit == LimitNoWindow) {
 		m.windowCount++
 	}
-	t := m.threads[u.tid]
-	if u.excFetch && t.exc != nil && t.exc.reserveLeft > 0 {
-		t.exc.reserveLeft--
-		m.reserved--
+	t := &m.threads[u.tid]
+	if u.excFetch {
+		if exc := m.hctx(t.exc); exc != nil && exc.reserveLeft > 0 {
+			exc.reserveLeft--
+			m.reserved--
+		}
 	}
 }
 
 // compactWindow drops retired/squashed entries out of the window
 // slice and recycles their storage. Occupancy is decremented eagerly
-// by retire/squash; this drops the pointers and releases the uops —
+// by retire/squash; this drops the handles and releases the uops —
 // by this point they have left the inflight, fetch-buffer and
 // store-buffer structures (see releaseUop).
 func (m *Machine) compactWindow() {
 	w := m.window[:0]
-	for _, u := range m.window {
+	for _, i := range m.window {
+		u := m.at(i)
 		if u.stage != stageRetired && u.stage != stageSquashed {
 			//lint:allow hotpathlint in-place compaction into the window's own backing array; never grows
-			w = append(w, u)
+			w = append(w, i)
 		} else {
 			m.releaseUop(u)
 		}
@@ -611,23 +737,24 @@ func (m *Machine) releaseWindowSlot(u *uop) {
 
 // collectReady gathers window-resident instructions ready to issue,
 // oldest fetched first (the paper's scheduling policy).
-func (m *Machine) collectReady() []*uop {
+func (m *Machine) collectReady() []uopIdx {
 	regRead := uint64(m.cfg.RegReadStages)
 	ready := m.readyScratch[:0]
-	for _, u := range m.window {
+	for _, i := range m.window {
+		u := m.at(i)
 		if u.stage != stageWindow {
 			continue
 		}
-		if u.ready(m.now, regRead) {
+		if m.uopReady(u, m.now, regRead) {
 			//lint:allow hotpathlint append into capacity-retained scratch (readyScratch); amortized zero alloc
-			ready = append(ready, u)
+			ready = append(ready, i)
 		}
 	}
 	// Insertion sort on (schedSeq, seq): the window is scanned in
 	// dispatch order, so the list is nearly sorted already and the
 	// sort runs in linear time without sort.Slice's allocations.
 	for i := 1; i < len(ready); i++ {
-		for j := i; j > 0 && uopLess(ready[j], ready[j-1]); j-- {
+		for j := i; j > 0 && uopLess(m.at(ready[j]), m.at(ready[j-1])); j-- {
 			ready[j], ready[j-1] = ready[j-1], ready[j]
 		}
 	}

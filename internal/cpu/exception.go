@@ -5,6 +5,39 @@ import (
 	"mtexc/internal/vm"
 )
 
+// newHandlerCtx takes a handler-context slot from the free list (or
+// carves a new one off the hArena), reset to the zero state with its
+// handle and recycling generation preserved; the waiter slice's
+// capacity is retained across recycles. Growing the arena may move its
+// backing array, which is safe only because no caller holds a
+// *handlerCtx across a newHandlerCtx call (the arena growth contract
+// on Machine).
+func (m *Machine) newHandlerCtx() *handlerCtx {
+	if n := len(m.hFree); n > 0 {
+		i := m.hFree[n-1]
+		m.hFree = m.hFree[:n-1]
+		ctx := &m.hArena[i]
+		*ctx = handlerCtx{idx: i, gen: ctx.gen, waiters: ctx.waiters[:0]}
+		return ctx
+	}
+	i := hIdx(len(m.hArena))
+	//lint:allow hotpathlint amortized arena growth, once per exception event while the arena grows to steady state
+	m.hArena = append(m.hArena, handlerCtx{idx: i})
+	return &m.hArena[i]
+}
+
+// releaseHandlerCtx returns a spent context's storage to the free list
+// and bumps its generation so every outstanding hRef to it goes stale.
+func (m *Machine) releaseHandlerCtx(ctx *handlerCtx) {
+	if ctx.pooled {
+		return
+	}
+	ctx.pooled = true
+	ctx.gen++
+	//lint:allow hotpathlint free-list append into capacity retained across exceptions
+	m.hFree = append(m.hFree, ctx.idx)
+}
+
 // onDTLBMiss routes a detected data-TLB miss to the configured
 // exception architecture. The faulting instruction has already been
 // returned to the window not-ready (u.dtlbWait) by the caller's
@@ -21,7 +54,8 @@ func (m *Machine) onDTLBMiss(u *uop) {
 	// buffered (Section 4.5). An out-of-order detection where the new
 	// miss is *older* than the handler's master relinks the handler to
 	// the older instruction so retirement splices correctly.
-	for _, ctx := range m.handlers {
+	for _, hi := range m.handlers {
+		ctx := &m.hArena[hi]
 		// rfeRetired contexts are spent (they are reaped on the next
 		// complete pass, and their master may already have retired and
 		// been recycled): a new miss must not attach to one.
@@ -34,16 +68,16 @@ func (m *Machine) onDTLBMiss(u *uop) {
 		if u.seq < ctx.masterSeq {
 			if ctx.mech == MechMultithreaded && !m.cfg.NoRelink {
 				m.hot.relinks.Inc()
-				if old := ctx.master.live(); old != nil {
+				if old := m.uopAt(ctx.master); old != nil {
 					//lint:allow hotpathlint per-miss waiter bookkeeping; runs once per relink event, not per instruction
-					ctx.waiters = append(ctx.waiters, old)
+					ctx.waiters = append(ctx.waiters, old.idx)
 					// The latency span follows the master link: the
 					// older instruction is now the splice point.
 					old.span = nil
 				}
 				ctx.setMaster(u)
 				u.missMain = true
-				u.handlerBy = ctx
+				u.handlerBy = href(ctx)
 				if ctx.span != nil {
 					ctx.span.Seq = u.seq
 					u.span = ctx.span
@@ -56,8 +90,8 @@ func (m *Machine) onDTLBMiss(u *uop) {
 		}
 		m.hot.secondaryMisses.Inc()
 		//lint:allow hotpathlint per-secondary-miss waiter bookkeeping; amortized over the miss rate
-		ctx.waiters = append(ctx.waiters, u)
-		u.handlerBy = ctx
+		ctx.waiters = append(ctx.waiters, u.idx)
+		u.handlerBy = href(ctx)
 		return
 	}
 
@@ -142,7 +176,8 @@ func (m *Machine) onUnalignedException(u *uop, pa uint64) {
 // 5.4).
 func (m *Machine) idleContext(kind excKind) *thread {
 	var pick *thread
-	for _, t := range m.threads {
+	for i := range m.threads {
+		t := &m.threads[i]
 		if t.state != ctxIdle {
 			continue
 		}
@@ -159,19 +194,17 @@ func (m *Machine) idleContext(kind excKind) *thread {
 // spawnHandler launches the software exception handler for kind in
 // idle context h on behalf of faulting instruction u (Section 4.1).
 func (m *Machine) spawnHandler(h *thread, u *uop, kind excKind) {
-	mt := m.threads[u.tid]
+	mt := &m.threads[u.tid]
 	hand := m.handlerFor(kind)
-	//lint:allow hotpathlint handler context allocated once per exception event, not per instruction
-	ctx := &handlerCtx{
-		mech:      MechMultithreaded,
-		kind:      kind,
-		tid:       h.id,
-		masterTid: u.tid,
-		faultVPN:  u.faultVPN,
-		faultVA:   u.ea,
-		excPC:     u.pc,
-		specTag:   u.seq,
-	}
+	ctx := m.newHandlerCtx()
+	ctx.mech = MechMultithreaded
+	ctx.kind = kind
+	ctx.tid = h.id
+	ctx.masterTid = u.tid
+	ctx.faultVPN = u.faultVPN
+	ctx.faultVA = u.ea
+	ctx.excPC = u.pc
+	ctx.specTag = u.seq
 	ctx.setMaster(u)
 	ctx.fetchBudget = hand.CommonLen
 	if !m.cfg.NoWindowReservation {
@@ -181,13 +214,13 @@ func (m *Machine) spawnHandler(h *thread, u *uop, kind excKind) {
 	ctx.detectAt = m.now
 	ctx.span = m.Observ.Misses.Begin(u.seq, u.faultVPN, kind.spanName(), "multithreaded", m.now)
 	u.span = ctx.span
-	u.handlerBy = ctx
+	u.handlerBy = href(ctx)
 	u.missMain = true
 	//lint:allow hotpathlint live-handler list append, once per exception event
-	m.handlers = append(m.handlers, ctx)
+	m.handlers = append(m.handlers, ctx.idx)
 
 	h.state = ctxException
-	h.exc = ctx
+	h.exc = href(ctx)
 	h.inPAL = true
 	h.rf = isa.RegFile{} // fresh context registers, undefined by spec
 	h.pc = hand.EntryVA
@@ -244,12 +277,12 @@ func (m *Machine) materializeHandler(h *thread, ctx *handlerCtx, instant bool) {
 		u.instant = instant
 		m.execFunctional(h, u)
 		//lint:allow hotpathlint handler-thread queue appends into capacity retained across exceptions
-		h.inflight = append(h.inflight, u)
+		h.inflight = append(h.inflight, u.idx)
 		h.icount++
 		ctx.fetchBudget--
 		h.pc = u.predPC
 		//lint:allow hotpathlint same: fetch-buffer capacity is retained across exceptions
-		h.fetchBuf = append(h.fetchBuf, u)
+		h.fetchBuf = append(h.fetchBuf, u.idx)
 		m.postFetchControl(h, u)
 		if u.inst.Op == isa.OpRfe {
 			break
@@ -262,9 +295,9 @@ func (m *Machine) materializeHandler(h *thread, ctx *handlerCtx, instant bool) {
 // faulting thread (PAL shadow registers), and resume at the faulting
 // PC when the RFE resolves.
 func (m *Machine) trapTraditional(u *uop, kind excKind) {
-	t := m.threads[u.tid]
+	t := &m.threads[u.tid]
 	m.Stats.Counter("trap.traps").Inc()
-	m.debugf("trap kind=%d tid=%d seq=%d pc=%#x vpn=%#x prevCtx=%v", kind, u.tid, u.seq, u.pc, u.faultVPN, t.trapCtx != nil)
+	m.debugf("trap kind=%d tid=%d seq=%d pc=%#x vpn=%#x prevCtx=%v", kind, u.tid, u.seq, u.pc, u.faultVPN, t.trapCtx != hRef{})
 
 	m.squashFrom(t, u.seq)
 	t.ghr, t.path = u.histBefore, u.pathBefore
@@ -280,25 +313,24 @@ func (m *Machine) trapTraditional(u *uop, kind excKind) {
 	if kind == kindEmu || kind == kindUnaligned {
 		resume = u.pc + 4
 	}
-	//lint:allow hotpathlint handler context allocated once per trap event, not per instruction
-	ctx := &handlerCtx{
-		mech:      MechTraditional,
-		kind:      kind,
-		tid:       t.id,
-		masterTid: t.id,
-		faultVPN:  u.faultVPN,
-		faultVA:   u.ea,
-		excPC:     resume,
-		specTag:   u.seq,
-		firstSeq:  m.seqCounter + 1,
-	}
-	// The master was just squashed; its storage is recycled, so from
-	// here on only the setMaster snapshots are read.
+	ctx := m.newHandlerCtx()
+	ctx.mech = MechTraditional
+	ctx.kind = kind
+	ctx.tid = t.id
+	ctx.masterTid = t.id
+	ctx.faultVPN = u.faultVPN
+	ctx.faultVA = u.ea
+	ctx.excPC = resume
+	ctx.specTag = u.seq
+	ctx.firstSeq = m.seqCounter + 1
+	// The master was just squashed; its storage is recycled (so the
+	// master reference is empty from the start) and from here on only
+	// the setMaster snapshots are read.
 	ctx.setMaster(u)
 	ctx.span = m.Observ.Misses.Begin(u.seq, u.faultVPN, kind.spanName(), "traditional", m.now)
 	//lint:allow hotpathlint live-handler list append, once per trap event
-	m.handlers = append(m.handlers, ctx)
-	t.trapCtx = ctx
+	m.handlers = append(m.handlers, ctx.idx)
+	t.trapCtx = href(ctx)
 
 	t.inPAL = true
 	t.shadowRF = isa.RegFile{}
@@ -317,7 +349,8 @@ func (m *Machine) trapTraditional(u *uop, kind excKind) {
 // startHardwareWalk begins (or queues) a hardware page walk for u.
 func (m *Machine) startHardwareWalk(u *uop) {
 	active := 0
-	for _, ctx := range m.handlers {
+	for _, hi := range m.handlers {
+		ctx := &m.hArena[hi]
 		if !ctx.dead && ctx.mech == MechHardware && !ctx.filled {
 			active++
 		}
@@ -329,37 +362,36 @@ func (m *Machine) startHardwareWalk(u *uop) {
 		m.trapTraditional(u, kindTLB)
 		return
 	}
-	//lint:allow hotpathlint walk context allocated once per hardware-walk event, not per instruction
-	ctx := &handlerCtx{
-		mech:      MechHardware,
-		tid:       u.tid,
-		masterTid: u.tid,
-		faultVPN:  u.faultVPN,
-		faultVA:   u.ea,
-		excPC:     u.pc,
-		specTag:   0, // hardware fills commit immediately
-	}
+	ctx := m.newHandlerCtx()
+	ctx.mech = MechHardware
+	ctx.tid = u.tid
+	ctx.masterTid = u.tid
+	ctx.faultVPN = u.faultVPN
+	ctx.faultVA = u.ea
+	ctx.excPC = u.pc
+	ctx.specTag = 0 // hardware fills commit immediately
 	ctx.setMaster(u)
 	ctx.span = m.Observ.Misses.Begin(u.seq, u.faultVPN, kindTLB.spanName(), "hardware", m.now)
 	u.span = ctx.span
-	u.handlerBy = ctx
+	u.handlerBy = href(ctx)
 	u.missMain = true
 	//lint:allow hotpathlint live-handler list append, once per walk event
-	m.handlers = append(m.handlers, ctx)
+	m.handlers = append(m.handlers, ctx.idx)
 }
 
 // completeWalks processes hardware walks whose page-table load has
 // returned: fill the TLB speculatively (unless the faulting
 // instruction was squashed meanwhile) and wake the waiters.
 func (m *Machine) completeWalks() {
-	for _, ctx := range m.handlers {
+	for _, hi := range m.handlers {
+		ctx := &m.hArena[hi]
 		if ctx.dead || ctx.mech != MechHardware || !ctx.walkStarted || ctx.filled {
 			continue
 		}
 		if ctx.walkDone > m.now {
 			continue
 		}
-		mt := m.threads[ctx.masterTid]
+		mt := &m.threads[ctx.masterTid]
 		if mt.as.Org() == vm.PTTwoLevel && ctx.walkStage == 0 {
 			// First-level walk finished: check the root entry and
 			// re-request a memory port for the leaf load.
@@ -368,7 +400,7 @@ func (m *Machine) completeWalks() {
 				ctx.dead = true
 				m.hot.walkerFaults.Inc()
 				m.Observ.Misses.Abort(ctx.span)
-				if mu := ctx.master.live(); mu != nil && mu.stage != stageSquashed {
+				if mu := m.uopAt(ctx.master); mu != nil && mu.stage != stageSquashed {
 					mu.span = nil
 					m.trapTraditional(mu, kindTLB)
 				}
@@ -390,7 +422,7 @@ func (m *Machine) completeWalks() {
 			ctx.dead = true
 			m.hot.walkerFaults.Inc()
 			m.Observ.Misses.Abort(ctx.span)
-			if mu := ctx.master.live(); mu != nil && mu.stage != stageSquashed {
+			if mu := m.uopAt(ctx.master); mu != nil && mu.stage != stageSquashed {
 				mu.span = nil
 				m.trapTraditional(mu, kindTLB)
 			}
@@ -415,12 +447,13 @@ func (m *Machine) wakeWaiters(ctx *handlerCtx) {
 	if ctx.span != nil && ctx.span.WakeAt == 0 {
 		ctx.span.WakeAt = m.now
 	}
-	if mu := ctx.master.live(); mu != nil && mu.stage != stageSquashed {
+	if mu := m.uopAt(ctx.master); mu != nil && mu.stage != stageSquashed {
 		mu.dtlbWait = false
 		mu.wokeAt = m.now
 		m.Stats.Histogram("fill.latency").Observe(int64(m.now - mu.missAt))
 	}
-	for _, w := range ctx.waiters {
+	for _, wi := range ctx.waiters {
+		w := m.at(wi)
 		if w.stage != stageSquashed {
 			w.dtlbWait = false
 			w.wokeAt = m.now
@@ -434,7 +467,7 @@ func (m *Machine) wakeWaiters(ctx *handlerCtx) {
 // handler re-executes through the traditional mechanism (Section 4.3).
 func (m *Machine) revertToTraditional(ctx *handlerCtx) {
 	m.Stats.Counter("handler.reversions").Inc()
-	master := ctx.master.live()
+	master := m.uopAt(ctx.master)
 	kind := ctx.kind
 	m.killHandler(ctx)
 	if master != nil && master.stage != stageSquashed {
@@ -456,20 +489,22 @@ func (m *Machine) killHandler(ctx *handlerCtx) {
 	m.reserved -= ctx.reserveLeft
 	ctx.reserveLeft = 0
 	if ctx.mech == MechMultithreaded {
-		h := m.threads[ctx.tid]
+		h := &m.threads[ctx.tid]
 		m.squashFrom(h, 0) // everything in the handler context
 		m.freeHandlerContext(h, ctx.kind)
 	}
 	// Unlink survivors so they can miss again and re-launch.
-	if mu := ctx.master.live(); mu != nil && mu.handlerBy == ctx {
-		mu.handlerBy = nil
+	self := href(ctx)
+	if mu := m.uopAt(ctx.master); mu != nil && mu.handlerBy == self {
+		mu.handlerBy = hRef{}
 		if mu.stage != stageSquashed && mu.dtlbWait && !ctx.filled {
 			mu.dtlbWait = false // re-issue, re-detect
 		}
 	}
-	for _, w := range ctx.waiters {
-		if w.handlerBy == ctx {
-			w.handlerBy = nil
+	for _, wi := range ctx.waiters {
+		w := m.at(wi)
+		if w.handlerBy == self {
+			w.handlerBy = hRef{}
 			if w.stage != stageSquashed && w.dtlbWait && !ctx.filled {
 				w.dtlbWait = false
 			}
@@ -484,7 +519,7 @@ func (m *Machine) killHandler(ctx *handlerCtx) {
 // exception class dominates, as the paper assumes.
 func (m *Machine) freeHandlerContext(h *thread, kind excKind) {
 	h.state = ctxIdle
-	h.exc = nil
+	h.exc = hRef{}
 	h.inPAL = false
 	h.haltedFetch, h.fetchStalled = false, false
 	h.fetchBuf = h.fetchBuf[:0]
@@ -498,15 +533,42 @@ func (m *Machine) freeHandlerContext(h *thread, kind excKind) {
 }
 
 // reapHandlers drops completed/dead handler contexts from the live
-// list.
+// list. Reaped contexts are parked on the zombie list rather than
+// recycled: a spent handler must stay resolvable while its master can
+// still squash (unlinkSquashedMiss fires reclamation accounting
+// through the master's handlerBy reference after the context has left
+// the live list).
 func (m *Machine) reapHandlers() {
 	live := m.handlers[:0]
-	for _, ctx := range m.handlers {
+	for _, hi := range m.handlers {
+		ctx := &m.hArena[hi]
 		if ctx.dead || ctx.rfeRetired || (ctx.mech == MechHardware && ctx.filled) {
+			//lint:allow hotpathlint zombie-list append into capacity retained across exceptions
+			m.hZombies = append(m.hZombies, hi)
 			continue
 		}
 		//lint:allow hotpathlint in-place compaction into the handler list's own backing array; never grows
-		live = append(live, ctx)
+		live = append(live, hi)
 	}
 	m.handlers = live
+	m.releaseSpentHandlers()
+}
+
+// releaseSpentHandlers recycles parked contexts whose master reference
+// has gone stale — the master uop retired or squashed and left the
+// machine, so no remaining reference to the context can fire (handler
+// and trap instructions all retire or squash before their context is
+// reaped, and waiter unlinks on a recycled context are no-ops).
+func (m *Machine) releaseSpentHandlers() {
+	z := m.hZombies[:0]
+	for _, hi := range m.hZombies {
+		ctx := &m.hArena[hi]
+		if m.uopAt(ctx.master) == nil {
+			m.releaseHandlerCtx(ctx)
+			continue
+		}
+		//lint:allow hotpathlint in-place compaction into the zombie list's own backing array; never grows
+		z = append(z, hi)
+	}
+	m.hZombies = z
 }

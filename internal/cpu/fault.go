@@ -168,9 +168,9 @@ func flipBit(s faultSite, r *faultRng) string {
 // 31 integer + 32 FP registers are equally likely.
 func (m *Machine) flipArchReg(r *faultRng) (string, bool) {
 	var cands []*thread
-	for _, t := range m.threads {
-		if t.state == ctxRunning {
-			cands = append(cands, t)
+	for i := range m.threads {
+		if m.threads[i].state == ctxRunning {
+			cands = append(cands, &m.threads[i])
 		}
 	}
 	if len(cands) == 0 {
@@ -206,7 +206,7 @@ func (m *Machine) handlerSites(i int, ctx *handlerCtx, sites []faultSite) []faul
 	privs := []isa.PrivReg{isa.PrFaultVA, isa.PrExcPC, isa.PrPTBase, isa.PrSrcVal0}
 	switch ctx.mech {
 	case MechMultithreaded:
-		ht := m.threads[ctx.tid]
+		ht := &m.threads[ctx.tid]
 		if ht.state != ctxException {
 			return sites
 		}
@@ -220,7 +220,7 @@ func (m *Machine) handlerSites(i int, ctx *handlerCtx, sites []faultSite) []faul
 			sites = append(sites, faultSite{fmt.Sprintf("%s.tid%d.priv%d", tag, ht.id, pr), &ht.priv[pr]})
 		}
 	case MechTraditional:
-		mt := m.threads[ctx.masterTid]
+		mt := &m.threads[ctx.masterTid]
 		if !mt.inPAL {
 			return sites
 		}
@@ -241,7 +241,8 @@ func (m *Machine) handlerSites(i int, ctx *handlerCtx, sites []faultSite) []faul
 // handler in flight there is no target; the plan stays armed.
 func (m *Machine) flipHandlerState(r *faultRng) (string, bool) {
 	var sites []faultSite
-	for i, ctx := range m.handlers {
+	for i, hi := range m.handlers {
+		ctx := &m.hArena[hi]
 		if ctx.dead || ctx.rfeRetired {
 			continue
 		}
@@ -262,7 +263,8 @@ func (m *Machine) flipHandlerState(r *faultRng) (string, bool) {
 // measures.
 func (m *Machine) flipWindowPayload(r *faultRng) (string, bool) {
 	var sites []faultSite
-	for _, u := range m.window {
+	for _, ui := range m.window {
+		u := m.at(ui)
 		if u.stage != stageWindow && u.stage != stageIssued && u.stage != stageDone {
 			continue
 		}

@@ -12,7 +12,8 @@ import (
 // explicit priority also covers the NoHandlerFetchPriority ablation.
 func (m *Machine) fetch() {
 	if m.cfg.Mech == MechMultithreaded && !m.cfg.NoHandlerFetchPriority {
-		for _, t := range m.threads {
+		for i := range m.threads {
+			t := &m.threads[i]
 			if t.state == ctxException && m.canFetch(t) {
 				m.fetchThread(t)
 				if m.cfg.Limit != LimitNoFetchBW {
@@ -26,7 +27,7 @@ func (m *Machine) fetch() {
 	if m.cfg.FetchRoundRobin {
 		n := len(m.threads)
 		for i := 0; i < n; i++ {
-			t := m.threads[(m.rrCursor+i)%n]
+			t := &m.threads[(m.rrCursor+i)%n]
 			if !m.canFetch(t) || t.state == ctxException {
 				continue
 			}
@@ -35,7 +36,8 @@ func (m *Machine) fetch() {
 			break
 		}
 	} else {
-		for _, t := range m.threads {
+		for i := range m.threads {
+			t := &m.threads[i]
 			if !m.canFetch(t) {
 				continue
 			}
@@ -62,8 +64,10 @@ func (m *Machine) canFetch(t *thread) bool {
 	if len(t.fetchBuf) >= m.cfg.FetchBufferCap {
 		return false
 	}
-	if t.state == ctxException && t.exc != nil && t.exc.fetchBudget <= 0 {
-		return false
+	if t.state == ctxException {
+		if exc := m.hctx(t.exc); exc != nil && exc.fetchBudget <= 0 {
+			return false
+		}
 	}
 	return true
 }
@@ -101,7 +105,7 @@ func (m *Machine) fetchThread(t *thread) {
 		if t.haltedFetch || t.fetchStalled || len(t.fetchBuf) >= m.cfg.FetchBufferCap {
 			break
 		}
-		if t.state == ctxException && t.exc.fetchBudget <= 0 {
+		if t.state == ctxException && m.hctx(t.exc).fetchBudget <= 0 {
 			break
 		}
 		in, pa, ok := m.fetchInst(t, t.pc)
@@ -121,12 +125,12 @@ func (m *Machine) fetchThread(t *thread) {
 		u.availAt = blockReady + uint64(m.cfg.FetchStages)
 		m.execFunctional(t, u)
 		//lint:allow hotpathlint per-thread queue appends into capacity retained across cycles; amortized zero alloc
-		t.fetchBuf = append(t.fetchBuf, u)
+		t.fetchBuf = append(t.fetchBuf, u.idx)
 		//lint:allow hotpathlint same: in-flight list capacity is retained across cycles
-		t.inflight = append(t.inflight, u)
+		t.inflight = append(t.inflight, u.idx)
 		t.icount++
 		if t.state == ctxException {
-			t.exc.fetchBudget--
+			m.hctx(t.exc).fetchBudget--
 		}
 		t.pc = u.predPC
 		fetched++
@@ -175,17 +179,19 @@ func (m *Machine) buildUop(t *thread, in isa.Instruction) *uop {
 	u.excFetch = t.state == ctxException
 	u.palCtx = m.palCtxFor(t)
 	u.schedSeq = u.seq
-	if u.excFetch && t.exc != nil && t.exc.masterSeq != 0 {
-		u.schedSeq = t.exc.masterSeq
+	if u.excFetch {
+		if exc := m.hctx(t.exc); exc != nil && exc.masterSeq != 0 {
+			u.schedSeq = exc.masterSeq
+		}
 	}
 	return u
 }
 
 // palCtxFor links PAL-mode instructions to the handler instance they
 // implement.
-func (m *Machine) palCtxFor(t *thread) *handlerCtx {
+func (m *Machine) palCtxFor(t *thread) hRef {
 	if !t.inPAL {
-		return nil
+		return hRef{}
 	}
 	if t.state == ctxException {
 		return t.exc
@@ -224,7 +230,7 @@ func (m *Machine) execFunctional(t *thread, u *uop) {
 	// dependency is already satisfied.
 	ns := 0
 	addSrc := func(w depRef) {
-		if w.live() != nil && ns < len(u.srcs) {
+		if m.uopAt(w) != nil && ns < len(u.srcs) {
 			u.srcs[ns] = w
 			ns++
 		}
@@ -245,12 +251,21 @@ func (m *Machine) execFunctional(t *thread, u *uop) {
 	u.histBefore, u.pathBefore = t.ghr, t.path
 	u.rasCp = m.ras[t.id].Checkpoint()
 
+	// The journal records the written slot as a (kind, register)
+	// location resolved against the fetching register file: the shadow
+	// file when a traditional in-thread handler is fetching (curRF),
+	// the thread's own file otherwise.
+	intKind, fpKind := slotInt, slotFP
+	if t.inPAL && t.state != ctxException {
+		intKind, fpKind = slotShadowInt, slotShadowFP
+	}
 	writeInt := func(rd uint8, v uint64) {
 		u.result = v
 		u.destKind = regInt
 		u.destReg = rd
 		if rd != isa.RegZero {
-			u.slot = &rf.Int[rd]
+			u.slotKind = intKind
+			u.slotReg = rd
 			u.oldVal = rf.Int[rd]
 			rf.Int[rd] = v
 			lwInt[rd] = ref(u)
@@ -260,7 +275,8 @@ func (m *Machine) execFunctional(t *thread, u *uop) {
 		u.result = v
 		u.destKind = regFP
 		u.destReg = rd
-		u.slot = &rf.FP[rd]
+		u.slotKind = fpKind
+		u.slotReg = rd
 		u.oldVal = rf.FP[rd]
 		rf.FP[rd] = v
 		lwFP[rd] = ref(u)
@@ -331,7 +347,7 @@ func (m *Machine) execFunctional(t *thread, u *uop) {
 			u.storeVal &= 0xffffffff
 		}
 		//lint:allow hotpathlint speculative-store-buffer append into capacity retained across cycles
-		t.ssb = append(t.ssb, specStore{u: u, addr: u.ea &^ (u.memBytes - 1), size: u.memBytes, value: u.storeVal})
+		t.ssb = append(t.ssb, specStore{idx: u.idx, seq: u.seq, addr: u.ea &^ (u.memBytes - 1), size: u.memBytes, value: u.storeVal})
 
 	case isa.ClassBranch:
 		u.taken = isa.BranchTaken(in.Op, rf.ReadInt(in.Ra))
@@ -387,7 +403,8 @@ func (m *Machine) execFunctional(t *thread, u *uop) {
 		case isa.OpMfpr:
 			writeInt(in.Rd, t.priv[in.Imm])
 		case isa.OpMtpr:
-			u.slot = &t.priv[in.Imm]
+			u.slotKind = slotPriv
+			u.slotReg = uint8(in.Imm)
 			u.oldVal = t.priv[in.Imm]
 			t.priv[in.Imm] = rf.ReadInt(in.Ra)
 		case isa.OpTlbwr:
@@ -404,12 +421,13 @@ func (m *Machine) execFunctional(t *thread, u *uop) {
 			// the master instruction, whose oracle value already
 			// matches.
 			u.srcVal = rf.ReadInt(in.Ra)
-			if ctx := u.palCtx; ctx != nil && ctx.masterSeq != 0 && t.state != ctxException {
+			if ctx := m.hctx(u.palCtx); ctx != nil && ctx.masterSeq != 0 && t.state != ctxException {
 				// The trap squashed (and recycled) the master, so its
 				// destination comes from the context snapshot.
 				dest := ctx.masterDest
 				if dest != isa.RegZero {
-					u.slot = &t.rf.Int[dest]
+					u.slotKind = slotInt
+					u.slotReg = dest
 					u.oldVal = t.rf.Int[dest]
 					t.rf.Int[dest] = u.srcVal
 					u.destKind = regInt
@@ -498,8 +516,11 @@ func (m *Machine) addMemDep(t *thread, u *uop, addSrc func(depRef)) {
 		return // handler loads read only the page table
 	}
 	if e, ok := t.lookupSSB(u.seq, u.ea&^(u.memBytes-1), u.memBytes); ok {
+		// Buffered stores are always live (stripped at squash/retire
+		// before their uop is released), so the handle resolves.
+		su := m.at(e.idx)
 		//lint:allow hotpathlint addSrc is the caller's local closure, already scanned inline in execFunctional
-		addSrc(ref(e.u))
-		u.fwdStore = ref(e.u)
+		addSrc(ref(su))
+		u.fwdStore = ref(su)
 	}
 }

@@ -19,7 +19,8 @@ import (
 func (m *Machine) checkInvariants() {
 	// Window occupancy accounting matches the window contents.
 	count := 0
-	for _, u := range m.window {
+	for _, ui := range m.window {
+		u := m.at(ui)
 		if u.pooled {
 			m.invariantPanic("window holds a pooled uop (seq %d)", u.seq)
 		}
@@ -46,7 +47,8 @@ func (m *Machine) checkInvariants() {
 
 	// Reservation bookkeeping matches the live handlers.
 	res := 0
-	for _, ctx := range m.handlers {
+	for _, hi := range m.handlers {
+		ctx := &m.hArena[hi]
 		if !ctx.dead {
 			res += ctx.reserveLeft
 		}
@@ -58,8 +60,8 @@ func (m *Machine) checkInvariants() {
 		m.invariantPanic("reserved %d, handler sum %d", m.reserved, res)
 	}
 
-	for _, t := range m.threads {
-		m.checkThreadInvariants(t)
+	for i := range m.threads {
+		m.checkThreadInvariants(&m.threads[i])
 	}
 }
 
@@ -68,7 +70,8 @@ func (m *Machine) checkThreadInvariants(t *thread) {
 	// live entries.
 	live := 0
 	var prev uint64
-	for i, u := range t.inflight {
+	for i, ui := range t.inflight {
+		u := m.at(ui)
 		if u.pooled {
 			m.invariantPanic("thread %d inflight holds a pooled uop (seq %d)", t.id, u.seq)
 		}
@@ -89,7 +92,8 @@ func (m *Machine) checkThreadInvariants(t *thread) {
 
 	// The fetch buffer holds only live, fetched-stage entries in order.
 	prev = 0
-	for i, u := range t.fetchBuf {
+	for i, ui := range t.fetchBuf {
+		u := m.at(ui)
 		if u.pooled {
 			m.invariantPanic("thread %d fetch buffer holds a pooled uop (seq %d)", t.id, u.seq)
 		}
@@ -102,8 +106,8 @@ func (m *Machine) checkThreadInvariants(t *thread) {
 		prev = u.seq
 	}
 	nonInstant := 0
-	for _, u := range t.fetchBuf {
-		if !u.instant {
+	for _, ui := range t.fetchBuf {
+		if !m.at(ui).instant {
 			nonInstant++
 		}
 	}
@@ -114,7 +118,8 @@ func (m *Machine) checkThreadInvariants(t *thread) {
 	// The speculative store buffer mirrors the unretired stores of the
 	// in-flight list exactly, in order.
 	var stores []*uop
-	for _, u := range t.inflight {
+	for _, ui := range t.inflight {
+		u := m.at(ui)
 		if u.isStore() && u.stage != stageRetired && u.stage != stageSquashed && !u.pal {
 			stores = append(stores, u)
 		}
@@ -123,22 +128,24 @@ func (m *Machine) checkThreadInvariants(t *thread) {
 		m.invariantPanic("thread %d SSB has %d entries, %d unretired stores in flight", t.id, len(t.ssb), len(stores))
 	}
 	for i, e := range t.ssb {
-		if e.u.pooled {
-			m.invariantPanic("thread %d SSB holds a pooled uop (seq %d)", t.id, e.u.seq)
+		su := m.at(e.idx)
+		if su.pooled {
+			m.invariantPanic("thread %d SSB holds a pooled uop (seq %d)", t.id, e.seq)
 		}
-		if e.u != stores[i] {
+		if su != stores[i] {
 			m.invariantPanic("thread %d SSB entry %d (seq %d) != in-flight store (seq %d)",
-				t.id, i, e.u.seq, stores[i].seq)
+				t.id, i, e.seq, stores[i].seq)
 		}
 	}
 
 	// Handler-context linkage.
 	if t.state == ctxException {
-		if t.exc == nil || t.exc.dead {
+		exc := m.hctx(t.exc)
+		if exc == nil || exc.dead {
 			m.invariantPanic("thread %d in exception state without a live context", t.id)
 		}
-		if t.exc.tid != t.id {
-			m.invariantPanic("thread %d exception context claims tid %d", t.id, t.exc.tid)
+		if exc.tid != t.id {
+			m.invariantPanic("thread %d exception context claims tid %d", t.id, exc.tid)
 		}
 	}
 	if t.state == ctxIdle && (t.icount != 0 || len(t.fetchBuf) != 0) && !t.primed {
@@ -151,8 +158,8 @@ func (m *Machine) checkThreadInvariants(t *thread) {
 //mtexc:coldpath
 func (m *Machine) invariantPanic(format string, args ...any) {
 	var seqs []uint64
-	for _, u := range m.window {
-		seqs = append(seqs, u.seq)
+	for _, ui := range m.window {
+		seqs = append(seqs, m.at(ui).seq)
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	panic(fmt.Sprintf("cpu: invariant violated at cycle %d: %s", m.now,

@@ -16,9 +16,10 @@ import (
 // squash of Section 4.4.
 func (m *Machine) dispatch() {
 	budget := m.cfg.Width
-	for _, t := range m.dispatchOrder() {
+	for _, ti := range m.dispatchOrder() {
+		t := &m.threads[ti]
 		for len(t.fetchBuf) > 0 {
-			u := t.fetchBuf[0]
+			u := m.at(t.fetchBuf[0])
 			exempt := u.instant ||
 				(t.state == ctxException && m.cfg.Limit == LimitNoFetchBW)
 			if budget <= 0 && !exempt {
@@ -29,7 +30,7 @@ func (m *Machine) dispatch() {
 			}
 			if !m.windowFreeFor(t) {
 				if t.state == ctxException {
-					m.deadlockAvoidSquash(t.exc)
+					m.deadlockAvoidSquash(m.hctx(t.exc))
 				}
 				break
 			}
@@ -47,25 +48,27 @@ func (m *Machine) dispatch() {
 	}
 }
 
-func (m *Machine) dispatchOrder() []*thread {
+// dispatchOrder returns thread ids: handler contexts first, then
+// application threads smallest in-flight count first.
+func (m *Machine) dispatchOrder() []int {
 	order := m.orderScratch[:0]
-	for _, t := range m.threads {
-		if t.state == ctxException {
+	for i := range m.threads {
+		if m.threads[i].state == ctxException {
 			//lint:allow hotpathlint append into capacity-retained scratch bounded by the context count
-			order = append(order, t)
+			order = append(order, i)
 		}
 	}
 	// Application threads, smallest in-flight count first.
 	start := len(order)
-	for _, t := range m.threads {
-		if t.state == ctxRunning {
+	for i := range m.threads {
+		if m.threads[i].state == ctxRunning {
 			//lint:allow hotpathlint same scratch; bounded by the context count
-			order = append(order, t)
+			order = append(order, i)
 		}
 	}
 	app := order[start:]
 	for i := 1; i < len(app); i++ {
-		for j := i; j > 0 && app[j].icount < app[j-1].icount; j-- {
+		for j := i; j > 0 && m.threads[app[j]].icount < m.threads[app[j-1]].icount; j-- {
 			app[j], app[j-1] = app[j-1], app[j]
 		}
 	}
@@ -80,19 +83,20 @@ func (m *Machine) deadlockAvoidSquash(ctx *handlerCtx) {
 	if ctx == nil || ctx.masterSeq == 0 {
 		return
 	}
-	mt := m.threads[ctx.masterTid]
+	mt := &m.threads[ctx.masterTid]
 	// Per Section 4.4, whenever the handler has instructions ready to
 	// enter a full window, instructions from the tail of the main
 	// thread are squashed to make room — never the excepting
 	// instruction itself. Free enough room for the handler
 	// instructions still outside the window in one squash.
-	h := m.threads[ctx.tid]
+	h := &m.threads[ctx.tid]
 	need := len(h.fetchBuf) + ctx.fetchBudget
 	if need < 1 {
 		need = 1
 	}
 	var victims []*uop
-	for _, u := range m.window {
+	for _, ui := range m.window {
+		u := m.at(ui)
 		if u.stage != stageWindow && u.stage != stageIssued && u.stage != stageDone {
 			continue
 		}
@@ -115,7 +119,7 @@ func (m *Machine) deadlockAvoidSquash(ctx *handlerCtx) {
 		// squashFrom reclaims its context.
 		// The trap's master was squashed and recycled at redirect; the
 		// refetch target comes from the context snapshots.
-		if tc := mt.trapCtx; tc != nil && !tc.dead && tc.masterSeq > ctx.masterSeq {
+		if tc := m.hctx(mt.trapCtx); tc != nil && !tc.dead && tc.masterSeq > ctx.masterSeq {
 			m.Stats.Counter("window.deadlock.trapsquashes").Inc()
 			m.debugf("deadlock-trapsquash tid=%d from=%d refetch=%#x", mt.id, tc.firstSeq, tc.masterPC)
 			refetchPC := tc.masterPC
@@ -221,7 +225,8 @@ func (m *Machine) issue() {
 	ready := m.collectReady()
 	m.hot.issueReady.Observe(int64(len(ready)))
 	blocked := 0 // ready but denied an FU / issue slot this cycle
-	for _, u := range ready {
+	for _, ui := range ready {
+		u := m.at(ui)
 		if u.stage != stageWindow {
 			continue // squashed by a trap taken earlier this cycle
 		}
@@ -255,8 +260,8 @@ func (m *Machine) issueResidual(blocked int) obs.SlotKind {
 	if blocked > 0 || m.windowCount > 0 {
 		return obs.SlotWindowStall
 	}
-	for _, t := range m.threads {
-		if t.runnable() {
+	for i := range m.threads {
+		if m.threads[i].runnable() {
 			return obs.SlotFetchBubble
 		}
 	}
@@ -269,7 +274,7 @@ func (m *Machine) issueResidual(blocked int) obs.SlotKind {
 // architecture (Section 4.1's "returned to the instruction window and
 // marked not ready").
 func (m *Machine) executeUop(u *uop) {
-	t := m.threads[u.tid]
+	t := &m.threads[u.tid]
 	u.issuedOnce = true
 	u.issueAt = m.now
 	m.hot.issueInsts.Inc()
@@ -318,7 +323,7 @@ func (m *Machine) executeMem(t *thread, u *uop) {
 
 	if m.trapUnalignedLoad(u) {
 		// Unaligned integer load under software handling.
-		t.pruneInflight()
+		m.pruneInflight(t)
 		if hasOlderStores(t, u.seq) {
 			// The handler reads memory directly; serialize behind
 			// older (unretired) stores so it observes their data.
@@ -336,7 +341,7 @@ func (m *Machine) executeMem(t *thread, u *uop) {
 		u.doneAt = m.now + m.cfg.Hier.StoreLat
 		return
 	}
-	if st := u.fwdStore.live(); st != nil && st.stage != stageRetired {
+	if st := m.uopAt(u.fwdStore); st != nil && st.stage != stageRetired {
 		// Store-to-load forwarding from the speculative store buffer.
 		u.doneAt = m.now + 1
 		m.hot.memForwards.Inc()
@@ -369,7 +374,7 @@ func (m *Machine) trapUnalignedLoad(u *uop) bool {
 // buffered (unretired) in the thread.
 func hasOlderStores(t *thread, seq uint64) bool {
 	for i := range t.ssb {
-		if t.ssb[i].u.seq < seq {
+		if t.ssb[i].seq < seq {
 			return true
 		}
 	}
@@ -379,7 +384,8 @@ func hasOlderStores(t *thread, seq uint64) bool {
 // startWalks begins pending hardware page walks, consuming memory
 // ports.
 func (m *Machine) startWalks(budget *fuBudget) {
-	for _, ctx := range m.handlers {
+	for _, hi := range m.handlers {
+		ctx := &m.hArena[hi]
 		if ctx.dead || ctx.mech != MechHardware || ctx.walkStarted {
 			continue
 		}
@@ -388,7 +394,7 @@ func (m *Machine) startWalks(budget *fuBudget) {
 		}
 		budget.mem--
 		ctx.walkStarted = true
-		mt := m.threads[ctx.masterTid]
+		mt := &m.threads[ctx.masterTid]
 		var addr uint64
 		switch {
 		case mt.as.Org() == vm.PTTwoLevel && ctx.walkStage == 0:

@@ -1,0 +1,111 @@
+package cpu
+
+import (
+	"testing"
+
+	"mtexc/internal/isa"
+	"mtexc/internal/isa/asm"
+	"mtexc/internal/vm"
+)
+
+// TestSortedRegKeysAscending locks the AddProgram seeding order: the
+// register walk must come out ascending no matter how the init map
+// was populated.
+func TestSortedRegKeysAscending(t *testing.T) {
+	if got := sortedRegKeys(nil); len(got) != 0 {
+		t.Errorf("nil map produced keys %v", got)
+	}
+	forward := map[uint8]uint64{}
+	reverse := map[uint8]uint64{}
+	regs := []uint8{31, 7, 0, 19, 2, 255, 8}
+	for _, r := range regs {
+		forward[r] = uint64(r) * 3
+	}
+	for i := len(regs) - 1; i >= 0; i-- {
+		reverse[regs[i]] = uint64(regs[i]) * 3
+	}
+	a, b := sortedRegKeys(forward), sortedRegKeys(reverse)
+	if len(a) != len(regs) || len(b) != len(regs) {
+		t.Fatalf("key walks dropped entries: %v / %v", a, b)
+	}
+	for i := range a {
+		if i > 0 && a[i-1] >= a[i] {
+			t.Fatalf("walk not ascending: %v", a)
+		}
+		if a[i] != b[i] {
+			t.Fatalf("insertion history changed the walk: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestAddProgramInitOrderIndependent is the ordering regression test
+// for the SoA load path: machines whose images carry the same init
+// registers under different map insertion histories must simulate
+// bit-identically — registers, memory result, and the full statistics
+// set. Before the sorted walk this held only by the accident that
+// register seeding had no observable side effects.
+func TestAddProgramInitOrderIndependent(t *testing.T) {
+	initRegs := []uint8{1, 3, 4, 5, 6, 7, 12, 20, 29}
+	b := asm.NewBuilder()
+	// r2 = sum of every init register, store, halt: each seeded value
+	// is architecturally live in the final state.
+	b.I(isa.OpLdi, 2, 0, 0)
+	for _, r := range initRegs {
+		b.R(isa.OpAdd, 2, 2, r)
+	}
+	b.LoadImm(10, testResultVA)
+	b.I(isa.OpStq, 2, 10, 0)
+	b.Emit(isa.Instruction{Op: isa.OpHalt})
+	code, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(insertReversed bool) (isa.RegFile, uint64, string) {
+		m := New(DefaultConfig())
+		as := vm.NewAddressSpace(m.Phys(), 1, 1<<20)
+		img := &vm.Image{Name: "init-order", Code: code, Space: as,
+			InitInt: map[uint8]uint64{}}
+		if err := img.Load(m.Phys()); err != nil {
+			t.Fatal(err)
+		}
+		as.WriteU64(testResultVA, 0)
+		if insertReversed {
+			for i := len(initRegs) - 1; i >= 0; i-- {
+				img.InitInt[initRegs[i]] = uint64(i+1) * 17
+			}
+		} else {
+			for i, r := range initRegs {
+				img.InitInt[r] = uint64(i+1) * 17
+			}
+		}
+		tid, err := m.AddProgram(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustRun(t, m)
+		return m.ArchRegs(tid), as.ReadU64(testResultVA), m.Stats.String()
+	}
+
+	wantRegs, wantSum, wantStats := run(false)
+	var expect uint64
+	for i := range initRegs {
+		expect += uint64(i+1) * 17
+	}
+	if wantSum != expect {
+		t.Fatalf("stored sum %d, want %d — init registers not all seeded", wantSum, expect)
+	}
+	for trial := 0; trial < 4; trial++ {
+		rev := trial%2 == 1
+		gotRegs, gotSum, gotStats := run(rev)
+		if gotRegs != wantRegs {
+			t.Fatalf("trial %d (reversed=%v): architectural registers diverged", trial, rev)
+		}
+		if gotSum != wantSum {
+			t.Fatalf("trial %d (reversed=%v): stored sum %d != %d", trial, rev, gotSum, wantSum)
+		}
+		if gotStats != wantStats {
+			t.Fatalf("trial %d (reversed=%v): statistics diverged", trial, rev)
+		}
+	}
+}

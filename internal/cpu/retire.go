@@ -16,16 +16,17 @@ func (m *Machine) retire() {
 	if m.retireBudget <= 0 {
 		m.retireBudget = int(^uint(0) >> 1) // unlimited (Table 1)
 	}
-	for _, t := range m.threads {
+	for ti := range m.threads {
+		t := &m.threads[ti]
 		if t.state != ctxRunning {
 			continue
 		}
 		for t.state == ctxRunning && m.retireBudget > 0 {
-			t.pruneInflight()
+			m.pruneInflight(t)
 			if len(t.inflight) == 0 {
 				break
 			}
-			u := t.inflight[0]
+			u := m.at(t.inflight[0])
 			if ctx := m.pendingSplice(u); ctx != nil {
 				m.drainHandler(ctx)
 				if !ctx.rfeRetired {
@@ -52,11 +53,12 @@ func (m *Machine) retire() {
 // quiesce. The handler list is append-ordered, so the first match is
 // the oldest obligation.
 func (m *Machine) pendingSplice(u *uop) *handlerCtx {
-	for _, ctx := range m.handlers {
+	for _, hi := range m.handlers {
+		ctx := &m.hArena[hi]
 		if ctx.mech != MechMultithreaded || ctx.dead || ctx.rfeRetired {
 			continue
 		}
-		if u.handlerBy == ctx || ctx.master.live() == u {
+		if u.handlerBy == href(ctx) || m.uopAt(ctx.master) == u {
 			return ctx
 		}
 	}
@@ -66,13 +68,13 @@ func (m *Machine) pendingSplice(u *uop) *handlerCtx {
 // drainHandler retires as much of a handler thread as has completed,
 // in its own fetch order.
 func (m *Machine) drainHandler(ctx *handlerCtx) {
-	h := m.threads[ctx.tid]
+	h := &m.threads[ctx.tid]
 	for m.retireBudget > 0 {
-		h.pruneInflight()
+		m.pruneInflight(h)
 		if len(h.inflight) == 0 {
 			return
 		}
-		u := h.inflight[0]
+		u := m.at(h.inflight[0])
 		if u.stage != stageDone {
 			return
 		}
@@ -161,7 +163,7 @@ func (m *Machine) commitStore(t *thread, u *uop) {
 // becomes permanent and the handler instance is released. For a
 // multithreaded handler this also frees the hardware context.
 func (m *Machine) retireRFE(t *thread, u *uop) {
-	ctx := u.palCtx
+	ctx := m.hctx(u.palCtx)
 	if ctx == nil || ctx.dead {
 		return
 	}
@@ -190,8 +192,8 @@ func (m *Machine) retireRFE(t *thread, u *uop) {
 	ctx.reserveLeft = 0
 	switch ctx.mech {
 	case MechTraditional:
-		if t.trapCtx == ctx {
-			t.trapCtx = nil
+		if t.trapCtx == href(ctx) {
+			t.trapCtx = hRef{}
 		}
 	case MechMultithreaded:
 		m.freeHandlerContext(t, ctx.kind)
@@ -203,7 +205,7 @@ func (m *Machine) retireRFE(t *thread, u *uop) {
 // the translation, flush the thread and restart it at the excepting
 // instruction after the service time.
 func (m *Machine) osPageFaultService(t *thread, u *uop) {
-	ctx := u.palCtx
+	ctx := m.hctx(u.palCtx)
 	if ctx == nil {
 		// A HARDEXC that lost its context (its handler instance was
 		// reclaimed) must still unwedge the thread: flush and resume
@@ -220,14 +222,14 @@ func (m *Machine) osPageFaultService(t *thread, u *uop) {
 	m.Stats.Counter("os.pagefaults").Inc()
 	m.Observ.Misses.Abort(ctx.span)
 	m.debugf("os-fault tid=%d vpn=%#x resume=%#x", t.id, ctx.faultVPN, ctx.excPC)
-	mt := m.threads[ctx.masterTid]
+	mt := &m.threads[ctx.masterTid]
 	if pfn, err := mt.as.MapPage(ctx.faultVPN); err == nil {
 		m.dtlb.Insert(mt.as.ASN, ctx.faultVPN, pfn, 0)
 	}
 	ctx.dead = true
 	m.dtlb.SquashSpec(ctx.specTag)
-	if t.trapCtx == ctx {
-		t.trapCtx = nil
+	if t.trapCtx == href(ctx) {
+		t.trapCtx = hRef{}
 	}
 	// Flush everything younger than the HARDEXC and restart at the
 	// faulting instruction once the OS is done.
@@ -251,7 +253,7 @@ func (m *Machine) osPageFaultService(t *thread, u *uop) {
 // survivors.
 func (m *Machine) squashFrom(t *thread, from uint64) {
 	idx := len(t.inflight)
-	for idx > 0 && t.inflight[idx-1].seq >= from {
+	for idx > 0 && m.at(t.inflight[idx-1]).seq >= from {
 		idx--
 	}
 	if idx == len(t.inflight) {
@@ -259,7 +261,7 @@ func (m *Machine) squashFrom(t *thread, from uint64) {
 		return
 	}
 	for i := len(t.inflight) - 1; i >= idx; i-- {
-		m.squashUop(t, t.inflight[i])
+		m.squashUop(t, m.at(t.inflight[i]))
 	}
 	t.inflight = t.inflight[:idx]
 	m.finishSquash(t, from)
@@ -275,10 +277,11 @@ func (m *Machine) finishSquash(t *thread, from uint64) {
 	// storage: a squashed fetch-buffer entry never entered the window,
 	// so compactWindow would never see it.
 	fb := t.fetchBuf[:0]
-	for _, u := range t.fetchBuf {
+	for _, ui := range t.fetchBuf {
+		u := m.at(ui)
 		if u.stage != stageSquashed {
 			//lint:allow hotpathlint in-place compaction into the fetch buffer's own backing array; never grows
-			fb = append(fb, u)
+			fb = append(fb, ui)
 		} else {
 			m.releaseUop(u)
 		}
@@ -290,8 +293,9 @@ func (m *Machine) finishSquash(t *thread, from uint64) {
 	t.lwFP = [32]depRef{}
 	t.lwShadow = [32]depRef{}
 	t.lastTLBWR = depRef{}
-	for _, u := range t.inflight {
-		if u.slot != nil {
+	for _, ui := range t.inflight {
+		u := m.at(ui)
+		if u.slotKind != slotNone {
 			switch u.destKind {
 			case regInt:
 				if u.pal && !u.excFetch && u.inst.Op != isa.OpWrtDest {
@@ -310,12 +314,12 @@ func (m *Machine) finishSquash(t *thread, from uint64) {
 
 	// A traditional trap handler whose first instruction fell inside
 	// the squashed range dies with it.
-	if ctx := t.trapCtx; ctx != nil && !ctx.dead && from <= ctx.firstSeq {
+	if ctx := m.hctx(t.trapCtx); ctx != nil && !ctx.dead && from <= ctx.firstSeq {
 		m.debugf("trapctx-killed tid=%d from=%d firstSeq=%d", t.id, from, ctx.firstSeq)
 		ctx.dead = true
 		m.dtlb.SquashSpec(ctx.specTag)
 		m.Observ.Misses.Abort(ctx.span)
-		t.trapCtx = nil
+		t.trapCtx = hRef{}
 	}
 	m.compactWindow()
 }
@@ -331,8 +335,8 @@ func (m *Machine) squashUop(t *thread, u *uop) {
 		m.releaseWindowSlot(u)
 	}
 	t.icount--
-	if u.slot != nil {
-		*u.slot = u.oldVal
+	if p := m.slotPtr(u); p != nil {
+		*p = u.oldVal
 	}
 	if u.issueSlots > 0 {
 		from := obs.SlotUsefulApp
@@ -346,10 +350,12 @@ func (m *Machine) squashUop(t *thread, u *uop) {
 	if m.TraceHook != nil {
 		m.emitTrace(u, true)
 	}
-	if u.excFetch && t.exc != nil && !t.exc.dead {
-		t.exc.fetchBudget++
+	if u.excFetch {
+		if exc := m.hctx(t.exc); exc != nil && !exc.dead {
+			exc.fetchBudget++
+		}
 	}
-	if u.handlerBy != nil {
+	if u.handlerBy != (hRef{}) {
 		m.unlinkSquashedMiss(u)
 	}
 }
@@ -359,12 +365,12 @@ func (m *Machine) squashUop(t *thread, u *uop) {
 // (Section 4.1: squash events check exception sequence numbers to
 // reclaim exception threads).
 func (m *Machine) unlinkSquashedMiss(u *uop) {
-	ctx := u.handlerBy
-	u.handlerBy = nil
+	ctx := m.hctx(u.handlerBy)
+	u.handlerBy = hRef{}
 	if ctx == nil || ctx.dead {
 		return
 	}
-	if ctx.master.live() == u {
+	if m.uopAt(ctx.master) == u {
 		switch ctx.mech {
 		case MechMultithreaded:
 			m.Stats.Counter("handler.reclaimed").Inc()
@@ -376,8 +382,8 @@ func (m *Machine) unlinkSquashedMiss(u *uop) {
 		}
 		return
 	}
-	for i, w := range ctx.waiters {
-		if w == u {
+	for i, wi := range ctx.waiters {
+		if wi == u.idx {
 			//lint:allow hotpathlint in-place element removal; reuses the waiter slice's backing array
 			ctx.waiters = append(ctx.waiters[:i], ctx.waiters[i+1:]...)
 			break

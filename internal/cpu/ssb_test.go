@@ -60,7 +60,7 @@ func TestSSBOverlayMatchesFlatModel(t *testing.T) {
 					val &= 0xffffffff
 				}
 				th.ssb = append(th.ssb, specStore{
-					u: &uop{seq: seq}, addr: addr, size: size, value: val,
+					seq: seq, addr: addr, size: size, value: val,
 				})
 				model.write(addr, size, val)
 			} else {
@@ -82,23 +82,21 @@ func TestSSBOverlayMatchesFlatModel(t *testing.T) {
 
 func TestSSBLookupFindsYoungestOlderStore(t *testing.T) {
 	th := &thread{id: 0}
-	mk := func(seq, addr uint64) *uop {
-		u := &uop{seq: seq}
-		th.ssb = append(th.ssb, specStore{u: u, addr: addr, size: 8, value: seq})
-		return u
+	mk := func(seq, addr uint64) {
+		th.ssb = append(th.ssb, specStore{seq: seq, addr: addr, size: 8, value: seq})
 	}
-	a := mk(10, 0x100)
-	b := mk(20, 0x100)
+	mk(10, 0x100)
+	mk(20, 0x100)
 	mk(30, 0x200)
 
-	// A load at seq 25 overlapping 0x100 forwards from b (seq 20).
+	// A load at seq 25 overlapping 0x100 forwards from seq 20.
 	e, ok := th.lookupSSB(25, 0x100, 8)
-	if !ok || e.u != b {
+	if !ok || e.seq != 20 {
 		t.Fatalf("lookup = %+v, %v; want seq 20", e, ok)
 	}
-	// A load at seq 15 sees only a.
+	// A load at seq 15 sees only the seq-10 store.
 	e, ok = th.lookupSSB(15, 0x100, 8)
-	if !ok || e.u != a {
+	if !ok || e.seq != 10 {
 		t.Fatalf("lookup@15 = %+v, %v; want seq 10", e, ok)
 	}
 	// A load at seq 5 predates all stores.
@@ -107,7 +105,7 @@ func TestSSBLookupFindsYoungestOlderStore(t *testing.T) {
 	}
 	// Partial overlap is still found.
 	e, ok = th.lookupSSB(25, 0x104, 4)
-	if !ok || e.u != b {
+	if !ok || e.seq != 20 {
 		t.Fatalf("partial overlap = %+v, %v", e, ok)
 	}
 	// Disjoint address does not forward.
@@ -119,14 +117,14 @@ func TestSSBLookupFindsYoungestOlderStore(t *testing.T) {
 func TestSSBRemoveFrom(t *testing.T) {
 	th := &thread{id: 0}
 	for seq := uint64(1); seq <= 5; seq++ {
-		th.ssb = append(th.ssb, specStore{u: &uop{seq: seq * 10}, addr: seq, size: 8})
+		th.ssb = append(th.ssb, specStore{seq: seq * 10, addr: seq, size: 8})
 	}
 	th.removeSSBFrom(30) // drops seqs 30, 40, 50
 	if len(th.ssb) != 2 {
 		t.Fatalf("ssb len %d after squash, want 2", len(th.ssb))
 	}
-	if th.ssb[1].u.seq != 20 {
-		t.Errorf("tail seq %d, want 20", th.ssb[1].u.seq)
+	if th.ssb[1].seq != 20 {
+		t.Errorf("tail seq %d, want 20", th.ssb[1].seq)
 	}
 	th.removeSSBFrom(0)
 	if len(th.ssb) != 0 {
@@ -136,8 +134,8 @@ func TestSSBRemoveFrom(t *testing.T) {
 
 func TestSSBPopHead(t *testing.T) {
 	th := &thread{id: 0}
-	u1, u2 := &uop{seq: 1}, &uop{seq: 2}
-	th.ssb = append(th.ssb, specStore{u: u1}, specStore{u: u2})
+	u1, u2 := &uop{idx: 1, seq: 1}, &uop{idx: 2, seq: 2}
+	th.ssb = append(th.ssb, specStore{idx: u1.idx, seq: u1.seq}, specStore{idx: u2.idx, seq: u2.seq})
 	if th.popSSBHead(u2) {
 		t.Error("popped out of order")
 	}

@@ -22,9 +22,13 @@ const (
 // specStore is one entry of a thread's speculative store buffer: a
 // store that has functionally executed (at fetch) but not retired.
 // Younger loads forward from it; squash removes it; retire drains it
-// to memory.
+// to memory. The owning store is named by arena handle plus a
+// denormalized copy of its sequence number, so the buffer's age
+// checks need no arena access (entries are stripped at squash/retire,
+// before the uop is ever released).
 type specStore struct {
-	u     *uop
+	idx   uopIdx
+	seq   uint64
 	addr  uint64
 	size  uint64
 	value uint64
@@ -52,10 +56,10 @@ type thread struct {
 	path uint64
 
 	// Fetch plumbing.
-	fetchBuf          []*uop // fetched, awaiting decode (availAt gates entry)
-	fetchStalled      bool   // stalled on an unpredictable redirect (RFE)
-	haltedFetch       bool   // ran off code or HALT fetched
-	fetchBlockedUntil uint64 // redirect / OS-service fetch embargo
+	fetchBuf          []uopIdx // fetched, awaiting decode (availAt gates entry)
+	fetchStalled      bool     // stalled on an unpredictable redirect (RFE)
+	haltedFetch       bool     // ran off code or HALT fetched
+	fetchBlockedUntil uint64   // redirect / OS-service fetch embargo
 
 	// Fetch-order last-writer tables for dataflow construction. The
 	// shadow table covers PAL-shadow integer registers (traditional
@@ -66,14 +70,14 @@ type thread struct {
 	lwShadow [32]depRef
 
 	// trapCtx is the live traditional-trap handler instance, if any.
-	trapCtx *handlerCtx
+	trapCtx hRef
 	// lastTLBWR is the most recent TLB write fetched in PAL mode; RFE
 	// serializes against it.
 	lastTLBWR depRef
 
 	// In-flight instructions in fetch order (the per-thread FIFO
 	// view of the shared window plus fetch/decode pipes).
-	inflight []*uop
+	inflight []uopIdx
 
 	icount int // fetched-not-retired count for the ICOUNT chooser
 
@@ -83,7 +87,7 @@ type thread struct {
 	// Exception-context linkage (Figure 4 state), valid in
 	// ctxException: which thread and instruction this handler
 	// serves.
-	exc *handlerCtx
+	exc hRef
 
 	// Quick-start: this idle context's fetch buffer holds a
 	// pre-staged handler (Section 5.4). primedKind records which
@@ -110,7 +114,50 @@ const (
 	kindUnaligned                // unaligned access (Section 6)
 )
 
+// hIdx is an index handle into the machine's handler-context arena;
+// handle 0 is the reserved sentinel, so zero values are empty.
+type hIdx int32
+
+// noHandler is the empty handler handle.
+const noHandler hIdx = 0
+
+// hRef is a generation-checked handler-context reference, the
+// handler-arena analogue of depRef: contexts are pool-recycled
+// (freeHandlerContext bumps the generation), so a stale reference
+// resolves to nil instead of aliasing an unrelated later exception.
+type hRef struct {
+	idx hIdx
+	gen uint32
+}
+
+// href captures a generation-checked reference to ctx.
+func href(ctx *handlerCtx) hRef {
+	if ctx == nil || ctx.pooled {
+		return hRef{}
+	}
+	return hRef{idx: ctx.idx, gen: ctx.gen}
+}
+
+// hctx resolves a handler reference against this machine's arena,
+// returning nil when empty or stale.
+//
+//mtexc:hotpath
+func (m *Machine) hctx(r hRef) *handlerCtx {
+	ctx := &m.hArena[r.idx]
+	if ctx.gen == r.gen {
+		return ctx
+	}
+	return nil
+}
+
 type handlerCtx struct {
+	// idx is this context's own arena handle; gen is the recycling
+	// generation (bumped by freeHandlerContext); pooled marks a
+	// context currently in the free list.
+	idx    hIdx
+	gen    uint32
+	pooled bool
+
 	mech      Mechanism
 	kind      excKind
 	tid       int // handler thread id (multithreaded) or master tid
@@ -133,8 +180,9 @@ type handlerCtx struct {
 	excPC      uint64 // PC of the excepting instruction (restart point)
 	firstSeq   uint64 // first handler-instruction sequence (traditional)
 	// waiters are secondary misses to the same page, parked until the
-	// fill completes (Section 4.5).
-	waiters []*uop
+	// fill completes (Section 4.5). Entries are arena handles, always
+	// live: a squashed waiter is unlinked before its uop is released.
+	waiters []uopIdx
 	// filled is set once TLBWR (or the walk) has filled the TLB.
 	filled bool
 	// fetchBudget: handler instructions left to fetch (perfect
@@ -192,12 +240,12 @@ func (t *thread) writerTables() (*[32]depRef, *[32]depRef) {
 	return &t.lwInt, &t.lwFP
 }
 
-// oldestInflight returns the head of the thread's FIFO, skipping
-// already-retired/squashed entries (which are pruned lazily).
-func (t *thread) pruneInflight() {
+// pruneInflight drops already-retired/squashed entries off the head
+// of the thread's FIFO (they are pruned lazily).
+func (m *Machine) pruneInflight(t *thread) {
 	i := 0
 	for i < len(t.inflight) {
-		s := t.inflight[i].stage
+		s := m.at(t.inflight[i]).stage
 		if s == stageRetired || s == stageSquashed {
 			i++
 			continue
@@ -216,7 +264,7 @@ func (t *thread) pruneInflight() {
 func (t *thread) lookupSSB(seq, addr, size uint64) (*specStore, bool) {
 	for i := len(t.ssb) - 1; i >= 0; i-- {
 		e := &t.ssb[i]
-		if e.u.seq >= seq {
+		if e.seq >= seq {
 			continue
 		}
 		if e.addr < addr+size && addr < e.addr+e.size {
@@ -232,7 +280,7 @@ func (t *thread) lookupSSB(seq, addr, size uint64) (*specStore, bool) {
 func (t *thread) overlaySSB(seq, addr, size, v uint64) uint64 {
 	for i := range t.ssb {
 		e := &t.ssb[i]
-		if e.u.seq >= seq {
+		if e.seq >= seq {
 			break
 		}
 		if e.addr >= addr+size || addr >= e.addr+e.size {
@@ -253,7 +301,7 @@ func (t *thread) overlaySSB(seq, addr, size, v uint64) uint64 {
 // removeSSBFrom drops all buffered stores with seq >= from (squash).
 func (t *thread) removeSSBFrom(from uint64) {
 	i := len(t.ssb)
-	for i > 0 && t.ssb[i-1].u.seq >= from {
+	for i > 0 && t.ssb[i-1].seq >= from {
 		i--
 	}
 	t.ssb = t.ssb[:i]
@@ -262,7 +310,7 @@ func (t *thread) removeSSBFrom(from uint64) {
 // popSSBHead removes the head entry, which must belong to u (called
 // at store retirement).
 func (t *thread) popSSBHead(u *uop) bool {
-	if len(t.ssb) == 0 || t.ssb[0].u != u {
+	if len(t.ssb) == 0 || t.ssb[0].idx != u.idx {
 		return false
 	}
 	t.ssb = t.ssb[1:]

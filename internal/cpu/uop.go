@@ -27,6 +27,17 @@ const (
 	regFP
 )
 
+// uopIdx is an index handle into the machine's uop arena. Handle 0 is
+// the reserved sentinel slot (never allocated), so zero-valued
+// references are naturally empty. Handles are stable for the life of
+// a machine — arena storage is recycled in place, never compacted —
+// and remain meaningful across Machine.Clone, which copies the arena
+// wholesale.
+type uopIdx int32
+
+// noUop is the empty uop handle (the arena's sentinel slot).
+const noUop uopIdx = 0
+
 // depRef is a generation-checked reference to a producer uop. uops
 // are pool-recycled at retire/squash (see Machine.releaseUop); a
 // recycled producer bumps its generation, so a stale reference —
@@ -36,8 +47,13 @@ const (
 // reference only goes stale when its producer retired (a squashed
 // producer always takes its same-thread, younger consumers with it),
 // and a retired producer has completed by definition.
+//
+// The reference is a pure index pair — no pointers — so the arena it
+// resolves against is chosen by the resolving machine. That is what
+// makes machine state deep-copyable: a cloned arena reinterprets the
+// same references without translation.
 type depRef struct {
-	u   *uop
+	idx uopIdx
 	gen uint32
 }
 
@@ -49,23 +65,38 @@ func ref(u *uop) depRef {
 	if u == nil || u.pooled {
 		return depRef{}
 	}
-	return depRef{u: u, gen: u.gen}
+	return depRef{idx: u.idx, gen: u.gen}
 }
 
-// live resolves the reference, returning nil when empty or stale.
-func (r depRef) live() *uop {
-	if r.u != nil && r.u.gen == r.gen {
-		return r.u
+// uopAt resolves a generation-checked reference against this
+// machine's arena, returning nil when empty or stale. The sentinel
+// slot 0 carries generation 1, so the zero depRef never resolves.
+//
+//mtexc:hotpath
+func (m *Machine) uopAt(r depRef) *uop {
+	u := &m.uops[r.idx]
+	if u.gen == r.gen {
+		return u
 	}
 	return nil
 }
+
+// at returns the arena slot for a plain handle. The caller guarantees
+// the handle is live (it came off a machine-owned list that strips
+// entries before their uops are released).
+//
+//mtexc:hotpath
+func (m *Machine) at(i uopIdx) *uop { return &m.uops[i] }
 
 // uop is one dynamic instruction. Functional results are computed at
 // fetch time along the predicted path; the timing fields track its
 // progress through the machine.
 type uop struct {
-	// gen is the pool-recycling generation, bumped every time the uop
-	// is released; pooled marks a uop currently in the free list.
+	// idx is this uop's own arena handle, fixed when its slot is first
+	// carved out of the arena; gen is the pool-recycling generation,
+	// bumped every time the uop is released; pooled marks a uop
+	// currently in the free list.
+	idx    uopIdx
 	gen    uint32
 	pooled bool
 
@@ -92,12 +123,17 @@ type uop struct {
 	result   uint64      // destination value (int or FP bits)
 	destKind regFileKind // which file result targets
 	destReg  uint8
-	slot     *uint64 // the register slot written (journal target)
-	oldVal   uint64  // journal: previous value of *slot, for squash undo
-	srcVal   uint64  // first source operand value (emulated instructions)
-	ea       uint64  // effective address for memory ops
-	storeVal uint64  // value stored (stores only)
-	memBytes uint64  // access width, 0 for non-memory
+	// slotKind/slotReg name the register slot written (the journal
+	// target) as a location, not a pointer, so the journal survives a
+	// deep copy of the machine; Machine.slotPtr resolves it against
+	// the owning thread's register state.
+	slotKind slotKind
+	slotReg  uint8
+	oldVal   uint64 // journal: previous value of the slot, for squash undo
+	srcVal   uint64 // first source operand value (emulated instructions)
+	ea       uint64 // effective address for memory ops
+	storeVal uint64 // value stored (stores only)
+	memBytes uint64 // access width, 0 for non-memory
 
 	// Dataflow: producers this uop waits on (empty/stale entries are
 	// satisfied dependencies — see depRef).
@@ -122,14 +158,14 @@ type uop struct {
 	faultVPN uint64 // VPN it missed on (while dtlbWait)
 	// handlerBy is the handler/walk this uop's miss is linked to
 	// (as master or as a buffered secondary miss).
-	handlerBy *handlerCtx
+	handlerBy hRef
 	hadMiss   bool   // experienced a DTLB miss (retire-time accounting)
 	missAt    uint64 // cycle the miss was detected
 	wokeAt    uint64 // cycle the fill released it
 	missMain  bool   // was the master of a fill (not a merged secondary)
 
 	// palCtx links PAL-mode instructions to their handler instance.
-	palCtx *handlerCtx
+	palCtx hRef
 	// palAfter is the thread's fetch mode after this instruction;
 	// squash recovery restores it.
 	palAfter bool
@@ -173,9 +209,46 @@ func (u *uop) isStore() bool { return isa.ClassOf(u.inst.Op) == isa.ClassStore }
 
 func (u *uop) isMem() bool { return u.isLoad() || u.isStore() }
 
-// ready reports whether all producers have completed by cycle now and
-// the register-read delay has elapsed.
-func (u *uop) ready(now uint64, regRead uint64) bool {
+// slotKind locates a journalled register write inside its thread's
+// architectural state: the speculative register file, the PAL shadow
+// file (traditional handlers), or a privileged register.
+type slotKind uint8
+
+const (
+	slotNone slotKind = iota
+	slotInt
+	slotFP
+	slotShadowInt
+	slotShadowFP
+	slotPriv
+)
+
+// slotPtr resolves a uop's journalled write target against its
+// thread's register state. nil when the uop wrote no slot.
+//
+//mtexc:hotpath
+func (m *Machine) slotPtr(u *uop) *uint64 {
+	t := &m.threads[u.tid]
+	switch u.slotKind {
+	case slotInt:
+		return &t.rf.Int[u.slotReg]
+	case slotFP:
+		return &t.rf.FP[u.slotReg]
+	case slotShadowInt:
+		return &t.shadowRF.Int[u.slotReg]
+	case slotShadowFP:
+		return &t.shadowRF.FP[u.slotReg]
+	case slotPriv:
+		return &t.priv[u.slotReg]
+	}
+	return nil
+}
+
+// uopReady reports whether all producers have completed by cycle now
+// and the register-read delay has elapsed.
+//
+//mtexc:hotpath
+func (m *Machine) uopReady(u *uop, now uint64, regRead uint64) bool {
 	if u.dtlbWait {
 		return false
 	}
@@ -183,7 +256,7 @@ func (u *uop) ready(now uint64, regRead uint64) bool {
 		return false
 	}
 	for _, s := range u.srcs {
-		p := s.live()
+		p := m.uopAt(s)
 		if p != nil && (p.stage != stageDone && p.stage != stageRetired || p.doneAt > now) {
 			return false
 		}

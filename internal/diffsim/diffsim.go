@@ -119,6 +119,11 @@ type Divergence struct {
 	// Spec replays the program (gen.ParseSpec).
 	Spec string
 	Case Case
+	// Cores is the shared-L2 cluster width of a topology check; 0
+	// means a single-machine case. CoSpec replays the co-runner
+	// program loaded on cores 1..Cores-1.
+	Cores  int
+	CoSpec string
 	// Kind is one of: registers, memory, trace, nohalt, livelock,
 	// panic, error.
 	Kind   string
@@ -126,6 +131,10 @@ type Divergence struct {
 }
 
 func (d Divergence) String() string {
+	if d.Cores > 1 {
+		return fmt.Sprintf("%s under %s on a %d-core cluster: %s (%s vs %s)",
+			d.Kind, d.Case.Name, d.Cores, d.Detail, d.Spec, d.CoSpec)
+	}
 	return fmt.Sprintf("%s under %s: %s (%s)", d.Kind, d.Case.Name, d.Detail, d.Spec)
 }
 
@@ -140,8 +149,11 @@ func (d Divergence) Repro() string {
 		return s
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "go run ./cmd/mtexcsim -bench 'fuzz:%s' -mech %s -idle %d",
-		d.Spec, d.Case.Mech, d.Case.Contexts-1)
+	fmt.Fprintf(&sb, "go run ./cmd/mtexcsim -bench 'fuzz:%s'", d.Spec)
+	if d.Cores > 1 {
+		fmt.Fprintf(&sb, " -cores %d -corunner 'fuzz:%s'", d.Cores, d.CoSpec)
+	}
+	fmt.Fprintf(&sb, " -mech %s -idle %d", d.Case.Mech, d.Case.Contexts-1)
 	if d.Case.Quick {
 		sb.WriteString(" -quickstart")
 	}

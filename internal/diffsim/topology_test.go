@@ -1,0 +1,71 @@
+package diffsim
+
+import (
+	"strings"
+	"testing"
+
+	"mtexc/internal/diffsim/gen"
+)
+
+var clusterLimits = gen.Limits{MaxPages: 32, MaxTrips: 24, MaxFrags: 8}
+
+// TestClusterSmoke sweeps a handful of co-runner pairs over the
+// cluster grid: every core of every topology must agree with its own
+// reference run.
+func TestClusterSmoke(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		p := gen.Generate(seed, clusterLimits)
+		q := gen.Generate(seed+100, clusterLimits)
+		for _, cores := range []int{2, 4} {
+			divs, err := CheckTopology(p, q, cores, Options{})
+			if err != nil {
+				t.Fatalf("seed %d cores %d: %v", seed, cores, err)
+			}
+			for _, d := range divs {
+				t.Errorf("seed %d cores %d: %s\n  repro: %s", seed, cores, d, d.Repro())
+			}
+		}
+	}
+}
+
+// TestClusterReproLine locks the repro-command vocabulary: a cluster
+// divergence must be reproducible with mtexcsim's -cores/-corunner
+// flags.
+func TestClusterReproLine(t *testing.T) {
+	p := gen.Generate(1, clusterLimits)
+	q := gen.Generate(2, clusterLimits)
+	d := Divergence{
+		Spec:   p.Spec(),
+		CoSpec: q.Spec(),
+		Cores:  4,
+		Case:   clusterGrid(false)[1], // multithreaded
+		Kind:   "registers",
+	}
+	r := d.Repro()
+	for _, want := range []string{"-cores 4", "-corunner 'fuzz:" + q.Spec() + "'", "-bench 'fuzz:" + p.Spec() + "'", "-mech multithreaded"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("repro %q missing %q", r, want)
+		}
+	}
+}
+
+// FuzzClusterDifferential: for any pair of generator seeds and any
+// cluster width, every core must stay architecturally identical to
+// its own reference run while sharing an L2 with the others.
+func FuzzClusterDifferential(f *testing.F) {
+	for seed := int64(1); seed <= 4; seed++ {
+		f.Add(seed, seed*31, uint8(seed%3))
+	}
+	f.Fuzz(func(t *testing.T, seedA, seedB int64, width uint8) {
+		cores := 2 + int(width%3) // 2..4
+		p := gen.Generate(seedA, clusterLimits)
+		q := gen.Generate(seedB, clusterLimits)
+		divs, err := CheckTopology(p, q, cores, Options{})
+		if err != nil {
+			t.Fatalf("seeds %d/%d (%s / %s): %v", seedA, seedB, p.Spec(), q.Spec(), err)
+		}
+		for _, d := range divs {
+			t.Errorf("seeds %d/%d: %s\n  repro: %s", seedA, seedB, d, d.Repro())
+		}
+	})
+}

@@ -29,6 +29,7 @@ type cell struct {
 	mu    sync.Mutex
 	cfg   *core.Config
 	loads []string // workload names as mtexcsim -bench accepts them
+	cores int      // >1 when the subject is a shared-L2 cluster run
 	key   string   // journal fingerprint of the subject simulation
 }
 
@@ -45,6 +46,13 @@ func (c *cell) telemetry() *telemetry.Cell {
 // describe records the cell's subject simulation. Only the first call
 // sticks: a cell's later runs (baselines, paired runs) refine nothing.
 func (c *cell) describe(cfg core.Config, loads []core.Workload, key string) {
+	c.describeCluster(cfg, 1, loads, key)
+}
+
+// describeCluster is describe for shared-L2 cluster subjects: cores
+// records the topology width so failure reports render a -cores
+// repro line instead of an SMT mix.
+func (c *cell) describeCluster(cfg core.Config, cores int, loads []core.Workload, key string) {
 	if c == nil {
 		return
 	}
@@ -56,10 +64,18 @@ func (c *cell) describe(cfg core.Config, loads []core.Workload, key string) {
 	cc := cfg
 	c.cfg = &cc
 	c.loads = loadNames(loads)
+	c.cores = cores
 	c.key = key
 	names := c.loads
 	c.mu.Unlock()
 	c.tel.Described(names, key)
+}
+
+// clusterWidth returns the described cluster width under the lock.
+func (c *cell) clusterWidth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cores
 }
 
 // snapshot returns the described state under the lock.
@@ -134,6 +150,9 @@ type CellError struct {
 	Config *core.Config
 	// Workloads names the cell's workloads (mtexcsim -bench syntax).
 	Workloads []string
+	// Cores is the shared-L2 cluster width of the subject run; 0 or 1
+	// means an ordinary single-machine simulation.
+	Cores int
 	// Fingerprint is the subject simulation's journal key, "" if
 	// unknown.
 	Fingerprint string
@@ -173,8 +192,20 @@ func (e *CellError) Repro() string {
 		return ""
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "mtexcsim -bench %s -mech %s", strings.Join(e.Workloads, ","), cfg.Mech)
 	idle := cfg.Contexts - len(e.Workloads)
+	if e.Cores > 1 {
+		// Cluster subjects load one workload per core, not one per
+		// hardware context: core 0 is the measured benchmark, every
+		// other core runs the co-runner.
+		fmt.Fprintf(&sb, "mtexcsim -bench %s -cores %d", e.Workloads[0], e.Cores)
+		if len(e.Workloads) > 1 {
+			fmt.Fprintf(&sb, " -corunner %s", e.Workloads[1])
+		}
+		fmt.Fprintf(&sb, " -mech %s", cfg.Mech)
+		idle = cfg.Contexts - 1
+	} else {
+		fmt.Fprintf(&sb, "mtexcsim -bench %s -mech %s", strings.Join(e.Workloads, ","), cfg.Mech)
+	}
 	fmt.Fprintf(&sb, " -idle %d -insts %d", idle, cfg.MaxInsts)
 	fmt.Fprintf(&sb, " -width %d -window %d -depth %d -dtlb %d",
 		cfg.Width, cfg.WindowSize, cfg.PipeDepth(), cfg.DTLBEntries)

@@ -183,6 +183,7 @@ func (r *runner) cellError(c *cell, err error) *CellError {
 		Index:       c.index,
 		Config:      cfg,
 		Workloads:   loads,
+		Cores:       c.clusterWidth(),
 		Fingerprint: key,
 		Timeout:     r.opt.CellTimeout,
 		Cause:       err,

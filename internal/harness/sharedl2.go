@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"mtexc/internal/core"
+	"mtexc/internal/topology"
+	"mtexc/internal/workload"
+)
+
+// clusterRunKey fingerprints one cluster simulation: the per-core
+// configuration, the topology width and the per-core workloads. The
+// "cluster/" prefix keeps the space disjoint from single-machine
+// runKey fingerprints, so a journal can hold both.
+func clusterRunKey(cfg core.Config, cores int, loads []core.Workload) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("cluster/%d|%+v|%s",
+		cores, cfg, strings.Join(workloadKeys(loads), ","))))
+	return hex.EncodeToString(sum[:8])
+}
+
+// runCluster simulates a shared-L2 cluster: one core per workload,
+// private L1s and TLBs, one shared L2 domain, the deterministic
+// round-robin driver. The returned Result is the measured core's
+// (core 0) scalars with the cluster-wide merged statistics attached
+// ("coreN."-prefixed counters plus the "l2shared." aggregates), so
+// journaled cluster runs round-trip through lookup like any other
+// simulation.
+func (r *runner) runCluster(c *cell, cfg core.Config, loads []core.Workload) (core.Result, error) {
+	cores := len(loads)
+	key := clusterRunKey(cfg, cores, loads)
+	c.describeCluster(cfg, cores, loads, key)
+	if c != nil && r.failSpec != "" && injectedFailure(r.exp, r.failSpec, c.index) {
+		panic(fmt.Sprintf("injected failure (%s=%q)", FailCellEnv, r.failSpec))
+	}
+	if r.journal != nil {
+		if res, ok := r.journal.lookup(key); ok {
+			r.noteJournalHit(c, key)
+			return res, nil
+		}
+	}
+	cl, err := topology.New(topology.Config{Cores: cores, Core: cfg})
+	if err != nil {
+		return core.Result{}, err
+	}
+	for i, w := range loads {
+		if err := cl.Load(i, w); err != nil {
+			return core.Result{}, err
+		}
+	}
+	probe := c.telemetry().SimStarted(r.simPhase(c, key))
+	if probe != nil {
+		cl.Core(0).SetProbe(probe)
+	}
+	results, runErr := cl.Run()
+	var total uint64
+	for _, res := range results {
+		total += res.AppInsts
+	}
+	res := results[0]
+	res.Stats = cl.MergedStats(results)
+	c.telemetry().SimFinished(total, res.Cycles, res.Stats, runErr != nil)
+	r.opt.Meter.AddSimInsts(total)
+	if runErr != nil {
+		return res, runErr
+	}
+	if r.journal != nil {
+		appendDone := c.telemetry().JournalAppendBegin()
+		jerr := r.journal.record(r.exp, key, cfg, loadNames(loads), res)
+		appendDone()
+		if jerr != nil {
+			return res, jerr
+		}
+	}
+	return res, nil
+}
+
+// SharedL2 measures shared-cache interference with exception
+// handling: core 0 runs the TLB-intensive murphi benchmark under each
+// exception architecture while 0, 1 or 3 co-runner cores thrash the
+// shared L2 — evicting the page-table entries and handler code the
+// miss handlers depend on. Cells report core 0's penalty cycles per
+// miss against a perfect-TLB cluster of identical shape (same width,
+// same co-runners), so the column differences isolate the mechanism
+// and the row differences isolate the interference.
+func SharedL2(opt Options) (*Table, error) {
+	r := newRunner(opt, "SharedL2")
+	const measured = "mph"
+	shapes := []struct {
+		name     string
+		cores    int
+		corunner string
+	}{
+		{"solo", 1, ""},
+		{"2c +cmp", 2, "cmp"},
+		{"4c +cmp", 4, "cmp"},
+		{"2c +vor", 2, "vor"},
+		{"4c +vor", 4, "vor"},
+	}
+	mechs := []struct {
+		name string
+		mech core.Mechanism
+		idle int
+	}{
+		{"traditional", core.MechTraditional, 0},
+		{"multi(1)", core.MechMultithreaded, 1},
+		{"multi(3)", core.MechMultithreaded, 3},
+		{"hardware", core.MechHardware, 0},
+	}
+	rows := make([]string, len(shapes))
+	for i, s := range shapes {
+		rows[i] = s.name
+	}
+	cols := make([]string, len(mechs))
+	for i, m := range mechs {
+		cols[i] = m.name
+	}
+	t := NewTable("Shared-L2 topology: core-0 penalty cycles/miss (mph measured, co-runners share the L2)", rows, cols)
+	err := r.forEach(len(shapes)*len(mechs), func(c *cell) error {
+		si, mi := c.index/len(mechs), c.index%len(mechs)
+		shape, mc := shapes[si], mechs[mi]
+		loads, err := clusterLoads(measured, shape.corunner, shape.cores)
+		if err != nil {
+			return err
+		}
+		cfg := r.baseConfig(mc.mech, 1, mc.idle)
+		subj, err := r.runCluster(c, cfg, loads)
+		if err != nil {
+			return err
+		}
+		r.log("  sharedl2 %-8s %-12s %9d cycles  %6d fills%s",
+			shape.name, mc.name, subj.Cycles, subj.DTLBMisses, r.opt.Meter.Suffix())
+		// The perfect baseline depends only on the cluster shape, not
+		// the mechanism: one baseline cluster per row, shared by the
+		// four mechanism columns through the singleflight cache.
+		pcfg := cfg
+		pcfg.Mech = core.MechPerfect
+		pcfg.QuickStart = false
+		pcfg.Limit = core.LimitNone
+		ranBaseline := false
+		endWait := c.telemetry().BaselineWaitBegin()
+		perf, err := r.base.get(clusterRunKey(pcfg, shape.cores, loads), func() (core.Result, error) {
+			ranBaseline = true
+			c.telemetry().BaselineRan()
+			return r.runCluster(c, pcfg, loads)
+		})
+		if !ranBaseline {
+			endWait()
+		}
+		if err != nil {
+			return err
+		}
+		cmp := core.Comparison{Subject: subj, Perfect: perf}
+		t.Set(si, mi, cmp.PenaltyPerMiss())
+		return nil
+	})
+	markFailedCells(t, err, func(i int) [][2]int {
+		return one(i/len(mechs), i%len(mechs))
+	})
+	return t, err
+}
+
+// clusterLoads assembles the per-core workload list: the measured
+// benchmark on core 0 and the co-runner on every other core.
+func clusterLoads(measured, corunner string, cores int) ([]core.Workload, error) {
+	b, err := workload.ByName(measured)
+	if err != nil {
+		return nil, err
+	}
+	loads := []core.Workload{b}
+	for i := 1; i < cores; i++ {
+		cr, err := workload.ByName(corunner)
+		if err != nil {
+			return nil, err
+		}
+		loads = append(loads, cr)
+	}
+	return loads, nil
+}

@@ -1,0 +1,65 @@
+package mem
+
+import "testing"
+
+func TestPhysicalCloneIndependence(t *testing.T) {
+	p := NewPhysical()
+	base := p.AllocFrame() * FrameSize
+	p.WriteU64(base, 0xdeadbeef)
+
+	c := p.Clone()
+	if got := c.ReadU64(base); got != 0xdeadbeef {
+		t.Fatalf("clone read %#x, want 0xdeadbeef", got)
+	}
+	if c.FramesAllocated() != p.FramesAllocated() {
+		t.Fatalf("clone allocator frontier %d != %d", c.FramesAllocated(), p.FramesAllocated())
+	}
+
+	// Writes through the clone must not reach the original, and the
+	// clone's allocator must advance independently.
+	c.WriteU64(base, 0x1111)
+	if got := p.ReadU64(base); got != 0xdeadbeef {
+		t.Fatalf("clone write leaked into original: %#x", got)
+	}
+	c.AllocFrame()
+	if c.FramesAllocated() != p.FramesAllocated()+1 {
+		t.Fatal("clone allocation moved the original's frontier")
+	}
+}
+
+func TestPhysicalCloneSameFrameNumbers(t *testing.T) {
+	// Page tables name physical frames by number, so a clone must hand
+	// out the same frame numbers the original would.
+	p := NewPhysical()
+	p.AllocFrames(3)
+	c := p.Clone()
+	if pf, cf := p.AllocFrame(), c.AllocFrame(); pf != cf {
+		t.Fatalf("post-clone allocations diverge: %d != %d", pf, cf)
+	}
+}
+
+func TestPhysicalMarkResetTo(t *testing.T) {
+	p := NewPhysical()
+	keep := p.AllocFrame() * FrameSize
+	p.WriteU64(keep, 42)
+	mark := p.Mark()
+
+	drop := p.AllocFrames(4) * FrameSize
+	p.WriteU64(drop, 99)
+	p.ResetTo(mark)
+
+	if got := p.ReadU64(keep); got != 42 {
+		t.Fatalf("frame below the mark lost its contents: %d", got)
+	}
+	if p.Mark() != mark {
+		t.Fatalf("frontier not rewound: %d != %d", p.Mark(), mark)
+	}
+	// Frames past the mark were freed: the next allocation reuses the
+	// first dropped frame number and its storage reads as zero.
+	if got := p.AllocFrames(4) * FrameSize; got != drop {
+		t.Fatalf("re-allocation landed at %#x, want %#x", got, drop)
+	}
+	if got := p.ReadU64(drop); got != 0 {
+		t.Fatalf("dropped frame retained stale contents: %d", got)
+	}
+}

@@ -1,0 +1,61 @@
+package stats
+
+import "testing"
+
+func TestSetCloneIndependence(t *testing.T) {
+	s := NewSet()
+	s.Counter("alpha").Add(3)
+	s.Histogram("lat").Observe(10)
+	s.Counter("beta").Add(7)
+	s.Histogram("lat").Observe(20)
+
+	c := s.Clone()
+	if c.String() != s.String() {
+		t.Fatalf("clone renders differently:\n%s\n--\n%s", c.String(), s.String())
+	}
+
+	// Mutations on either side stay on that side.
+	c.Counter("alpha").Inc()
+	c.Histogram("lat").Observe(99)
+	if s.Counter("alpha").Value != 3 {
+		t.Fatal("clone increment leaked into original")
+	}
+	if s.Histogram("lat").Count() != 2 {
+		t.Fatal("clone observation leaked into original")
+	}
+	s.Counter("gamma").Inc()
+	if c.Get("gamma") != 0 {
+		t.Fatal("original registration leaked into clone")
+	}
+}
+
+func TestSetClonePreservesOrder(t *testing.T) {
+	// Rendered output follows first-use order, so a clone created after
+	// interleaved registrations must render identically — this is what
+	// makes cloned-machine stats byte-comparable.
+	s := NewSet()
+	for _, name := range []string{"z", "a", "m.sub", "a2"} {
+		s.Counter(name).Inc()
+	}
+	s.Histogram("h1").Observe(1)
+	s.Counter("late").Inc()
+	if got, want := s.Clone().String(), s.String(); got != want {
+		t.Fatalf("order not preserved:\n%s\n--\n%s", got, want)
+	}
+}
+
+func TestHistogramCloneSortedCache(t *testing.T) {
+	h := NewHistogram("x")
+	for v := int64(0); v < 100; v++ {
+		h.Observe(v % 13)
+	}
+	_ = h.Percentile(0.5) // populate the sorted-key cache
+	c := h.Clone()
+	if c.Percentile(0.5) != h.Percentile(0.5) || c.Mean() != h.Mean() {
+		t.Fatal("clone percentiles diverge")
+	}
+	c.Observe(1000)
+	if h.Max() == 1000 {
+		t.Fatal("clone observation leaked into original")
+	}
+}

@@ -1,0 +1,183 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"mtexc/internal/core"
+	"mtexc/internal/workload"
+)
+
+func testConfig(t testing.TB) core.Config {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Mech = core.MechMultithreaded
+	cfg.Contexts = 2
+	cfg.MaxInsts = 30_000
+	return cfg
+}
+
+func mustBench(t testing.TB, name string) core.Workload {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// buildCluster assembles an n-core cluster with the given workloads
+// loaded in ascending core order.
+func buildCluster(t testing.TB, cfg core.Config, names ...string) *Cluster {
+	t.Helper()
+	c, err := New(Config{Cores: len(names), Core: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range names {
+		if err := c.Load(i, mustBench(t, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestSingleCoreMatchesMachine: a 1-core cluster is the degenerate
+// topology and must reproduce a plain single-machine run exactly —
+// same image placement (fresh physical memory, ASN 1, same load
+// order), same hierarchy (a private L2 domain), same driver
+// semantics. Any drift here means the round-robin driver or the
+// substrate constructor changed timing.
+func TestSingleCoreMatchesMachine(t *testing.T) {
+	cfg := testConfig(t)
+
+	ref, err := core.Run(cfg, mustBench(t, "mph"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := buildCluster(t, cfg, "mph")
+	results, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := results[0]
+
+	if got.Cycles != ref.Cycles || got.AppInsts != ref.AppInsts || got.DTLBMisses != ref.DTLBMisses {
+		t.Errorf("1-core cluster diverged from single machine: cluster (cyc=%d insts=%d miss=%d) vs machine (cyc=%d insts=%d miss=%d)",
+			got.Cycles, got.AppInsts, got.DTLBMisses, ref.Cycles, ref.AppInsts, ref.DTLBMisses)
+	}
+	if g, w := got.Stats.String(), ref.Stats.String(); g != w {
+		t.Errorf("1-core cluster statistics diverged from single machine:\ncluster:\n%s\nmachine:\n%s", g, w)
+	}
+}
+
+// TestClusterDeterminism: two identically-built clusters must produce
+// identical per-core results and identical merged statistics — the
+// round-robin driver admits no host-scheduling nondeterminism.
+func TestClusterDeterminism(t *testing.T) {
+	cfg := testConfig(t)
+	run := func() ([]core.Result, string) {
+		c := buildCluster(t, cfg, "mph", "cmp")
+		results, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results, c.MergedStats(results).String()
+	}
+
+	r1, s1 := run()
+	r2, s2 := run()
+	for i := range r1 {
+		if r1[i].Cycles != r2[i].Cycles || r1[i].AppInsts != r2[i].AppInsts {
+			t.Errorf("core %d: run 1 (cyc=%d insts=%d) != run 2 (cyc=%d insts=%d)",
+				i, r1[i].Cycles, r1[i].AppInsts, r2[i].Cycles, r2[i].AppInsts)
+		}
+	}
+	if s1 != s2 {
+		t.Error("merged statistics differ between identical runs")
+	}
+}
+
+// TestClusterInterference: with an L2 small enough for the working
+// sets to collide, adding a co-runner must slow the measured core
+// down relative to running alone on the same topology, and the shared
+// L2 must record the contention.
+func TestClusterInterference(t *testing.T) {
+	cfg := testConfig(t)
+	// Shrink the shared L2 so two benchmark working sets thrash it.
+	cfg.Hier.L2.Size = 16 << 10
+	cfg.Hier.L2.Assoc = 2
+
+	solo := buildCluster(t, cfg, "mph")
+	soloRes, err := solo.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pair := buildCluster(t, cfg, "mph", "cmp")
+	pairRes, err := pair.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if soloRes[0].AppInsts != pairRes[0].AppInsts {
+		t.Fatalf("instruction budgets differ: solo %d vs pair %d — comparison invalid",
+			soloRes[0].AppInsts, pairRes[0].AppInsts)
+	}
+	if pairRes[0].Cycles <= soloRes[0].Cycles {
+		t.Errorf("co-runner did not slow core 0: %d cycles with co-runner vs %d alone",
+			pairRes[0].Cycles, soloRes[0].Cycles)
+	}
+	if pair.Domain().L2.Evicts == 0 {
+		t.Error("shared L2 recorded no evictions under a thrashing pair")
+	}
+	if got, want := pair.WorkloadNames(), []string{"murphi", "compress"}; got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("workload names = %v, want %v", got, want)
+	}
+}
+
+// TestMergedStatsNamespacing: the merged set carries every core's
+// counters under its own prefix plus the shared-L2 aggregates, and
+// the per-core values survive the merge unchanged.
+func TestMergedStatsNamespacing(t *testing.T) {
+	cfg := testConfig(t)
+	c := buildCluster(t, cfg, "mph", "cmp")
+	results, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := c.MergedStats(results)
+
+	for i, res := range results {
+		prefix := []string{"core0.", "core1."}[i]
+		if got, want := merged.Get(prefix+"cycles"), res.Stats.Get("cycles"); got != want {
+			t.Errorf("%scycles = %d, want %d", prefix, got, want)
+		}
+		if got, want := merged.Get(prefix+"app.retired"), res.Stats.Get("app.retired"); got != want {
+			t.Errorf("%sapp.retired = %d, want %d", prefix, got, want)
+		}
+	}
+	for _, name := range []string{"l2shared.hits", "l2shared.misses", "l2shared.memtransfers"} {
+		if !strings.Contains(merged.String(), name) {
+			t.Errorf("merged set missing %s", name)
+		}
+	}
+	if got, want := merged.Get("l2shared.misses"), c.Domain().L2.Misses; got != want {
+		t.Errorf("l2shared.misses = %d, want %d", got, want)
+	}
+}
+
+// TestClusterErrors: construction and loading reject bad shapes.
+func TestClusterErrors(t *testing.T) {
+	if _, err := New(Config{Cores: 0, Core: testConfig(t)}); err == nil {
+		t.Error("New accepted a 0-core cluster")
+	}
+	c := buildCluster(t, testConfig(t), "mph")
+	if err := c.Load(1, mustBench(t, "cmp")); err == nil {
+		t.Error("Load accepted an out-of-range core index")
+	}
+	if c.Cores() != 1 {
+		t.Errorf("Cores() = %d, want 1", c.Cores())
+	}
+}

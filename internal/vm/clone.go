@@ -1,0 +1,53 @@
+package vm
+
+import "mtexc/internal/mem"
+
+// Clone returns a deep copy of the TLB: entries, LRU stamps,
+// speculative-fill tags and statistics. Lookups and fills on either
+// copy leave the other untouched.
+func (t *TLB) Clone() *TLB {
+	c := *t
+	c.entries = append([]tlbEntry(nil), t.entries...)
+	return &c
+}
+
+// Reset empties the TLB and zeroes its LRU clock and statistics,
+// returning it to the as-constructed state while keeping the entry
+// storage.
+func (t *TLB) Reset() {
+	for i := range t.entries {
+		t.entries[i] = tlbEntry{}
+	}
+	t.stamp = 0
+	t.Hits, t.Misses, t.Fills, t.SpecKills = 0, 0, 0, 0
+}
+
+// CloneInto returns a deep copy of the address space bound to phys,
+// which must be (a clone of) the physical memory the original's page
+// table lives in: frame numbers — the page-table base, the mapped
+// PFNs, the two-level leaf bases — carry over unchanged, so the
+// in-memory table the cloned physical memory already holds stays
+// exactly consistent with the copied mirror.
+func (as *AddressSpace) CloneInto(phys *mem.Physical) *AddressSpace {
+	c := &AddressSpace{
+		ASN:         as.ASN,
+		org:         as.org,
+		phys:        phys,
+		ptBase:      as.ptBase,
+		maxVPN:      as.maxVPN,
+		mirror:      make(map[uint64]uint64, len(as.mirror)),
+		PagesMapped: as.PagesMapped,
+	}
+	// Each key is copied once; map visit order cannot affect the
+	// resulting mirror.
+	for vpn, pfn := range as.mirror {
+		c.mirror[vpn] = pfn
+	}
+	if as.leaves != nil {
+		c.leaves = make(map[uint64]uint64, len(as.leaves))
+		for ri, base := range as.leaves {
+			c.leaves[ri] = base
+		}
+	}
+	return c
+}
